@@ -1,0 +1,131 @@
+//! Ablation study (the paper's §5.5 suggested extension: "a much larger
+//! design space including varying core and accelerator parameters"):
+//! sensitivity of the headline results to the microarchitectural knobs the
+//! DESIGN.md calls out.
+//!
+//! Four sweeps:
+//!   1. issue-window size of the host OOO2,
+//!   2. ROB size of the host OOO2,
+//!   3. mispredict penalty,
+//!   4. SIMD vector length and NS-DF live-transfer cost (accelerator side).
+
+use prism_exocore::{geomean, oracle_schedule, WorkloadData};
+use prism_tdg::{run_exocore, BsaKind};
+use prism_udg::{simulate_trace, CoreConfig};
+
+const WORKLOADS: &[&str] = &["stencil", "cjpeg-1", "tpch1", "456.hmmer", "458.sjeng"];
+
+fn prepare() -> Vec<WorkloadData> {
+    WORKLOADS
+        .iter()
+        .map(|n| {
+            let w = prism_workloads::by_name(n).expect(n);
+            WorkloadData::prepare(&w.build_default()).expect(n)
+        })
+        .collect()
+}
+
+fn geomean_speedup(data: &[WorkloadData], core: &CoreConfig) -> (f64, f64) {
+    // (full-ExoCore speedup, full-ExoCore energy-eff) vs this core alone.
+    let ratios: Vec<(f64, f64)> = data
+        .iter()
+        .map(|w| {
+            let base = simulate_trace(&w.trace, core);
+            let a = oracle_schedule(w, core, &BsaKind::ALL);
+            let run = run_exocore(&w.trace, &w.ir, core, &w.plans, &a, &BsaKind::ALL);
+            (
+                base.cycles as f64 / run.cycles.max(1) as f64,
+                base.energy.total() / run.energy.total(),
+            )
+        })
+        .collect();
+    (
+        geomean(ratios.iter().map(|r| r.0)),
+        geomean(ratios.iter().map(|r| r.1)),
+    )
+}
+
+fn main() {
+    let data = prepare();
+    println!("=== Ablation: sensitivity of the ExoCore benefit to design knobs ===");
+    println!("(geomean over {:?})\n", WORKLOADS);
+
+    println!("-- host issue-window size (OOO2 otherwise) --");
+    println!("{:>8} {:>10} {:>12} {:>12}", "window", "base IPC", "exo speedup", "exo en-eff");
+    for window in [16, 32, 64, 128] {
+        let mut core = CoreConfig::ooo2();
+        core.window_size = window;
+        core.name = format!("OOO2w{window}");
+        let ipc = geomean(data.iter().map(|w| simulate_trace(&w.trace, &core).ipc()));
+        let (s, e) = geomean_speedup(&data, &core);
+        println!("{window:>8} {ipc:>10.2} {s:>12.2} {e:>12.2}");
+    }
+
+    println!("\n-- host ROB size (OOO2 otherwise) --");
+    println!("{:>8} {:>10} {:>12} {:>12}", "rob", "base IPC", "exo speedup", "exo en-eff");
+    for rob in [32, 64, 128, 256] {
+        let mut core = CoreConfig::ooo2();
+        core.rob_size = rob;
+        core.name = format!("OOO2r{rob}");
+        let ipc = geomean(data.iter().map(|w| simulate_trace(&w.trace, &core).ipc()));
+        let (s, e) = geomean_speedup(&data, &core);
+        println!("{rob:>8} {ipc:>10.2} {s:>12.2} {e:>12.2}");
+    }
+
+    println!("\n-- mispredict penalty (OOO2 otherwise) --");
+    println!("{:>8} {:>10} {:>12}", "penalty", "base IPC", "exo speedup");
+    for pen in [4, 8, 16, 24] {
+        let mut core = CoreConfig::ooo2();
+        core.mispredict_penalty = pen;
+        core.name = format!("OOO2p{pen}");
+        let ipc = geomean(data.iter().map(|w| simulate_trace(&w.trace, &core).ipc()));
+        let (s, _) = geomean_speedup(&data, &core);
+        println!("{pen:>8} {ipc:>10.2} {s:>12.2}");
+    }
+
+    println!("\n-- SIMD vector length (plan override, stencil) --");
+    println!("{:>4} {:>12}", "VL", "speedup");
+    let stencil = &data[0];
+    let core = CoreConfig::ooo2().with_simd();
+    let base = simulate_trace(&stencil.trace, &CoreConfig::ooo2());
+    for vl in [2usize, 4, 8] {
+        let mut plans = stencil.plans.clone();
+        for p in plans.simd.values_mut() {
+            p.vl = vl;
+        }
+        let mut a = prism_tdg::Assignment::none();
+        let lid = *plans.simd.keys().next().expect("stencil vectorizes");
+        a.set(lid, BsaKind::Simd);
+        let run =
+            run_exocore(&stencil.trace, &stencil.ir, &core, &plans, &a, &[BsaKind::Simd]);
+        println!("{vl:>4} {:>12.2}", base.cycles as f64 / run.cycles as f64);
+    }
+
+    println!("\n-- NS-DF live-transfer cost (plan override, tpch1) --");
+    println!("{:>6} {:>12}", "xfer", "speedup");
+    let tpch = data.iter().find(|w| w.name == "tpch1").expect("tpch1");
+    let base = simulate_trace(&tpch.trace, &CoreConfig::ooo2());
+    for xfer in [0u64, 8, 32, 128] {
+        let mut plans = tpch.plans.clone();
+        for p in plans.ns_df.values_mut() {
+            p.live_xfer = xfer;
+        }
+        let lid = *plans.ns_df.keys().next().expect("tpch1 offloads");
+        let mut a = prism_tdg::Assignment::none();
+        a.set(lid, BsaKind::NsDf);
+        let run = run_exocore(
+            &tpch.trace,
+            &tpch.ir,
+            &CoreConfig::ooo2(),
+            &plans,
+            &a,
+            &[BsaKind::NsDf],
+        );
+        println!("{xfer:>6} {:>12.2}", base.cycles as f64 / run.cycles as f64);
+    }
+
+    println!("\nExpected shapes: window/ROB growth shrinks the ExoCore speedup (the");
+    println!("core catches up); mispredict penalty raises it (BSAs dodge speculation);");
+    println!("VL saturates past the memory ports; live-transfer cost only matters");
+    println!("when regions are short (tpch1's single long region barely moves).");
+}

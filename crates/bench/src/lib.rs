@@ -1,0 +1,85 @@
+//! # prism-bench
+//!
+//! The evaluation harness: one binary per table and figure of *Analyzing
+//! Behavior Specialized Acceleration* (ASPLOS 2016). See `DESIGN.md` §4
+//! for the experiment index and `EXPERIMENTS.md` for recorded results.
+
+#![warn(missing_docs)]
+
+pub mod published;
+
+use std::path::PathBuf;
+
+use prism_exocore::{explore, DesignResult, WorkloadData};
+
+/// Prepares every registered workload (trace + IR + plans).
+#[must_use]
+pub fn prepare_all_workloads() -> Vec<WorkloadData> {
+    prism_workloads::ALL
+        .iter()
+        .map(|w| {
+            WorkloadData::prepare(&w.build_default())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        })
+        .collect()
+}
+
+/// Prepares the workloads of one suite.
+#[must_use]
+pub fn prepare_suite(suite: prism_workloads::Suite) -> Vec<WorkloadData> {
+    prism_workloads::by_suite(suite)
+        .map(|w| {
+            WorkloadData::prepare(&w.build_default())
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+        })
+        .collect()
+}
+
+fn cache_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/prism_dse_cache.json")
+}
+
+/// Runs (or loads from cache) the full 64-point design-space exploration
+/// over all workloads. Delete `target/prism_dse_cache.json` or set
+/// `PRISM_REFRESH=1` to recompute.
+#[must_use]
+pub fn full_design_space() -> Vec<DesignResult> {
+    let path = cache_path();
+    let refresh = std::env::var_os("PRISM_REFRESH").is_some();
+    if !refresh {
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(results) = serde_json::from_slice::<Vec<DesignResult>>(&bytes) {
+                if results.len() == 64 {
+                    return results;
+                }
+            }
+        }
+    }
+    eprintln!("[prism-bench] running full design-space exploration (64 points × {} workloads)…",
+        prism_workloads::ALL.len());
+    let data = prepare_all_workloads();
+    let results = explore(&data);
+    if let Ok(json) = serde_json::to_vec(&results) {
+        let _ = std::fs::write(&path, json);
+    }
+    results
+}
+
+/// Finds a design result by its Fig. 12 label.
+///
+/// # Panics
+///
+/// Panics if the label is unknown.
+#[must_use]
+pub fn by_label<'a>(results: &'a [DesignResult], label: &str) -> &'a DesignResult {
+    results
+        .iter()
+        .find(|r| r.label == label)
+        .unwrap_or_else(|| panic!("no design point labeled {label}"))
+}
+
+/// Formats a ratio column.
+#[must_use]
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}

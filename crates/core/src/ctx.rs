@@ -1,0 +1,146 @@
+//! Shared execution context threaded through core and accelerator region
+//! models during a combined (core + accelerator) TDG evaluation.
+
+use prism_energy::EnergyEvents;
+use prism_isa::StaticId;
+use prism_sim::{DynInst, RegDepTracker, Trace};
+
+pub use crate::unit::ExecUnit;
+
+/// Sentinel for "completion time not yet assigned".
+pub const UNSET: u64 = u64::MAX;
+
+/// Streaming state shared by every region model of a combined TDG run.
+///
+/// Holds the per-dynamic-instruction completion times (`p_times`), the
+/// register/memory dependence trackers, accumulated energy events, and the
+/// per-unit cycle/instruction attribution used for the paper's Figure 13
+/// breakdowns.
+#[derive(Debug)]
+pub struct ExecCtx<'t> {
+    /// The trace being modeled.
+    pub trace: &'t Trace,
+    /// Completion time of each dynamic instruction ([`UNSET`] until its
+    /// region model assigns it).
+    pub p_times: Vec<u64>,
+    /// Register last-writer tracking over the *original* stream.
+    pub regs: RegDepTracker,
+    /// Store→load dependence tracking over the original stream.
+    pub mems: prism_udg::MemDepTracker,
+    /// Accumulated energy events.
+    pub events: EnergyEvents,
+    /// Cycles attributed to each execution unit.
+    pub unit_cycles: [u64; ExecUnit::COUNT],
+    /// Original-program dynamic instructions attributed to each unit.
+    pub unit_insts: [u64; ExecUnit::COUNT],
+    /// Region-end samples for dynamic-switching timelines (Fig. 14).
+    pub timeline: Vec<TimelineSample>,
+}
+
+/// One region's endpoint in the switching timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineSample {
+    /// Last original-trace seq of the region.
+    pub end_seq: u64,
+    /// Cycle at which the region finished.
+    pub end_cycle: u64,
+    /// The unit that executed the region.
+    pub unit: ExecUnit,
+}
+
+impl<'t> ExecCtx<'t> {
+    /// Creates a context for `trace`.
+    #[must_use]
+    pub fn new(trace: &'t Trace) -> Self {
+        ExecCtx {
+            trace,
+            p_times: vec![UNSET; trace.len()],
+            regs: RegDepTracker::new(),
+            mems: prism_udg::MemDepTracker::new(),
+            events: EnergyEvents::new(),
+            unit_cycles: [0; ExecUnit::COUNT],
+            unit_insts: [0; ExecUnit::COUNT],
+            timeline: Vec::new(),
+        }
+    }
+
+    /// The completion time of dynamic instruction `seq`, if assigned.
+    #[must_use]
+    pub fn p_time(&self, seq: u64) -> Option<u64> {
+        let t = self.p_times[seq as usize];
+        (t != UNSET).then_some(t)
+    }
+
+    /// Records that dynamic instruction `d` completed at `complete`:
+    /// assigns its `p_time`, retires it in the register tracker, and
+    /// records stores in the memory tracker.
+    pub fn retire(&mut self, d: &DynInst, complete: u64) {
+        self.p_times[d.seq as usize] = complete;
+        let inst = self.trace.static_inst(d);
+        self.regs.retire(inst, d.seq);
+        if let Some(m) = &d.mem {
+            if m.is_store {
+                self.mems.record_store(m.addr, m.width, complete);
+            }
+        }
+    }
+
+    /// Attributes `insts` original instructions and `cycles` cycles to a
+    /// unit and appends a timeline sample.
+    pub fn attribute(&mut self, unit: ExecUnit, insts: u64, end_seq: u64, start: u64, end: u64) {
+        self.unit_insts[unit as usize] += insts;
+        self.unit_cycles[unit as usize] += end.saturating_sub(start);
+        self.timeline.push(TimelineSample { end_seq, end_cycle: end, unit });
+    }
+
+    /// Resolves the register-dependence producer seqs of `inst`, as of the
+    /// current tracker state (callers must not yet have retired `d`).
+    #[must_use]
+    pub fn producer_seqs(&self, sid: StaticId) -> Vec<u64> {
+        self.regs.sources(self.trace.program.inst(sid))
+    }
+
+    /// Builds the [`ModelInst`](prism_udg::ModelInst) for `d` as the plain
+    /// core would execute it, resolving register dependences through the
+    /// context's `p_times` (unassigned producers contribute no edge) and
+    /// memory dependences through the store tracker.
+    #[must_use]
+    pub fn model_inst(&self, d: &DynInst) -> prism_udg::ModelInst {
+        use prism_udg::ModelDep;
+        let inst = self.trace.static_inst(d);
+        let mut deps: Vec<ModelDep> = self
+            .regs
+            .sources(inst)
+            .into_iter()
+            .filter_map(|s| self.p_time(s).map(ModelDep::data))
+            .collect();
+        let mut latency = u64::from(inst.op.latency());
+        let mut mem_level = None;
+        let mut is_store = false;
+        if let Some(m) = &d.mem {
+            mem_level = Some(m.level);
+            if m.is_store {
+                is_store = true;
+                latency = 1;
+            } else {
+                latency = u64::from(m.latency);
+                if let Some(ready) = self.mems.load_dependence(m.addr, m.width) {
+                    deps.push(ModelDep::memory(ready));
+                }
+            }
+        }
+        prism_udg::ModelInst {
+            fu: inst.fu_class(),
+            latency,
+            deps,
+            mem_level,
+            is_store,
+            is_cond_branch: inst.op.is_cond_branch(),
+            mispredicted: d.branch.is_some_and(|b| b.mispredicted),
+            branch_taken: d.branch.is_some_and(|b| b.taken),
+            vector: false,
+            reads: inst.sources().count() as u8,
+            writes: u8::from(inst.dest().is_some()),
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The paper's worked example (Figure 4): transparently fusing a
+//! multiply–add pair into a single `fma` instruction via a TDG transform.
+//!
+//! *Analysis* (Fig. 4c): inside each basic block, find an `fadd` whose
+//! `fmul` operand is produced in the same block and used exactly once.
+//! *Transform* (Fig. 4d): the `fmul` becomes a 4-cycle `fma`, the `fadd` is
+//! elided, and the `fadd`'s remaining data dependences attach to the `fma`.
+//!
+//! Kept deliberately simple — it exists to demonstrate (and test) the
+//! analysis → plan → transform pipeline on which the real BSA models are
+//! built.
+
+use std::collections::HashMap;
+
+use prism_isa::{Opcode, StaticId};
+use prism_sim::Trace;
+use prism_udg::{finish_run, CoreConfig, CoreModel, CoreRun, ModelDep, ModelInst};
+
+use crate::ctx::ExecCtx;
+
+/// The fma analysis "plan": which `fadd` fuses with which `fmul`.
+#[derive(Debug, Clone, Default)]
+pub struct FmaPlan {
+    /// `fadd` static id → fused `fmul` static id.
+    pub fused: HashMap<StaticId, StaticId>,
+}
+
+impl FmaPlan {
+    /// Number of fused pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fused.len()
+    }
+
+    /// Whether no pairs were found.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fused.is_empty()
+    }
+}
+
+/// The TDG-analyzer pass of Fig. 4(c): per basic block, match `fmul`s with
+/// a single dependent `fadd`.
+#[must_use]
+pub fn analyze_fma(ir: &prism_ir::ProgramIr, trace: &Trace) -> FmaPlan {
+    let program = &trace.program;
+    let mut plan = FmaPlan::default();
+    for bb in &ir.cfg.blocks {
+        for fadd_id in bb.inst_ids() {
+            let fadd = program.inst(fadd_id);
+            if fadd.op != Opcode::FAdd {
+                continue;
+            }
+            // Look backwards in the block for the producing fmul.
+            for cand_id in (bb.start..fadd_id).rev() {
+                let cand = program.inst(cand_id);
+                let Some(dest) = cand.dest() else { continue };
+                let feeds_fadd = fadd.sources().any(|s| s == dest);
+                if !feeds_fadd {
+                    continue;
+                }
+                if cand.op != Opcode::FMul {
+                    break; // nearest producer is not an fmul
+                }
+                // Single use: dest must not be read by any other inst in
+                // the block after the fmul (before redefinition), nor be
+                // one of the fadd's two sources twice.
+                let mut uses = 0;
+                for i in (cand_id + 1)..=bb.end {
+                    let inst = program.inst(i);
+                    uses += inst.sources().filter(|&s| s == dest).count();
+                    if inst.dest() == Some(dest) {
+                        break; // redefined (possibly by the fadd itself)
+                    }
+                }
+                if uses == 1 {
+                    plan.fused.insert(fadd_id, cand_id);
+                }
+                break;
+            }
+        }
+    }
+    plan
+}
+
+/// The TDG-transform + evaluation of Fig. 4(d/e): models `trace` on
+/// `config` with the fma plan applied, returning the combined
+/// core+accelerator run (here the "accelerator" is just the fused FU).
+#[must_use]
+pub fn simulate_with_fma(trace: &Trace, config: &CoreConfig, plan: &FmaPlan) -> CoreRun {
+    let mut core = CoreModel::new(config);
+    let mut ctx = ExecCtx::new(trace);
+    // Deferred fmul deps, keyed by the fmul's dyn seq.
+    let mut pending_mul: HashMap<u64, Vec<ModelDep>> = HashMap::new();
+    let fused_muls: std::collections::HashSet<StaticId> =
+        plan.fused.values().copied().collect();
+
+    for d in &trace.insts {
+        let inst = trace.static_inst(d);
+        let dep_seqs = ctx.producer_seqs(d.sid);
+        let deps: Vec<ModelDep> = dep_seqs
+            .iter()
+            .filter_map(|&s| ctx.p_time(s).map(ModelDep::data))
+            .collect();
+
+        if fused_muls.contains(&d.sid) {
+            // Elide for now; its deps ride along to the fma.
+            pending_mul.insert(d.seq, deps);
+            // Completion assigned when the fma issues; consumers other
+            // than the fused fadd do not exist (single-use).
+            ctx.regs.retire(inst, d.seq);
+            continue;
+        }
+
+        if let Some(&mul_sid) = plan.fused.get(&d.sid) {
+            // This fadd becomes the fma: merge deps of the pending fmul.
+            let mut all = deps;
+            // The fadd's dep on the fmul itself is unresolvable (fmul has
+            // no p_time) and is replaced by the fmul's own deps.
+            if let Some(mul_seq) = dep_seqs
+                .iter()
+                .find(|&&s| trace.insts[s as usize].sid == mul_sid)
+            {
+                if let Some(mul_deps) = pending_mul.remove(mul_seq) {
+                    all.extend(mul_deps);
+                }
+            }
+            let mi = ModelInst {
+                fu: prism_isa::FuClass::Fp,
+                latency: u64::from(Opcode::Fma.latency()),
+                deps: all,
+                reads: 3,
+                writes: 1,
+                ..ModelInst::default()
+            };
+            let times = core.issue(&mi);
+            ctx.retire(d, times.complete);
+            continue;
+        }
+
+        // Normal path (set_inst_deps in Fig. 4d).
+        let mi = ctx.model_inst(d);
+        let times = core.issue(&mi);
+        ctx.retire(d, times.complete);
+    }
+
+    finish_run(core, config, trace.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::{ProgramBuilder, Reg};
+    use prism_udg::simulate_trace;
+
+    /// The paper's Fig. 4 example loop:
+    /// I0: fmul (invariant), I1: ld, I2: fmul, I3: fadd, I4: sub, I5: brnz.
+    fn fig4_program(n: i64) -> prism_sim::Trace {
+        let (r0, r1) = (Reg::int(1), Reg::int(2));
+        let (f2, f3, f4, f5) = (Reg::fp(2), Reg::fp(3), Reg::fp(4), Reg::fp(5));
+        let mut b = ProgramBuilder::new("fig4");
+        b.init_reg(r0, 0x1000);
+        b.init_reg(r1, n * 8);
+        b.fli(f3, 2.0);
+        b.fmul(f5, f3, f3); // I0-like: fmul whose result is the accumulator seed
+        let head = b.bind_new_label();
+        b.emit(prism_isa::Inst::load(prism_isa::Opcode::FLd, f2, r0, 0, 8)); // I1
+        b.fmul(f4, f2, f3); // I2
+        b.fadd(f5, f4, f5); // I3 — fuses with I2
+        b.addi(r0, r0, 8);
+        b.addi(r1, r1, -8); // I4
+        b.bne_label(r1, Reg::ZERO, head); // I5
+        b.halt();
+        prism_sim::trace(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn analyzer_finds_the_fig4_pair() {
+        let t = fig4_program(10);
+        let ir = prism_ir::ProgramIr::analyze(&t);
+        let plan = analyze_fma(&ir, &t);
+        assert_eq!(plan.len(), 1);
+        let (&fadd, &fmul) = plan.fused.iter().next().unwrap();
+        assert_eq!(t.program.inst(fadd).op, Opcode::FAdd);
+        assert_eq!(t.program.inst(fmul).op, Opcode::FMul);
+        assert_eq!(fadd, fmul + 1);
+    }
+
+    #[test]
+    fn analyzer_rejects_multi_use_fmul() {
+        let (f1, f2, f3, f4) = (Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4));
+        let mut b = ProgramBuilder::new("multiuse");
+        b.fli(f1, 1.0);
+        b.fmul(f2, f1, f1);
+        b.fadd(f3, f2, f1);
+        b.fadd(f4, f2, f2); // second use of f2
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let ir = prism_ir::ProgramIr::analyze(&t);
+        let plan = analyze_fma(&ir, &t);
+        assert!(plan.is_empty());
+    }
+
+    /// Per-element mul-add (`c[i] = a[i]*k + m`): the fusion target where
+    /// fma genuinely helps (shorter per-element latency, one fewer inst).
+    fn elementwise_program(n: i64) -> prism_sim::Trace {
+        let (pa, pc, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let (fa, fk, fm, ft) = (Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4));
+        let mut b = ProgramBuilder::new("elemwise");
+        b.init_reg(pa, 0x1000);
+        b.init_reg(pc, 0x9000);
+        b.init_reg(i, n);
+        b.fli(fk, 3.0);
+        b.fli(fm, 1.0);
+        let head = b.bind_new_label();
+        b.fld(fa, pa, 0);
+        b.fmul(ft, fa, fk);
+        b.fadd(ft, ft, fm);
+        b.fst(ft, pc, 0);
+        b.addi(pa, pa, 8);
+        b.addi(pc, pc, 8);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        prism_sim::trace(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn transform_elides_one_inst_and_speeds_up_elementwise() {
+        let t = elementwise_program(200);
+        let ir = prism_ir::ProgramIr::analyze(&t);
+        let plan = analyze_fma(&ir, &t);
+        assert_eq!(plan.len(), 1);
+        let cfg = CoreConfig::io2();
+        let base = simulate_trace(&t, &cfg);
+        let fused = simulate_with_fma(&t, &cfg, &plan);
+        // In-order core: per-element latency 4+3 → 4 and one fewer inst.
+        let speedup = base.cycles as f64 / fused.cycles as f64;
+        assert!(speedup > 1.05, "speedup = {speedup}");
+        // One fewer FP op flows through the pipeline per iteration.
+        assert!(fused.events.core.fp_ops < base.events.core.fp_ops);
+    }
+
+    #[test]
+    fn fusing_a_reduction_chain_can_hurt_ooo_cores() {
+        // Insight the model captures: on the Fig. 4 accumulator loop, the
+        // fmul is latency-hidden by the OOO core, and fusing it onto the
+        // 3-cycle fadd recurrence stretches the chain to 4 cycles per
+        // iteration — fma is *not* free lunch.
+        let t = fig4_program(200);
+        let ir = prism_ir::ProgramIr::analyze(&t);
+        let plan = analyze_fma(&ir, &t);
+        assert_eq!(plan.len(), 1);
+        let cfg = CoreConfig::ooo4();
+        let base = simulate_trace(&t, &cfg);
+        let fused = simulate_with_fma(&t, &cfg, &plan);
+        assert!(
+            fused.cycles > base.cycles,
+            "expected the stretched recurrence to show: {} vs {}",
+            fused.cycles,
+            base.cycles
+        );
+    }
+
+    #[test]
+    fn empty_plan_matches_baseline_exactly() {
+        let t = fig4_program(50);
+        let cfg = CoreConfig::ooo2();
+        let base = simulate_trace(&t, &cfg);
+        let same = simulate_with_fma(&t, &cfg, &FmaPlan::default());
+        assert_eq!(base.cycles, same.cycles);
+        assert_eq!(base.events.core, same.events.core);
+    }
+}

@@ -1,0 +1,153 @@
+//! Combined analysis plans and BSA→region assignments.
+
+use std::collections::HashMap;
+
+use prism_ir::{LoopId, ProgramIr};
+
+use crate::dp_cgra::CgraPlan;
+use crate::ns_df::NsDfPlan;
+use crate::simd::SimdPlan;
+use crate::trace_p::TracePPlan;
+use crate::BsaKind;
+
+/// The analysis plans of all four BSAs for one traced program.
+#[derive(Debug, Clone, Default)]
+pub struct AccelPlans {
+    /// SIMD plans per vectorizable innermost loop.
+    pub simd: HashMap<LoopId, SimdPlan>,
+    /// DP-CGRA plans per sliceable loop.
+    pub dp_cgra: HashMap<LoopId, CgraPlan>,
+    /// NS-DF plans per offloadable loop nest.
+    pub ns_df: HashMap<LoopId, NsDfPlan>,
+    /// Trace-P plans per hot-trace loop.
+    pub trace_p: HashMap<LoopId, TracePPlan>,
+}
+
+impl AccelPlans {
+    /// Runs all four analyzers.
+    #[must_use]
+    pub fn analyze(ir: &ProgramIr) -> Self {
+        AccelPlans {
+            simd: crate::simd::analyze_simd(ir),
+            dp_cgra: crate::dp_cgra::analyze_dp_cgra(ir),
+            ns_df: crate::ns_df::analyze_ns_df(ir),
+            trace_p: crate::trace_p::analyze_trace_p(ir),
+        }
+    }
+
+    /// Whether BSA `kind` has a plan for loop `lid`.
+    #[must_use]
+    pub fn has(&self, kind: BsaKind, lid: LoopId) -> bool {
+        match kind {
+            BsaKind::Simd => self.simd.contains_key(&lid),
+            BsaKind::DpCgra => self.dp_cgra.contains_key(&lid),
+            BsaKind::NsDf => self.ns_df.contains_key(&lid),
+            BsaKind::TraceP => self.trace_p.contains_key(&lid),
+        }
+    }
+
+    /// The static speedup estimate a plan advertises (for the Amdahl tree).
+    #[must_use]
+    pub fn est_speedup(&self, kind: BsaKind, lid: LoopId) -> Option<f64> {
+        match kind {
+            BsaKind::Simd => self.simd.get(&lid).map(SimdPlan::est_speedup),
+            BsaKind::DpCgra => self.dp_cgra.get(&lid).map(CgraPlan::est_speedup),
+            BsaKind::NsDf => self.ns_df.get(&lid).map(|p| p.est_speedup),
+            BsaKind::TraceP => self.trace_p.get(&lid).map(|p| p.est_speedup),
+        }
+    }
+}
+
+/// A scheduler's decision: which BSA (if any) executes each loop.
+///
+/// Assignments must be non-overlapping in the loop forest: if a loop is
+/// assigned, none of its ancestors or descendants may be.
+#[derive(Debug, Clone, Default)]
+pub struct Assignment {
+    /// Loop → chosen BSA.
+    pub map: HashMap<LoopId, BsaKind>,
+}
+
+impl Assignment {
+    /// Creates an empty (all-GPP) assignment.
+    #[must_use]
+    pub fn none() -> Self {
+        Assignment::default()
+    }
+
+    /// Assigns loop `lid` to `kind`.
+    pub fn set(&mut self, lid: LoopId, kind: BsaKind) {
+        self.map.insert(lid, kind);
+    }
+
+    /// Checks the non-overlap invariant against the loop forest.
+    #[must_use]
+    pub fn is_well_formed(&self, ir: &ProgramIr) -> bool {
+        for (&lid, _) in &self.map {
+            let mut cur = ir.loops.loops[lid as usize].parent;
+            while let Some(p) = cur {
+                if self.map.contains_key(&p) {
+                    return false;
+                }
+                cur = ir.loops.loops[p as usize].parent;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::{ProgramBuilder, Reg};
+
+    fn nested_trace() -> prism_sim::Trace {
+        let (i, j, acc) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new("nest");
+        b.init_reg(i, 8);
+        let oh = b.bind_new_label();
+        b.li(j, 16);
+        let ih = b.bind_new_label();
+        b.add(acc, acc, j);
+        b.addi(j, j, -1);
+        b.bne_label(j, Reg::ZERO, ih);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, oh);
+        b.halt();
+        prism_sim::trace(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn nested_assignment_violates_well_formedness() {
+        let t = nested_trace();
+        let ir = prism_ir::ProgramIr::analyze(&t);
+        let inner = ir.loops.innermost().next().unwrap().id;
+        let outer = ir.loops.loops.iter().find(|l| !l.is_innermost()).unwrap().id;
+        let mut a = Assignment::none();
+        a.set(inner, BsaKind::Simd);
+        assert!(a.is_well_formed(&ir));
+        a.set(outer, BsaKind::NsDf);
+        assert!(!a.is_well_formed(&ir));
+    }
+
+    #[test]
+    fn analyze_all_produces_nsdf_for_nest() {
+        let t = nested_trace();
+        let ir = prism_ir::ProgramIr::analyze(&t);
+        let plans = AccelPlans::analyze(&ir);
+        // The counted accumulation nest qualifies for NS-DF (small, no
+        // calls) at both levels, and Trace-P for the inner loop (monotone
+        // back edge).
+        assert!(!plans.ns_df.is_empty());
+        let inner = ir.loops.innermost().next().unwrap().id;
+        assert!(plans.has(BsaKind::TraceP, inner));
+        // The inner loop carries `acc = acc + j` (a reduction) and `j`
+        // (induction): SIMD-legal dataflow, so a SIMD plan exists too.
+        assert!(plans.has(BsaKind::Simd, inner));
+        for kind in BsaKind::ALL {
+            if plans.has(kind, inner) {
+                assert!(plans.est_speedup(kind, inner).unwrap() > 0.0);
+            }
+        }
+    }
+}

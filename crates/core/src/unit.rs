@@ -1,0 +1,125 @@
+//! Execution units of an ExoCore and the BSA taxonomy of the paper's
+//! Table 2.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The four behavior-specialized accelerators studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BsaKind {
+    /// Short-vector SIMD: data-parallel loops with little control.
+    Simd,
+    /// Data-parallel CGRA (DySER-like): parallel loops with separable
+    /// compute and memory.
+    DpCgra,
+    /// Non-speculative dataflow (SEED-like): nested loops with non-critical
+    /// control.
+    NsDf,
+    /// Trace-speculative processor (BERET-like): inner loops with one hot
+    /// path.
+    TraceP,
+}
+
+impl BsaKind {
+    /// All four BSAs, in the paper's S/D/N/T order.
+    pub const ALL: [BsaKind; 4] = [BsaKind::Simd, BsaKind::DpCgra, BsaKind::NsDf, BsaKind::TraceP];
+
+    /// One-letter code used in the paper's Figure 12 labels
+    /// (S: SIMD, D: DP-CGRA, N: NS-DF, T: Trace-P).
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            BsaKind::Simd => 'S',
+            BsaKind::DpCgra => 'D',
+            BsaKind::NsDf => 'N',
+            BsaKind::TraceP => 'T',
+        }
+    }
+
+    /// The execution unit this BSA runs on.
+    #[must_use]
+    pub fn unit(self) -> ExecUnit {
+        match self {
+            BsaKind::Simd => ExecUnit::Simd,
+            BsaKind::DpCgra => ExecUnit::DpCgra,
+            BsaKind::NsDf => ExecUnit::NsDf,
+            BsaKind::TraceP => ExecUnit::TraceP,
+        }
+    }
+}
+
+impl fmt::Display for BsaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BsaKind::Simd => "SIMD",
+            BsaKind::DpCgra => "DP-CGRA",
+            BsaKind::NsDf => "NS-DF",
+            BsaKind::TraceP => "Trace-P",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a region of the program executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum ExecUnit {
+    /// The general-purpose core.
+    Gpp = 0,
+    /// The SIMD datapath.
+    Simd = 1,
+    /// The data-parallel CGRA.
+    DpCgra = 2,
+    /// The non-speculative dataflow unit.
+    NsDf = 3,
+    /// The trace processor.
+    TraceP = 4,
+}
+
+impl ExecUnit {
+    /// Number of unit kinds.
+    pub const COUNT: usize = 5;
+
+    /// All units in breakdown order (GPP first, as in Fig. 13's legend).
+    pub const ALL: [ExecUnit; ExecUnit::COUNT] =
+        [ExecUnit::Gpp, ExecUnit::Simd, ExecUnit::DpCgra, ExecUnit::NsDf, ExecUnit::TraceP];
+}
+
+impl fmt::Display for ExecUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecUnit::Gpp => "GPP",
+            ExecUnit::Simd => "SIMD",
+            ExecUnit::DpCgra => "DP-CGRA",
+            ExecUnit::NsDf => "NS-DF",
+            ExecUnit::TraceP => "Trace-P",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_figure12_legend() {
+        let codes: String = BsaKind::ALL.iter().map(|b| b.code()).collect();
+        assert_eq!(codes, "SDNT");
+    }
+
+    #[test]
+    fn units_are_distinct() {
+        use std::collections::HashSet;
+        let set: HashSet<usize> = ExecUnit::ALL.iter().map(|u| *u as usize).collect();
+        assert_eq!(set.len(), ExecUnit::COUNT);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BsaKind::NsDf.to_string(), "NS-DF");
+        assert_eq!(ExecUnit::Gpp.to_string(), "GPP");
+        assert_eq!(BsaKind::TraceP.unit(), ExecUnit::TraceP);
+    }
+}

@@ -1,0 +1,196 @@
+//! Energy event counters accumulated from TDG nodes and edges.
+//!
+//! The paper (§2.3): "For energy, we associate events with nodes and edges,
+//! which can be accumulated and fed to standard energy-modeling tools."
+//! This is the accumulator; [`EnergyModel`](crate::EnergyModel) is the
+//! McPAT/CACTI-substitute it is fed to.
+
+use serde::{Deserialize, Serialize};
+
+/// Event counts for the general-purpose core pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreEvents {
+    /// Instructions fetched (I-cache reads + predecode).
+    pub fetches: u64,
+    /// Instructions decoded.
+    pub decodes: u64,
+    /// Rename/dispatch operations (OOO only).
+    pub renames: u64,
+    /// Issue-window insertions + wakeups (OOO only).
+    pub window_ops: u64,
+    /// Register-file reads.
+    pub regfile_reads: u64,
+    /// Register-file writes.
+    pub regfile_writes: u64,
+    /// Simple ALU operations.
+    pub alu_ops: u64,
+    /// Integer multiply/divide operations.
+    pub muldiv_ops: u64,
+    /// FP operations.
+    pub fp_ops: u64,
+    /// L1 D-cache accesses.
+    pub dcache_accesses: u64,
+    /// L2 accesses (L1 misses).
+    pub l2_accesses: u64,
+    /// DRAM accesses (L2 misses).
+    pub dram_accesses: u64,
+    /// ROB writes + reads at commit (OOO only).
+    pub rob_ops: u64,
+    /// Committed instructions.
+    pub commits: u64,
+    /// Branch-predictor lookups.
+    pub bp_lookups: u64,
+    /// Pipeline flushes from branch mispredicts.
+    pub mispredict_flushes: u64,
+}
+
+/// Event counts for accelerator structures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccelEvents {
+    /// Operations executed on CGRA functional units (DP-CGRA).
+    pub cgra_ops: u64,
+    /// CGRA configuration words loaded.
+    pub cgra_config_words: u64,
+    /// Core→accelerator operand transfers.
+    pub comm_sends: u64,
+    /// Accelerator→core operand transfers.
+    pub comm_recvs: u64,
+    /// Compound-FU operations (NS-DF / Trace-P).
+    pub cfu_ops: u64,
+    /// Dataflow operand-storage reads/writes (NS-DF / Trace-P).
+    pub op_storage_accesses: u64,
+    /// Writeback-bus transfers (NS-DF / Trace-P).
+    pub writeback_bus_ops: u64,
+    /// Store-buffer accesses (Trace-P iteration-versioned buffer).
+    pub store_buffer_accesses: u64,
+    /// SIMD lane-operations (one per active lane).
+    pub vector_lane_ops: u64,
+    /// Mask/shuffle/predicate micro-ops inserted by vectorization.
+    pub mask_ops: u64,
+    /// Iterations replayed on the host after a trace mispeculation.
+    pub trace_replays: u64,
+}
+
+/// Full event record: core + accelerator activity for one modeled run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyEvents {
+    /// General-purpose-core pipeline events.
+    pub core: CoreEvents,
+    /// Accelerator-structure events.
+    pub accel: AccelEvents,
+}
+
+macro_rules! add_fields {
+    ($dst:expr, $src:expr, $($f:ident),+ $(,)?) => {
+        $( $dst.$f += $src.$f; )+
+    };
+}
+
+macro_rules! sub_fields {
+    ($out:expr, $a:expr, $b:expr, $($f:ident),+ $(,)?) => {
+        $( $out.$f = $a.$f - $b.$f; )+
+    };
+}
+
+impl CoreEvents {
+    /// Adds another record's counts into this one.
+    pub fn merge(&mut self, other: &CoreEvents) {
+        add_fields!(
+            self, other, fetches, decodes, renames, window_ops, regfile_reads, regfile_writes,
+            alu_ops, muldiv_ops, fp_ops, dcache_accesses, l2_accesses, dram_accesses, rob_ops,
+            commits, bp_lookups, mispredict_flushes
+        );
+    }
+
+    /// Field-wise difference `self - earlier`.
+    #[must_use]
+    pub fn since(&self, earlier: &CoreEvents) -> CoreEvents {
+        let mut out = CoreEvents::default();
+        sub_fields!(
+            out, self, earlier, fetches, decodes, renames, window_ops, regfile_reads,
+            regfile_writes, alu_ops, muldiv_ops, fp_ops, dcache_accesses, l2_accesses,
+            dram_accesses, rob_ops, commits, bp_lookups, mispredict_flushes
+        );
+        out
+    }
+}
+
+impl AccelEvents {
+    /// Adds another record's counts into this one.
+    pub fn merge(&mut self, other: &AccelEvents) {
+        add_fields!(
+            self, other, cgra_ops, cgra_config_words, comm_sends, comm_recvs, cfu_ops,
+            op_storage_accesses, writeback_bus_ops, store_buffer_accesses, vector_lane_ops,
+            mask_ops, trace_replays
+        );
+    }
+
+    /// Field-wise difference `self - earlier` (used to attribute a region's
+    /// events to a unit by snapshotting around it).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds `self`'s.
+    #[must_use]
+    pub fn since(&self, earlier: &AccelEvents) -> AccelEvents {
+        let mut out = AccelEvents::default();
+        sub_fields!(
+            out, self, earlier, cgra_ops, cgra_config_words, comm_sends, comm_recvs, cfu_ops,
+            op_storage_accesses, writeback_bus_ops, store_buffer_accesses, vector_lane_ops,
+            mask_ops, trace_replays
+        );
+        out
+    }
+}
+
+impl EnergyEvents {
+    /// Creates an empty record.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyEvents::default()
+    }
+
+    /// Adds another record's counts into this one.
+    pub fn merge(&mut self, other: &EnergyEvents) {
+        self.core.merge(&other.core);
+        self.accel.merge(&other.accel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_all_core_fields() {
+        let mut a = EnergyEvents::new();
+        a.core.fetches = 10;
+        a.core.mispredict_flushes = 1;
+        let mut b = EnergyEvents::new();
+        b.core.fetches = 5;
+        b.core.commits = 7;
+        a.merge(&b);
+        assert_eq!(a.core.fetches, 15);
+        assert_eq!(a.core.commits, 7);
+        assert_eq!(a.core.mispredict_flushes, 1);
+    }
+
+    #[test]
+    fn merge_sums_accel_fields() {
+        let mut a = EnergyEvents::new();
+        a.accel.cgra_ops = 100;
+        let mut b = EnergyEvents::new();
+        b.accel.cgra_ops = 50;
+        b.accel.trace_replays = 2;
+        a.merge(&b);
+        assert_eq!(a.accel.cgra_ops, 150);
+        assert_eq!(a.accel.trace_replays, 2);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let e = EnergyEvents::new();
+        assert_eq!(e.core.fetches, 0);
+        assert_eq!(e.accel.cfu_ops, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # prism-energy
+//!
+//! Analytical energy, power, and area models — this repository's substitute
+//! for McPAT \[29\] and CACTI \[34\] in *Analyzing Behavior Specialized
+//! Acceleration* (ASPLOS 2016).
+//!
+//! The TDG associates energy events with graph nodes and edges; those event
+//! counts are accumulated into [`EnergyEvents`] and fed to the
+//! [`EnergyModel`], which prices each event at 22nm-class constants scaled
+//! by structure size (width, window/ROB capacity, ports). Leakage is
+//! proportional to modeled [`area`](core_area_mm2) and run length.
+//!
+//! # Examples
+//!
+//! ```
+//! use prism_energy::{CoreEnergyConfig, EnergyEvents, EnergyModel};
+//!
+//! let model = EnergyModel::new();
+//! let cfg = CoreEnergyConfig {
+//!     width: 2, rob_size: 64, window_size: 32, out_of_order: true, dcache_ports: 1,
+//! };
+//! let mut events = EnergyEvents::new();
+//! events.core.fetches = 1_000;
+//! events.core.alu_ops = 800;
+//! let b = model.breakdown(&events, &cfg, prism_energy::core_area_mm2(&cfg), 2_000);
+//! assert!(b.total() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod area;
+mod events;
+mod model;
+
+pub use area::{core_area_mm2, AccelAreas};
+pub use events::{AccelEvents, CoreEvents, EnergyEvents};
+pub use model::{CoreEnergyConfig, EnergyBreakdown, EnergyModel};

@@ -1,0 +1,342 @@
+//! The analytical energy model — this repo's substitute for McPAT \[29\] and
+//! CACTI \[34\].
+//!
+//! Per-event dynamic energies are constants at a 22nm-class node, scaled by
+//! structure size where McPAT would do the same (wider rename, larger
+//! window/ROB, more ports cost more per event). Leakage is proportional to
+//! modeled area. Absolute joules are approximate; the *relative* energies
+//! between configurations — which every result in the paper is expressed in
+//! — follow the same structural trends McPAT produces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{AccelEvents, CoreEvents, EnergyEvents};
+
+/// Structural parameters of a general-purpose core that the energy model
+/// cares about (a subset of the paper's Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreEnergyConfig {
+    /// Pipeline width (fetch/dispatch/issue/writeback).
+    pub width: u32,
+    /// Reorder-buffer entries (0 for in-order).
+    pub rob_size: u32,
+    /// Issue-window entries (0 for in-order).
+    pub window_size: u32,
+    /// Whether the core is out-of-order.
+    pub out_of_order: bool,
+    /// Number of data-cache ports.
+    pub dcache_ports: u32,
+}
+
+/// Energy and power figures produced by the model, in joules / watts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Core pipeline dynamic energy (J).
+    pub core_dynamic: f64,
+    /// Accelerator dynamic energy (J).
+    pub accel_dynamic: f64,
+    /// Leakage energy over the run (J).
+    pub leakage: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (J).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.core_dynamic + self.accel_dynamic + self.leakage
+    }
+}
+
+/// Per-event energy constants in picojoules and global technology numbers.
+///
+/// Defaults model a 22nm-class node at 2 GHz.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Clock frequency (Hz), used to convert cycles to seconds for leakage.
+    pub frequency_hz: f64,
+    /// Leakage power density (W per mm² of active area).
+    pub leakage_w_per_mm2: f64,
+    // -- core events (pJ) --------------------------------------------------
+    /// I-cache read + predecode per fetched instruction.
+    pub fetch_pj: f64,
+    /// Decode per instruction.
+    pub decode_pj: f64,
+    /// Rename/dispatch per instruction at width 1 (scales with width).
+    pub rename_pj: f64,
+    /// Issue-window insert+wakeup at 32 entries (scales with size).
+    pub window_pj: f64,
+    /// Register-file read.
+    pub regread_pj: f64,
+    /// Register-file write.
+    pub regwrite_pj: f64,
+    /// Simple ALU op.
+    pub alu_pj: f64,
+    /// Integer multiply/divide op.
+    pub muldiv_pj: f64,
+    /// FP op.
+    pub fp_pj: f64,
+    /// L1 D-cache access.
+    pub dcache_pj: f64,
+    /// L2 access.
+    pub l2_pj: f64,
+    /// DRAM access.
+    pub dram_pj: f64,
+    /// ROB write+read at 64 entries (scales with size).
+    pub rob_pj: f64,
+    /// Commit bookkeeping per instruction.
+    pub commit_pj: f64,
+    /// Branch predictor lookup/update.
+    pub bp_pj: f64,
+    /// Pipeline flush on mispredict.
+    pub flush_pj: f64,
+    // -- accelerator events (pJ) -------------------------------------------
+    /// CGRA FU op incl. fabric routing (DySER-like).
+    pub cgra_op_pj: f64,
+    /// One CGRA configuration word.
+    pub cgra_config_pj: f64,
+    /// Core↔accelerator operand transfer.
+    pub comm_pj: f64,
+    /// Compound-FU op (amortizes fetch/decode over fused subops).
+    pub cfu_op_pj: f64,
+    /// Dataflow operand-storage access.
+    pub op_storage_pj: f64,
+    /// Writeback-bus transfer.
+    pub bus_pj: f64,
+    /// Store-buffer access.
+    pub store_buffer_pj: f64,
+    /// One SIMD lane-op.
+    pub vector_lane_pj: f64,
+    /// Mask/shuffle/predicate micro-op.
+    pub mask_pj: f64,
+    /// Host replay of one diverged trace iteration (fixed overhead on top
+    /// of re-executed instructions, which are billed as core events).
+    pub replay_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            frequency_hz: 2.0e9,
+            leakage_w_per_mm2: 0.025,
+            fetch_pj: 9.0,
+            decode_pj: 2.0,
+            rename_pj: 3.5,
+            window_pj: 2.5,
+            regread_pj: 1.2,
+            regwrite_pj: 1.8,
+            alu_pj: 2.0,
+            muldiv_pj: 9.0,
+            fp_pj: 10.0,
+            dcache_pj: 18.0,
+            l2_pj: 90.0,
+            dram_pj: 2_000.0,
+            rob_pj: 3.0,
+            commit_pj: 1.0,
+            bp_pj: 1.5,
+            flush_pj: 40.0,
+            cgra_op_pj: 3.0,
+            cgra_config_pj: 6.0,
+            comm_pj: 2.5,
+            cfu_op_pj: 3.5,
+            op_storage_pj: 1.5,
+            bus_pj: 2.0,
+            store_buffer_pj: 3.0,
+            vector_lane_pj: 2.2,
+            mask_pj: 1.5,
+            replay_pj: 30.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Creates the default 22nm-class model.
+    #[must_use]
+    pub fn new() -> Self {
+        EnergyModel::default()
+    }
+
+    /// Size-scaling factor for CAM/RAM-like structures, normalized to
+    /// `reference` entries. Sublinear, like CACTI's capacity curves.
+    fn size_scale(entries: u32, reference: f64) -> f64 {
+        if entries == 0 {
+            0.0
+        } else {
+            (f64::from(entries) / reference).sqrt()
+        }
+    }
+
+    /// Width-scaling for multiported structures: each extra port adds ~30%
+    /// per-event energy (wiring + mux growth).
+    fn port_scale(width: u32) -> f64 {
+        1.0 + 0.3 * f64::from(width.saturating_sub(1))
+    }
+
+    /// Dynamic energy of the core pipeline (J).
+    #[must_use]
+    pub fn core_dynamic(&self, ev: &CoreEvents, cfg: &CoreEnergyConfig) -> f64 {
+        let w = Self::port_scale(cfg.width);
+        let mut pj = 0.0;
+        pj += ev.fetches as f64 * self.fetch_pj;
+        pj += ev.decodes as f64 * self.decode_pj;
+        if cfg.out_of_order {
+            pj += ev.renames as f64 * self.rename_pj * w;
+            pj += ev.window_ops as f64 * self.window_pj * Self::size_scale(cfg.window_size, 32.0);
+            pj += ev.rob_ops as f64 * self.rob_pj * Self::size_scale(cfg.rob_size, 64.0);
+        }
+        pj += ev.regfile_reads as f64 * self.regread_pj * w;
+        pj += ev.regfile_writes as f64 * self.regwrite_pj * w;
+        pj += ev.alu_ops as f64 * self.alu_pj;
+        pj += ev.muldiv_ops as f64 * self.muldiv_pj;
+        pj += ev.fp_ops as f64 * self.fp_pj;
+        pj += ev.dcache_accesses as f64 * self.dcache_pj * Self::port_scale(cfg.dcache_ports);
+        pj += ev.l2_accesses as f64 * self.l2_pj;
+        pj += ev.dram_accesses as f64 * self.dram_pj;
+        pj += ev.commits as f64 * self.commit_pj;
+        pj += ev.bp_lookups as f64 * self.bp_pj;
+        pj += ev.mispredict_flushes as f64 * self.flush_pj * w;
+        pj * 1e-12
+    }
+
+    /// Dynamic energy of accelerator structures (J).
+    #[must_use]
+    pub fn accel_dynamic(&self, ev: &AccelEvents) -> f64 {
+        let pj = ev.cgra_ops as f64 * self.cgra_op_pj
+            + ev.cgra_config_words as f64 * self.cgra_config_pj
+            + (ev.comm_sends + ev.comm_recvs) as f64 * self.comm_pj
+            + ev.cfu_ops as f64 * self.cfu_op_pj
+            + ev.op_storage_accesses as f64 * self.op_storage_pj
+            + ev.writeback_bus_ops as f64 * self.bus_pj
+            + ev.store_buffer_accesses as f64 * self.store_buffer_pj
+            + ev.vector_lane_ops as f64 * self.vector_lane_pj
+            + ev.mask_ops as f64 * self.mask_pj
+            + ev.trace_replays as f64 * self.replay_pj;
+        pj * 1e-12
+    }
+
+    /// Leakage energy for `area_mm2` of powered silicon over `cycles` (J).
+    #[must_use]
+    pub fn leakage(&self, area_mm2: f64, cycles: u64) -> f64 {
+        self.leakage_w_per_mm2 * area_mm2 * (cycles as f64 / self.frequency_hz)
+    }
+
+    /// Full breakdown for a run: core + accelerator dynamic energy, plus
+    /// leakage of `powered_area_mm2` over the run's `cycles`.
+    #[must_use]
+    pub fn breakdown(
+        &self,
+        events: &EnergyEvents,
+        cfg: &CoreEnergyConfig,
+        powered_area_mm2: f64,
+        cycles: u64,
+    ) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core_dynamic: self.core_dynamic(&events.core, cfg),
+            accel_dynamic: self.accel_dynamic(&events.accel),
+            leakage: self.leakage(powered_area_mm2, cycles),
+        }
+    }
+
+    /// Average power (W) given a total energy and cycle count.
+    #[must_use]
+    pub fn average_power(&self, total_joules: f64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            total_joules / (cycles as f64 / self.frequency_hz)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_ooo(width: u32, rob: u32, window: u32) -> CoreEnergyConfig {
+        CoreEnergyConfig { width, rob_size: rob, window_size: window, out_of_order: true, dcache_ports: 1 }
+    }
+
+    fn events_per_inst(n: u64) -> CoreEvents {
+        CoreEvents {
+            fetches: n,
+            decodes: n,
+            renames: n,
+            window_ops: n,
+            regfile_reads: 2 * n,
+            regfile_writes: n,
+            alu_ops: n,
+            commits: n,
+            rob_ops: n,
+            ..CoreEvents::default()
+        }
+    }
+
+    #[test]
+    fn wider_cores_cost_more_per_instruction() {
+        let m = EnergyModel::new();
+        let ev = events_per_inst(1000);
+        let e2 = m.core_dynamic(&ev, &cfg_ooo(2, 64, 32));
+        let e6 = m.core_dynamic(&ev, &cfg_ooo(6, 192, 52));
+        assert!(e6 > e2 * 1.2, "six-wide should cost materially more: {e6} vs {e2}");
+    }
+
+    #[test]
+    fn inorder_skips_ooo_structures() {
+        let m = EnergyModel::new();
+        let ev = events_per_inst(1000);
+        let io = CoreEnergyConfig { width: 2, rob_size: 0, window_size: 0, out_of_order: false, dcache_ports: 1 };
+        let e_io = m.core_dynamic(&ev, &io);
+        let e_ooo = m.core_dynamic(&ev, &cfg_ooo(2, 64, 32));
+        assert!(e_io < e_ooo, "in-order must be cheaper: {e_io} vs {e_ooo}");
+    }
+
+    #[test]
+    fn dram_dominates_cache_hits() {
+        let m = EnergyModel::new();
+        let mut hit = CoreEvents::default();
+        hit.dcache_accesses = 100;
+        let mut miss = CoreEvents::default();
+        miss.dram_accesses = 100;
+        let cfg = cfg_ooo(2, 64, 32);
+        assert!(m.core_dynamic(&miss, &cfg) > 10.0 * m.core_dynamic(&hit, &cfg));
+    }
+
+    #[test]
+    fn accel_ops_cheaper_than_core_pipeline() {
+        // The entire point of BSAs: executing an op on a CFU/CGRA skips
+        // fetch/decode/rename/window energy.
+        let m = EnergyModel::new();
+        let core = m.core_dynamic(&events_per_inst(1), &cfg_ooo(4, 168, 48));
+        let mut accel = AccelEvents::default();
+        accel.cfu_ops = 1;
+        accel.op_storage_accesses = 2;
+        assert!(m.accel_dynamic(&accel) < core / 2.0);
+    }
+
+    #[test]
+    fn leakage_scales_with_area_and_time() {
+        let m = EnergyModel::new();
+        let a = m.leakage(1.0, 1_000_000);
+        assert!((m.leakage(2.0, 1_000_000) - 2.0 * a).abs() < 1e-15);
+        assert!((m.leakage(1.0, 2_000_000) - 2.0 * a).abs() < 1e-15);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let m = EnergyModel::new();
+        let mut ev = EnergyEvents::new();
+        ev.core = events_per_inst(10);
+        ev.accel.vector_lane_ops = 40;
+        let b = m.breakdown(&ev, &cfg_ooo(2, 64, 32), 3.0, 1000);
+        assert!(b.core_dynamic > 0.0 && b.accel_dynamic > 0.0 && b.leakage > 0.0);
+        assert!((b.total() - (b.core_dynamic + b.accel_dynamic + b.leakage)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let m = EnergyModel::new();
+        // 1 J over 2e9 cycles at 2 GHz = 1 second ⇒ 1 W.
+        let p = m.average_power(1.0, 2_000_000_000);
+        assert!((p - 1.0).abs() < 1e-12);
+        assert_eq!(m.average_power(1.0, 0), 0.0);
+    }
+}

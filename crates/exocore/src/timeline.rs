@@ -1,0 +1,209 @@
+//! Dynamic-switching timelines (the paper's Fig. 14): windowed speedup of
+//! an ExoCore over its plain core, annotated with the unit that dominated
+//! each window.
+
+use serde::{Deserialize, Serialize};
+
+use prism_sim::RegDepTracker;
+use prism_tdg::{run_exocore, Assignment, BsaKind, ExecUnit};
+use prism_udg::{CoreConfig, CoreModel, MemDepTracker};
+
+use crate::WorkloadData;
+
+/// One timeline window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Last original-trace instruction of the window.
+    pub end_seq: u64,
+    /// Baseline cycles consumed by the window.
+    pub base_cycles: u64,
+    /// ExoCore cycles consumed by the window.
+    pub exo_cycles: u64,
+    /// Speedup within the window.
+    pub speedup: f64,
+    /// Unit that executed the most instructions in the window.
+    pub dominant_unit: ExecUnit,
+}
+
+/// Baseline per-window cycle counts: runs the plain core model, sampling
+/// the clock at every `window` retired instructions.
+#[must_use]
+fn baseline_window_cycles(data: &WorkloadData, core: &CoreConfig, window: u64) -> Vec<u64> {
+    let trace = &data.trace;
+    let mut model = CoreModel::new(core);
+    let mut regs = RegDepTracker::new();
+    let mut mems = MemDepTracker::new();
+    let mut p_times: Vec<u64> = Vec::with_capacity(trace.len());
+    let mut samples = Vec::new();
+    for d in &trace.insts {
+        let mi = prism_udg::model_inst_for(trace, d, &regs, &p_times, &mems);
+        let t = model.issue(&mi);
+        p_times.push(t.complete);
+        regs.retire(trace.static_inst(d), d.seq);
+        if let Some(m) = &d.mem {
+            if m.is_store {
+                mems.record_store(m.addr, m.width, t.complete);
+            }
+        }
+        if (d.seq + 1) % window == 0 {
+            samples.push(model.now());
+        }
+    }
+    samples.push(model.now());
+    samples
+}
+
+/// Produces the Fig. 14 switching timeline for one workload: per-window
+/// ExoCore speedup and dominant unit.
+#[must_use]
+pub fn switching_timeline(
+    data: &WorkloadData,
+    core: &CoreConfig,
+    assignment: &Assignment,
+    accels: &[BsaKind],
+    window: u64,
+) -> Vec<WindowPoint> {
+    let window = window.max(1);
+    let base = baseline_window_cycles(data, core, window);
+    let run = run_exocore(&data.trace, &data.ir, core, &data.plans, assignment, accels);
+
+    // Build contiguous segments from the region samples: each covers
+    // [start_seq, end_seq] over [start_cycle, end_cycle] on one unit.
+    struct Segment {
+        start_seq: u64,
+        end_seq: u64,
+        start_cycle: u64,
+        end_cycle: u64,
+        unit: ExecUnit,
+    }
+    let mut segments: Vec<Segment> = Vec::with_capacity(run.timeline.len());
+    let (mut seq_cursor, mut cycle_cursor) = (0u64, 0u64);
+    for s in &run.timeline {
+        segments.push(Segment {
+            start_seq: seq_cursor,
+            end_seq: s.end_seq,
+            start_cycle: cycle_cursor,
+            end_cycle: s.end_cycle.max(cycle_cursor),
+            unit: s.unit,
+        });
+        seq_cursor = s.end_seq + 1;
+        cycle_cursor = s.end_cycle.max(cycle_cursor);
+    }
+    // Interpolated ExoCore clock at the end of instruction `seq`.
+    let exo_clock = |seq: u64| -> u64 {
+        match segments.iter().find(|g| seq <= g.end_seq) {
+            Some(g) => {
+                let len = (g.end_seq - g.start_seq + 1).max(1);
+                let into = seq.saturating_sub(g.start_seq) + 1;
+                g.start_cycle + (g.end_cycle - g.start_cycle) * into / len
+            }
+            None => cycle_cursor,
+        }
+    };
+
+    let total = data.trace.len() as u64;
+    let n_windows = total.div_ceil(window);
+    let mut points = Vec::with_capacity(n_windows as usize);
+    let mut prev_exo = 0u64;
+    let mut prev_base = 0u64;
+
+    for wdx in 0..n_windows {
+        let win_start = wdx * window;
+        let end_seq = ((wdx + 1) * window - 1).min(total - 1);
+
+        // Unit with the most instruction coverage in this window.
+        let mut unit_cover = [0u64; ExecUnit::COUNT];
+        for g in &segments {
+            let lo = g.start_seq.max(win_start);
+            let hi = g.end_seq.min(end_seq);
+            if lo <= hi {
+                unit_cover[g.unit as usize] += hi - lo + 1;
+            }
+        }
+        let dominant_unit = ExecUnit::ALL
+            .into_iter()
+            .max_by_key(|u| (unit_cover[*u as usize], ExecUnit::COUNT - *u as usize))
+            .unwrap_or(ExecUnit::Gpp);
+
+        let here = exo_clock(end_seq);
+        let exo_cycles = here.saturating_sub(prev_exo);
+        prev_exo = here;
+        let base_here = base[(wdx as usize).min(base.len() - 1)];
+        let base_cycles = base_here.saturating_sub(prev_base);
+        prev_base = base_here;
+
+        let speedup = if exo_cycles == 0 {
+            1.0
+        } else {
+            base_cycles as f64 / exo_cycles as f64
+        };
+        points.push(WindowPoint { end_seq, base_cycles, exo_cycles, speedup, dominant_unit });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle_schedule;
+    use prism_isa::{ProgramBuilder, Reg};
+
+    /// Two-phase program: vectorizable streaming then branchy integer code.
+    fn two_phase() -> WorkloadData {
+        let mut b = ProgramBuilder::new("twophase");
+        let (p, q, i, t, x) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+        let (fa, fb) = (Reg::fp(0), Reg::fp(1));
+        b.init_reg(p, 0x10000);
+        b.init_reg(q, 0x24000);
+        b.init_reg(i, 400);
+        let phase1 = b.bind_new_label();
+        b.fld(fa, p, 0);
+        b.fmul(fb, fa, fa);
+        b.fst(fb, q, 0);
+        b.addi(p, p, 8);
+        b.addi(q, q, 8);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, phase1);
+        b.init_reg(x, 99991);
+        b.li(i, 400);
+        let phase2 = b.bind_new_label();
+        let skip = b.label();
+        b.andi(t, x, 3);
+        b.beq_label(t, Reg::ZERO, skip);
+        b.shri(t, x, 2);
+        b.xor(x, x, t);
+        b.bind(skip);
+        b.addi(x, x, 7);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, phase2);
+        b.halt();
+        WorkloadData::prepare(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn timeline_covers_whole_trace_and_shows_switching() {
+        let data = two_phase();
+        let core = CoreConfig::ooo2();
+        let a = oracle_schedule(&data, &core, &prism_tdg::BsaKind::ALL);
+        let pts = switching_timeline(&data, &core, &a, &prism_tdg::BsaKind::ALL, 500);
+        assert!(!pts.is_empty());
+        assert_eq!(pts.last().unwrap().end_seq, data.trace.len() as u64 - 1);
+        // Phase 1 should be accelerated (if the oracle chose anything).
+        if !a.map.is_empty() {
+            let units: std::collections::HashSet<_> =
+                pts.iter().map(|p| p.dominant_unit).collect();
+            assert!(units.len() >= 2, "expected switching between units: {units:?}");
+        }
+        for p in &pts {
+            assert!(p.speedup.is_finite() && p.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn baseline_windows_are_monotone() {
+        let data = two_phase();
+        let cy = baseline_window_cycles(&data, &CoreConfig::ooo2(), 300);
+        assert!(cy.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*cy.last().unwrap() > 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Control-flow graph reconstruction from the binary, with dynamic edge
+//! counts from the trace — the "Program IR" half of the TDG (paper §2.2:
+//! "we augment the program IR with the CFG from binary analysis").
+
+use std::collections::{BTreeSet, HashMap};
+
+use prism_isa::{Program, StaticId};
+use prism_sim::Trace;
+
+/// Index of a basic block within a [`Cfg`].
+pub type BlockId = u32;
+
+/// A maximal straight-line sequence of static instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Block id (position in [`Cfg::blocks`]).
+    pub id: BlockId,
+    /// First static instruction.
+    pub start: StaticId,
+    /// Last static instruction (inclusive).
+    pub end: StaticId,
+    /// Successor blocks (static, from binary analysis).
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+    /// Dynamic executions observed in the trace.
+    pub exec_count: u64,
+}
+
+impl BasicBlock {
+    /// Number of static instructions in the block.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.end - self.start + 1
+    }
+
+    /// Whether the block contains no instructions (never true for blocks
+    /// produced by [`Cfg::build`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end < self.start
+    }
+
+    /// Iterates over the static instruction ids in the block.
+    pub fn inst_ids(&self) -> impl Iterator<Item = StaticId> {
+        self.start..=self.end
+    }
+}
+
+/// The control-flow graph of a program, annotated with dynamic execution
+/// counts.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in address order.
+    pub blocks: Vec<BasicBlock>,
+    /// Map from static instruction to containing block.
+    pub block_of: Vec<BlockId>,
+    /// Dynamic traversal counts of CFG edges.
+    pub edge_counts: HashMap<(BlockId, BlockId), u64>,
+}
+
+impl Cfg {
+    /// Reconstructs the CFG of `trace.program` and annotates it with the
+    /// trace's dynamic block/edge counts.
+    #[must_use]
+    pub fn build(trace: &Trace) -> Self {
+        let program = &trace.program;
+        let mut cfg = Cfg::from_program(program);
+
+        // Dynamic counts: count block entries and edge traversals.
+        let mut prev_block: Option<BlockId> = None;
+        for d in &trace.insts {
+            let b = cfg.block_of[d.sid as usize];
+            let is_block_start = d.sid == cfg.blocks[b as usize].start;
+            if is_block_start {
+                cfg.blocks[b as usize].exec_count += 1;
+                if let Some(p) = prev_block {
+                    *cfg.edge_counts.entry((p, b)).or_insert(0) += 1;
+                }
+            }
+            prev_block = Some(b);
+        }
+        cfg
+    }
+
+    /// Reconstructs the static CFG only (no dynamic counts).
+    #[must_use]
+    pub fn from_program(program: &Program) -> Self {
+        let n = program.len() as StaticId;
+        // Leaders: entry, branch targets, and fall-throughs after control.
+        let mut leaders: BTreeSet<StaticId> = BTreeSet::new();
+        leaders.insert(0);
+        for (i, inst) in program.insts.iter().enumerate() {
+            let i = i as StaticId;
+            if let Some(t) = inst.target() {
+                leaders.insert(t);
+                if i + 1 < n {
+                    leaders.insert(i + 1);
+                }
+            } else if inst.op.is_control() && i + 1 < n {
+                // ret / halt end a block too.
+                leaders.insert(i + 1);
+            }
+        }
+
+        let starts: Vec<StaticId> = leaders.into_iter().collect();
+        let mut blocks: Vec<BasicBlock> = Vec::with_capacity(starts.len());
+        let mut block_of = vec![0 as BlockId; n as usize];
+        for (bi, &start) in starts.iter().enumerate() {
+            let end = starts.get(bi + 1).map_or(n - 1, |next| next - 1);
+            for i in start..=end {
+                block_of[i as usize] = bi as BlockId;
+            }
+            blocks.push(BasicBlock {
+                id: bi as BlockId,
+                start,
+                end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+                exec_count: 0,
+            });
+        }
+
+        // Static successor edges.
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); blocks.len()];
+        for b in &blocks {
+            let last = program.inst(b.end);
+            let add = |targets: &mut Vec<BlockId>, t: StaticId| {
+                let tb = block_of[t as usize];
+                if !targets.contains(&tb) {
+                    targets.push(tb);
+                }
+            };
+            if let Some(t) = last.target() {
+                add(&mut succs[b.id as usize], t);
+            }
+            let falls_through = !matches!(
+                last.op,
+                prism_isa::Opcode::Jmp | prism_isa::Opcode::Halt | prism_isa::Opcode::Ret
+            ) && !matches!(last.op, prism_isa::Opcode::Call);
+            // Calls "fall through" to the return point as far as the local
+            // CFG is concerned (the callee is a separate region).
+            let falls_through = falls_through || last.op == prism_isa::Opcode::Call;
+            if falls_through && b.end + 1 < n {
+                add(&mut succs[b.id as usize], b.end + 1);
+            }
+        }
+        for (bi, ss) in succs.into_iter().enumerate() {
+            for s in &ss {
+                blocks[*s as usize].preds.push(bi as BlockId);
+            }
+            blocks[bi].succs = ss;
+        }
+
+        Cfg { blocks, block_of, edge_counts: HashMap::new() }
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing static instruction `sid`.
+    #[must_use]
+    pub fn block_containing(&self, sid: StaticId) -> &BasicBlock {
+        &self.blocks[self.block_of[sid as usize] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::{ProgramBuilder, Reg};
+
+    /// if (r1 != 0) r2 = 1 else r2 = 2; then a loop.
+    fn diamond_and_loop() -> prism_sim::Trace {
+        let (r1, r2, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new("diamond");
+        b.init_reg(r1, 1);
+        b.init_reg(i, 5);
+        let else_l = b.label();
+        let join = b.label();
+        b.beq_label(r1, Reg::ZERO, else_l); // B0: 0
+        b.li(r2, 1); //                        B1: 1
+        b.jmp_label(join); //                      2
+        b.bind(else_l);
+        b.li(r2, 2); //                        B2: 3
+        b.bind(join);
+        let head = b.bind_new_label(); //      B3: 4..5
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt(); //                           B4: 6
+        prism_sim::trace(&b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn blocks_partition_the_program() {
+        let t = diamond_and_loop();
+        let cfg = Cfg::build(&t);
+        // Every instruction belongs to exactly one block; blocks tile.
+        let mut covered = 0;
+        for b in &cfg.blocks {
+            covered += b.len();
+            for i in b.inst_ids() {
+                assert_eq!(cfg.block_of[i as usize], b.id);
+            }
+        }
+        assert_eq!(covered as usize, t.program.len());
+    }
+
+    #[test]
+    fn diamond_shape_recovered() {
+        let t = diamond_and_loop();
+        let cfg = Cfg::build(&t);
+        let b0 = cfg.block_containing(0);
+        assert_eq!(b0.succs.len(), 2, "conditional entry block has two successors");
+        // The join/loop block has multiple preds (then, else, and itself).
+        let loop_block = cfg.block_containing(4);
+        assert!(loop_block.preds.len() >= 2);
+        assert!(loop_block.succs.contains(&loop_block.id), "self loop edge");
+    }
+
+    #[test]
+    fn dynamic_counts_follow_taken_path() {
+        let t = diamond_and_loop();
+        let cfg = Cfg::build(&t);
+        // r1 = 1 ⇒ the not-taken (then) path runs, else-block never.
+        let then_block = cfg.block_containing(1);
+        let else_block = cfg.block_containing(3);
+        assert_eq!(then_block.exec_count, 1);
+        assert_eq!(else_block.exec_count, 0);
+        let loop_block = cfg.block_containing(4);
+        assert_eq!(loop_block.exec_count, 5);
+        // Back edge traversed 4 times.
+        assert_eq!(
+            cfg.edge_counts.get(&(loop_block.id, loop_block.id)).copied(),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn straightline_program_single_block_until_halt() {
+        let mut b = ProgramBuilder::new("line");
+        b.li(Reg::int(1), 1);
+        b.li(Reg::int(2), 2);
+        b.add(Reg::int(3), Reg::int(1), Reg::int(2));
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let cfg = Cfg::build(&t);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(cfg.blocks[0].len(), 4);
+    }
+
+    #[test]
+    fn call_splits_blocks() {
+        let lr = Reg::int(31);
+        let mut b = ProgramBuilder::new("call");
+        let f = b.label();
+        b.call_label(lr, f);
+        b.halt();
+        b.bind(f);
+        b.ret(lr);
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let cfg = Cfg::build(&t);
+        assert!(cfg.len() >= 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::{BlockId, Cfg};
+
+/// Immediate-dominator tree over a [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of `b`; entry's idom is itself.
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators with block 0 as the entry.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        // Reverse postorder of the CFG.
+        let mut visited = vec![false; n];
+        let mut postorder: Vec<BlockId> = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &cfg.blocks[b as usize].succs;
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s as usize] {
+                    visited[s as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in postorder.iter().rev().enumerate() {
+            rpo_index[b as usize] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(0);
+        let intersect = |idom: &[Option<BlockId>], rpo: &[usize], mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo[a as usize] > rpo[b as usize] {
+                    a = idom[a as usize].expect("processed");
+                }
+                while rpo[b as usize] > rpo[a as usize] {
+                    b = idom[b as usize].expect("processed");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in postorder.iter().rev() {
+                if b == 0 {
+                    continue;
+                }
+                let preds = &cfg.blocks[b as usize].preds;
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds {
+                    if idom[p as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b as usize] != new_idom {
+                    idom[b as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Immediate dominator of `b` (`None` if `b` is unreachable; the entry
+    /// dominates itself).
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b as usize]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b as usize].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match self.idom[cur as usize] {
+                Some(d) => d,
+                None => return false,
+            };
+            if next == cur {
+                return false; // reached the entry
+            }
+            cur = next;
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b as usize].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::{ProgramBuilder, Reg};
+
+    fn cfg_of(build: impl FnOnce(&mut ProgramBuilder)) -> Cfg {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        Cfg::from_program(&b.build().unwrap())
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // B0 → {B1, B2} → B3(halt)
+        let cfg = cfg_of(|b| {
+            let else_l = b.label();
+            let join = b.label();
+            b.beq_label(Reg::int(1), Reg::ZERO, else_l);
+            b.li(Reg::int(2), 1);
+            b.jmp_label(join);
+            b.bind(else_l);
+            b.li(Reg::int(2), 2);
+            b.bind(join);
+            b.halt();
+        });
+        let dom = Dominators::compute(&cfg);
+        let entry = 0;
+        let join = cfg.block_containing(cfg.blocks.last().unwrap().start).id;
+        assert!(dom.dominates(entry, join));
+        // Neither branch arm dominates the join.
+        assert_eq!(dom.idom(join), Some(entry));
+        for b in 1..cfg.len() as BlockId {
+            assert!(dom.dominates(entry, b), "entry dominates everything reachable");
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let cfg = cfg_of(|b| {
+            let (i, x) = (Reg::int(1), Reg::int(2));
+            let head = b.bind_new_label();
+            let skip = b.label();
+            b.beq_label(x, Reg::ZERO, skip);
+            b.addi(x, x, 1);
+            b.bind(skip);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        let dom = Dominators::compute(&cfg);
+        let header = 0;
+        // All loop blocks are dominated by the header.
+        for b in 0..cfg.len() as BlockId {
+            if cfg.blocks[b as usize].succs.contains(&header) {
+                assert!(dom.dominates(header, b), "back-edge source dominated by header");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_block_flagged() {
+        let cfg = cfg_of(|b| {
+            let end = b.label();
+            b.jmp_label(end);
+            b.li(Reg::int(1), 9); // dead
+            b.bind(end);
+            b.halt();
+        });
+        let dom = Dominators::compute(&cfg);
+        let dead = cfg.block_containing(1).id;
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(0, dead));
+    }
+
+    #[test]
+    fn reflexive_domination() {
+        let cfg = cfg_of(|b| {
+            b.li(Reg::int(1), 1);
+            b.halt();
+        });
+        let dom = Dominators::compute(&cfg);
+        assert!(dom.dominates(0, 0));
+    }
+}

@@ -1,0 +1,347 @@
+//! Natural-loop detection and the loop forest, with dynamic statistics
+//! from the trace (the loop-nest structure of paper §2.3, reconstructed
+//! "using straightforward or known techniques").
+
+use std::collections::HashSet;
+
+use prism_sim::Trace;
+
+use crate::{BlockId, Cfg, Dominators};
+
+/// Index of a loop within a [`LoopForest`].
+pub type LoopId = u32;
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Loop id.
+    pub id: LoopId,
+    /// Header block.
+    pub header: BlockId,
+    /// All blocks in the loop body (including the header).
+    pub blocks: Vec<BlockId>,
+    /// Blocks whose back edges target the header.
+    pub latches: Vec<BlockId>,
+    /// Enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Directly nested loops.
+    pub children: Vec<LoopId>,
+    /// Nesting depth (1 = outermost).
+    pub depth: u32,
+    // -- dynamic statistics --------------------------------------------
+    /// Times the loop was entered from outside.
+    pub entries: u64,
+    /// Total iterations executed (header executions).
+    pub iterations: u64,
+    /// Dynamic instructions retired inside the loop (incl. inner loops).
+    pub dyn_insts: u64,
+}
+
+impl Loop {
+    /// Whether this loop contains no nested loops.
+    #[must_use]
+    pub fn is_innermost(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Average trip count per entry (0 if never entered).
+    #[must_use]
+    pub fn avg_trip_count(&self) -> f64 {
+        if self.entries == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.entries as f64
+        }
+    }
+
+    /// Number of static instructions in the loop body.
+    #[must_use]
+    pub fn static_size(&self, cfg: &Cfg) -> u32 {
+        self.blocks.iter().map(|&b| cfg.blocks[b as usize].len()).sum()
+    }
+
+    /// Whether the loop body contains call or return instructions (NS-DF
+    /// requires fully-inlinable nests).
+    #[must_use]
+    pub fn has_calls(&self, cfg: &Cfg, program: &prism_isa::Program) -> bool {
+        self.blocks.iter().any(|&b| {
+            cfg.blocks[b as usize]
+                .inst_ids()
+                .any(|i| matches!(program.inst(i).op, prism_isa::Opcode::Call | prism_isa::Opcode::Ret))
+        })
+    }
+}
+
+/// All natural loops of a program, with nesting structure.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    /// Loops, ordered outermost-first within a nest.
+    pub loops: Vec<Loop>,
+    /// Innermost loop containing each block, if any.
+    pub loop_of_block: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Finds natural loops from back edges (`latch → header` where the
+    /// header dominates the latch) and annotates them with dynamic counts
+    /// from `trace`.
+    #[must_use]
+    pub fn build(cfg: &Cfg, dom: &Dominators, trace: &Trace) -> Self {
+        let mut forest = LoopForest::from_cfg(cfg, dom);
+        forest.annotate(cfg, trace);
+        forest
+    }
+
+    /// Static loop structure only.
+    #[must_use]
+    pub fn from_cfg(cfg: &Cfg, dom: &Dominators) -> Self {
+        // Collect back edges per header.
+        let mut headers: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for b in &cfg.blocks {
+            for &s in &b.succs {
+                if dom.dominates(s, b.id) {
+                    match headers.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b.id),
+                        None => headers.push((s, vec![b.id])),
+                    }
+                }
+            }
+        }
+
+        // Natural loop body: backwards reachability from latches to header.
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in headers {
+            let mut body: HashSet<BlockId> = HashSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    for &p in &cfg.blocks[b as usize].preds {
+                        stack.push(p);
+                    }
+                }
+            }
+            let mut blocks: Vec<BlockId> = body.into_iter().collect();
+            blocks.sort_unstable();
+            loops.push(Loop {
+                id: 0,
+                header,
+                blocks,
+                latches,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                entries: 0,
+                iterations: 0,
+                dyn_insts: 0,
+            });
+        }
+
+        // Sort loops by body size descending so parents precede children,
+        // then assign nesting by containment.
+        loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+        for (i, l) in loops.iter_mut().enumerate() {
+            l.id = i as LoopId;
+        }
+        let n = loops.len();
+        for child in 0..n {
+            // The smallest strict superset is the parent.
+            let mut parent: Option<usize> = None;
+            for cand in 0..n {
+                if cand == child {
+                    continue;
+                }
+                let (c_blocks, p_blocks) = (&loops[child].blocks, &loops[cand].blocks);
+                if p_blocks.len() > c_blocks.len()
+                    && c_blocks.iter().all(|b| p_blocks.binary_search(b).is_ok())
+                    && parent.is_none_or(|p| loops[p].blocks.len() > p_blocks.len())
+                {
+                    parent = Some(cand);
+                }
+            }
+            if let Some(p) = parent {
+                loops[child].parent = Some(p as LoopId);
+                let child_id = loops[child].id;
+                loops[p].children.push(child_id);
+            }
+        }
+        // Depths.
+        for i in 0..n {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p as usize].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // Innermost loop per block: order largest → smallest so the
+        // smallest (innermost) containing loop wins.
+        let mut loop_of_block: Vec<Option<LoopId>> = vec![None; cfg.len()];
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(loops[i].blocks.len()));
+        for &i in &order {
+            for &b in &loops[i].blocks {
+                loop_of_block[b as usize] = Some(loops[i].id);
+            }
+        }
+
+        LoopForest { loops, loop_of_block }
+    }
+
+    fn annotate(&mut self, cfg: &Cfg, trace: &Trace) {
+        let mut prev_block: Option<BlockId> = None;
+        for d in &trace.insts {
+            let b = cfg.block_of[d.sid as usize];
+            let at_start = d.sid == cfg.blocks[b as usize].start;
+            // Attribute the instruction to every enclosing loop.
+            let mut cur = self.loop_of_block[b as usize];
+            while let Some(l) = cur {
+                self.loops[l as usize].dyn_insts += 1;
+                cur = self.loops[l as usize].parent;
+            }
+            if at_start {
+                // Header execution = one iteration; entry if the previous
+                // block was outside the loop.
+                if let Some(l) = self.loop_of_block[b as usize] {
+                    let mut lid = Some(l);
+                    while let Some(id) = lid {
+                        let lp = &self.loops[id as usize];
+                        if lp.header == b {
+                            let from_outside = prev_block
+                                .is_none_or(|p| !lp.blocks.contains(&p));
+                            self.loops[id as usize].iterations += 1;
+                            if from_outside {
+                                self.loops[id as usize].entries += 1;
+                            }
+                        }
+                        lid = self.loops[id as usize].parent;
+                    }
+                }
+            }
+            prev_block = Some(b);
+        }
+    }
+
+    /// Number of loops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the program has no loops.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Iterates over innermost loops.
+    pub fn innermost(&self) -> impl Iterator<Item = &Loop> {
+        self.loops.iter().filter(|l| l.is_innermost())
+    }
+
+    /// The innermost loop containing static instruction `sid`, if any.
+    #[must_use]
+    pub fn loop_of_inst(&self, cfg: &Cfg, sid: prism_isa::StaticId) -> Option<&Loop> {
+        self.loop_of_block[cfg.block_of[sid as usize] as usize]
+            .map(|l| &self.loops[l as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::{ProgramBuilder, Reg};
+
+    fn nested_loops_trace(outer: i64, inner: i64) -> Trace {
+        let (i, j, acc) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new("nest");
+        b.init_reg(i, outer);
+        let oh = b.bind_new_label();
+        b.li(j, inner);
+        let ih = b.bind_new_label();
+        b.add(acc, acc, j);
+        b.addi(j, j, -1);
+        b.bne_label(j, Reg::ZERO, ih);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, oh);
+        b.halt();
+        prism_sim::trace(&b.build().unwrap()).unwrap()
+    }
+
+    fn forest_of(trace: &Trace) -> (Cfg, LoopForest) {
+        let cfg = Cfg::build(trace);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom, trace);
+        (cfg, forest)
+    }
+
+    #[test]
+    fn two_nested_loops_found() {
+        let t = nested_loops_trace(4, 10);
+        let (_cfg, f) = forest_of(&t);
+        assert_eq!(f.len(), 2);
+        let inner = f.innermost().next().unwrap();
+        let outer = f.loops.iter().find(|l| !l.is_innermost()).unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.children, vec![inner.id]);
+        assert_eq!(outer.depth, 1);
+        assert_eq!(inner.depth, 2);
+    }
+
+    #[test]
+    fn iteration_and_entry_counts() {
+        let t = nested_loops_trace(4, 10);
+        let (_cfg, f) = forest_of(&t);
+        let inner = f.innermost().next().unwrap();
+        let outer = f.loops.iter().find(|l| !l.is_innermost()).unwrap();
+        assert_eq!(outer.entries, 1);
+        assert_eq!(outer.iterations, 4);
+        assert_eq!(inner.entries, 4);
+        assert_eq!(inner.iterations, 40);
+        assert!((inner.avg_trip_count() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dyn_insts_attributed_to_all_enclosing_loops() {
+        let t = nested_loops_trace(2, 3);
+        let (_cfg, f) = forest_of(&t);
+        let outer = f.loops.iter().find(|l| !l.is_innermost()).unwrap();
+        let inner = f.innermost().next().unwrap();
+        assert!(outer.dyn_insts > inner.dyn_insts);
+        // Inner: 3 insts × 3 iters × 2 entries = 18.
+        assert_eq!(inner.dyn_insts, 18);
+    }
+
+    #[test]
+    fn loopless_program_has_empty_forest() {
+        let mut b = ProgramBuilder::new("line");
+        b.li(Reg::int(1), 1);
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let (_cfg, f) = forest_of(&t);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn static_size_counts_body_insts() {
+        let t = nested_loops_trace(2, 2);
+        let (cfg, f) = forest_of(&t);
+        let inner = f.innermost().next().unwrap();
+        assert_eq!(inner.static_size(&cfg), 3);
+        assert!(!inner.has_calls(&cfg, &t.program));
+    }
+
+    #[test]
+    fn loop_of_inst_resolves_innermost() {
+        let t = nested_loops_trace(2, 2);
+        let (cfg, f) = forest_of(&t);
+        // Instruction 1 (add acc) is in the inner loop.
+        let l = f.loop_of_inst(&cfg, 1).unwrap();
+        assert!(l.is_innermost());
+        // Instruction 0 (li j) is only in the outer loop.
+        let l = f.loop_of_inst(&cfg, 0).unwrap();
+        assert!(!l.is_innermost());
+    }
+}

@@ -1,0 +1,296 @@
+//! Memory-access analysis for inner loops: per-op stride detection and
+//! dynamic loop-carried dependence detection.
+//!
+//! The paper's SIMD analyzer: "memory-dependences between loop iterations
+//! can be detected by tracking per-iteration memory addresses in
+//! consecutive iterations" (§3.2), and §2.7 notes this dynamic approach is
+//! optimistic — so is this one.
+
+use std::collections::HashMap;
+
+use prism_isa::StaticId;
+use prism_sim::Trace;
+
+use crate::{Cfg, LoopForest, LoopId};
+
+/// Classification of one static memory op's address stream across the
+/// iterations of its loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Same address every iteration.
+    Constant,
+    /// Affine: address advances by a fixed stride per iteration.
+    Strided {
+        /// Per-iteration address delta in bytes.
+        stride: i64,
+    },
+    /// No consistent stride (indexed/pointer-chasing access).
+    Irregular,
+}
+
+impl AccessPattern {
+    /// Whether consecutive iterations touch adjacent elements (contiguous
+    /// vector access, |stride| == access width).
+    #[must_use]
+    pub fn is_contiguous(&self, width: u8) -> bool {
+        matches!(self, AccessPattern::Strided { stride } if stride.unsigned_abs() == u64::from(width))
+    }
+}
+
+/// Memory behavior of one innermost loop.
+#[derive(Debug, Clone, Default)]
+pub struct LoopMemInfo {
+    /// Pattern per static memory instruction in the loop.
+    pub patterns: HashMap<StaticId, AccessPattern>,
+    /// Whether a load in one iteration read an address stored by an
+    /// *earlier* iteration (true loop-carried dependence).
+    pub loop_carried_dep: bool,
+    /// Whether two different iterations stored to the same address
+    /// (output dependence; a memory-reduction pattern).
+    pub loop_carried_output_dep: bool,
+    /// Dynamic loads / stores observed inside the loop.
+    pub loads: u64,
+    /// Dynamic stores observed inside the loop.
+    pub stores: u64,
+}
+
+impl LoopMemInfo {
+    /// Whether the loop is free of cross-iteration memory dependences
+    /// (the SIMD legality condition).
+    #[must_use]
+    pub fn vectorizable_memory(&self) -> bool {
+        !self.loop_carried_dep && !self.loop_carried_output_dep
+    }
+
+    /// The pattern for a static op, defaulting to irregular if unseen.
+    #[must_use]
+    pub fn pattern(&self, sid: StaticId) -> AccessPattern {
+        self.patterns.get(&sid).copied().unwrap_or(AccessPattern::Irregular)
+    }
+}
+
+#[derive(Debug, Default)]
+struct PerOpState {
+    last_addr: Option<u64>,
+    stride: Option<i64>,
+    consistent: bool,
+    seen: u64,
+}
+
+#[derive(Debug, Default)]
+struct PerLoopState {
+    ops: HashMap<StaticId, PerOpState>,
+    /// addr(8B word) → iteration of the last store.
+    stores: HashMap<u64, u64>,
+    iter: u64,
+    info: LoopMemInfo,
+}
+
+/// Analyzes memory behavior of all innermost loops in one trace pass.
+#[must_use]
+pub fn analyze_memory(
+    cfg: &Cfg,
+    forest: &LoopForest,
+    trace: &Trace,
+) -> HashMap<LoopId, LoopMemInfo> {
+    let mut states: HashMap<LoopId, PerLoopState> = forest
+        .innermost()
+        .map(|l| (l.id, PerLoopState::default()))
+        .collect();
+    let mut active: Option<LoopId> = None;
+
+    for d in &trace.insts {
+        let b = cfg.block_of[d.sid as usize];
+        let in_loop = forest.loop_of_block[b as usize]
+            .filter(|&l| forest.loops[l as usize].is_innermost());
+
+        // Maintain the loop context and iteration counter.
+        if d.sid == cfg.blocks[b as usize].start {
+            match (active, in_loop) {
+                (Some(cur), Some(l)) if cur == l => {
+                    if forest.loops[l as usize].header == b {
+                        let st = states.get_mut(&l).expect("tracked");
+                        st.iter += 1;
+                    }
+                }
+                (_, Some(l)) => {
+                    // (Re-)entered a loop: reset per-invocation state.
+                    let st = states.get_mut(&l).expect("tracked");
+                    st.stores.clear();
+                    st.iter = 0;
+                    for op in st.ops.values_mut() {
+                        op.last_addr = None;
+                    }
+                    active = Some(l);
+                }
+                (Some(_), None) => active = None,
+                (None, None) => {}
+            }
+        }
+
+        let Some(l) = active else { continue };
+        let Some(m) = &d.mem else { continue };
+        let st = states.get_mut(&l).expect("tracked");
+
+        // Stride detection per static op.
+        let op = st.ops.entry(d.sid).or_default();
+        if let Some(last) = op.last_addr {
+            let delta = m.addr as i64 - last as i64;
+            match op.stride {
+                None => {
+                    op.stride = Some(delta);
+                    op.consistent = true;
+                }
+                Some(s) if s == delta => {}
+                Some(_) => op.consistent = false,
+            }
+        }
+        op.last_addr = Some(m.addr);
+        op.seen += 1;
+
+        // Loop-carried dependence detection at word granularity.
+        let first = m.addr >> 3;
+        let last = (m.addr + u64::from(m.width.max(1)) - 1) >> 3;
+        if m.is_store {
+            st.info.stores += 1;
+            for w in first..=last {
+                if let Some(prev_iter) = st.stores.insert(w, st.iter) {
+                    if prev_iter != st.iter {
+                        st.info.loop_carried_output_dep = true;
+                    }
+                }
+            }
+        } else {
+            st.info.loads += 1;
+            for w in first..=last {
+                if let Some(&store_iter) = st.stores.get(&w) {
+                    if store_iter != st.iter {
+                        st.info.loop_carried_dep = true;
+                    }
+                }
+            }
+        }
+    }
+
+    states
+        .into_iter()
+        .map(|(lid, mut st)| {
+            for (sid, op) in st.ops {
+                let pattern = match (op.stride, op.consistent) {
+                    (Some(0), true) => AccessPattern::Constant,
+                    (Some(s), true) => AccessPattern::Strided { stride: s },
+                    (None, _) => AccessPattern::Constant, // seen once
+                    _ => AccessPattern::Irregular,
+                };
+                st.info.patterns.insert(sid, pattern);
+            }
+            (lid, st.info)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dominators;
+    use prism_isa::{ProgramBuilder, Reg};
+
+    fn analyze(t: &Trace) -> (LoopForest, HashMap<LoopId, LoopMemInfo>) {
+        let cfg = Cfg::build(t);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom, t);
+        let mem = analyze_memory(&cfg, &forest, t);
+        (forest, mem)
+    }
+
+    #[test]
+    fn streaming_loop_is_strided_and_independent() {
+        // b[i] = a[i] + 1
+        let (pa, pb, i, x) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+        let mut b = ProgramBuilder::new("stream");
+        b.init_reg(pa, 0x1000);
+        b.init_reg(pb, 0x8000);
+        b.init_reg(i, 20);
+        let head = b.bind_new_label();
+        b.ld(x, pa, 0);
+        b.addi(x, x, 1);
+        b.st(x, pb, 0);
+        b.addi(pa, pa, 8);
+        b.addi(pb, pb, 8);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let (f, mem) = analyze(&t);
+        let info = &mem[&f.innermost().next().unwrap().id];
+        assert!(info.vectorizable_memory());
+        assert_eq!(info.pattern(0), AccessPattern::Strided { stride: 8 });
+        assert!(info.pattern(0).is_contiguous(8));
+        assert_eq!(info.pattern(2), AccessPattern::Strided { stride: 8 });
+        assert_eq!(info.loads, 20);
+        assert_eq!(info.stores, 20);
+    }
+
+    #[test]
+    fn recurrence_detected_as_loop_carried() {
+        // a[i] = a[i-1] + 1 : load reads the previous iteration's store.
+        let (p, i, x) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new("recur");
+        b.init_reg(p, 0x1000);
+        b.init_reg(i, 20);
+        let head = b.bind_new_label();
+        b.ld(x, p, -8);
+        b.addi(x, x, 1);
+        b.st(x, p, 0);
+        b.addi(p, p, 8);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let (f, mem) = analyze(&t);
+        let info = &mem[&f.innermost().next().unwrap().id];
+        assert!(info.loop_carried_dep);
+        assert!(!info.vectorizable_memory());
+    }
+
+    #[test]
+    fn histogram_store_is_output_dep() {
+        // hist[x % 4] += 1 with x cycling: same slots stored repeatedly.
+        let (ph, i, idx, v) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+        let mut b = ProgramBuilder::new("hist");
+        b.init_reg(ph, 0x1000);
+        b.init_reg(i, 16);
+        let head = b.bind_new_label();
+        b.andi(idx, i, 3);
+        b.shli(idx, idx, 3);
+        b.add(idx, idx, ph);
+        b.ld(v, idx, 0);
+        b.addi(v, v, 1);
+        b.st(v, idx, 0);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let (f, mem) = analyze(&t);
+        let info = &mem[&f.innermost().next().unwrap().id];
+        assert!(info.loop_carried_output_dep);
+        assert!(info.loop_carried_dep); // loads also read prior iterations' stores
+    }
+
+    #[test]
+    fn constant_address_pattern() {
+        let (p, i, x) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new("const");
+        b.init_reg(p, 0x1000);
+        b.init_reg(i, 10);
+        let head = b.bind_new_label();
+        b.ld(x, p, 0); // same address each iteration
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let (f, mem) = analyze(&t);
+        let info = &mem[&f.innermost().next().unwrap().id];
+        assert_eq!(info.pattern(0), AccessPattern::Constant);
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-loop path profiling (Ball–Larus style \[4\]): which control paths do
+//! iterations of an inner loop take, and how often? Used by the Trace-P
+//! analyzer to find hot traces and loop-back probabilities, and by SIMD
+//! if-conversion to cost masking.
+
+use std::collections::HashMap;
+
+use prism_sim::Trace;
+
+use crate::{BlockId, Cfg, LoopForest, LoopId};
+
+/// Maximum distinct paths tracked per loop; rarer paths lump into the rest.
+const MAX_PATHS: usize = 64;
+
+/// Path statistics for one innermost loop.
+#[derive(Debug, Clone, Default)]
+pub struct PathProfile {
+    /// Distinct block-sequences taken by iterations, with counts,
+    /// descending by count.
+    pub paths: Vec<(Vec<BlockId>, u64)>,
+    /// Total iterations observed.
+    pub iterations: u64,
+    /// Iterations that continued to another iteration (took the back edge).
+    pub back_edges: u64,
+}
+
+impl PathProfile {
+    /// The most frequent path, if any iterations ran.
+    #[must_use]
+    pub fn hot_path(&self) -> Option<&(Vec<BlockId>, u64)> {
+        self.paths.first()
+    }
+
+    /// Fraction of iterations following the hot path.
+    #[must_use]
+    pub fn hot_path_fraction(&self) -> f64 {
+        match (self.hot_path(), self.iterations) {
+            (Some((_, c)), n) if n > 0 => *c as f64 / n as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Probability an iteration is followed by another (the paper's
+    /// "loop back probability", Trace-P requires ≥ 80%).
+    #[must_use]
+    pub fn loop_back_probability(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.back_edges as f64 / self.iterations as f64
+        }
+    }
+
+    /// Expected dynamic block count per iteration.
+    #[must_use]
+    pub fn avg_blocks_per_iter(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self.paths.iter().map(|(p, c)| p.len() as u64 * c).sum();
+        weighted as f64 / self.iterations as f64
+    }
+}
+
+/// Profiles the paths of every innermost loop in one pass over the trace.
+#[must_use]
+pub fn profile_paths(cfg: &Cfg, forest: &LoopForest, trace: &Trace) -> HashMap<LoopId, PathProfile> {
+    let mut profiles: HashMap<LoopId, PathProfile> = HashMap::new();
+    let mut raw: HashMap<LoopId, HashMap<Vec<BlockId>, u64>> = HashMap::new();
+    for l in forest.innermost() {
+        profiles.insert(l.id, PathProfile::default());
+        raw.insert(l.id, HashMap::new());
+    }
+
+    // Current innermost-loop context: (loop id, current iteration's path).
+    let mut active: Option<(LoopId, Vec<BlockId>)> = None;
+
+    let flush =
+        |active: &mut Option<(LoopId, Vec<BlockId>)>,
+         raw: &mut HashMap<LoopId, HashMap<Vec<BlockId>, u64>>,
+         profiles: &mut HashMap<LoopId, PathProfile>,
+         continued: bool| {
+            if let Some((lid, path)) = active.take() {
+                let prof = profiles.get_mut(&lid).expect("profiled loop");
+                prof.iterations += 1;
+                if continued {
+                    prof.back_edges += 1;
+                }
+                let paths = raw.get_mut(&lid).expect("profiled loop");
+                if paths.len() < MAX_PATHS || paths.contains_key(&path) {
+                    *paths.entry(path).or_insert(0) += 1;
+                }
+            }
+        };
+
+    for d in &trace.insts {
+        let b = cfg.block_of[d.sid as usize];
+        if d.sid != cfg.blocks[b as usize].start {
+            continue; // only block entries matter for paths
+        }
+        let in_loop = forest.loop_of_block[b as usize]
+            .filter(|&l| forest.loops[l as usize].is_innermost());
+        match (&mut active, in_loop) {
+            (Some((lid, path)), Some(l)) if *lid == l => {
+                if forest.loops[l as usize].header == b {
+                    // Back edge: one iteration ends, the next begins.
+                    flush(&mut active, &mut raw, &mut profiles, true);
+                    active = Some((l, vec![b]));
+                } else {
+                    path.push(b);
+                }
+            }
+            (_, Some(l)) => {
+                // Entered a (different) innermost loop.
+                flush(&mut active, &mut raw, &mut profiles, false);
+                active = Some((l, vec![b]));
+            }
+            (Some(_), None) => {
+                flush(&mut active, &mut raw, &mut profiles, false);
+            }
+            (None, None) => {}
+        }
+    }
+    flush(&mut active, &mut raw, &mut profiles, false);
+
+    for (lid, paths) in raw {
+        let prof = profiles.get_mut(&lid).expect("profiled loop");
+        let mut v: Vec<(Vec<BlockId>, u64)> = paths.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        prof.paths = v;
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dominators;
+    use prism_isa::{ProgramBuilder, Reg};
+
+    /// Loop whose body branches on i % 4 == 0 (path T every 4th iter).
+    fn branchy_loop(n: i64) -> Trace {
+        let (i, r, t) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new("branchy");
+        b.init_reg(i, n);
+        let head = b.bind_new_label();
+        let skip = b.label();
+        b.andi(t, i, 3);
+        b.bne_label(t, Reg::ZERO, skip);
+        b.addi(r, r, 100); // rare path
+        b.bind(skip);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        prism_sim::trace(&b.build().unwrap()).unwrap()
+    }
+
+    fn profile(t: &Trace) -> (Cfg, LoopForest, HashMap<LoopId, PathProfile>) {
+        let cfg = Cfg::build(t);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom, t);
+        let p = profile_paths(&cfg, &forest, t);
+        (cfg, forest, p)
+    }
+
+    #[test]
+    fn two_paths_with_expected_frequencies() {
+        let t = branchy_loop(40);
+        let (_c, f, p) = profile(&t);
+        let inner = f.innermost().next().unwrap();
+        let prof = &p[&inner.id];
+        assert_eq!(prof.iterations, 40);
+        assert_eq!(prof.paths.len(), 2);
+        // Hot path: the skip path (3 of every 4 iterations).
+        assert_eq!(prof.paths[0].1, 30);
+        assert_eq!(prof.paths[1].1, 10);
+        assert!((prof.hot_path_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_back_probability_counts_exits() {
+        let t = branchy_loop(40);
+        let (_c, f, p) = profile(&t);
+        let inner = f.innermost().next().unwrap();
+        let prof = &p[&inner.id];
+        // 40 iterations, 39 back edges, 1 exit.
+        assert_eq!(prof.back_edges, 39);
+        assert!((prof.loop_back_probability() - 39.0 / 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straight_loop_single_path() {
+        let (i,) = (Reg::int(1),);
+        let mut b = ProgramBuilder::new("s");
+        b.init_reg(i, 10);
+        let head = b.bind_new_label();
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let (_c, f, p) = profile(&t);
+        let prof = &p[&f.innermost().next().unwrap().id];
+        assert_eq!(prof.paths.len(), 1);
+        assert_eq!(prof.iterations, 10);
+        assert!((prof.avg_blocks_per_iter() - 1.0).abs() < 1e-9);
+    }
+}

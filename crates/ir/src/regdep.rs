@@ -1,0 +1,250 @@
+//! Register dataflow classification for inner loops: induction variables,
+//! reductions, and genuine cross-iteration dependences.
+//!
+//! The SIMD analyzer excludes "loops with inter-iteration data dependences
+//! which are not reductions or inductions" (paper §3.2); this module makes
+//! that call.
+
+use std::collections::HashMap;
+
+use prism_isa::{Opcode, Program, Reg};
+
+use crate::{Cfg, Loop};
+
+/// Classification of a register that is live across the loop back edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CarriedClass {
+    /// `r = r + imm` once per iteration (vectorizable by widening).
+    Induction {
+        /// Per-iteration step.
+        step: i64,
+    },
+    /// `r = r ⊕ x` accumulation, `r` otherwise unused (vectorizable by
+    /// partial sums + final horizontal reduce).
+    Reduction {
+        /// The combining operation.
+        op: Opcode,
+    },
+    /// Any other cross-iteration flow: not vectorizable.
+    CrossIteration,
+}
+
+/// Register dataflow summary of one innermost loop.
+#[derive(Debug, Clone, Default)]
+pub struct LoopRegInfo {
+    /// Classification of each register carried across the back edge.
+    pub carried: HashMap<Reg, CarriedClass>,
+    /// Registers read in the loop but never written there (live-ins).
+    pub invariants: Vec<Reg>,
+}
+
+impl LoopRegInfo {
+    /// Whether every carried register is an induction or reduction (the
+    /// SIMD data-dependence legality condition).
+    #[must_use]
+    pub fn vectorizable_dataflow(&self) -> bool {
+        self.carried
+            .values()
+            .all(|c| !matches!(c, CarriedClass::CrossIteration))
+    }
+
+    /// The carried registers classified as cross-iteration.
+    pub fn cross_iteration_regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.carried
+            .iter()
+            .filter(|(_, c)| matches!(c, CarriedClass::CrossIteration))
+            .map(|(r, _)| *r)
+    }
+}
+
+/// Statically classifies the carried registers of an innermost loop.
+///
+/// A register is *carried* if some instruction in the loop reads it before
+/// any instruction of the same iteration (in static body order) writes it,
+/// and some instruction in the loop writes it. Writers are then pattern
+/// matched for induction/reduction shapes.
+#[must_use]
+pub fn classify_loop_registers(program: &Program, cfg: &Cfg, l: &Loop) -> LoopRegInfo {
+    // Collect the loop body's instructions in static order.
+    let body: Vec<prism_isa::StaticId> = l
+        .blocks
+        .iter()
+        .flat_map(|&b| cfg.blocks[b as usize].inst_ids())
+        .collect();
+
+    // First-def position and def list per register; first-use position.
+    let mut first_def: HashMap<Reg, usize> = HashMap::new();
+    let mut defs: HashMap<Reg, Vec<prism_isa::StaticId>> = HashMap::new();
+    let mut first_use: HashMap<Reg, usize> = HashMap::new();
+    let mut use_count: HashMap<Reg, u32> = HashMap::new();
+    for (pos, &sid) in body.iter().enumerate() {
+        let inst = program.inst(sid);
+        for r in inst.sources() {
+            first_use.entry(r).or_insert(pos);
+            *use_count.entry(r).or_insert(0) += 1;
+        }
+        if let Some(d) = inst.dest() {
+            first_def.entry(d).or_insert(pos);
+            defs.entry(d).or_default().push(sid);
+        }
+    }
+
+    let mut info = LoopRegInfo::default();
+    for (&r, &use_pos) in &first_use {
+        match first_def.get(&r) {
+            None => info.invariants.push(r),
+            Some(&def_pos) => {
+                // Used before (or at a position requiring) the defining
+                // write of the same iteration ⇒ value flows across
+                // iterations. (Conservative: header-ordered body.)
+                if use_pos <= def_pos {
+                    let class = classify_writer(program, r, &defs[&r], use_count[&r]);
+                    info.carried.insert(r, class);
+                }
+            }
+        }
+    }
+    info.invariants.sort_unstable();
+    info
+}
+
+fn classify_writer(
+    program: &Program,
+    r: Reg,
+    defs: &[prism_isa::StaticId],
+    uses: u32,
+) -> CarriedClass {
+    if defs.len() != 1 {
+        return CarriedClass::CrossIteration;
+    }
+    let inst = program.inst(defs[0]);
+    // Induction: r = r + imm.
+    if inst.op == Opcode::AddI && inst.src1 == Some(r) {
+        return CarriedClass::Induction { step: inst.imm };
+    }
+    // Reduction: r = r ⊕ x (or x ⊕ r), where r's only in-loop use is the
+    // accumulation itself.
+    let assoc = matches!(
+        inst.op,
+        Opcode::Add | Opcode::FAdd | Opcode::FMul | Opcode::Mul | Opcode::FMin | Opcode::FMax
+            | Opcode::And | Opcode::Or | Opcode::Xor
+    );
+    if assoc && (inst.src1 == Some(r)) != (inst.src2 == Some(r)) && uses == 1 {
+        return CarriedClass::Reduction { op: inst.op };
+    }
+    CarriedClass::CrossIteration
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dominators, LoopForest};
+    use prism_isa::ProgramBuilder;
+
+    fn loop_info(build: impl FnOnce(&mut ProgramBuilder)) -> LoopRegInfo {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let cfg = Cfg::build(&t);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom, &t);
+        let inner = forest.innermost().next().expect("a loop");
+        classify_loop_registers(&t.program, &cfg, inner)
+    }
+
+    #[test]
+    fn induction_and_reduction_recognized() {
+        // sum += a[i]; classic vectorizable reduction loop.
+        let info = loop_info(|b| {
+            let (p, i, sum, x) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+            b.init_reg(p, 0x1000);
+            b.init_reg(i, 10);
+            let head = b.bind_new_label();
+            b.ld(x, p, 0);
+            b.add(sum, sum, x);
+            b.addi(p, p, 8);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        assert_eq!(info.carried[&Reg::int(1)], CarriedClass::Induction { step: 8 });
+        assert_eq!(info.carried[&Reg::int(2)], CarriedClass::Induction { step: -1 });
+        assert_eq!(info.carried[&Reg::int(3)], CarriedClass::Reduction { op: Opcode::Add });
+        assert!(info.vectorizable_dataflow());
+    }
+
+    #[test]
+    fn genuine_recurrence_is_cross_iteration() {
+        // x = x*x + 1 each iteration: not an induction or reduction.
+        let info = loop_info(|b| {
+            let (x, i) = (Reg::int(1), Reg::int(2));
+            b.init_reg(x, 2);
+            b.init_reg(i, 5);
+            let head = b.bind_new_label();
+            b.mul(x, x, x);
+            b.addi(x, x, 1);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        assert_eq!(info.carried[&Reg::int(1)], CarriedClass::CrossIteration);
+        assert!(!info.vectorizable_dataflow());
+        assert_eq!(info.cross_iteration_regs().collect::<Vec<_>>(), vec![Reg::int(1)]);
+    }
+
+    #[test]
+    fn accumulator_used_elsewhere_not_a_reduction() {
+        // sum += x, but sum also feeds a store each iteration: its value is
+        // consumed per-iteration, so partial-sum vectorization is illegal.
+        let info = loop_info(|b| {
+            let (p, i, sum, x) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+            b.init_reg(p, 0x1000);
+            b.init_reg(i, 10);
+            let head = b.bind_new_label();
+            b.ld(x, p, 0);
+            b.add(sum, sum, x);
+            b.st(sum, p, 0x100); // prefix-sum style use
+            b.addi(p, p, 8);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        assert_eq!(info.carried[&Reg::int(3)], CarriedClass::CrossIteration);
+    }
+
+    #[test]
+    fn loop_invariants_listed() {
+        let info = loop_info(|b| {
+            let (base, i, x) = (Reg::int(1), Reg::int(2), Reg::int(4));
+            b.init_reg(base, 0x1000);
+            b.init_reg(i, 4);
+            let head = b.bind_new_label();
+            b.add(x, base, i); // base never written in loop
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        assert!(info.invariants.contains(&Reg::int(1)));
+        assert!(!info.carried.contains_key(&Reg::int(1)));
+        // x is written before any use: purely iteration-local.
+        assert!(!info.carried.contains_key(&Reg::int(4)));
+    }
+
+    #[test]
+    fn fp_reduction_recognized() {
+        let info = loop_info(|b| {
+            let (p, i) = (Reg::int(1), Reg::int(2));
+            let (acc, x) = (Reg::fp(0), Reg::fp(1));
+            b.init_reg(p, 0x1000);
+            b.init_reg(i, 8);
+            let head = b.bind_new_label();
+            b.fld(x, p, 0);
+            b.fmul(acc, acc, x);
+            b.addi(p, p, 8);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        assert_eq!(info.carried[&Reg::fp(0)], CarriedClass::Reduction { op: Opcode::FMul });
+    }
+}

@@ -1,0 +1,173 @@
+//! Register-spill identification (paper §2.7): "the TDG includes a
+//! best-effort approach to identify loads and stores associated with
+//! register spills, which can potentially be bypassed in accelerator
+//! transformations."
+//!
+//! Heuristic: inside a loop body, a store to `[base + off]` paired with a
+//! later load from the same `[base + off]`, where `base` is never
+//! redefined inside the loop and the stored register is redefined between
+//! the two (the reason the value went to memory), is a spill/fill pair.
+//! Dataflow accelerators with private operand storage (NS-DF, Trace-P) can
+//! keep such values in the fabric and skip the memory round-trip.
+
+use std::collections::HashMap;
+
+use prism_isa::{Program, Reg, StaticId};
+
+use crate::{Cfg, Loop};
+
+/// A spill/fill pair found in a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillPair {
+    /// The spilling store.
+    pub store: StaticId,
+    /// The refilling load.
+    pub load: StaticId,
+    /// The frame-like base register.
+    pub base: Reg,
+    /// Offset from the base.
+    pub offset: i64,
+}
+
+/// Finds spill/fill pairs in a loop body.
+#[must_use]
+pub fn find_spills(program: &Program, cfg: &Cfg, l: &Loop) -> Vec<SpillPair> {
+    let body: Vec<StaticId> = l
+        .blocks
+        .iter()
+        .flat_map(|&b| cfg.blocks[b as usize].inst_ids())
+        .collect();
+
+    // Base registers redefined inside the loop cannot anchor a frame slot.
+    let mut redefined: HashMap<Reg, bool> = HashMap::new();
+    for &sid in &body {
+        if let Some(d) = program.inst(sid).dest() {
+            redefined.insert(d, true);
+        }
+    }
+
+    let mut pairs = Vec::new();
+    for (i, &st_sid) in body.iter().enumerate() {
+        let st = program.inst(st_sid);
+        if !st.op.is_store() {
+            continue;
+        }
+        let Some(base) = st.src1 else { continue };
+        let Some(data) = st.src2 else { continue };
+        if redefined.get(&base).copied().unwrap_or(false) {
+            continue; // moving base: a streaming store, not a frame slot
+        }
+        // Look for the matching reload, requiring the spilled register to
+        // be clobbered in between (otherwise the store is a plain output).
+        let mut clobbered = false;
+        for &ld_sid in &body[i + 1..] {
+            let inst = program.inst(ld_sid);
+            if inst.dest() == Some(data) && !inst.op.is_load() {
+                clobbered = true;
+            }
+            if inst.op.is_load() && inst.src1 == Some(base) && inst.imm == st.imm && clobbered {
+                pairs.push(SpillPair { store: st_sid, load: ld_sid, base, offset: st.imm });
+                break;
+            }
+            if inst.op.is_store() && inst.src1 == Some(base) && inst.imm == st.imm {
+                break; // slot overwritten first
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dominators, LoopForest};
+    use prism_isa::ProgramBuilder;
+
+    fn loop_spills(build: impl FnOnce(&mut ProgramBuilder)) -> Vec<SpillPair> {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let cfg = Cfg::build(&t);
+        let dom = Dominators::compute(&cfg);
+        let forest = LoopForest::build(&cfg, &dom, &t);
+        let l = forest.innermost().next().expect("a loop");
+        find_spills(&t.program, &cfg, l)
+    }
+
+    #[test]
+    fn classic_spill_fill_detected() {
+        let pairs = loop_spills(|b| {
+            let (sp, i, x, y) = (Reg::int(29), Reg::int(1), Reg::int(2), Reg::int(3));
+            b.init_reg(sp, 0x8000);
+            b.init_reg(i, 16);
+            let head = b.bind_new_label();
+            b.st(x, sp, -8); // spill x
+            b.add(x, i, i); //  clobber x (why it was spilled)
+            b.add(y, y, x);
+            b.ld(x, sp, -8); // fill x
+            b.add(y, y, x);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].offset, -8);
+        assert_eq!(pairs[0].base, Reg::int(29));
+    }
+
+    #[test]
+    fn streaming_store_not_a_spill() {
+        // base advances every iteration: a data store, not a frame slot.
+        let pairs = loop_spills(|b| {
+            let (p, i, x) = (Reg::int(1), Reg::int(2), Reg::int(3));
+            b.init_reg(p, 0x8000);
+            b.init_reg(i, 16);
+            let head = b.bind_new_label();
+            b.st(x, p, 0);
+            b.ld(x, p, 0);
+            b.addi(p, p, 8);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn store_without_clobber_not_a_spill() {
+        // The stored register is never redefined before the reload: the
+        // round-trip is not a spill (the value was still live).
+        let pairs = loop_spills(|b| {
+            let (sp, i, x) = (Reg::int(29), Reg::int(1), Reg::int(2));
+            b.init_reg(sp, 0x8000);
+            b.init_reg(i, 16);
+            let head = b.bind_new_label();
+            b.st(x, sp, -16);
+            b.ld(x, sp, -16);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn overwritten_slot_breaks_the_pair() {
+        let pairs = loop_spills(|b| {
+            let (sp, i, x, y) = (Reg::int(29), Reg::int(1), Reg::int(2), Reg::int(3));
+            b.init_reg(sp, 0x8000);
+            b.init_reg(i, 16);
+            let head = b.bind_new_label();
+            b.st(x, sp, -8);
+            b.add(x, i, i);
+            b.st(y, sp, -8); // slot reused for y before x's reload
+            b.ld(x, sp, -8);
+            b.addi(i, i, -1);
+            b.bne_label(i, Reg::ZERO, head);
+            b.halt();
+        });
+        // x's pair is broken by the overwrite; y's store has no clobber of
+        // y before the load, so no pair either.
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,480 @@
+//! Label-based assembler API for authoring programs.
+
+
+use crate::{DataSegment, Inst, Opcode, Program, Reg, StaticId, ValidateProgramError};
+
+/// A forward-referencable code label.
+///
+/// Created with [`ProgramBuilder::label`], placed with
+/// [`ProgramBuilder::bind`], and used as a branch target before or after
+/// binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental, label-based program assembler.
+///
+/// Every workload kernel in `prism-workloads` is authored with this API; it
+/// reads like assembly while resolving labels and validating the result.
+///
+/// # Examples
+///
+/// A counted loop summing an array of `i64`:
+///
+/// ```
+/// use prism_isa::{ProgramBuilder, Reg};
+///
+/// let (ptr, n, sum, x) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+/// let mut b = ProgramBuilder::new("sum");
+/// b.init_reg(ptr, 0x1000);
+/// b.init_reg(n, 8);
+/// let head = b.bind_new_label();
+/// b.ld(x, ptr, 0);
+/// b.add(sum, sum, x);
+/// b.addi(ptr, ptr, 8);
+/// b.addi(n, n, -1);
+/// b.bne_label(n, Reg::ZERO, head);
+/// b.halt();
+/// let prog = b.build()?;
+/// assert_eq!(prog.len(), 6);
+/// # Ok::<(), prism_isa::ValidateProgramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: Vec<Option<StaticId>>,
+    /// (inst index, label) pairs whose `imm` must be patched at build time.
+    fixups: Vec<(usize, Label)>,
+    reg_init: Vec<(Reg, i64)>,
+    data: Vec<DataSegment>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder for a program named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            reg_init: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of instructions emitted so far (== the next instruction's id).
+    #[must_use]
+    pub fn here(&self) -> StaticId {
+        self.insts.len() as StaticId
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Convenience: allocate a label and bind it here.
+    pub fn bind_new_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Sets an initial register value applied before execution starts.
+    pub fn init_reg(&mut self, reg: Reg, value: i64) {
+        self.reg_init.push((reg, value));
+    }
+
+    /// Sets an initial FP register value.
+    pub fn init_freg(&mut self, reg: Reg, value: f64) {
+        assert!(reg.is_fp(), "init_freg requires an fp register");
+        self.reg_init.push((reg, value.to_bits() as i64));
+    }
+
+    /// Places raw bytes in initial memory.
+    pub fn init_data(&mut self, addr: u64, bytes: Vec<u8>) {
+        self.data.push(DataSegment { addr, bytes });
+    }
+
+    /// Places a slice of `i64` words in initial memory.
+    pub fn init_words(&mut self, addr: u64, words: &[i64]) {
+        let bytes = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.init_data(addr, bytes);
+    }
+
+    /// Places a slice of `f64` values in initial memory.
+    pub fn init_f64s(&mut self, addr: u64, values: &[f64]) {
+        let bytes = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.init_data(addr, bytes);
+    }
+
+    /// Emits a raw instruction and returns its id.
+    pub fn emit(&mut self, inst: Inst) -> StaticId {
+        self.insts.push(inst);
+        self.here() - 1
+    }
+
+    fn emit_branch_to(&mut self, mut inst: Inst, label: Label) -> StaticId {
+        // Target patched at build() time; store a placeholder.
+        inst.imm = 0;
+        let id = self.emit(inst);
+        self.fixups.push((id as usize, label));
+        id
+    }
+
+    /// Finalizes the program, resolving labels and validating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateProgramError`] if structural validation fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never bound.
+    pub fn build(mut self) -> Result<Program, ValidateProgramError> {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0].expect("branch to unbound label");
+            self.insts[idx].imm = i64::from(target);
+        }
+        let prog = Program {
+            name: self.name,
+            insts: self.insts,
+            reg_init: self.reg_init,
+            data: self.data,
+        };
+        prog.validate()?;
+        Ok(prog)
+    }
+}
+
+/// Generates three-register emit helpers.
+macro_rules! rrr_ops {
+    ($($(#[$doc:meta])* $fn_name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$doc])*
+                pub fn $fn_name(&mut self, dst: Reg, src1: Reg, src2: Reg) -> StaticId {
+                    self.emit(Inst::rrr(Opcode::$op, dst, src1, src2))
+                }
+            )*
+        }
+    };
+}
+
+rrr_ops! {
+    /// `dst = src1 + src2`
+    add => Add,
+    /// `dst = src1 - src2`
+    sub => Sub,
+    /// `dst = src1 & src2`
+    and => And,
+    /// `dst = src1 | src2`
+    or => Or,
+    /// `dst = src1 ^ src2`
+    xor => Xor,
+    /// `dst = src1 << src2`
+    shl => Shl,
+    /// `dst = src1 >> src2` (logical)
+    shr => Shr,
+    /// `dst = src1 >> src2` (arithmetic)
+    sra => Sra,
+    /// `dst = (src1 < src2) ? 1 : 0`
+    slt => Slt,
+    /// `dst = src1 * src2`
+    mul => Mul,
+    /// `dst = src1 / src2`
+    div => Div,
+    /// `dst = src1 % src2`
+    rem => Rem,
+    /// `dst = src1 + src2` (fp)
+    fadd => FAdd,
+    /// `dst = src1 - src2` (fp)
+    fsub => FSub,
+    /// `dst = src1 * src2` (fp)
+    fmul => FMul,
+    /// `dst = src1 / src2` (fp)
+    fdiv => FDiv,
+    /// `dst = min(src1, src2)` (fp)
+    fmin => FMin,
+    /// `dst = max(src1, src2)` (fp)
+    fmax => FMax,
+    /// `dst(int) = src1 < src2` (fp compare)
+    flt => FLt,
+    /// `dst(int) = src1 <= src2` (fp compare)
+    fle => FLe,
+    /// `dst(int) = src1 == src2` (fp compare)
+    feq => FEq,
+}
+
+/// Generates register-immediate emit helpers.
+macro_rules! rri_ops {
+    ($($(#[$doc:meta])* $fn_name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$doc])*
+                pub fn $fn_name(&mut self, dst: Reg, src1: Reg, imm: i64) -> StaticId {
+                    self.emit(Inst::rri(Opcode::$op, dst, src1, imm))
+                }
+            )*
+        }
+    };
+}
+
+rri_ops! {
+    /// `dst = src1 + imm`
+    addi => AddI,
+    /// `dst = src1 & imm`
+    andi => AndI,
+    /// `dst = src1 | imm`
+    ori => OrI,
+    /// `dst = src1 ^ imm`
+    xori => XorI,
+    /// `dst = src1 << imm`
+    shli => ShlI,
+    /// `dst = src1 >> imm` (logical)
+    shri => ShrI,
+    /// `dst = src1 >> imm` (arithmetic)
+    srai => SraI,
+    /// `dst = (src1 < imm) ? 1 : 0`
+    slti => SltI,
+}
+
+/// Generates conditional-branch emit helpers (label targets).
+macro_rules! branch_ops {
+    ($($(#[$doc:meta])* $fn_name:ident => $op:ident),* $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$doc])*
+                pub fn $fn_name(&mut self, src1: Reg, src2: Reg, target: Label) -> StaticId {
+                    self.emit_branch_to(Inst::branch(Opcode::$op, src1, src2, 0), target)
+                }
+            )*
+        }
+    };
+}
+
+branch_ops! {
+    /// Branch to `target` if `src1 == src2`.
+    beq_label => Beq,
+    /// Branch to `target` if `src1 != src2`.
+    bne_label => Bne,
+    /// Branch to `target` if `src1 < src2` (signed).
+    blt_label => Blt,
+    /// Branch to `target` if `src1 >= src2` (signed).
+    bge_label => Bge,
+}
+
+impl ProgramBuilder {
+    /// `dst = imm`
+    pub fn li(&mut self, dst: Reg, imm: i64) -> StaticId {
+        self.emit(Inst::ri(Opcode::Li, dst, imm))
+    }
+
+    /// `dst(fp) = value`
+    pub fn fli(&mut self, dst: Reg, value: f64) -> StaticId {
+        assert!(dst.is_fp(), "fli requires an fp destination");
+        self.emit(Inst::ri(Opcode::FLi, dst, value.to_bits() as i64))
+    }
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> StaticId {
+        self.emit(Inst::rr(Opcode::Mov, dst, src))
+    }
+
+    /// `dst(fp) = src(fp)`
+    pub fn fmov(&mut self, dst: Reg, src: Reg) -> StaticId {
+        self.emit(Inst::rr(Opcode::FMov, dst, src))
+    }
+
+    /// `dst = sqrt(src)` (fp)
+    pub fn fsqrt(&mut self, dst: Reg, src: Reg) -> StaticId {
+        self.emit(Inst::rr(Opcode::FSqrt, dst, src))
+    }
+
+    /// `dst = -src` (fp)
+    pub fn fneg(&mut self, dst: Reg, src: Reg) -> StaticId {
+        self.emit(Inst::rr(Opcode::FNeg, dst, src))
+    }
+
+    /// `dst = |src|` (fp)
+    pub fn fabs(&mut self, dst: Reg, src: Reg) -> StaticId {
+        self.emit(Inst::rr(Opcode::FAbs, dst, src))
+    }
+
+    /// `dst(fp) = (f64) src(int)`
+    pub fn cvt_i_f(&mut self, dst: Reg, src: Reg) -> StaticId {
+        self.emit(Inst::rr(Opcode::CvtIF, dst, src))
+    }
+
+    /// `dst(int) = (i64) src(fp)`
+    pub fn cvt_f_i(&mut self, dst: Reg, src: Reg) -> StaticId {
+        self.emit(Inst::rr(Opcode::CvtFI, dst, src))
+    }
+
+    /// Integer load of `width` bytes: `dst = mem[base + offset]`.
+    pub fn ld_w(&mut self, dst: Reg, base: Reg, offset: i64, width: u8) -> StaticId {
+        self.emit(Inst::load(Opcode::Ld, dst, base, offset, width))
+    }
+
+    /// 8-byte integer load.
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i64) -> StaticId {
+        self.ld_w(dst, base, offset, 8)
+    }
+
+    /// Integer store of `width` bytes: `mem[base + offset] = data`.
+    pub fn st_w(&mut self, data: Reg, base: Reg, offset: i64, width: u8) -> StaticId {
+        self.emit(Inst::store(Opcode::St, data, base, offset, width))
+    }
+
+    /// 8-byte integer store.
+    pub fn st(&mut self, data: Reg, base: Reg, offset: i64) -> StaticId {
+        self.st_w(data, base, offset, 8)
+    }
+
+    /// 8-byte FP load: `dst(fp) = mem[base + offset]`.
+    pub fn fld(&mut self, dst: Reg, base: Reg, offset: i64) -> StaticId {
+        self.emit(Inst::load(Opcode::FLd, dst, base, offset, 8))
+    }
+
+    /// 8-byte FP store: `mem[base + offset] = data(fp)`.
+    pub fn fst(&mut self, data: Reg, base: Reg, offset: i64) -> StaticId {
+        self.emit(Inst::store(Opcode::FSt, data, base, offset, 8))
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp_label(&mut self, target: Label) -> StaticId {
+        self.emit_branch_to(Inst::jmp(0), target)
+    }
+
+    /// Call: saves the return pc in `link` and jumps to `target`.
+    pub fn call_label(&mut self, link: Reg, target: Label) -> StaticId {
+        let inst = Inst {
+            op: Opcode::Call,
+            dst: Some(link),
+            src1: None,
+            src2: None,
+            imm: 0,
+            width: 0,
+        };
+        self.emit_branch_to(inst, target)
+    }
+
+    /// Return: jumps to the pc held in `link`.
+    pub fn ret(&mut self, link: Reg) -> StaticId {
+        self.emit(Inst {
+            op: Opcode::Ret,
+            dst: None,
+            src1: Some(link),
+            src2: None,
+            imm: 0,
+            width: 0,
+        })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> StaticId {
+        self.emit(Inst::nullary(Opcode::Nop))
+    }
+
+    /// Halts execution.
+    pub fn halt(&mut self) -> StaticId {
+        self.emit(Inst::nullary(Opcode::Halt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_label_resolution() {
+        let mut b = ProgramBuilder::new("fwd");
+        let end = b.label();
+        b.beq_label(Reg::int(1), Reg::ZERO, end);
+        b.li(Reg::int(2), 1);
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(0).target(), Some(2));
+    }
+
+    #[test]
+    fn backward_label_resolution() {
+        let mut b = ProgramBuilder::new("bwd");
+        let head = b.bind_new_label();
+        b.addi(Reg::int(1), Reg::int(1), -1);
+        b.bne_label(Reg::int(1), Reg::ZERO, head);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(1).target(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        let nowhere = b.label();
+        b.jmp_label(nowhere);
+        b.halt();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("bad");
+        let l = b.bind_new_label();
+        b.bind(l);
+    }
+
+    #[test]
+    fn init_state_recorded() {
+        let mut b = ProgramBuilder::new("init");
+        b.init_reg(Reg::int(1), 0x1000);
+        b.init_freg(Reg::fp(0), 2.5);
+        b.init_words(0x1000, &[1, 2, 3]);
+        b.init_f64s(0x2000, &[1.5]);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.reg_init.len(), 2);
+        assert_eq!(p.reg_init[1].1, 2.5f64.to_bits() as i64);
+        assert_eq!(p.data.len(), 2);
+        assert_eq!(p.data[0].bytes.len(), 24);
+        assert_eq!(p.data[1].bytes, 1.5f64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn call_ret_shapes() {
+        let mut b = ProgramBuilder::new("call");
+        let func = b.label();
+        b.call_label(Reg::int(31), func);
+        b.halt();
+        b.bind(func);
+        b.ret(Reg::int(31));
+        let p = b.build().unwrap();
+        assert_eq!(p.inst(0).target(), Some(2));
+        assert_eq!(p.inst(0).dest(), Some(Reg::int(31)));
+        assert_eq!(p.inst(2).sources().next(), Some(Reg::int(31)));
+    }
+
+    #[test]
+    fn emits_have_monotonic_ids() {
+        let mut b = ProgramBuilder::new("ids");
+        let a = b.li(Reg::int(1), 1);
+        let c = b.add(Reg::int(1), Reg::int(1), Reg::int(1));
+        let h = b.halt();
+        assert_eq!((a, c, h), (0, 1, 2));
+    }
+}

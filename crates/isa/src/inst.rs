@@ -1,0 +1,255 @@
+//! Instruction representation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FuClass, Opcode, Reg};
+
+/// Index of a static instruction within a [`Program`](crate::Program).
+///
+/// The mini-ISA has a flat code space: the program counter *is* the static
+/// instruction index, and branch targets are encoded directly as `StaticId`
+/// values in the immediate field.
+pub type StaticId = u32;
+
+/// A single static instruction.
+///
+/// A compact, uniform three-operand format: `op dst, src1, src2, imm`.
+/// Which fields are meaningful depends on [`Opcode`]; unused register
+/// operands are `None`. For memory ops `imm` is the address offset and
+/// [`width`](Inst::width) the access size in bytes; for branches `imm` is
+/// the target [`StaticId`]; for `fli` it is the raw bit pattern of an `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use prism_isa::{Inst, Opcode, Reg};
+///
+/// let add = Inst::rrr(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3));
+/// assert_eq!(add.to_string(), "add r1, r2, r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register, if the op writes one.
+    pub dst: Option<Reg>,
+    /// First source register.
+    pub src1: Option<Reg>,
+    /// Second source register (for stores, the data operand).
+    pub src2: Option<Reg>,
+    /// Immediate / branch target / fp bit pattern / memory offset.
+    pub imm: i64,
+    /// Memory access width in bytes (1, 2, 4, or 8); 0 for non-memory ops.
+    pub width: u8,
+}
+
+impl Inst {
+    /// Three-register instruction `op dst, src1, src2`.
+    #[must_use]
+    pub fn rrr(op: Opcode, dst: Reg, src1: Reg, src2: Reg) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(src1), src2: Some(src2), imm: 0, width: 0 }
+    }
+
+    /// Register-immediate instruction `op dst, src1, imm`.
+    #[must_use]
+    pub fn rri(op: Opcode, dst: Reg, src1: Reg, imm: i64) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm, width: 0 }
+    }
+
+    /// Two-register instruction `op dst, src1`.
+    #[must_use]
+    pub fn rr(op: Opcode, dst: Reg, src1: Reg) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm: 0, width: 0 }
+    }
+
+    /// Immediate-only instruction with a destination, e.g. `li dst, imm`.
+    #[must_use]
+    pub fn ri(op: Opcode, dst: Reg, imm: i64) -> Self {
+        Inst { op, dst: Some(dst), src1: None, src2: None, imm, width: 0 }
+    }
+
+    /// Load `dst = mem[base + offset]` of `width` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4, or 8, or `op` is not a load.
+    #[must_use]
+    pub fn load(op: Opcode, dst: Reg, base: Reg, offset: i64, width: u8) -> Self {
+        assert!(op.is_load(), "load() requires a load opcode");
+        assert!(matches!(width, 1 | 2 | 4 | 8), "invalid memory width");
+        Inst { op, dst: Some(dst), src1: Some(base), src2: None, imm: offset, width }
+    }
+
+    /// Store `mem[base + offset] = data` of `width` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4, or 8, or `op` is not a store.
+    #[must_use]
+    pub fn store(op: Opcode, data: Reg, base: Reg, offset: i64, width: u8) -> Self {
+        assert!(op.is_store(), "store() requires a store opcode");
+        assert!(matches!(width, 1 | 2 | 4 | 8), "invalid memory width");
+        Inst { op, dst: None, src1: Some(base), src2: Some(data), imm: offset, width }
+    }
+
+    /// Conditional branch `op src1, src2 -> target`.
+    #[must_use]
+    pub fn branch(op: Opcode, src1: Reg, src2: Reg, target: StaticId) -> Self {
+        assert!(op.is_cond_branch(), "branch() requires a conditional branch opcode");
+        Inst { op, dst: None, src1: Some(src1), src2: Some(src2), imm: i64::from(target), width: 0 }
+    }
+
+    /// Unconditional jump to `target`.
+    #[must_use]
+    pub fn jmp(target: StaticId) -> Self {
+        Inst { op: Opcode::Jmp, dst: None, src1: None, src2: None, imm: i64::from(target), width: 0 }
+    }
+
+    /// Zero-operand instruction (`nop`, `halt`).
+    #[must_use]
+    pub fn nullary(op: Opcode) -> Self {
+        Inst { op, dst: None, src1: None, src2: None, imm: 0, width: 0 }
+    }
+
+    /// Branch / jump target, if this is a direct control transfer.
+    #[must_use]
+    pub fn target(&self) -> Option<StaticId> {
+        if self.op.is_cond_branch() || matches!(self.op, Opcode::Jmp | Opcode::Call) {
+            Some(self.imm as StaticId)
+        } else {
+            None
+        }
+    }
+
+    /// Source registers actually read, excluding the hardwired zero.
+    pub fn sources(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.src1, self.src2]
+            .into_iter()
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// Destination register actually written (writes to `r0` are discarded).
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+
+    /// Functional-unit class, delegated to the opcode.
+    #[must_use]
+    pub fn fu_class(&self) -> FuClass {
+        self.op.fu_class()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if self.op.is_mem() {
+            if let Some(d) = self.dst {
+                sep(f)?;
+                write!(f, "{d}")?;
+            }
+            if let Some(data) = self.src2 {
+                sep(f)?;
+                write!(f, "{data}")?;
+            }
+            sep(f)?;
+            write!(f, "[{}{:+}]", self.src1.unwrap_or(Reg::ZERO), self.imm)?;
+            return Ok(());
+        }
+        if let Some(d) = self.dst {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        if let Some(s) = self.src1 {
+            sep(f)?;
+            write!(f, "{s}")?;
+        }
+        if let Some(s) = self.src2 {
+            sep(f)?;
+            write!(f, "{s}")?;
+        }
+        if self.op.is_cond_branch() || matches!(self.op, Opcode::Jmp | Opcode::Call) {
+            sep(f)?;
+            write!(f, "-> {}", self.imm)?;
+        } else if matches!(
+            self.op,
+            Opcode::Li | Opcode::AddI | Opcode::AndI | Opcode::OrI | Opcode::XorI | Opcode::ShlI
+                | Opcode::ShrI | Opcode::SraI | Opcode::SltI
+        ) {
+            sep(f)?;
+            write!(f, "{}", self.imm)?;
+        } else if self.op == Opcode::FLi {
+            sep(f)?;
+            write!(f, "{}", f64::from_bits(self.imm as u64))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_filtered_from_dataflow() {
+        let i = Inst::rrr(Opcode::Add, Reg::ZERO, Reg::ZERO, Reg::int(3));
+        assert_eq!(i.dest(), None);
+        let srcs: Vec<Reg> = i.sources().collect();
+        assert_eq!(srcs, vec![Reg::int(3)]);
+    }
+
+    #[test]
+    fn store_has_no_dest() {
+        let s = Inst::store(Opcode::St, Reg::int(2), Reg::int(1), 8, 8);
+        assert_eq!(s.dest(), None);
+        let srcs: Vec<Reg> = s.sources().collect();
+        assert_eq!(srcs, vec![Reg::int(1), Reg::int(2)]);
+    }
+
+    #[test]
+    fn branch_target_extraction() {
+        let b = Inst::branch(Opcode::Bne, Reg::int(1), Reg::ZERO, 42);
+        assert_eq!(b.target(), Some(42));
+        let j = Inst::jmp(7);
+        assert_eq!(j.target(), Some(7));
+        let a = Inst::rrr(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3));
+        assert_eq!(a.target(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let ld = Inst::load(Opcode::Ld, Reg::int(2), Reg::int(1), 16, 8);
+        assert_eq!(ld.to_string(), "ld r2, [r1+16]");
+        let st = Inst::store(Opcode::St, Reg::int(3), Reg::int(1), -8, 8);
+        assert_eq!(st.to_string(), "st r3, [r1-8]");
+        let li = Inst::ri(Opcode::Li, Reg::int(5), 100);
+        assert_eq!(li.to_string(), "li r5, 100");
+        let b = Inst::branch(Opcode::Blt, Reg::int(1), Reg::int(2), 3);
+        assert_eq!(b.to_string(), "blt r1, r2, -> 3");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid memory width")]
+    fn bad_width_panics() {
+        let _ = Inst::load(Opcode::Ld, Reg::int(1), Reg::int(2), 0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a load opcode")]
+    fn load_ctor_validates_opcode() {
+        let _ = Inst::load(Opcode::Add, Reg::int(1), Reg::int(2), 0, 8);
+    }
+}

@@ -1,0 +1,50 @@
+//! # prism-isa
+//!
+//! The `exo` mini-ISA underlying the Prism TDG framework — a Rust
+//! reproduction of *Analyzing Behavior Specialized Acceleration*
+//! (Nowatzki & Sankaralingam, ASPLOS 2016).
+//!
+//! The paper models accelerators over dynamic traces of real binaries
+//! produced by gem5. This reproduction substitutes a small 64-bit RISC ISA:
+//! 32 integer + 32 FP registers, a flat code space where the program counter
+//! is a static instruction index, and a label-based
+//! [`ProgramBuilder`] used to author the workload kernels.
+//!
+//! The ISA intentionally contains two strata:
+//!
+//! * the **authored subset** workload programs are written in, and
+//! * **transform-only opcodes** ([`Opcode::Fma`], vector ops, predicates,
+//!   accelerator communication ops) that only TDG graph transforms may
+//!   introduce — [`Program::validate`] rejects them in authored code.
+//!
+//! # Examples
+//!
+//! ```
+//! use prism_isa::{ProgramBuilder, Reg};
+//!
+//! let (i, acc) = (Reg::int(1), Reg::int(2));
+//! let mut b = ProgramBuilder::new("triangle");
+//! b.init_reg(i, 10);
+//! let head = b.bind_new_label();
+//! b.add(acc, acc, i);
+//! b.addi(i, i, -1);
+//! b.bne_label(i, Reg::ZERO, head);
+//! b.halt();
+//! let program = b.build()?;
+//! assert!(program.validate().is_ok());
+//! # Ok::<(), prism_isa::ValidateProgramError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod inst;
+mod opcode;
+mod program;
+mod reg;
+
+pub use builder::{Label, ProgramBuilder};
+pub use inst::{Inst, StaticId};
+pub use opcode::{FuClass, Opcode};
+pub use program::{DataSegment, Program, ValidateProgramError};
+pub use reg::{Reg, NUM_FP_REGS, NUM_INT_REGS, NUM_REGS};

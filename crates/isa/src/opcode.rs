@@ -1,0 +1,463 @@
+//! Opcodes of the `exo` mini-ISA and their static classification.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Functional-unit class an opcode executes on.
+///
+/// Matches the FU grouping of the paper's Table 4 (ALU, Mul/Div, FP), plus
+/// memory and control classes that occupy cache ports / branch units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Simple integer ALU (add/sub/logic/shift/compare, branches).
+    Alu,
+    /// Integer multiply / divide unit.
+    MulDiv,
+    /// Floating-point unit (add/mul/div/sqrt/convert).
+    Fp,
+    /// Load/store pipeline (occupies a data-cache port).
+    Mem,
+    /// No functional unit (e.g. `nop`, `halt`).
+    None,
+}
+
+/// Every operation of the mini-ISA.
+///
+/// Vector (`V*`) and fused (`Fma`) forms are produced by TDG transforms and
+/// by the SIMD model; the scalar subset is what workload programs are
+/// authored in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    // -- Integer ALU ------------------------------------------------------
+    /// `dst = src1 + src2`
+    Add,
+    /// `dst = src1 - src2`
+    Sub,
+    /// `dst = src1 & src2`
+    And,
+    /// `dst = src1 | src2`
+    Or,
+    /// `dst = src1 ^ src2`
+    Xor,
+    /// `dst = src1 << (src2 & 63)`
+    Shl,
+    /// `dst = ((u64)src1) >> (src2 & 63)`
+    Shr,
+    /// `dst = src1 >> (src2 & 63)` (arithmetic)
+    Sra,
+    /// `dst = (src1 < src2) ? 1 : 0` (signed)
+    Slt,
+    /// `dst = src1 + imm`
+    AddI,
+    /// `dst = src1 & imm`
+    AndI,
+    /// `dst = src1 | imm`
+    OrI,
+    /// `dst = src1 ^ imm`
+    XorI,
+    /// `dst = src1 << imm`
+    ShlI,
+    /// `dst = ((u64)src1) >> imm`
+    ShrI,
+    /// `dst = src1 >> imm` (arithmetic)
+    SraI,
+    /// `dst = (src1 < imm) ? 1 : 0` (signed)
+    SltI,
+    /// `dst = imm`
+    Li,
+    /// `dst = src1`
+    Mov,
+
+    // -- Integer mul/div --------------------------------------------------
+    /// `dst = src1 * src2`
+    Mul,
+    /// `dst = src1 / src2` (signed; x/0 = -1 as on real hardware traps are out of scope)
+    Div,
+    /// `dst = src1 % src2`
+    Rem,
+
+    // -- Floating point ---------------------------------------------------
+    /// `dst = src1 + src2`
+    FAdd,
+    /// `dst = src1 - src2`
+    FSub,
+    /// `dst = src1 * src2`
+    FMul,
+    /// `dst = src1 / src2`
+    FDiv,
+    /// `dst = sqrt(src1)`
+    FSqrt,
+    /// `dst = min(src1, src2)`
+    FMin,
+    /// `dst = max(src1, src2)`
+    FMax,
+    /// `dst = -src1`
+    FNeg,
+    /// `dst = |src1|`
+    FAbs,
+    /// `dst(int) = (src1 < src2) ? 1 : 0`
+    FLt,
+    /// `dst(int) = (src1 <= src2) ? 1 : 0`
+    FLe,
+    /// `dst(int) = (src1 == src2) ? 1 : 0`
+    FEq,
+    /// `dst(fp) = (f64) src1(int)`
+    CvtIF,
+    /// `dst(int) = (i64) src1(fp)` (truncating)
+    CvtFI,
+    /// `dst(fp) = src1(fp)`
+    FMov,
+    /// `dst(fp) = imm` (bit pattern of an `f64` in `imm`)
+    FLi,
+    /// Fused multiply-add `dst = src1 * src2 + src3`; produced only by the
+    /// fma TDG transform of the paper's Fig. 4.
+    Fma,
+
+    // -- Memory -----------------------------------------------------------
+    /// Integer load: `dst = mem[src1 + imm]` (width in [`Inst::width`](crate::Inst)).
+    Ld,
+    /// Integer store: `mem[src1 + imm] = src2`.
+    St,
+    /// FP load: `dst(fp) = mem[src1 + imm]` (width 4 or 8).
+    FLd,
+    /// FP store: `mem[src1 + imm] = src2(fp)`.
+    FSt,
+
+    // -- Control ----------------------------------------------------------
+    /// Branch to `imm` if `src1 == src2`.
+    Beq,
+    /// Branch to `imm` if `src1 != src2`.
+    Bne,
+    /// Branch to `imm` if `src1 < src2` (signed).
+    Blt,
+    /// Branch to `imm` if `src1 >= src2` (signed).
+    Bge,
+    /// Unconditional jump to `imm`.
+    Jmp,
+    /// Call: `dst = return pc`, jump to `imm`.
+    Call,
+    /// Return: jump to `src1`.
+    Ret,
+    /// Stop execution.
+    Halt,
+
+    // -- Misc / transform-generated ---------------------------------------
+    /// No operation.
+    Nop,
+    /// Vector form of an ALU/FP op (SIMD transform); semantics are modeled,
+    /// not executed.
+    VOp,
+    /// Vector load (contiguous).
+    VLd,
+    /// Vector store (contiguous).
+    VSt,
+    /// Lane pack/unpack shuffle inserted for non-contiguous SIMD access.
+    VShuffle,
+    /// Mask/blend instruction inserted along merging control paths.
+    VMask,
+    /// Predicate-setting instruction produced by if-conversion.
+    SetPred,
+    /// Accelerator config-load instruction (DP-CGRA configuration).
+    Config,
+    /// Core→accelerator operand send.
+    CommSend,
+    /// Accelerator→core operand receive.
+    CommRecv,
+    /// Dataflow control-to-data "switch" op (NS-DF).
+    Switch,
+}
+
+impl Opcode {
+    /// Functional-unit class this opcode occupies.
+    #[must_use]
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Shl | Shr | Sra | Slt | AddI | AndI | OrI | XorI
+            | ShlI | ShrI | SraI | SltI | Li | Mov | Beq | Bne | Blt | Bge | Jmp | Call | Ret
+            | SetPred | Switch | VMask | VShuffle | CommSend | CommRecv | Config => FuClass::Alu,
+            Mul | Div | Rem => FuClass::MulDiv,
+            FAdd | FSub | FMul | FDiv | FSqrt | FMin | FMax | FNeg | FAbs | FLt | FLe | FEq
+            | CvtIF | CvtFI | FMov | FLi | Fma | VOp => FuClass::Fp,
+            Ld | St | FLd | FSt | VLd | VSt => FuClass::Mem,
+            Halt | Nop => FuClass::None,
+        }
+    }
+
+    /// Execute latency in cycles on the general-purpose core.
+    ///
+    /// Memory ops report their hit latency through the cache model instead;
+    /// this is the FU occupancy for non-memory ops.
+    #[must_use]
+    pub fn latency(self) -> u32 {
+        use Opcode::*;
+        match self {
+            Mul => 3,
+            Div | Rem => 18,
+            FAdd | FSub | FMin | FMax => 3,
+            FMul => 4,
+            Fma => 4,
+            FDiv => 12,
+            FSqrt => 15,
+            FLt | FLe | FEq | CvtIF | CvtFI => 2,
+            Ld | FLd | VLd => 1, // overridden by observed memory latency
+            _ => 1,
+        }
+    }
+
+    /// Returns `true` for conditional branches.
+    #[must_use]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// Returns `true` for any control-transfer instruction.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        self.is_cond_branch()
+            || matches!(self, Opcode::Jmp | Opcode::Call | Opcode::Ret | Opcode::Halt)
+    }
+
+    /// Returns `true` for loads (integer, FP, or vector).
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ld | Opcode::FLd | Opcode::VLd)
+    }
+
+    /// Returns `true` for stores (integer, FP, or vector).
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::St | Opcode::FSt | Opcode::VSt)
+    }
+
+    /// Returns `true` for any memory operation.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for floating-point arithmetic (used by the fma
+    /// analyzer and FU accounting).
+    #[must_use]
+    pub fn is_fp_arith(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            FAdd | FSub | FMul | FDiv | FSqrt | FMin | FMax | FNeg | FAbs | Fma
+        )
+    }
+
+    /// Returns `true` if this opcode only exists as the output of a TDG
+    /// transform (it can never appear in an authored program).
+    #[must_use]
+    pub fn is_transform_only(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Fma | VOp | VLd | VSt | VShuffle | VMask | SetPred | Config | CommSend | CommRecv
+                | Switch
+        )
+    }
+
+    /// Lower-case mnemonic, as printed in disassembly.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Sra => "sra",
+            Slt => "slt",
+            AddI => "addi",
+            AndI => "andi",
+            OrI => "ori",
+            XorI => "xori",
+            ShlI => "shli",
+            ShrI => "shri",
+            SraI => "srai",
+            SltI => "slti",
+            Li => "li",
+            Mov => "mov",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            FAdd => "fadd",
+            FSub => "fsub",
+            FMul => "fmul",
+            FDiv => "fdiv",
+            FSqrt => "fsqrt",
+            FMin => "fmin",
+            FMax => "fmax",
+            FNeg => "fneg",
+            FAbs => "fabs",
+            FLt => "flt",
+            FLe => "fle",
+            FEq => "feq",
+            CvtIF => "cvt.i.f",
+            CvtFI => "cvt.f.i",
+            FMov => "fmov",
+            FLi => "fli",
+            Fma => "fma",
+            Ld => "ld",
+            St => "st",
+            FLd => "fld",
+            FSt => "fst",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Jmp => "jmp",
+            Call => "call",
+            Ret => "ret",
+            Halt => "halt",
+            Nop => "nop",
+            VOp => "vop",
+            VLd => "vld",
+            VSt => "vst",
+            VShuffle => "vshuffle",
+            VMask => "vmask",
+            SetPred => "setpred",
+            Config => "config",
+            CommSend => "comm.send",
+            CommRecv => "comm.recv",
+            Switch => "switch",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_classification() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(Opcode::Bge.is_cond_branch());
+        assert!(!Opcode::Jmp.is_cond_branch());
+        assert!(Opcode::Jmp.is_control());
+        assert!(Opcode::Ret.is_control());
+        assert!(Opcode::Halt.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Opcode::Ld.is_load());
+        assert!(Opcode::FLd.is_load());
+        assert!(Opcode::St.is_store());
+        assert!(Opcode::FSt.is_store());
+        assert!(Opcode::VLd.is_mem());
+        assert!(!Opcode::Add.is_mem());
+    }
+
+    #[test]
+    fn fu_classes_match_table4_grouping() {
+        assert_eq!(Opcode::Add.fu_class(), FuClass::Alu);
+        assert_eq!(Opcode::Mul.fu_class(), FuClass::MulDiv);
+        assert_eq!(Opcode::Div.fu_class(), FuClass::MulDiv);
+        assert_eq!(Opcode::FAdd.fu_class(), FuClass::Fp);
+        assert_eq!(Opcode::Ld.fu_class(), FuClass::Mem);
+        assert_eq!(Opcode::Halt.fu_class(), FuClass::None);
+    }
+
+    #[test]
+    fn latencies_are_sane() {
+        // Long-latency ops must be strictly slower than simple ALU ops.
+        assert!(Opcode::Div.latency() > Opcode::Mul.latency());
+        assert!(Opcode::Mul.latency() > Opcode::Add.latency());
+        assert!(Opcode::FSqrt.latency() > Opcode::FMul.latency());
+        assert_eq!(Opcode::Add.latency(), 1);
+    }
+
+    #[test]
+    fn transform_only_ops_flagged() {
+        assert!(Opcode::Fma.is_transform_only());
+        assert!(Opcode::VLd.is_transform_only());
+        assert!(Opcode::Switch.is_transform_only());
+        assert!(!Opcode::Add.is_transform_only());
+        assert!(!Opcode::Ld.is_transform_only());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        use std::collections::HashSet;
+        let all = [
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Shl,
+            Opcode::Shr,
+            Opcode::Sra,
+            Opcode::Slt,
+            Opcode::AddI,
+            Opcode::AndI,
+            Opcode::OrI,
+            Opcode::XorI,
+            Opcode::ShlI,
+            Opcode::ShrI,
+            Opcode::SraI,
+            Opcode::SltI,
+            Opcode::Li,
+            Opcode::Mov,
+            Opcode::Mul,
+            Opcode::Div,
+            Opcode::Rem,
+            Opcode::FAdd,
+            Opcode::FSub,
+            Opcode::FMul,
+            Opcode::FDiv,
+            Opcode::FSqrt,
+            Opcode::FMin,
+            Opcode::FMax,
+            Opcode::FNeg,
+            Opcode::FAbs,
+            Opcode::FLt,
+            Opcode::FLe,
+            Opcode::FEq,
+            Opcode::CvtIF,
+            Opcode::CvtFI,
+            Opcode::FMov,
+            Opcode::FLi,
+            Opcode::Fma,
+            Opcode::Ld,
+            Opcode::St,
+            Opcode::FLd,
+            Opcode::FSt,
+            Opcode::Beq,
+            Opcode::Bne,
+            Opcode::Blt,
+            Opcode::Bge,
+            Opcode::Jmp,
+            Opcode::Call,
+            Opcode::Ret,
+            Opcode::Halt,
+            Opcode::Nop,
+            Opcode::VOp,
+            Opcode::VLd,
+            Opcode::VSt,
+            Opcode::VShuffle,
+            Opcode::VMask,
+            Opcode::SetPred,
+            Opcode::Config,
+            Opcode::CommSend,
+            Opcode::CommRecv,
+            Opcode::Switch,
+        ];
+        let set: HashSet<&str> = all.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

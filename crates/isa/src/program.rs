@@ -1,0 +1,238 @@
+//! Programs: static instruction sequences plus initial machine state.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Inst, Opcode, Reg, StaticId};
+
+/// Error returned by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A branch or jump targets an instruction index outside the program.
+    TargetOutOfRange {
+        /// Offending instruction.
+        at: StaticId,
+        /// The out-of-range target.
+        target: StaticId,
+    },
+    /// An authored program uses an opcode only TDG transforms may produce.
+    TransformOnlyOpcode {
+        /// Offending instruction.
+        at: StaticId,
+        /// The illegal opcode.
+        op: Opcode,
+    },
+    /// No `halt` instruction is reachable, so execution cannot terminate.
+    NoHalt,
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgramError::Empty => write!(f, "program is empty"),
+            ValidateProgramError::TargetOutOfRange { at, target } => {
+                write!(f, "instruction {at} targets out-of-range index {target}")
+            }
+            ValidateProgramError::TransformOnlyOpcode { at, op } => {
+                write!(f, "instruction {at} uses transform-only opcode {op}")
+            }
+            ValidateProgramError::NoHalt => write!(f, "program has no halt instruction"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+/// A region of initial memory contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataSegment {
+    /// Start address.
+    pub addr: u64,
+    /// Raw bytes placed at `addr`.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete static program: code, entry point, and initial state.
+///
+/// Programs are authored through
+/// [`ProgramBuilder`](crate::ProgramBuilder) and consumed by the functional
+/// simulator in `prism-sim`.
+///
+/// # Examples
+///
+/// ```
+/// use prism_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new("double");
+/// let r1 = Reg::int(1);
+/// b.li(r1, 21);
+/// b.add(r1, r1, r1);
+/// b.halt();
+/// let prog = b.build()?;
+/// assert_eq!(prog.len(), 3);
+/// # Ok::<(), prism_isa::ValidateProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Human-readable name (workload kernel name).
+    pub name: String,
+    /// Static instructions; the program counter indexes this vector.
+    pub insts: Vec<Inst>,
+    /// Initial register values, applied before execution.
+    pub reg_init: Vec<(Reg, i64)>,
+    /// Initial memory image.
+    pub data: Vec<DataSegment>,
+}
+
+impl Program {
+    /// Creates a program from raw parts without validation.
+    ///
+    /// Prefer [`ProgramBuilder`](crate::ProgramBuilder); this exists for
+    /// tests and generated code.
+    #[must_use]
+    pub fn from_insts(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        Program { name: name.into(), insts, reg_init: Vec::new(), data: Vec::new() }
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn inst(&self, id: StaticId) -> &Inst {
+        &self.insts[id as usize]
+    }
+
+    /// Checks structural well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateProgramError`] if the program is empty, a branch
+    /// target is out of range, an authored instruction uses a
+    /// transform-only opcode, or no `halt` exists.
+    pub fn validate(&self) -> Result<(), ValidateProgramError> {
+        if self.insts.is_empty() {
+            return Err(ValidateProgramError::Empty);
+        }
+        let n = self.insts.len() as StaticId;
+        let mut has_halt = false;
+        for (i, inst) in self.insts.iter().enumerate() {
+            let at = i as StaticId;
+            if let Some(t) = inst.target() {
+                if t >= n {
+                    return Err(ValidateProgramError::TargetOutOfRange { at, target: t });
+                }
+            }
+            if inst.op.is_transform_only() {
+                return Err(ValidateProgramError::TransformOnlyOpcode { at, op: inst.op });
+            }
+            if inst.op == Opcode::Halt {
+                has_halt = true;
+            }
+        }
+        if !has_halt {
+            return Err(ValidateProgramError::NoHalt);
+        }
+        Ok(())
+    }
+
+    /// Disassembles the whole program, one instruction per line.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{i:5}: {inst}");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} ({} insts)", self.name, self.insts.len())?;
+        f.write_str(&self.disassemble())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Inst;
+
+    fn halt_prog(insts: Vec<Inst>) -> Program {
+        Program::from_insts("t", insts)
+    }
+
+    #[test]
+    fn empty_program_invalid() {
+        assert_eq!(halt_prog(vec![]).validate(), Err(ValidateProgramError::Empty));
+    }
+
+    #[test]
+    fn missing_halt_invalid() {
+        let p = halt_prog(vec![Inst::nullary(Opcode::Nop)]);
+        assert_eq!(p.validate(), Err(ValidateProgramError::NoHalt));
+    }
+
+    #[test]
+    fn out_of_range_target_invalid() {
+        let p = halt_prog(vec![Inst::jmp(9), Inst::nullary(Opcode::Halt)]);
+        assert_eq!(
+            p.validate(),
+            Err(ValidateProgramError::TargetOutOfRange { at: 0, target: 9 })
+        );
+    }
+
+    #[test]
+    fn transform_only_opcode_invalid() {
+        let p = halt_prog(vec![
+            Inst::rrr(Opcode::Fma, Reg::fp(1), Reg::fp(2), Reg::fp(3)),
+            Inst::nullary(Opcode::Halt),
+        ]);
+        assert!(matches!(
+            p.validate(),
+            Err(ValidateProgramError::TransformOnlyOpcode { at: 0, op: Opcode::Fma })
+        ));
+    }
+
+    #[test]
+    fn valid_program() {
+        let p = halt_prog(vec![
+            Inst::ri(Opcode::Li, Reg::int(1), 5),
+            Inst::rrr(Opcode::Add, Reg::int(1), Reg::int(1), Reg::int(1)),
+            Inst::nullary(Opcode::Halt),
+        ]);
+        assert!(p.validate().is_ok());
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn disassembly_contains_all_lines() {
+        let p = halt_prog(vec![
+            Inst::ri(Opcode::Li, Reg::int(1), 5),
+            Inst::nullary(Opcode::Halt),
+        ]);
+        let d = p.disassemble();
+        assert!(d.contains("li r1, 5"));
+        assert!(d.contains("halt"));
+        assert_eq!(d.lines().count(), 2);
+    }
+}

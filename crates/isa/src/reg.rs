@@ -1,0 +1,170 @@
+//! Architectural registers of the `exo` mini-ISA.
+//!
+//! The ISA has 32 integer registers (`r0`..`r31`, with `r0` hardwired to
+//! zero) and 32 floating-point registers (`f0`..`f31`). Both files share a
+//! single flat identifier space so that dataflow analyses can treat any
+//! register uniformly: identifiers `0..32` are integer, `32..64` are FP.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of integer registers.
+pub const NUM_INT_REGS: u8 = 32;
+/// Number of floating-point registers.
+pub const NUM_FP_REGS: u8 = 32;
+/// Total number of architectural registers across both files.
+pub const NUM_REGS: u8 = NUM_INT_REGS + NUM_FP_REGS;
+
+/// An architectural register of either file.
+///
+/// `Reg` is a flat identifier: values below [`NUM_INT_REGS`] name integer
+/// registers, the rest name FP registers. Use [`Reg::int`] / [`Reg::fp`] to
+/// construct and [`Reg::is_fp`] to classify.
+///
+/// # Examples
+///
+/// ```
+/// use prism_isa::Reg;
+///
+/// let r3 = Reg::int(3);
+/// let f1 = Reg::fp(1);
+/// assert!(!r3.is_fp());
+/// assert!(f1.is_fp());
+/// assert_eq!(r3.to_string(), "r3");
+/// assert_eq!(f1.to_string(), "f1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The integer zero register `r0`, hardwired to zero.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates an integer register `r<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn int(n: u8) -> Self {
+        assert!(n < NUM_INT_REGS, "integer register index out of range");
+        Reg(n)
+    }
+
+    /// Creates a floating-point register `f<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub const fn fp(n: u8) -> Self {
+        assert!(n < NUM_FP_REGS, "fp register index out of range");
+        Reg(NUM_INT_REGS + n)
+    }
+
+    /// Returns the flat identifier in `0..64`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a register from a flat identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 64`.
+    #[must_use]
+    pub const fn from_index(idx: usize) -> Self {
+        assert!(idx < NUM_REGS as usize, "register index out of range");
+        Reg(idx as u8)
+    }
+
+    /// Returns `true` for floating-point registers.
+    #[must_use]
+    pub const fn is_fp(self) -> bool {
+        self.0 >= NUM_INT_REGS
+    }
+
+    /// Returns `true` for the hardwired integer zero register.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The register number within its file (e.g. `3` for both `r3` and `f3`).
+    #[must_use]
+    pub const fn file_index(self) -> u8 {
+        if self.is_fp() {
+            self.0 - NUM_INT_REGS
+        } else {
+            self.0
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.file_index())
+        } else {
+            write!(f, "r{}", self.file_index())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_share_flat_space() {
+        assert_eq!(Reg::int(0).index(), 0);
+        assert_eq!(Reg::int(31).index(), 31);
+        assert_eq!(Reg::fp(0).index(), 32);
+        assert_eq!(Reg::fp(31).index(), 63);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Reg::fp(5).is_fp());
+        assert!(!Reg::int(5).is_fp());
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::int(1).is_zero());
+        // f0 is not the zero register.
+        assert!(!Reg::fp(0).is_zero());
+    }
+
+    #[test]
+    fn file_index_round_trip() {
+        for n in 0..32 {
+            assert_eq!(Reg::int(n).file_index(), n);
+            assert_eq!(Reg::fp(n).file_index(), n);
+        }
+    }
+
+    #[test]
+    fn from_index_round_trip() {
+        for i in 0..64 {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(17).to_string(), "r17");
+        assert_eq!(Reg::fp(2).to_string(), "f2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_out_of_range_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_out_of_range_panics() {
+        let _ = Reg::fp(32);
+    }
+}

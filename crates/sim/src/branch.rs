@@ -1,0 +1,228 @@
+//! Branch prediction models: gshare for conditional branches and a return
+//! address stack for `ret`, mirroring what the paper's gem5 configuration
+//! would provide to the µDG (a per-branch mispredict flag).
+
+use prism_isa::StaticId;
+
+/// Configuration for the [`BranchPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPredictorConfig {
+    /// log2 of the pattern-history-table size.
+    pub pht_bits: u32,
+    /// Global-history length in branches.
+    pub history_bits: u32,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+}
+
+impl Default for BranchPredictorConfig {
+    fn default() -> Self {
+        BranchPredictorConfig { pht_bits: 12, history_bits: 12, ras_depth: 16 }
+    }
+}
+
+/// A tournament conditional-branch predictor (bimodal + gshare + chooser)
+/// plus a return-address stack — the structure of gem5's default predictor,
+/// which is what the paper's trace generation would have provided.
+///
+/// Direct jumps and calls are always predicted correctly (their targets are
+/// static); `ret` predicts through the RAS and mispredicts on overflow.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: BranchPredictorConfig,
+    /// gshare 2-bit saturating counters.
+    gshare: Vec<u8>,
+    /// Per-pc bimodal 2-bit saturating counters.
+    bimodal: Vec<u8>,
+    /// 2-bit chooser: ≥2 selects gshare, <2 selects bimodal.
+    chooser: Vec<u8>,
+    history: u64,
+    ras: Vec<StaticId>,
+    predictions: u64,
+    mispredicts: u64,
+}
+
+fn bump(counter: &mut u8, up: bool) {
+    *counter = if up { (*counter + 1).min(3) } else { counter.saturating_sub(1) };
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with the given configuration.
+    #[must_use]
+    pub fn new(config: BranchPredictorConfig) -> Self {
+        let entries = 1usize << config.pht_bits;
+        BranchPredictor {
+            config,
+            gshare: vec![1; entries],  // weakly not-taken
+            bimodal: vec![2; entries], // weakly taken (loop branches dominate)
+            chooser: vec![1; entries], // weakly favor bimodal
+            history: 0,
+            ras: Vec::with_capacity(config.ras_depth),
+            predictions: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Creates a predictor with default sizing (12-bit tables, 16-deep RAS).
+    #[must_use]
+    pub fn default_config() -> Self {
+        BranchPredictor::new(BranchPredictorConfig::default())
+    }
+
+    fn gshare_index(&self, pc: StaticId) -> usize {
+        let mask = (1u64 << self.config.pht_bits) - 1;
+        ((u64::from(pc) ^ (self.history & ((1 << self.config.history_bits) - 1))) & mask) as usize
+    }
+
+    fn pc_index(&self, pc: StaticId) -> usize {
+        (u64::from(pc) & ((1u64 << self.config.pht_bits) - 1)) as usize
+    }
+
+    /// Predicts and updates on a conditional branch; returns `true` if the
+    /// prediction was wrong.
+    pub fn conditional(&mut self, pc: StaticId, taken: bool) -> bool {
+        self.predictions += 1;
+        let gi = self.gshare_index(pc);
+        let pi = self.pc_index(pc);
+
+        let g_pred = self.gshare[gi] >= 2;
+        let b_pred = self.bimodal[pi] >= 2;
+        let use_gshare = self.chooser[pi] >= 2;
+        let predicted_taken = if use_gshare { g_pred } else { b_pred };
+
+        // Train both components; move the chooser toward whichever was right
+        // when they disagreed.
+        bump(&mut self.gshare[gi], taken);
+        bump(&mut self.bimodal[pi], taken);
+        if g_pred != b_pred {
+            bump(&mut self.chooser[pi], g_pred == taken);
+        }
+        self.history = (self.history << 1) | u64::from(taken);
+
+        let wrong = predicted_taken != taken;
+        if wrong {
+            self.mispredicts += 1;
+        }
+        wrong
+    }
+
+    /// Records a call (pushes the return address).
+    pub fn call(&mut self, return_pc: StaticId) {
+        if self.ras.len() == self.config.ras_depth {
+            self.ras.remove(0);
+        }
+        self.ras.push(return_pc);
+    }
+
+    /// Predicts a return; returns `true` on mispredict.
+    pub fn ret(&mut self, actual_target: StaticId) -> bool {
+        self.predictions += 1;
+        let predicted = self.ras.pop();
+        let wrong = predicted != Some(actual_target);
+        if wrong {
+            self.mispredicts += 1;
+        }
+        wrong
+    }
+
+    /// (predictions, mispredicts) observed so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.predictions, self.mispredicts)
+    }
+
+    /// Observed mispredict rate in `[0, 1]`; zero if nothing was predicted.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_an_always_taken_branch() {
+        let mut p = BranchPredictor::default_config();
+        let mut wrong = 0;
+        for _ in 0..100 {
+            if p.conditional(10, true) {
+                wrong += 1;
+            }
+        }
+        // Warms up in a couple of iterations, then perfect.
+        assert!(wrong <= 2, "mispredicted {wrong} times on a monotone branch");
+    }
+
+    #[test]
+    fn learns_a_loop_exit_pattern_poorly() {
+        // T T T N repeating: the gshare with history learns this pattern.
+        let mut p = BranchPredictor::default_config();
+        let mut wrong = 0;
+        for i in 0..400 {
+            let taken = i % 4 != 3;
+            if p.conditional(10, taken) {
+                wrong += 1;
+            }
+        }
+        // Far better than the 25% a static predictor would get.
+        assert!(wrong < 40, "gshare failed to learn periodic pattern ({wrong}/400)");
+    }
+
+    #[test]
+    fn random_branch_mispredicts_often() {
+        // A pseudo-random sequence should hover near 50% mispredicts.
+        let mut p = BranchPredictor::default_config();
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut wrong = 0;
+        for _ in 0..1000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if p.conditional(10, x & 1 == 1) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 300, "suspiciously good on random data: {wrong}/1000");
+    }
+
+    #[test]
+    fn ras_predicts_matched_calls() {
+        let mut p = BranchPredictor::default_config();
+        p.call(101);
+        p.call(202);
+        assert!(!p.ret(202));
+        assert!(!p.ret(101));
+        // Unbalanced return mispredicts.
+        assert!(p.ret(999));
+        assert_eq!(p.stats(), (3, 1));
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut p = BranchPredictor::new(BranchPredictorConfig {
+            ras_depth: 2,
+            ..BranchPredictorConfig::default()
+        });
+        p.call(1);
+        p.call(2);
+        p.call(3); // drops 1
+        assert!(!p.ret(3));
+        assert!(!p.ret(2));
+        assert!(p.ret(1)); // lost to overflow
+    }
+
+    #[test]
+    fn mispredict_rate_bounds() {
+        let mut p = BranchPredictor::default_config();
+        assert_eq!(p.mispredict_rate(), 0.0);
+        p.conditional(1, true);
+        let r = p.mispredict_rate();
+        assert!((0.0..=1.0).contains(&r));
+    }
+}

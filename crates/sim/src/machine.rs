@@ -1,0 +1,491 @@
+//! Architectural state and the functional step executor.
+
+use std::fmt;
+
+use prism_isa::{Inst, Opcode, Program, Reg, StaticId, NUM_REGS};
+
+use crate::Memory;
+
+/// Outcome of executing one instruction functionally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEffect {
+    /// The executed static instruction.
+    pub sid: StaticId,
+    /// The next program counter.
+    pub next_pc: StaticId,
+    /// Memory access performed, if any.
+    pub mem: Option<MemEffect>,
+    /// Control outcome, for any control-transfer instruction.
+    pub control: Option<ControlEffect>,
+    /// Whether this instruction halts the machine.
+    pub halted: bool,
+}
+
+/// A memory access performed by a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEffect {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: u8,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// Control-transfer outcome of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlEffect {
+    /// Whether a conditional branch was taken (always `true` for
+    /// unconditional transfers).
+    pub taken: bool,
+    /// The resolved target (== `next_pc` when taken).
+    pub target: StaticId,
+    /// `true` for `ret` (indirect target, predicted via a return stack).
+    pub is_return: bool,
+    /// `true` for `call`.
+    pub is_call: bool,
+}
+
+/// Errors the functional executor can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program counter ran past the end of the program.
+    PcOutOfRange(StaticId),
+    /// An instruction used an opcode the executor cannot run (transform-only
+    /// ops never execute functionally).
+    Unexecutable(StaticId, Opcode),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::PcOutOfRange(pc) => write!(f, "pc {pc} out of range"),
+            ExecError::Unexecutable(pc, op) => {
+                write!(f, "instruction {pc}: opcode {op} is not executable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Architectural machine state: registers, pc, and memory.
+///
+/// The machine executes the authored subset of the ISA functionally; it
+/// knows nothing about timing — caches and predictors observe its
+/// [`StepEffect`]s from the outside.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [i64; NUM_REGS as usize],
+    pc: StaticId,
+    /// Data memory.
+    pub mem: Memory,
+    halted: bool,
+}
+
+impl Machine {
+    /// Creates a machine initialized from `program`'s register and data
+    /// initializers, with the pc at instruction 0.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        let mut m = Machine {
+            regs: [0; NUM_REGS as usize],
+            pc: 0,
+            mem: Memory::new(),
+            halted: false,
+        };
+        for &(reg, val) in &program.reg_init {
+            m.set_reg(reg, val);
+        }
+        for seg in &program.data {
+            m.mem.write_bytes(seg.addr, &seg.bytes);
+        }
+        m
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> StaticId {
+        self.pc
+    }
+
+    /// Whether a `halt` has executed.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads an integer or FP register as raw bits.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> i64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Reads an FP register as `f64`.
+    #[must_use]
+    pub fn freg(&self, r: Reg) -> f64 {
+        f64::from_bits(self.reg(r) as u64)
+    }
+
+    /// Writes a register (writes to `r0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Writes an FP register from an `f64`.
+    pub fn set_freg(&mut self, r: Reg, value: f64) {
+        self.set_reg(r, value.to_bits() as i64);
+    }
+
+    fn s1(&self, inst: &Inst) -> i64 {
+        inst.src1.map_or(0, |r| self.reg(r))
+    }
+
+    fn s2(&self, inst: &Inst) -> i64 {
+        inst.src2.map_or(0, |r| self.reg(r))
+    }
+
+    fn f1(&self, inst: &Inst) -> f64 {
+        inst.src1.map_or(0.0, |r| self.freg(r))
+    }
+
+    fn f2(&self, inst: &Inst) -> f64 {
+        inst.src2.map_or(0.0, |r| self.freg(r))
+    }
+
+    /// Executes one instruction and advances the pc.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the pc is out of range or the opcode is not
+    /// functionally executable.
+    pub fn step(&mut self, program: &Program) -> Result<StepEffect, ExecError> {
+        if self.halted {
+            return Err(ExecError::PcOutOfRange(self.pc));
+        }
+        let sid = self.pc;
+        let inst = *program
+            .insts
+            .get(sid as usize)
+            .ok_or(ExecError::PcOutOfRange(sid))?;
+        let fallthrough = sid + 1;
+        let mut next_pc = fallthrough;
+        let mut mem = None;
+        let mut control = None;
+        let mut halted = false;
+
+        use Opcode::*;
+        match inst.op {
+            Add => self.wd(&inst, self.s1(&inst).wrapping_add(self.s2(&inst))),
+            Sub => self.wd(&inst, self.s1(&inst).wrapping_sub(self.s2(&inst))),
+            And => self.wd(&inst, self.s1(&inst) & self.s2(&inst)),
+            Or => self.wd(&inst, self.s1(&inst) | self.s2(&inst)),
+            Xor => self.wd(&inst, self.s1(&inst) ^ self.s2(&inst)),
+            Shl => self.wd(&inst, self.s1(&inst).wrapping_shl(self.s2(&inst) as u32 & 63)),
+            Shr => self.wd(&inst, ((self.s1(&inst) as u64) >> (self.s2(&inst) as u32 & 63)) as i64),
+            Sra => self.wd(&inst, self.s1(&inst) >> (self.s2(&inst) as u32 & 63)),
+            Slt => self.wd(&inst, i64::from(self.s1(&inst) < self.s2(&inst))),
+            AddI => self.wd(&inst, self.s1(&inst).wrapping_add(inst.imm)),
+            AndI => self.wd(&inst, self.s1(&inst) & inst.imm),
+            OrI => self.wd(&inst, self.s1(&inst) | inst.imm),
+            XorI => self.wd(&inst, self.s1(&inst) ^ inst.imm),
+            ShlI => self.wd(&inst, self.s1(&inst).wrapping_shl(inst.imm as u32 & 63)),
+            ShrI => self.wd(&inst, ((self.s1(&inst) as u64) >> (inst.imm as u32 & 63)) as i64),
+            SraI => self.wd(&inst, self.s1(&inst) >> (inst.imm as u32 & 63)),
+            SltI => self.wd(&inst, i64::from(self.s1(&inst) < inst.imm)),
+            Li => self.wd(&inst, inst.imm),
+            Mov => self.wd(&inst, self.s1(&inst)),
+            Mul => self.wd(&inst, self.s1(&inst).wrapping_mul(self.s2(&inst))),
+            Div => {
+                let d = self.s2(&inst);
+                self.wd(&inst, if d == 0 { -1 } else { self.s1(&inst).wrapping_div(d) });
+            }
+            Rem => {
+                let d = self.s2(&inst);
+                self.wd(&inst, if d == 0 { self.s1(&inst) } else { self.s1(&inst).wrapping_rem(d) });
+            }
+            FAdd => self.wf(&inst, self.f1(&inst) + self.f2(&inst)),
+            FSub => self.wf(&inst, self.f1(&inst) - self.f2(&inst)),
+            FMul => self.wf(&inst, self.f1(&inst) * self.f2(&inst)),
+            FDiv => self.wf(&inst, self.f1(&inst) / self.f2(&inst)),
+            FSqrt => self.wf(&inst, self.f1(&inst).sqrt()),
+            FMin => self.wf(&inst, self.f1(&inst).min(self.f2(&inst))),
+            FMax => self.wf(&inst, self.f1(&inst).max(self.f2(&inst))),
+            FNeg => self.wf(&inst, -self.f1(&inst)),
+            FAbs => self.wf(&inst, self.f1(&inst).abs()),
+            FLt => self.wd(&inst, i64::from(self.f1(&inst) < self.f2(&inst))),
+            FLe => self.wd(&inst, i64::from(self.f1(&inst) <= self.f2(&inst))),
+            FEq => self.wd(&inst, i64::from(self.f1(&inst) == self.f2(&inst))),
+            CvtIF => self.wf(&inst, self.s1(&inst) as f64),
+            CvtFI => self.wd(&inst, self.f1(&inst) as i64),
+            FMov => self.wf(&inst, self.f1(&inst)),
+            FLi => self.wd(&inst, inst.imm),
+            Ld => {
+                let addr = (self.s1(&inst) as u64).wrapping_add(inst.imm as u64);
+                let raw = self.mem.read_uint(addr, inst.width);
+                // Sign-extend sub-word loads.
+                let shift = 64 - 8 * u32::from(inst.width);
+                let val = ((raw << shift) as i64) >> shift;
+                self.wd(&inst, val);
+                mem = Some(MemEffect { addr, width: inst.width, is_store: false });
+            }
+            FLd => {
+                let addr = (self.s1(&inst) as u64).wrapping_add(inst.imm as u64);
+                let bits = self.mem.read_uint(addr, inst.width);
+                let v = if inst.width == 4 {
+                    f64::from(f32::from_bits(bits as u32))
+                } else {
+                    f64::from_bits(bits)
+                };
+                self.wf(&inst, v);
+                mem = Some(MemEffect { addr, width: inst.width, is_store: false });
+            }
+            St => {
+                let addr = (self.s1(&inst) as u64).wrapping_add(inst.imm as u64);
+                self.mem.write_uint(addr, self.s2(&inst) as u64, inst.width);
+                mem = Some(MemEffect { addr, width: inst.width, is_store: true });
+            }
+            FSt => {
+                let addr = (self.s1(&inst) as u64).wrapping_add(inst.imm as u64);
+                let v = self.f2(&inst);
+                if inst.width == 4 {
+                    self.mem.write_uint(addr, u64::from((v as f32).to_bits()), 4);
+                } else {
+                    self.mem.write_u64(addr, v.to_bits());
+                }
+                mem = Some(MemEffect { addr, width: inst.width, is_store: true });
+            }
+            Beq | Bne | Blt | Bge => {
+                let (a, b) = (self.s1(&inst), self.s2(&inst));
+                let taken = match inst.op {
+                    Beq => a == b,
+                    Bne => a != b,
+                    Blt => a < b,
+                    _ => a >= b,
+                };
+                let target = inst.imm as StaticId;
+                if taken {
+                    next_pc = target;
+                }
+                control = Some(ControlEffect {
+                    taken,
+                    target: if taken { target } else { fallthrough },
+                    is_return: false,
+                    is_call: false,
+                });
+            }
+            Jmp => {
+                next_pc = inst.imm as StaticId;
+                control = Some(ControlEffect {
+                    taken: true,
+                    target: next_pc,
+                    is_return: false,
+                    is_call: false,
+                });
+            }
+            Call => {
+                self.wd(&inst, i64::from(fallthrough));
+                next_pc = inst.imm as StaticId;
+                control = Some(ControlEffect {
+                    taken: true,
+                    target: next_pc,
+                    is_return: false,
+                    is_call: true,
+                });
+            }
+            Ret => {
+                next_pc = self.s1(&inst) as StaticId;
+                control = Some(ControlEffect {
+                    taken: true,
+                    target: next_pc,
+                    is_return: true,
+                    is_call: false,
+                });
+            }
+            Halt => {
+                halted = true;
+                next_pc = sid;
+            }
+            Nop => {}
+            op => return Err(ExecError::Unexecutable(sid, op)),
+        }
+
+        self.pc = next_pc;
+        self.halted = halted;
+        Ok(StepEffect { sid, next_pc, mem, control, halted })
+    }
+
+    fn wd(&mut self, inst: &Inst, value: i64) {
+        if let Some(d) = inst.dst {
+            self.set_reg(d, value);
+        }
+    }
+
+    fn wf(&mut self, inst: &Inst, value: f64) {
+        if let Some(d) = inst.dst {
+            self.set_freg(d, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::ProgramBuilder;
+
+    fn run(program: &Program) -> Machine {
+        let mut m = Machine::new(program);
+        let mut steps = 0;
+        while !m.is_halted() {
+            m.step(program).expect("exec error");
+            steps += 1;
+            assert!(steps < 1_000_000, "runaway program");
+        }
+        m
+    }
+
+    #[test]
+    fn arithmetic_loop_sums_array() {
+        let (ptr, n, sum, x) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+        let mut b = ProgramBuilder::new("sum");
+        b.init_reg(ptr, 0x1000);
+        b.init_reg(n, 4);
+        b.init_words(0x1000, &[10, 20, 30, 40]);
+        let head = b.bind_new_label();
+        b.ld(x, ptr, 0);
+        b.add(sum, sum, x);
+        b.addi(ptr, ptr, 8);
+        b.addi(n, n, -1);
+        b.bne_label(n, Reg::ZERO, head);
+        b.halt();
+        let p = b.build().unwrap();
+        let m = run(&p);
+        assert_eq!(m.reg(sum), 100);
+    }
+
+    #[test]
+    fn fp_dot_product() {
+        let (pa, pb, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let (fa, fb, facc, fprod) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3));
+        let mut b = ProgramBuilder::new("dot");
+        b.init_reg(pa, 0x1000);
+        b.init_reg(pb, 0x2000);
+        b.init_reg(i, 3);
+        b.init_f64s(0x1000, &[1.0, 2.0, 3.0]);
+        b.init_f64s(0x2000, &[4.0, 5.0, 6.0]);
+        let head = b.bind_new_label();
+        b.fld(fa, pa, 0);
+        b.fld(fb, pb, 0);
+        b.fmul(fprod, fa, fb);
+        b.fadd(facc, facc, fprod);
+        b.addi(pa, pa, 8);
+        b.addi(pb, pb, 8);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        let p = b.build().unwrap();
+        let m = run(&p);
+        assert_eq!(m.freg(facc), 32.0);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let lr = Reg::int(31);
+        let r1 = Reg::int(1);
+        let mut b = ProgramBuilder::new("call");
+        let func = b.label();
+        b.call_label(lr, func);
+        b.halt();
+        b.bind(func);
+        b.li(r1, 99);
+        b.ret(lr);
+        let p = b.build().unwrap();
+        let m = run(&p);
+        assert_eq!(m.reg(r1), 99);
+    }
+
+    #[test]
+    fn division_by_zero_is_defined() {
+        let r1 = Reg::int(1);
+        let mut b = ProgramBuilder::new("div0");
+        b.li(r1, 7);
+        b.div(r1, r1, Reg::ZERO);
+        b.halt();
+        let p = b.build().unwrap();
+        let m = run(&p);
+        assert_eq!(m.reg(r1), -1);
+    }
+
+    #[test]
+    fn subword_load_sign_extends() {
+        let (r1, r2) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new("sub");
+        b.init_reg(r1, 0x1000);
+        b.init_data(0x1000, vec![0xFF]);
+        b.ld_w(r2, r1, 0, 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let m = run(&p);
+        assert_eq!(m.reg(r2), -1);
+    }
+
+    #[test]
+    fn f32_memory_round_trip() {
+        let (r1,) = (Reg::int(1),);
+        let (f1, f2) = (Reg::fp(1), Reg::fp(2));
+        let mut b = ProgramBuilder::new("f32");
+        b.init_reg(r1, 0x3000);
+        b.fli(f1, 2.5);
+        b.emit(prism_isa::Inst::store(Opcode::FSt, f1, r1, 0, 4));
+        b.emit(prism_isa::Inst::load(Opcode::FLd, f2, r1, 0, 4));
+        b.halt();
+        let p = b.build().unwrap();
+        let m = run(&p);
+        assert_eq!(m.freg(f2), 2.5);
+    }
+
+    #[test]
+    fn step_effects_report_control() {
+        let mut b = ProgramBuilder::new("ctl");
+        let t = b.label();
+        b.beq_label(Reg::ZERO, Reg::ZERO, t); // always taken
+        b.nop();
+        b.bind(t);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        let e = m.step(&p).unwrap();
+        let c = e.control.unwrap();
+        assert!(c.taken);
+        assert_eq!(c.target, 2);
+        assert_eq!(e.next_pc, 2);
+    }
+
+    #[test]
+    fn transform_only_opcode_unexecutable() {
+        use prism_isa::Inst;
+        let p = Program::from_insts(
+            "bad",
+            vec![Inst::rrr(Opcode::VOp, Reg::fp(1), Reg::fp(2), Reg::fp(3))],
+        );
+        let mut m = Machine::new(&p);
+        assert!(matches!(m.step(&p), Err(ExecError::Unexecutable(0, Opcode::VOp))));
+    }
+
+    #[test]
+    fn halted_machine_refuses_to_step() {
+        let mut b = ProgramBuilder::new("h");
+        b.halt();
+        let p = b.build().unwrap();
+        let mut m = Machine::new(&p);
+        m.step(&p).unwrap();
+        assert!(m.is_halted());
+        assert!(m.step(&p).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Sparse, paged byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse memory image backed by 4 KiB pages allocated on first touch.
+///
+/// Reads of untouched memory return zero bytes, which keeps workload setup
+/// simple (arrays default to zero) and mirrors a zero-filled heap.
+///
+/// # Examples
+///
+/// ```
+/// use prism_sim::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x9_0000), 0); // untouched ⇒ zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory image.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of resident (touched) pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `width` bytes (little-endian) as an unsigned integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 8`.
+    #[must_use]
+    pub fn read_uint(&self, addr: u64, width: u8) -> u64 {
+        assert!(width <= 8, "read wider than 8 bytes");
+        let mut v: u64 = 0;
+        for i in 0..u64::from(width) {
+            v |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `value` (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 8`.
+    pub fn write_uint(&mut self, addr: u64, value: u64, width: u8) {
+        assert!(width <= 8, "write wider than 8 bytes");
+        for i in 0..u64::from(width) {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 64-bit little-endian word.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Writes a 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_uint(addr, value, 8);
+    }
+
+    /// Reads an `f64`.
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u8(u64::MAX), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = Memory::new();
+        m.write_u64(0x1234, 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u64(0x1234), 0x0102_0304_0506_0708);
+        // Little-endian byte order.
+        assert_eq!(m.read_u8(0x1234), 0x08);
+        assert_eq!(m.read_u8(0x123B), 0x01);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = 0x1FFC; // straddles the 0x1000/0x2000 page boundary
+        m.write_u64(addr, 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(m.read_u64(addr), 0xAABB_CCDD_EEFF_1122);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_width_access() {
+        let mut m = Memory::new();
+        m.write_uint(0x100, 0xFFFF_FFFF_FFFF_FFFF, 4);
+        assert_eq!(m.read_uint(0x100, 4), 0xFFFF_FFFF);
+        assert_eq!(m.read_uint(0x104, 4), 0);
+        m.write_uint(0x200, 0x1234, 2);
+        assert_eq!(m.read_uint(0x200, 2), 0x1234);
+        assert_eq!(m.read_uint(0x200, 1), 0x34);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = Memory::new();
+        m.write_f64(0x300, -1234.5678);
+        assert_eq!(m.read_f64(0x300), -1234.5678);
+    }
+
+    #[test]
+    fn write_bytes_bulk() {
+        let mut m = Memory::new();
+        m.write_bytes(0x400, &[1, 2, 3, 4]);
+        assert_eq!(m.read_uint(0x400, 4), 0x0403_0201);
+    }
+}

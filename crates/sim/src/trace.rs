@@ -1,0 +1,202 @@
+//! Dynamic traces: the event stream the TDG is constructed from.
+//!
+//! A [`Trace`] is the moral equivalent of the paper's gem5 output: the
+//! retired dynamic instruction stream annotated with the microarchitectural
+//! information the µDG embeds — observed memory latencies and levels,
+//! branch outcomes and mispredict flags.
+
+use serde::{Deserialize, Serialize};
+
+use prism_isa::{Inst, Program, StaticId, NUM_REGS};
+
+use crate::MemLevel;
+
+/// Memory event attached to a dynamic load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRecord {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: u8,
+    /// `true` for stores.
+    pub is_store: bool,
+    /// Observed access latency in cycles (hit or miss path).
+    pub latency: u32,
+    /// Which level served the access.
+    pub level: MemLevel,
+}
+
+/// Control event attached to a dynamic control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Whether the branch was taken.
+    pub taken: bool,
+    /// Resolved next pc.
+    pub target: StaticId,
+    /// Whether the modeled predictor got it wrong.
+    pub mispredicted: bool,
+}
+
+/// One retired dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynInst {
+    /// Position in the recorded stream (0-based).
+    pub seq: u64,
+    /// The static instruction executed.
+    pub sid: StaticId,
+    /// Memory event, for loads/stores.
+    pub mem: Option<MemRecord>,
+    /// Control event, for branches/jumps/calls/returns.
+    pub branch: Option<BranchRecord>,
+}
+
+/// Aggregate statistics over a recorded trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Retired instructions recorded.
+    pub insts: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub cond_branches: u64,
+    /// Mispredicted control transfers.
+    pub mispredicts: u64,
+    /// Accesses served by L1 / L2 / DRAM.
+    pub l1_hits: u64,
+    /// Accesses that missed L1 but hit L2.
+    pub l2_hits: u64,
+    /// Accesses served by DRAM.
+    pub dram_accesses: u64,
+}
+
+/// A recorded execution: the program plus its dynamic event stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// The executed program.
+    pub program: Program,
+    /// Retired instruction stream (post fast-forward window).
+    pub insts: Vec<DynInst>,
+    /// Aggregate statistics.
+    pub stats: TraceStats,
+}
+
+impl Trace {
+    /// Number of recorded dynamic instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Static instruction of a dynamic record.
+    #[must_use]
+    pub fn static_inst(&self, d: &DynInst) -> &Inst {
+        self.program.inst(d.sid)
+    }
+}
+
+/// Streaming register-dependence tracker.
+///
+/// Maps each dynamic instruction's source registers to the `seq` of the
+/// producing dynamic instruction, by tracking the last writer of every
+/// architectural register. Shared by the µDG constructor, the IR builder
+/// and the TDG transforms so they agree on dataflow.
+///
+/// # Examples
+///
+/// ```
+/// use prism_sim::RegDepTracker;
+/// use prism_isa::{Inst, Opcode, Reg};
+///
+/// let mut t = RegDepTracker::new();
+/// let i0 = Inst::ri(Opcode::Li, Reg::int(1), 5);
+/// let i1 = Inst::rrr(Opcode::Add, Reg::int(2), Reg::int(1), Reg::int(1));
+/// assert!(t.sources(&i0).is_empty());
+/// t.retire(&i0, 0);
+/// assert_eq!(t.sources(&i1), vec![0, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegDepTracker {
+    last_writer: [Option<u64>; NUM_REGS as usize],
+}
+
+impl Default for RegDepTracker {
+    fn default() -> Self {
+        RegDepTracker { last_writer: [None; NUM_REGS as usize] }
+    }
+}
+
+impl RegDepTracker {
+    /// Creates a tracker with no known producers.
+    #[must_use]
+    pub fn new() -> Self {
+        RegDepTracker::default()
+    }
+
+    /// Producer `seq`s for each source register of `inst` that has a known
+    /// producer (program inputs have none).
+    #[must_use]
+    pub fn sources(&self, inst: &Inst) -> Vec<u64> {
+        inst.sources()
+            .filter_map(|r| self.last_writer[r.index()])
+            .collect()
+    }
+
+    /// Producer of a specific register, if any.
+    #[must_use]
+    pub fn writer_of(&self, reg: prism_isa::Reg) -> Option<u64> {
+        self.last_writer[reg.index()]
+    }
+
+    /// Records that `inst` retired as dynamic instruction `seq`.
+    pub fn retire(&mut self, inst: &Inst, seq: u64) {
+        if let Some(d) = inst.dest() {
+            self.last_writer[d.index()] = Some(seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::{Opcode, Reg};
+
+    #[test]
+    fn tracker_follows_last_writer() {
+        let mut t = RegDepTracker::new();
+        let w1 = Inst::ri(Opcode::Li, Reg::int(1), 1);
+        let w2 = Inst::ri(Opcode::Li, Reg::int(1), 2);
+        let r = Inst::rr(Opcode::Mov, Reg::int(2), Reg::int(1));
+        t.retire(&w1, 10);
+        assert_eq!(t.sources(&r), vec![10]);
+        t.retire(&w2, 11);
+        assert_eq!(t.sources(&r), vec![11]);
+    }
+
+    #[test]
+    fn zero_register_never_tracked() {
+        let mut t = RegDepTracker::new();
+        let w = Inst::ri(Opcode::Li, Reg::ZERO, 7);
+        t.retire(&w, 3);
+        let r = Inst::rrr(Opcode::Add, Reg::int(1), Reg::ZERO, Reg::ZERO);
+        assert!(t.sources(&r).is_empty());
+    }
+
+    #[test]
+    fn store_reads_both_base_and_data() {
+        let mut t = RegDepTracker::new();
+        t.retire(&Inst::ri(Opcode::Li, Reg::int(1), 0x1000), 0);
+        t.retire(&Inst::ri(Opcode::Li, Reg::int(2), 42), 1);
+        let st = Inst::store(Opcode::St, Reg::int(2), Reg::int(1), 0, 8);
+        let mut deps = t.sources(&st);
+        deps.sort_unstable();
+        assert_eq!(deps, vec![0, 1]);
+    }
+}

@@ -1,0 +1,656 @@
+//! Streaming µDG core-timing models for in-order and out-of-order cores.
+//!
+//! The model consumes [`ModelInst`]s in program order and assigns each one
+//! its five µDG node times (fetch, dispatch, execute, complete, commit) by
+//! taking the max over the incoming dependence edges of the paper's
+//! Figure 4(b):
+//!
+//! * fetch bandwidth `F[i-w] → F[i]`, front-end depth `F → D`,
+//! * dispatch width `D[i-w] → D[i]`, ROB occupancy `C[i-R] → D[i]`,
+//!   window occupancy `E[i-W] → D[i]`,
+//! * data/memory dependences `P[prod] → E[i]`, FU & cache-port structural
+//!   hazards (via [`ResourceTable`]),
+//! * execution latency `E → P`, commit order and width `C[i-w] → C[i]`,
+//! * branch mispredicts `P[br] → F[next]` with the pipeline-refill penalty.
+//!
+//! Because every time is finalized when the instruction is issued, the
+//! model is a single forward pass — the property that makes TDG modeling
+//! fast. Which constraint *bound* each node is tallied per [`EdgeKind`],
+//! giving the critical-path attribution the paper's Appendix A uses for
+//! validation.
+
+use std::collections::HashMap;
+
+use prism_isa::FuClass;
+use prism_sim::MemLevel;
+
+use crate::{CoreConfig, EdgeKind, ResourceTable};
+
+/// A dependence of a [`ModelInst`] on an earlier value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelDep {
+    /// Absolute cycle at which the value is available (producer `P` time).
+    pub ready: u64,
+    /// Attribution for critical-path accounting.
+    pub kind: EdgeKind,
+}
+
+impl ModelDep {
+    /// A register data dependence ready at `ready`.
+    #[must_use]
+    pub fn data(ready: u64) -> Self {
+        ModelDep { ready, kind: EdgeKind::DataDep }
+    }
+
+    /// A memory (store→load) dependence ready at `ready`.
+    #[must_use]
+    pub fn memory(ready: u64) -> Self {
+        ModelDep { ready, kind: EdgeKind::MemDep }
+    }
+}
+
+/// The model-level instruction: everything the timing model needs to place
+/// one µDG instruction, independent of where it came from (a raw trace or a
+/// TDG transform's output).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelInst {
+    /// Functional-unit class (determines the contended resource).
+    pub fu: FuClass,
+    /// Execute latency in cycles (observed memory latency for loads).
+    pub latency: u64,
+    /// Value dependences (producer completion times).
+    pub deps: Vec<ModelDep>,
+    /// Memory level that served this access, if it is a memory op
+    /// (for energy accounting).
+    pub mem_level: Option<MemLevel>,
+    /// `true` if this is a store (dcache access without a register write).
+    pub is_store: bool,
+    /// `true` for conditional branches (predictor lookup energy).
+    pub is_cond_branch: bool,
+    /// `true` if this control instruction was mispredicted: the next
+    /// instruction's fetch is delayed to this one's completion + penalty.
+    pub mispredicted: bool,
+    /// `true` for any taken control transfer: the fetch group ends here
+    /// (the front end cannot fetch across a taken branch in one cycle).
+    pub branch_taken: bool,
+    /// `true` for vector (SIMD) operations: they contend for the dedicated
+    /// vector pipes rather than the scalar FU pool.
+    pub vector: bool,
+    /// Register-file reads performed.
+    pub reads: u8,
+    /// Register-file writes performed.
+    pub writes: u8,
+}
+
+impl Default for ModelInst {
+    fn default() -> Self {
+        ModelInst {
+            fu: FuClass::Alu,
+            latency: 1,
+            deps: Vec::new(),
+            mem_level: None,
+            is_store: false,
+            is_cond_branch: false,
+            mispredicted: false,
+            branch_taken: false,
+            vector: false,
+            reads: 0,
+            writes: 1,
+        }
+    }
+}
+
+/// The five µDG node times assigned to an instruction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstTimes {
+    /// Fetch.
+    pub fetch: u64,
+    /// Dispatch (== fetch + front-end depth for in-order cores).
+    pub dispatch: u64,
+    /// Execute (issue to FU).
+    pub execute: u64,
+    /// Complete (result available).
+    pub complete: u64,
+    /// Commit.
+    pub commit: u64,
+}
+
+/// Fixed-capacity ring of recent times, indexed by distance into the past.
+#[derive(Debug, Clone)]
+struct TimeRing {
+    buf: Vec<u64>,
+    len: u64,
+}
+
+impl TimeRing {
+    fn new(capacity: usize) -> Self {
+        TimeRing { buf: vec![0; capacity.max(1)], len: 0 }
+    }
+
+    fn push(&mut self, t: u64) {
+        let cap = self.buf.len() as u64;
+        self.buf[(self.len % cap) as usize] = t;
+        self.len += 1;
+    }
+
+    /// Time of the element `back` positions before the next push (1 = most
+    /// recent). Returns `None` when not enough history exists.
+    fn get_back(&self, back: u64) -> Option<u64> {
+        if back == 0 || back > self.len || back > self.buf.len() as u64 {
+            return None;
+        }
+        let cap = self.buf.len() as u64;
+        Some(self.buf[((self.len - back) % cap) as usize])
+    }
+}
+
+/// Binding-constraint tally: how many node times each edge kind determined.
+pub type BindingCounts = HashMap<EdgeKind, u64>;
+
+/// Tracks the issue-window occupancy constraint precisely: dispatching
+/// instruction `i` requires fewer than `W` older instructions to still be
+/// waiting to issue, i.e. `D[i] ≥` the `W`-th largest issue time among all
+/// older instructions. A capped min-heap of the largest `W` issue times
+/// yields that bound in O(log W) per instruction.
+#[derive(Debug, Clone)]
+struct WindowOccupancy {
+    capacity: usize,
+    /// Min-heap (via `Reverse`) of the largest `capacity` issue times.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<u64>>,
+}
+
+impl WindowOccupancy {
+    fn new(capacity: usize) -> Self {
+        WindowOccupancy { capacity, heap: std::collections::BinaryHeap::new() }
+    }
+
+    /// Earliest dispatch time permitted by window occupancy.
+    fn bound(&self) -> Option<u64> {
+        if self.capacity > 0 && self.heap.len() == self.capacity {
+            self.heap.peek().map(|r| r.0)
+        } else {
+            None
+        }
+    }
+
+    fn record_issue(&mut self, e: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.heap.len() < self.capacity {
+            self.heap.push(std::cmp::Reverse(e));
+        } else if self.heap.peek().is_some_and(|min| e > min.0) {
+            self.heap.pop();
+            self.heap.push(std::cmp::Reverse(e));
+        }
+    }
+}
+
+/// The streaming core-timing model.
+///
+/// # Examples
+///
+/// ```
+/// use prism_udg::{CoreConfig, CoreModel, ModelInst};
+///
+/// let mut core = CoreModel::new(&CoreConfig::ooo2());
+/// let t0 = core.issue(&ModelInst::default());
+/// let t1 = core.issue(&ModelInst {
+///     deps: vec![prism_udg::ModelDep::data(t0.complete)],
+///     ..ModelInst::default()
+/// });
+/// assert!(t1.complete > t0.complete);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    cfg: CoreConfig,
+    fetch: TimeRing,
+    dispatch: TimeRing,
+    execute: TimeRing,
+    commit: TimeRing,
+    window: WindowOccupancy,
+    alu: ResourceTable,
+    muldiv: ResourceTable,
+    fp: ResourceTable,
+    mem: ResourceTable,
+    /// Dedicated vector pipes (256-bit SIMD executes here, 2-wide).
+    vector: ResourceTable,
+    /// Earliest fetch for the next instruction (mispredict redirect).
+    fetch_barrier: u64,
+    issued: u64,
+    events: prism_energy::CoreEvents,
+    binding: BindingCounts,
+}
+
+impl CoreModel {
+    /// Creates a model starting at cycle 0.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig) -> Self {
+        CoreModel::starting_at(cfg, 0)
+    }
+
+    /// Creates a model whose first fetch may not begin before `start`
+    /// (used when a region begins after an accelerator hand-off).
+    #[must_use]
+    pub fn starting_at(cfg: &CoreConfig, start: u64) -> Self {
+        let ring = |n: u32| TimeRing::new(n.max(1) as usize);
+        CoreModel {
+            fetch: ring(cfg.width),
+            dispatch: ring(cfg.width),
+            execute: ring(cfg.window_size.max(cfg.width)),
+            window: WindowOccupancy::new(if cfg.out_of_order { cfg.window_size as usize } else { 0 }),
+            commit: ring(cfg.rob_size.max(cfg.width)),
+            alu: ResourceTable::new(cfg.alus),
+            muldiv: ResourceTable::new(cfg.muldivs),
+            fp: ResourceTable::new(cfg.fpus),
+            mem: ResourceTable::new(cfg.dcache_ports),
+            vector: ResourceTable::new(2),
+            fetch_barrier: start,
+            issued: 0,
+            events: prism_energy::CoreEvents::default(),
+            binding: BindingCounts::new(),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The configuration this model was built from.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Instructions issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Accumulated core energy events.
+    #[must_use]
+    pub fn events(&self) -> &prism_energy::CoreEvents {
+        &self.events
+    }
+
+    /// How many node times each edge kind determined (critical-path
+    /// attribution).
+    #[must_use]
+    pub fn binding_counts(&self) -> &BindingCounts {
+        &self.binding
+    }
+
+    /// Completion cycle of the latest commit (the region's length so far).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.commit.get_back(1).unwrap_or(self.fetch_barrier)
+    }
+
+    /// Prevents any later fetch from starting before `t` (used when the
+    /// pipeline resumes after an accelerator region or a region switch).
+    pub fn stall_fetch_until(&mut self, t: u64) {
+        if t > self.fetch_barrier {
+            self.fetch_barrier = t;
+        }
+    }
+
+    fn bind(&mut self, kind: EdgeKind) {
+        *self.binding.entry(kind).or_insert(0) += 1;
+    }
+
+    fn resource_for(&mut self, fu: FuClass) -> Option<&mut ResourceTable> {
+        match fu {
+            FuClass::Alu => Some(&mut self.alu),
+            FuClass::MulDiv => Some(&mut self.muldiv),
+            FuClass::Fp => Some(&mut self.fp),
+            FuClass::Mem => Some(&mut self.mem),
+            FuClass::None => None,
+        }
+    }
+
+    /// Places one instruction into the µDG and returns its node times.
+    pub fn issue(&mut self, mi: &ModelInst) -> InstTimes {
+        let ooo = self.cfg.out_of_order;
+        let width = u64::from(self.cfg.width);
+
+        // ---- Fetch: bandwidth + mispredict redirect ----------------------
+        let (mut f, mut f_kind) = (self.fetch_barrier, EdgeKind::Mispredict);
+        if let Some(prev) = self.fetch.get_back(width) {
+            if prev + 1 > f {
+                f = prev + 1;
+                f_kind = EdgeKind::FetchBw;
+            }
+        }
+        self.bind(f_kind);
+
+        // ---- Dispatch: front end + width + ROB/window occupancy ----------
+        let (mut d, mut d_kind) = (f + u64::from(self.cfg.frontend_depth), EdgeKind::FrontEnd);
+        if let Some(prev) = self.dispatch.get_back(width) {
+            if prev + 1 > d {
+                d = prev + 1;
+                d_kind = EdgeKind::DispatchBw;
+            }
+        }
+        if ooo {
+            if self.cfg.rob_size > 0 {
+                if let Some(c_old) = self.commit.get_back(u64::from(self.cfg.rob_size)) {
+                    if c_old > d {
+                        d = c_old;
+                        d_kind = EdgeKind::RobFull;
+                    }
+                }
+            }
+            if let Some(bound) = self.window.bound() {
+                if bound > d {
+                    d = bound;
+                    d_kind = EdgeKind::WindowFull;
+                }
+            }
+        }
+        self.bind(d_kind);
+
+        // ---- Execute: dispatch, dependences, in-order, resources ---------
+        let (mut e, mut e_kind) = (d, EdgeKind::DispatchExec);
+        for dep in &mi.deps {
+            if dep.ready > e {
+                e = dep.ready;
+                e_kind = dep.kind;
+            }
+        }
+        if !ooo {
+            // In-order issue: an instruction cannot issue before its elder
+            // (same cycle dual-issue allowed), and width per cycle.
+            if let Some(prev) = self.execute.get_back(1) {
+                if prev > e {
+                    e = prev;
+                    e_kind = EdgeKind::InOrderIssue;
+                }
+            }
+            if let Some(prev_w) = self.execute.get_back(width) {
+                if prev_w + 1 > e {
+                    e = prev_w + 1;
+                    e_kind = EdgeKind::InOrderIssue;
+                }
+            }
+        }
+        let res = if mi.vector && mi.fu != FuClass::Mem {
+            Some(&mut self.vector)
+        } else {
+            self.resource_for(mi.fu)
+        };
+        if let Some(res) = res {
+            let granted = res.acquire(e);
+            if granted > e {
+                e = granted;
+                e_kind = EdgeKind::Resource;
+            }
+        }
+        self.bind(e_kind);
+        if self.cfg.out_of_order {
+            self.window.record_issue(e);
+        }
+
+        // ---- Complete / Commit -------------------------------------------
+        let p = e + mi.latency;
+        let (mut c, mut c_kind) = (p + 1, EdgeKind::Complete);
+        if let Some(prev) = self.commit.get_back(1) {
+            if prev > c {
+                c = prev;
+                c_kind = EdgeKind::CommitBw;
+            }
+        }
+        if let Some(prev_w) = self.commit.get_back(width) {
+            if prev_w + 1 > c {
+                c = prev_w + 1;
+                c_kind = EdgeKind::CommitBw;
+            }
+        }
+        self.bind(c_kind);
+
+        // ---- Fetch-group break and mispredict redirect --------------------
+        if mi.branch_taken {
+            // The next instruction cannot fetch in the same cycle.
+            self.fetch_barrier = self.fetch_barrier.max(f + 1);
+        }
+        if mi.mispredicted {
+            let redirect = p + u64::from(self.cfg.mispredict_penalty);
+            if redirect > self.fetch_barrier {
+                self.fetch_barrier = redirect;
+            }
+        }
+
+        // ---- Rings, events ------------------------------------------------
+        self.fetch.push(f);
+        self.dispatch.push(d);
+        self.execute.push(e);
+        self.commit.push(c);
+        self.issued += 1;
+
+        let ev = &mut self.events;
+        ev.fetches += 1;
+        ev.decodes += 1;
+        ev.commits += 1;
+        if ooo {
+            ev.renames += 1;
+            ev.window_ops += 1;
+            ev.rob_ops += 1;
+        }
+        ev.regfile_reads += u64::from(mi.reads);
+        ev.regfile_writes += u64::from(mi.writes);
+        match mi.fu {
+            FuClass::Alu => ev.alu_ops += 1,
+            FuClass::MulDiv => ev.muldiv_ops += 1,
+            FuClass::Fp => ev.fp_ops += 1,
+            FuClass::Mem => {}
+            FuClass::None => {}
+        }
+        if let Some(level) = mi.mem_level {
+            ev.dcache_accesses += 1;
+            match level {
+                MemLevel::L1 => {}
+                MemLevel::L2 => ev.l2_accesses += 1,
+                MemLevel::Dram => {
+                    ev.l2_accesses += 1;
+                    ev.dram_accesses += 1;
+                }
+            }
+        }
+        if mi.is_cond_branch {
+            ev.bp_lookups += 1;
+        }
+        if mi.mispredicted {
+            ev.mispredict_flushes += 1;
+        }
+
+        InstTimes { fetch: f, dispatch: d, execute: e, complete: p, commit: c }
+    }
+}
+
+/// Tracks store→load memory dependences at 8-byte-word granularity.
+///
+/// Loads are made dependent on the completion time of the last store that
+/// wrote any word they read, reproducing the µDG's dynamic memory-dependence
+/// edges.
+#[derive(Debug, Clone, Default)]
+pub struct MemDepTracker {
+    last_store_complete: HashMap<u64, u64>,
+}
+
+impl MemDepTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        MemDepTracker::default()
+    }
+
+    fn words(addr: u64, width: u8) -> impl Iterator<Item = u64> {
+        let first = addr >> 3;
+        let last = (addr + u64::from(width.max(1)) - 1) >> 3;
+        first..=last
+    }
+
+    /// Ready time a load of `addr`/`width` must wait for, if any.
+    #[must_use]
+    pub fn load_dependence(&self, addr: u64, width: u8) -> Option<u64> {
+        Self::words(addr, width)
+            .filter_map(|w| self.last_store_complete.get(&w).copied())
+            .max()
+    }
+
+    /// Records a store completing at `complete`.
+    pub fn record_store(&mut self, addr: u64, width: u8, complete: u64) {
+        for w in Self::words(addr, width) {
+            self.last_store_complete.insert(w, complete);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple(fu: FuClass, latency: u64, deps: Vec<ModelDep>) -> ModelInst {
+        ModelInst { fu, latency, deps, ..ModelInst::default() }
+    }
+
+    #[test]
+    fn independent_insts_pipeline_at_width() {
+        let mut m = CoreModel::new(&CoreConfig::ooo2());
+        let times: Vec<InstTimes> =
+            (0..8).map(|_| m.issue(&simple(FuClass::Alu, 1, vec![]))).collect();
+        // Two per cycle at the fetch stage.
+        assert_eq!(times[0].fetch, times[1].fetch);
+        assert_eq!(times[2].fetch, times[0].fetch + 1);
+        assert_eq!(times[7].fetch, times[0].fetch + 3);
+    }
+
+    #[test]
+    fn data_dependences_serialize() {
+        let mut m = CoreModel::new(&CoreConfig::ooo4());
+        let a = m.issue(&simple(FuClass::Alu, 1, vec![]));
+        let b = m.issue(&simple(FuClass::Alu, 1, vec![ModelDep::data(a.complete)]));
+        let c = m.issue(&simple(FuClass::Alu, 1, vec![ModelDep::data(b.complete)]));
+        assert!(b.execute >= a.complete);
+        assert!(c.execute >= b.complete);
+        assert_eq!(c.complete - a.complete, 2); // 1 cycle per dependent ALU op
+    }
+
+    #[test]
+    fn ooo_hides_long_latency_behind_independents() {
+        let mut m = CoreModel::new(&CoreConfig::ooo4());
+        let load = m.issue(&simple(FuClass::Mem, 100, vec![]));
+        // Independent work issues long before the load completes.
+        let indep = m.issue(&simple(FuClass::Alu, 1, vec![]));
+        assert!(indep.complete < load.complete);
+    }
+
+    #[test]
+    fn inorder_stalls_on_use_and_serializes_issue() {
+        let mut m = CoreModel::new(&CoreConfig::io2());
+        let load = m.issue(&simple(FuClass::Mem, 50, vec![]));
+        let user = m.issue(&simple(FuClass::Alu, 1, vec![ModelDep::data(load.complete)]));
+        let later = m.issue(&simple(FuClass::Alu, 1, vec![]));
+        assert!(user.execute >= load.complete);
+        // In-order: the independent instruction cannot issue before its elder.
+        assert!(later.execute >= user.execute);
+    }
+
+    #[test]
+    fn fu_contention_delays() {
+        // OOO2 has one mul/div unit: two independent muls serialize.
+        let mut m = CoreModel::new(&CoreConfig::ooo2());
+        let a = m.issue(&simple(FuClass::MulDiv, 3, vec![]));
+        let b = m.issue(&simple(FuClass::MulDiv, 3, vec![]));
+        assert!(b.execute > a.execute);
+    }
+
+    #[test]
+    fn mispredict_redirects_fetch() {
+        let mut m = CoreModel::new(&CoreConfig::ooo2());
+        let br = m.issue(&ModelInst {
+            fu: FuClass::Alu,
+            latency: 1,
+            is_cond_branch: true,
+            mispredicted: true,
+            ..ModelInst::default()
+        });
+        let next = m.issue(&simple(FuClass::Alu, 1, vec![]));
+        assert!(next.fetch >= br.complete + u64::from(m.config().mispredict_penalty));
+        assert_eq!(m.events().mispredict_flushes, 1);
+    }
+
+    #[test]
+    fn rob_occupancy_throttles_dispatch() {
+        // Tiny ROB: a long-latency op at the head blocks dispatch of the
+        // (rob_size+1)-th younger instruction until it commits.
+        let mut cfg = CoreConfig::ooo2();
+        cfg.rob_size = 4;
+        let mut m = CoreModel::new(&cfg);
+        let slow = m.issue(&simple(FuClass::Mem, 200, vec![]));
+        let mut last = InstTimes::default();
+        for _ in 0..6 {
+            last = m.issue(&simple(FuClass::Alu, 1, vec![]));
+        }
+        assert!(
+            last.dispatch >= slow.commit,
+            "dispatch {} should stall past the slow op's commit {}",
+            last.dispatch,
+            slow.commit
+        );
+    }
+
+    #[test]
+    fn commit_is_in_order() {
+        let mut m = CoreModel::new(&CoreConfig::ooo4());
+        let slow = m.issue(&simple(FuClass::Mem, 80, vec![]));
+        let fast = m.issue(&simple(FuClass::Alu, 1, vec![]));
+        assert!(fast.complete < slow.complete);
+        assert!(fast.commit >= slow.commit, "younger inst must not commit first");
+    }
+
+    #[test]
+    fn wider_core_is_not_slower() {
+        let deps_chain = |m: &mut CoreModel| {
+            let mut last = 0u64;
+            for i in 0..200 {
+                let deps =
+                    if i % 3 == 0 { vec![] } else { vec![ModelDep::data(last)] };
+                last = m.issue(&simple(FuClass::Alu, 1, deps)).complete;
+            }
+            m.now()
+        };
+        let t2 = deps_chain(&mut CoreModel::new(&CoreConfig::ooo2()));
+        let t6 = deps_chain(&mut CoreModel::new(&CoreConfig::ooo6()));
+        assert!(t6 <= t2);
+    }
+
+    #[test]
+    fn binding_counts_accumulate() {
+        let mut m = CoreModel::new(&CoreConfig::ooo2());
+        for _ in 0..10 {
+            m.issue(&simple(FuClass::Alu, 1, vec![]));
+        }
+        let total: u64 = m.binding_counts().values().sum();
+        assert_eq!(total, 40); // four attributed nodes per instruction
+    }
+
+    #[test]
+    fn starting_at_offsets_first_fetch() {
+        let mut m = CoreModel::starting_at(&CoreConfig::ooo2(), 1000);
+        let t = m.issue(&simple(FuClass::Alu, 1, vec![]));
+        assert!(t.fetch >= 1000);
+    }
+
+    #[test]
+    fn memdep_tracker_word_overlap() {
+        let mut t = MemDepTracker::new();
+        t.record_store(0x1000, 8, 55);
+        assert_eq!(t.load_dependence(0x1000, 8), Some(55));
+        assert_eq!(t.load_dependence(0x1004, 4), Some(55)); // same word
+        assert_eq!(t.load_dependence(0x1008, 8), None);
+        // A 1-byte store still guards the containing word.
+        t.record_store(0x2001, 1, 99);
+        assert_eq!(t.load_dependence(0x2000, 8), Some(99));
+        // Crossing access sees both words.
+        t.record_store(0x3008, 8, 77);
+        assert_eq!(t.load_dependence(0x3004, 8), Some(77));
+    }
+}

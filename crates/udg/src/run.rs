@@ -1,0 +1,277 @@
+//! Whole-trace evaluation: builds the original µDG (the paper's
+//! `TDG_GPP,∅`) from a recorded trace and reports cycles, energy, and IPC.
+
+use prism_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
+use prism_sim::{RegDepTracker, Trace};
+
+use crate::{CoreConfig, CoreModel, MemDepTracker, ModelDep, ModelInst};
+
+/// Result of evaluating a trace on a core configuration.
+#[derive(Debug, Clone)]
+pub struct CoreRun {
+    /// Core configuration name.
+    pub config_name: String,
+    /// Total cycles (time of the last commit).
+    pub cycles: u64,
+    /// Instructions modeled.
+    pub insts: u64,
+    /// Accumulated energy events.
+    pub events: EnergyEvents,
+    /// Energy breakdown for the run (core dynamic + leakage; no
+    /// accelerator).
+    pub energy: EnergyBreakdown,
+    /// Binding-constraint tally (critical-path attribution).
+    pub binding: crate::BindingCounts,
+}
+
+impl CoreRun {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions per unit energy (the paper's IPE validation metric).
+    #[must_use]
+    pub fn ipe(&self) -> f64 {
+        let e = self.energy.total();
+        if e <= 0.0 {
+            0.0
+        } else {
+            self.insts as f64 / (e * 1e9) // insts per nanojoule
+        }
+    }
+}
+
+/// Builds the [`ModelInst`] for one dynamic instruction of a trace.
+///
+/// Resolves register dependences through `regs` (producer completion
+/// times in `p_times`) and memory dependences through `mems`.
+#[must_use]
+pub fn model_inst_for(
+    trace: &Trace,
+    d: &prism_sim::DynInst,
+    regs: &RegDepTracker,
+    p_times: &[u64],
+    mems: &MemDepTracker,
+) -> ModelInst {
+    let inst = trace.static_inst(d);
+    let mut deps: Vec<ModelDep> = regs
+        .sources(inst)
+        .into_iter()
+        .map(|seq| ModelDep::data(p_times[seq as usize]))
+        .collect();
+    let mut latency = u64::from(inst.op.latency());
+    let mut mem_level = None;
+    let mut is_store = false;
+    if let Some(m) = &d.mem {
+        mem_level = Some(m.level);
+        if m.is_store {
+            is_store = true;
+            latency = 1; // into the store buffer
+        } else {
+            latency = u64::from(m.latency);
+            if let Some(ready) = mems.load_dependence(m.addr, m.width) {
+                deps.push(ModelDep::memory(ready));
+            }
+        }
+    }
+    let reads = inst.sources().count() as u8;
+    let writes = u8::from(inst.dest().is_some());
+    ModelInst {
+        fu: inst.fu_class(),
+        latency,
+        deps,
+        mem_level,
+        is_store,
+        is_cond_branch: inst.op.is_cond_branch(),
+        mispredicted: d.branch.is_some_and(|b| b.mispredicted),
+        branch_taken: d.branch.is_some_and(|b| b.taken),
+        vector: false,
+        reads,
+        writes,
+    }
+}
+
+/// Evaluates `trace` on `config`, producing the baseline (no-accelerator)
+/// performance and energy — the paper's `TDG_GPP,∅`.
+///
+/// # Examples
+///
+/// ```
+/// use prism_isa::{ProgramBuilder, Reg};
+/// use prism_udg::{simulate_trace, CoreConfig};
+///
+/// let (i, acc) = (Reg::int(1), Reg::int(2));
+/// let mut b = ProgramBuilder::new("count");
+/// b.init_reg(i, 50);
+/// let head = b.bind_new_label();
+/// b.add(acc, acc, i);
+/// b.addi(i, i, -1);
+/// b.bne_label(i, Reg::ZERO, head);
+/// b.halt();
+/// let trace = prism_sim::trace(&b.build()?)?;
+/// let run = simulate_trace(&trace, &CoreConfig::ooo2());
+/// assert!(run.ipc() > 0.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn simulate_trace(trace: &Trace, config: &CoreConfig) -> CoreRun {
+    let mut core = CoreModel::new(config);
+    let mut regs = RegDepTracker::new();
+    let mut mems = MemDepTracker::new();
+    let mut p_times: Vec<u64> = Vec::with_capacity(trace.len());
+
+    for d in &trace.insts {
+        let mi = model_inst_for(trace, d, &regs, &p_times, &mems);
+        let times = core.issue(&mi);
+        p_times.push(times.complete);
+        let inst = trace.static_inst(d);
+        regs.retire(inst, d.seq);
+        if let Some(m) = &d.mem {
+            if m.is_store {
+                mems.record_store(m.addr, m.width, times.complete);
+            }
+        }
+    }
+
+    finish_run(core, config, trace.len() as u64)
+}
+
+/// Packages a finished [`CoreModel`] into a [`CoreRun`], pricing its events
+/// with the default [`EnergyModel`].
+#[must_use]
+pub fn finish_run(core: CoreModel, config: &CoreConfig, insts: u64) -> CoreRun {
+    let cycles = core.now();
+    let mut events = EnergyEvents::new();
+    events.core = *core.events();
+    let model = EnergyModel::new();
+    let energy = model.breakdown(&events, &config.energy_config(), config.area_mm2(), cycles);
+    CoreRun {
+        config_name: config.name.clone(),
+        cycles,
+        insts,
+        events,
+        energy,
+        binding: core.binding_counts().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::{Program, ProgramBuilder, Reg};
+
+    /// Data-parallel FP kernel: c[i] = a[i]*b[i] + c[i].
+    fn dp_kernel(n: i64) -> Program {
+        let (pa, pb, pc, i) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+        let (fa, fb, fc, ft) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3));
+        let mut b = ProgramBuilder::new("dp");
+        b.init_reg(pa, 0x10000);
+        b.init_reg(pb, 0x20000);
+        b.init_reg(pc, 0x30000);
+        b.init_reg(i, n);
+        let head = b.bind_new_label();
+        b.fld(fa, pa, 0);
+        b.fld(fb, pb, 0);
+        b.fmul(ft, fa, fb);
+        b.fld(fc, pc, 0);
+        b.fadd(fc, ft, fc);
+        b.fst(fc, pc, 0);
+        b.addi(pa, pa, 8);
+        b.addi(pb, pb, 8);
+        b.addi(pc, pc, 8);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    /// Serial pointer-chase-like kernel: long dependence chain.
+    fn serial_kernel(n: i64) -> Program {
+        let (x, i) = (Reg::int(1), Reg::int(2));
+        let mut b = ProgramBuilder::new("serial");
+        b.init_reg(x, 1);
+        b.init_reg(i, n);
+        let head = b.bind_new_label();
+        b.mul(x, x, x);
+        b.addi(x, x, 1);
+        b.addi(i, i, -1);
+        b.bne_label(i, Reg::ZERO, head);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn wider_ooo_cores_run_parallel_code_faster() {
+        let t = prism_sim::trace(&dp_kernel(500)).unwrap();
+        let io2 = simulate_trace(&t, &CoreConfig::io2());
+        let ooo2 = simulate_trace(&t, &CoreConfig::ooo2());
+        let ooo6 = simulate_trace(&t, &CoreConfig::ooo6());
+        assert!(ooo2.cycles < io2.cycles, "OOO2 {} !< IO2 {}", ooo2.cycles, io2.cycles);
+        assert!(ooo6.cycles < ooo2.cycles, "OOO6 {} !< OOO2 {}", ooo6.cycles, ooo2.cycles);
+        assert!(ooo6.ipc() > 1.5, "OOO6 ipc = {}", ooo6.ipc());
+    }
+
+    #[test]
+    fn serial_code_does_not_scale_with_width() {
+        let t = prism_sim::trace(&serial_kernel(500)).unwrap();
+        let ooo2 = simulate_trace(&t, &CoreConfig::ooo2());
+        let ooo6 = simulate_trace(&t, &CoreConfig::ooo6());
+        // The mul chain limits both; OOO6 gains little.
+        let speedup = ooo2.cycles as f64 / ooo6.cycles as f64;
+        assert!(speedup < 1.2, "serial speedup suspiciously high: {speedup}");
+    }
+
+    #[test]
+    fn bigger_cores_burn_more_energy() {
+        let t = prism_sim::trace(&dp_kernel(300)).unwrap();
+        let e2 = simulate_trace(&t, &CoreConfig::ooo2()).energy.total();
+        let e6 = simulate_trace(&t, &CoreConfig::ooo6()).energy.total();
+        assert!(e6 > e2, "OOO6 energy {e6} !> OOO2 energy {e2}");
+    }
+
+    #[test]
+    fn ipc_bounded_by_width() {
+        let t = prism_sim::trace(&dp_kernel(500)).unwrap();
+        for cfg in [CoreConfig::io2(), CoreConfig::ooo2(), CoreConfig::ooo4()] {
+            let r = simulate_trace(&t, &cfg);
+            assert!(r.ipc() <= f64::from(cfg.width), "{}: ipc {}", cfg.name, r.ipc());
+        }
+    }
+
+    #[test]
+    fn store_load_forwarding_dependence_respected() {
+        // st x → ld x → use: the load must wait for the store.
+        let (a, v, w) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let mut b = ProgramBuilder::new("stld");
+        b.init_reg(a, 0x1000);
+        b.init_reg(v, 42);
+        b.st(v, a, 0);
+        b.ld(w, a, 0);
+        b.add(w, w, w);
+        b.halt();
+        let t = prism_sim::trace(&b.build().unwrap()).unwrap();
+        let run = simulate_trace(&t, &CoreConfig::ooo4());
+        assert!(run.binding.get(&crate::EdgeKind::MemDep).copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn binding_counts_cover_all_insts() {
+        let t = prism_sim::trace(&dp_kernel(50)).unwrap();
+        let run = simulate_trace(&t, &CoreConfig::ooo2());
+        let total: u64 = run.binding.values().sum();
+        assert_eq!(total, 4 * run.insts);
+    }
+
+    #[test]
+    fn ipe_positive() {
+        let t = prism_sim::trace(&dp_kernel(50)).unwrap();
+        let run = simulate_trace(&t, &CoreConfig::ooo2());
+        assert!(run.ipe() > 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared helpers for authoring workload kernels: a conflict-avoiding
+//! array allocator and seeded input generators.
+
+use prism_isa::ProgramBuilder;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bump allocator for kernel arrays.
+///
+/// Pads between arrays with a non-power-of-two gap so that equally-strided
+/// arrays do not land on identical cache sets (the pathological aliasing a
+/// real allocator's ASLR/heap layout also avoids).
+#[derive(Debug)]
+pub struct Alloc {
+    next: u64,
+}
+
+impl Alloc {
+    /// Creates an allocator starting at the conventional data base.
+    #[must_use]
+    pub fn new() -> Self {
+        Alloc { next: 0x1_0000 }
+    }
+
+    /// Reserves `bytes` and returns the base address (64-byte aligned).
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next;
+        // 0x1C0 = 7 cache lines of padding: staggers set mapping.
+        self.next = (self.next + bytes + 0x1C0 + 63) & !63;
+        base
+    }
+
+    /// Reserves an array of `n` 8-byte words.
+    pub fn words(&mut self, n: u64) -> u64 {
+        self.alloc(n * 8)
+    }
+}
+
+impl Default for Alloc {
+    fn default() -> Self {
+        Alloc::new()
+    }
+}
+
+/// Deterministic per-kernel RNG.
+#[must_use]
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Fills an `f64` array with uniform values in `[lo, hi)`.
+pub fn init_f64_array(b: &mut ProgramBuilder, addr: u64, n: usize, lo: f64, hi: f64, seed: u64) {
+    let mut r = rng(seed);
+    let vals: Vec<f64> = (0..n).map(|_| r.gen_range(lo..hi)).collect();
+    b.init_f64s(addr, &vals);
+}
+
+/// Fills an `i64` array with uniform values in `[lo, hi)`.
+pub fn init_i64_array(b: &mut ProgramBuilder, addr: u64, n: usize, lo: i64, hi: i64, seed: u64) {
+    let mut r = rng(seed);
+    let vals: Vec<i64> = (0..n).map(|_| r.gen_range(lo..hi)).collect();
+    b.init_words(addr, &vals);
+}
+
+/// Fills an `i64` array with a random permutation of `0..n` (pointer-chase
+/// style cycle: `perm[i]` is the next index after `i`).
+pub fn init_chase_array(b: &mut ProgramBuilder, addr: u64, n: usize, seed: u64) {
+    let mut r = rng(seed);
+    // Sattolo's algorithm: a single cycle through all n slots.
+    let mut idx: Vec<i64> = (0..n as i64).collect();
+    for i in (1..n).rev() {
+        let j = r.gen_range(0..i);
+        idx.swap(i, j);
+    }
+    // idx is a permutation; build next-pointers along the cycle.
+    let mut next = vec![0i64; n];
+    for w in 0..n {
+        next[idx[w] as usize] = idx[(w + 1) % n];
+    }
+    b.init_words(addr, &next);
+}
+
+/// Fills an `i64` array with sorted ascending values (for search trees /
+/// merge inputs).
+pub fn init_sorted_array(b: &mut ProgramBuilder, addr: u64, n: usize, step_max: i64, seed: u64) {
+    let mut r = rng(seed);
+    let mut v = 0i64;
+    let vals: Vec<i64> = (0..n)
+        .map(|_| {
+            v += r.gen_range(1..=step_max);
+            v
+        })
+        .collect();
+    b.init_words(addr, &vals);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_isa::Reg;
+
+    #[test]
+    fn alloc_is_aligned_and_padded() {
+        let mut a = Alloc::new();
+        let x = a.words(100);
+        let y = a.words(100);
+        assert_eq!(x % 64, 0);
+        assert_eq!(y % 64, 0);
+        assert!(y >= x + 800 + 0x1C0);
+        // Stagger: the two arrays must not map to the same L1 set offset.
+        let set = |addr: u64| (addr / 64) % 512;
+        assert_ne!(set(x), set(y));
+    }
+
+    #[test]
+    fn chase_array_is_a_full_cycle() {
+        let mut b = ProgramBuilder::new("t");
+        let addr = 0x1000;
+        init_chase_array(&mut b, addr, 64, 42);
+        b.init_reg(Reg::int(1), 0);
+        b.halt();
+        let p = b.build().unwrap();
+        // Decode the data segment back and verify the cycle covers all 64.
+        let seg = &p.data[0];
+        let next: Vec<i64> = seg
+            .bytes
+            .chunks(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut seen = vec![false; 64];
+        let mut cur = 0usize;
+        for _ in 0..64 {
+            assert!(!seen[cur], "cycle revisited {cur} early");
+            seen[cur] = true;
+            cur = next[cur] as usize;
+        }
+        assert_eq!(cur, 0, "should return to start after n steps");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut b1 = ProgramBuilder::new("a");
+        let mut b2 = ProgramBuilder::new("b");
+        init_f64_array(&mut b1, 0x1000, 16, 0.0, 1.0, 7);
+        init_f64_array(&mut b2, 0x1000, 16, 0.0, 1.0, 7);
+        b1.halt();
+        b2.halt();
+        assert_eq!(b1.build().unwrap().data, b2.build().unwrap().data);
+    }
+
+    #[test]
+    fn sorted_array_ascends() {
+        let mut b = ProgramBuilder::new("t");
+        init_sorted_array(&mut b, 0x1000, 32, 5, 3);
+        b.halt();
+        let p = b.build().unwrap();
+        let vals: Vec<i64> = p.data[0]
+            .bytes
+            .chunks(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,505 @@
+//! Mediabench analogues \[27\]: image/video/audio codecs. Most are
+//! *multi-phase* — a regular transform phase followed by an irregular
+//! coding phase — which is exactly what makes them need multiple BSAs
+//! inside one application (the paper's Fig. 13/15 point).
+
+use prism_isa::{Label, Program, ProgramBuilder, Reg};
+
+use crate::helpers::{init_f64_array, init_i64_array, Alloc};
+
+/// Emits an 8-point DCT-like butterfly pass over `blocks` rows of 8 pixels
+/// (regular, vectorizable).
+fn emit_dct_phase(b: &mut ProgramBuilder, src: u64, dst: u64, blocks: i64) {
+    let (ps, pd, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let (x0, x1, s, d, c) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(10));
+    b.init_reg(ps, src as i64);
+    b.init_reg(pd, dst as i64);
+    b.init_reg(i, blocks * 4);
+    b.fli(c, 0.7071);
+    let head = b.bind_new_label();
+    b.fld(x0, ps, 0);
+    b.fld(x1, ps, 8);
+    b.fadd(s, x0, x1);
+    b.fsub(d, x0, x1);
+    b.fmul(s, s, c);
+    b.fmul(d, d, c);
+    b.fst(s, pd, 0);
+    b.fst(d, pd, 8);
+    b.addi(ps, ps, 16);
+    b.addi(pd, pd, 16);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+}
+
+/// Emits a zero-run entropy-coding-like phase: data-dependent branches on
+/// coefficient magnitude (irregular; suits Trace-P / NS-DF).
+fn emit_entropy_phase(b: &mut ProgramBuilder, src: u64, dst: u64, n: i64) {
+    let (ps, pd, i, run, v, t) =
+        (Reg::int(4), Reg::int(5), Reg::int(6), Reg::int(7), Reg::int(8), Reg::int(9));
+    b.init_reg(ps, src as i64);
+    b.init_reg(pd, dst as i64);
+    b.init_reg(i, n);
+    b.li(run, 0);
+    let head = b.bind_new_label();
+    let nonzero = b.label();
+    let next: Label = b.label();
+    b.ld(v, ps, 0);
+    b.andi(t, v, 7);
+    b.bne_label(t, Reg::ZERO, nonzero);
+    b.addi(run, run, 1); // extend the zero run
+    b.jmp_label(next);
+    b.bind(nonzero);
+    b.shli(t, run, 4);
+    b.or(t, t, v);
+    b.st(t, pd, 0);
+    b.addi(pd, pd, 8);
+    b.li(run, 0);
+    b.bind(next);
+    b.addi(ps, ps, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+}
+
+/// Builds a two-phase codec kernel: DCT-like transform then entropy-like
+/// coding, the canonical JPEG encode structure.
+fn codec(name: &str, n: u32, seed: u64, transform_first: bool) -> Program {
+    let n = i64::from(n) & !7;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new(name);
+    let pixels = a.words(n as u64);
+    let coeffs = a.words(n as u64);
+    let code = a.words(n as u64);
+    init_f64_array(&mut b, pixels, n as usize, 0.0, 255.0, seed);
+    init_i64_array(&mut b, coeffs, n as usize, 0, 64, seed ^ 0xFF);
+    if transform_first {
+        emit_dct_phase(&mut b, pixels, coeffs, n / 8);
+        emit_entropy_phase(&mut b, coeffs, code, n);
+    } else {
+        emit_entropy_phase(&mut b, coeffs, code, n);
+        emit_dct_phase(&mut b, pixels, code, n / 8);
+    }
+    b.halt();
+    b.build().expect(name)
+}
+
+/// `cjpeg` (encode: DCT then entropy coding).
+#[must_use]
+pub fn cjpeg(n: u32) -> Program {
+    codec("cjpeg-1", n, 0xA0, true)
+}
+
+/// `djpeg` (decode: entropy decoding then inverse DCT).
+#[must_use]
+pub fn djpeg(n: u32) -> Program {
+    codec("djpeg-1", n, 0xA1, false)
+}
+
+/// `cjpeg-2` (second input set; different coefficient statistics).
+#[must_use]
+pub fn cjpeg2(n: u32) -> Program {
+    codec("cjpeg-2", n, 0xA2, true)
+}
+
+/// `djpeg-2` (second input set).
+#[must_use]
+pub fn djpeg2(n: u32) -> Program {
+    codec("djpeg-2", n, 0xA3, false)
+}
+
+/// `gsmdecode` analogue: short-term LPC synthesis filter — an order-8
+/// integer lattice with a genuine recurrence.
+#[must_use]
+pub fn gsmdecode(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("gsmdecode");
+    let residual = a.words(n as u64);
+    let speech = a.words(n as u64);
+    init_i64_array(&mut b, residual, n as usize, -4096, 4096, 0xA4);
+
+    let (pr, ps, i, s0, s1, x, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(pr, residual as i64);
+    b.init_reg(ps, speech as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.ld(x, pr, 0);
+    // s0, s1 are the filter state: s0' = x + (13·s0 - 7·s1) >> 4
+    b.mul(t, s0, Reg::ZERO); // clears t (keeps mul unit exercised)
+    b.shli(t, s0, 3);
+    b.add(t, t, s0);
+    b.shli(s1, s1, 2);
+    b.sub(t, t, s1);
+    b.srai(t, t, 4);
+    b.add(t, t, x);
+    b.mov(s1, s0);
+    b.mov(s0, t);
+    b.st(t, ps, 0);
+    b.addi(pr, pr, 8);
+    b.addi(ps, ps, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("gsmdecode")
+}
+
+/// `gsmencode` analogue: LTP lag search — correlation with a running max
+/// and biased branch.
+#[must_use]
+pub fn gsmencode(n: u32) -> Program {
+    let n = i64::from(n);
+    let lags = 8i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("gsmencode");
+    let window = a.words(n as u64 + lags as u64);
+    init_i64_array(&mut b, window, (n + lags) as usize, -1024, 1024, 0xA5);
+
+    let (pw, i, k, pk, x, y, corr, best, _t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+    );
+    b.init_reg(pw, window as i64);
+    b.init_reg(i, n);
+    let outer = b.bind_new_label();
+    b.li(best, i64::MIN / 2);
+    b.li(k, lags);
+    b.mov(pk, pw);
+    let inner = b.bind_new_label();
+    let worse = b.label();
+    b.ld(x, pw, 0);
+    b.ld(y, pk, 8);
+    b.mul(corr, x, y);
+    b.bge_label(best, corr, worse);
+    b.mov(best, corr);
+    b.bind(worse);
+    b.addi(pk, pk, 8);
+    b.addi(k, k, -1);
+    b.bne_label(k, Reg::ZERO, inner);
+    b.addi(pw, pw, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, outer);
+    b.halt();
+    b.build().expect("gsmencode")
+}
+
+/// `h263enc` analogue: exhaustive block motion search (SAD over candidate
+/// offsets, min tracking).
+#[must_use]
+pub fn h263enc(n: u32) -> Program {
+    let n = i64::from(n);
+    let cands = 4i64;
+    let blk = 8i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("h263enc");
+    let cur = a.words((n * blk) as u64);
+    let refw = a.words((n * blk + 64) as u64);
+    let mvs = a.words(n as u64);
+    init_i64_array(&mut b, cur, (n * blk) as usize, 0, 256, 0xA6);
+    init_i64_array(&mut b, refw, (n * blk + 64) as usize, 0, 256, 0xA7);
+
+    let (pc, pr, pm, i, c, k, pck, prk, sad, bestsad) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+        Reg::int(10),
+    );
+    let (x, y, d) = (Reg::int(11), Reg::int(12), Reg::int(13));
+    b.init_reg(pc, cur as i64);
+    b.init_reg(pr, refw as i64);
+    b.init_reg(pm, mvs as i64);
+    b.init_reg(i, n);
+    let block = b.bind_new_label();
+    b.li(bestsad, i64::MAX / 2);
+    b.li(c, cands);
+    let cand = b.bind_new_label();
+    b.li(sad, 0);
+    b.li(k, blk);
+    b.mov(pck, pc);
+    // Candidate offset: c·16 bytes into the reference window.
+    b.shli(prk, c, 4);
+    b.add(prk, prk, pr);
+    let pix = b.bind_new_label();
+    b.ld(x, pck, 0);
+    b.ld(y, prk, 0);
+    b.sub(d, x, y);
+    b.srai(x, d, 63);
+    b.xor(d, d, x);
+    b.sub(d, d, x);
+    b.add(sad, sad, d);
+    b.addi(pck, pck, 8);
+    b.addi(prk, prk, 8);
+    b.addi(k, k, -1);
+    b.bne_label(k, Reg::ZERO, pix);
+    let worse = b.label();
+    b.bge_label(sad, bestsad, worse);
+    b.mov(bestsad, sad);
+    b.bind(worse);
+    b.addi(c, c, -1);
+    b.bne_label(c, Reg::ZERO, cand);
+    b.st(bestsad, pm, 0);
+    b.addi(pm, pm, 8);
+    b.addi(pc, pc, blk * 8);
+    b.addi(pr, pr, blk * 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, block);
+    b.halt();
+    b.build().expect("h263enc")
+}
+
+/// `h264dec` analogue: 6-tap sub-pixel interpolation (regular) with a
+/// clipping branch per sample.
+#[must_use]
+pub fn h264dec(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("h264dec");
+    let src = a.words(n as u64 + 8);
+    let dst = a.words(n as u64);
+    init_i64_array(&mut b, src, n as usize + 8, 0, 256, 0xA8);
+
+    let (ps, pd, i, acc, x, t) =
+        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6));
+    b.init_reg(ps, src as i64);
+    b.init_reg(pd, dst as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    // acc = (s0 - 5·s1 + 20·s2 + 20·s3 - 5·s4 + s5 + 16) >> 5
+    b.ld(acc, ps, 0);
+    b.ld(x, ps, 8);
+    b.shli(t, x, 2);
+    b.add(t, t, x);
+    b.sub(acc, acc, t);
+    b.ld(x, ps, 16);
+    b.shli(t, x, 4);
+    b.shli(x, x, 2);
+    b.add(t, t, x);
+    b.add(acc, acc, t);
+    b.ld(x, ps, 24);
+    b.shli(t, x, 4);
+    b.shli(x, x, 2);
+    b.add(t, t, x);
+    b.add(acc, acc, t);
+    b.ld(x, ps, 32);
+    b.shli(t, x, 2);
+    b.add(t, t, x);
+    b.sub(acc, acc, t);
+    b.ld(x, ps, 40);
+    b.add(acc, acc, x);
+    b.addi(acc, acc, 16);
+    b.srai(acc, acc, 5);
+    // clip to [0, 255]
+    let not_neg = b.label();
+    let not_big = b.label();
+    b.bge_label(acc, Reg::ZERO, not_neg);
+    b.li(acc, 0);
+    b.bind(not_neg);
+    b.slti(t, acc, 256);
+    b.bne_label(t, Reg::ZERO, not_big);
+    b.li(acc, 255);
+    b.bind(not_big);
+    b.st(acc, pd, 0);
+    b.addi(ps, ps, 8);
+    b.addi(pd, pd, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("h264dec")
+}
+
+/// `jpg2000dec` analogue: inverse 5/3 lifting wavelet — neighbor-coupled
+/// integer updates (loop-carried).
+#[must_use]
+pub fn jpg2000dec(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("jpg2000dec");
+    let coeff = a.words(n as u64 + 2);
+    init_i64_array(&mut b, coeff, n as usize + 2, -512, 512, 0xA9);
+
+    let (p, i, lo, hi, t) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    b.init_reg(p, coeff as i64);
+    b.init_reg(i, n / 2);
+    let head = b.bind_new_label();
+    // even' = even - ((odd_prev + odd_next + 2) >> 2)
+    b.ld(lo, p, 0);
+    b.ld(hi, p, 8);
+    b.ld(t, p, 16);
+    b.add(t, t, hi);
+    b.addi(t, t, 2);
+    b.srai(t, t, 2);
+    b.sub(lo, lo, t);
+    b.st(lo, p, 0);
+    // odd' = odd + ((even' + even_next) >> 1)
+    b.ld(t, p, 16);
+    b.add(t, t, lo);
+    b.srai(t, t, 1);
+    b.add(hi, hi, t);
+    b.st(hi, p, 8);
+    b.addi(p, p, 16);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("jpg2000dec")
+}
+
+/// `jpg2000enc` analogue: forward lifting + significance coding branch.
+#[must_use]
+pub fn jpg2000enc(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("jpg2000enc");
+    let samples = a.words(n as u64 + 2);
+    let sig = a.words(n as u64);
+    init_i64_array(&mut b, samples, n as usize + 2, -512, 512, 0xAA);
+
+    let (p, ps, i, lo, hi, t, cnt) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(p, samples as i64);
+    b.init_reg(ps, sig as i64);
+    b.init_reg(i, n / 2);
+    let head = b.bind_new_label();
+    let insig = b.label();
+    b.ld(lo, p, 0);
+    b.ld(hi, p, 8);
+    b.ld(t, p, 16);
+    b.add(t, t, lo);
+    b.srai(t, t, 1);
+    b.sub(hi, hi, t); // predict
+    b.st(hi, p, 8);
+    // significance: |hi| >= 64?
+    b.srai(t, hi, 63);
+    b.xor(t, hi, t);
+    b.slti(t, t, 64);
+    b.bne_label(t, Reg::ZERO, insig);
+    b.addi(cnt, cnt, 1);
+    b.st(hi, ps, 0);
+    b.addi(ps, ps, 8);
+    b.bind(insig);
+    b.addi(p, p, 16);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("jpg2000enc")
+}
+
+/// `mpeg2dec` analogue: IDCT row pass + saturating add of the prediction.
+#[must_use]
+pub fn mpeg2dec(n: u32) -> Program {
+    let n = i64::from(n) & !7;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("mpeg2dec");
+    let coef = a.words(n as u64);
+    let pred = a.words(n as u64);
+    let out = a.words(n as u64);
+    init_i64_array(&mut b, coef, n as usize, -256, 256, 0xAB);
+    init_i64_array(&mut b, pred, n as usize, 0, 256, 0xAC);
+
+    let (pc, pp, po, i, c0, c1, s, d, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+    );
+    b.init_reg(pc, coef as i64);
+    b.init_reg(pp, pred as i64);
+    b.init_reg(po, out as i64);
+    b.init_reg(i, n / 2);
+    let head = b.bind_new_label();
+    b.ld(c0, pc, 0);
+    b.ld(c1, pc, 8);
+    b.add(s, c0, c1);
+    b.sub(d, c0, c1);
+    // add prediction, clip at 255 (branchless min via slt)
+    b.ld(t, pp, 0);
+    b.add(s, s, t);
+    b.slti(t, s, 256);
+    b.mul(s, s, t); // crude clip: 0 if overflow (keeps mul busy)
+    b.st(s, po, 0);
+    b.ld(t, pp, 8);
+    b.add(d, d, t);
+    b.st(d, po, 8);
+    b.addi(pc, pc, 16);
+    b.addi(pp, pp, 16);
+    b.addi(po, po, 16);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("mpeg2dec")
+}
+
+/// `mpeg2enc` analogue: motion search SAD (phase 1) + DCT (phase 2).
+#[must_use]
+pub fn mpeg2enc(n: u32) -> Program {
+    let n = i64::from(n) & !7;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("mpeg2enc");
+    let cur = a.words(n as u64);
+    let refw = a.words(n as u64 + 16);
+    let pix = a.words(n as u64);
+    let coef = a.words(n as u64);
+    init_i64_array(&mut b, cur, n as usize, 0, 256, 0xAD);
+    init_i64_array(&mut b, refw, n as usize + 16, 0, 256, 0xAE);
+    init_f64_array(&mut b, pix, n as usize, 0.0, 255.0, 0xAF);
+
+    // Phase 1: SAD over the block (integer).
+    let (pc, pr, i, x, y, d, acc) = (
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+        Reg::int(10),
+    );
+    b.init_reg(pc, cur as i64);
+    b.init_reg(pr, refw as i64);
+    b.init_reg(i, n);
+    let sad = b.bind_new_label();
+    b.ld(x, pc, 0);
+    b.ld(y, pr, 0);
+    b.sub(d, x, y);
+    b.srai(x, d, 63);
+    b.xor(d, d, x);
+    b.sub(d, d, x);
+    b.add(acc, acc, d);
+    b.addi(pc, pc, 8);
+    b.addi(pr, pr, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, sad);
+    // Phase 2: DCT butterflies (FP, vectorizable).
+    emit_dct_phase(&mut b, pix, coef, n / 8);
+    b.halt();
+    b.build().expect("mpeg2enc")
+}

@@ -1,0 +1,271 @@
+//! Vertical microbenchmarks \[2\]: tiny kernels that each stress a single
+//! microarchitectural mechanism, used (as in the paper's core validation)
+//! to pin down where a model and a reference simulator disagree.
+//!
+//! These are *not* part of the workload registry used by the design-space
+//! exploration; they are exposed through [`MICRO`](crate::MICRO).
+
+use prism_isa::{Program, ProgramBuilder, Reg};
+
+use crate::helpers::{init_chase_array, init_i64_array, Alloc};
+
+/// Pure fetch/decode bandwidth: long chains of independent 1-cycle ALU ops.
+#[must_use]
+pub fn fetch_bound(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut b = ProgramBuilder::new("micro-fetch");
+    let i = Reg::int(1);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    for k in 0..12u8 {
+        let r = Reg::int(2 + (k % 6));
+        b.addi(r, r, 1); // all independent across names
+    }
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("fetch_bound")
+}
+
+/// A single serial dependence chain: ILP = 1 regardless of core width.
+#[must_use]
+pub fn chain_bound(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut b = ProgramBuilder::new("micro-chain");
+    let (x, i) = (Reg::int(1), Reg::int(2));
+    b.init_reg(x, 1);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    for _ in 0..8 {
+        b.addi(x, x, 3);
+    }
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("chain_bound")
+}
+
+/// Multiply-unit contention: more concurrent muls than any core has units.
+#[must_use]
+pub fn muldiv_bound(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut b = ProgramBuilder::new("micro-muldiv");
+    let i = Reg::int(1);
+    b.init_reg(i, n);
+    for k in 0..6u8 {
+        b.li(Reg::int(2 + k), 3 + i64::from(k));
+    }
+    let head = b.bind_new_label();
+    for k in 0..6u8 {
+        let r = Reg::int(2 + k);
+        b.mul(r, r, r);
+        b.ori(r, r, 1); // keep values from collapsing to 0/1 chains
+    }
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("muldiv_bound")
+}
+
+/// Memory-latency bound: a dependent pointer chase with a cache-resident
+/// footprint (exposes pure L1 latency).
+#[must_use]
+pub fn latency_bound(n: u32) -> Program {
+    let nodes = 64u64; // 512 B: L1-resident after the first lap
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("micro-latency");
+    let next = a.words(nodes);
+    init_chase_array(&mut b, next, nodes as usize, 0xE0);
+    let (pn, i, cur, t) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    b.init_reg(pn, next as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.shli(t, cur, 3);
+    b.add(t, t, pn);
+    b.ld(cur, t, 0);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("latency_bound")
+}
+
+/// Mispredict bound: a branch on effectively-random data every iteration.
+#[must_use]
+pub fn mispredict_bound(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("micro-mispredict");
+    let noise = a.words(n as u64);
+    init_i64_array(&mut b, noise, n as usize, 0, 2, 0xE1);
+    let (pn, i, v, acc) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    b.init_reg(pn, noise as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    let skip = b.label();
+    b.ld(v, pn, 0);
+    b.beq_label(v, Reg::ZERO, skip);
+    b.addi(acc, acc, 1);
+    b.bind(skip);
+    b.addi(pn, pn, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("mispredict_bound")
+}
+
+/// Window-pressure bound: long-latency loads with a trail of dependents —
+/// performance tracks the issue-window size.
+#[must_use]
+pub fn window_bound(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("micro-window");
+    // Large footprint with a non-unit stride the prefetcher can still
+    // follow but whose lines miss to DRAM periodically.
+    let data = a.words(1 << 16);
+    let (p, i, v, acc) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    b.init_reg(p, data as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.ld(v, p, 0);
+    // Six dependents of the load occupy window slots.
+    for _ in 0..6 {
+        b.addi(v, v, 1);
+    }
+    b.add(acc, acc, v);
+    b.addi(p, p, 8 * 40); // stride past the prefetch degree
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("window_bound")
+}
+
+/// Store→load forwarding bound: every load reads the previous store.
+#[must_use]
+pub fn forwarding_bound(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("micro-forward");
+    let slot = a.words(4);
+    let (p, i, v) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    b.init_reg(p, slot as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.ld(v, p, 0);
+    b.addi(v, v, 1);
+    b.st(v, p, 0);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("forwarding_bound")
+}
+
+/// FP throughput bound: independent FP multiplies saturating the FPUs.
+#[must_use]
+pub fn fp_bound(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut b = ProgramBuilder::new("micro-fp");
+    let i = Reg::int(1);
+    b.init_reg(i, n);
+    for k in 0..6u8 {
+        b.fli(Reg::fp(k), 1.0001 + f64::from(k) * 0.1);
+    }
+    let head = b.bind_new_label();
+    for k in 0..6u8 {
+        let r = Reg::fp(k);
+        b.fmul(r, r, r);
+    }
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("fp_bound")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_udg::{simulate_trace, CoreConfig};
+
+    fn ipc(p: &Program, cfg: &CoreConfig) -> f64 {
+        simulate_trace(&prism_sim::trace(p).unwrap(), cfg).ipc()
+    }
+
+    #[test]
+    fn fetch_bound_scales_with_width() {
+        let p = fetch_bound(400);
+        let two = ipc(&p, &CoreConfig::ooo2());
+        let six = ipc(&p, &CoreConfig::ooo6());
+        assert!(two > 1.5, "OOO2 should sustain ~2 IPC: {two:.2}");
+        assert!(six > 2.0 * two * 0.8, "width should pay off: {six:.2} vs {two:.2}");
+    }
+
+    #[test]
+    fn chain_bound_is_width_insensitive() {
+        let p = chain_bound(400);
+        let two = ipc(&p, &CoreConfig::ooo2());
+        let six = ipc(&p, &CoreConfig::ooo6());
+        assert!((six / two) < 1.15, "chain must not scale: {two:.2} → {six:.2}");
+        assert!(two < 1.3, "serial chain IPC near 1: {two:.2}");
+    }
+
+    #[test]
+    fn muldiv_bound_tracks_unit_count() {
+        let p = muldiv_bound(400);
+        // OOO2 has 1 mul unit, OOO4 has 2: muls/cycle should ~double.
+        let c2 = simulate_trace(&prism_sim::trace(&p).unwrap(), &CoreConfig::ooo2()).cycles;
+        let c4 = simulate_trace(&prism_sim::trace(&p).unwrap(), &CoreConfig::ooo4()).cycles;
+        // Six 3-cycle self-chains: OOO2's single unit needs 6 cycles/iter,
+        // OOO4's two units come down toward the chain bound of 3.
+        let ratio = c2 as f64 / c4 as f64;
+        assert!(ratio > 1.4, "2nd mul unit should show: {ratio:.2}");
+    }
+
+    #[test]
+    fn latency_bound_ipc_matches_l1_latency() {
+        // One chase = shl+add+ld(4cy)+2 loop ops ≈ 6-7 cycles per 5 insts.
+        let p = latency_bound(500);
+        let v = ipc(&p, &CoreConfig::ooo6());
+        assert!((0.5..1.2).contains(&v), "chase IPC {v:.2} outside L1-latency band");
+    }
+
+    #[test]
+    fn mispredict_bound_hurts_all_cores() {
+        let p = mispredict_bound(600);
+        let t = prism_sim::trace(&p).unwrap();
+        // ~50% of iterations mispredict.
+        assert!(t.stats.mispredicts as f64 > 0.25 * t.stats.cond_branches as f64 / 2.0);
+        let v = simulate_trace(&t, &CoreConfig::ooo6()).ipc();
+        assert!(v < 2.0, "random branches must cap IPC: {v:.2}");
+    }
+
+    #[test]
+    fn window_bound_rewards_bigger_windows() {
+        let p = window_bound(400);
+        let t = prism_sim::trace(&p).unwrap();
+        let mut small = CoreConfig::ooo4();
+        small.window_size = 8;
+        small.name = "OOO4w8".into();
+        let cs = simulate_trace(&t, &small).cycles;
+        let cb = simulate_trace(&t, &CoreConfig::ooo4()).cycles;
+        assert!(cs > cb, "tiny window should be slower: {cs} vs {cb}");
+    }
+
+    #[test]
+    fn forwarding_bound_serializes_through_memory() {
+        let p = forwarding_bound(400);
+        let v = ipc(&p, &CoreConfig::ooo6());
+        assert!(v < 1.8, "store→load chain must serialize: {v:.2}");
+    }
+
+    #[test]
+    fn fp_bound_tracks_fpu_count() {
+        let p = fp_bound(400);
+        let t = prism_sim::trace(&p).unwrap();
+        let c2 = simulate_trace(&t, &CoreConfig::ooo2()).cycles; // 1 FPU
+        let c6 = simulate_trace(&t, &CoreConfig::ooo6()).cycles; // 3 FPUs
+        // Six 4-cycle self-chains: OOO2 is FPU-bound at 6 cycles/iter;
+        // OOO6 reaches the 4-cycle chain bound — a 1.5x gap.
+        assert!(c2 as f64 / c6 as f64 > 1.4, "FPU count should show: {c2} vs {c6}");
+    }
+}

@@ -1,0 +1,519 @@
+//! Parboil benchmark analogues \[1\]: regular scientific kernels.
+
+use prism_isa::{Program, ProgramBuilder, Reg};
+
+use crate::helpers::{init_f64_array, init_i64_array, Alloc};
+
+/// Cutoff Coulombic potential: distance computation with a cutoff branch
+/// and an expensive `sqrt`/`div` on the pass path.
+#[must_use]
+pub fn cutcp(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("cutcp");
+    let atoms = a.words(n as u64);
+    let grid = a.words(n as u64);
+    init_f64_array(&mut b, atoms, n as usize, 0.0, 8.0, 0x71);
+
+    let (pa, pg, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let t = Reg::int(4);
+    let (x, d2, inv, cut, pot) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4));
+    b.init_reg(pa, atoms as i64);
+    b.init_reg(pg, grid as i64);
+    b.init_reg(i, n);
+    b.fli(cut, 16.0);
+    let head = b.bind_new_label();
+    let skip = b.label();
+    let store = b.label();
+    b.fld(x, pa, 0);
+    b.fmul(d2, x, x);
+    b.flt(t, cut, d2);
+    b.bne_label(t, Reg::ZERO, skip); // beyond cutoff
+    b.fsqrt(inv, d2);
+    b.fli(pot, 1.0);
+    b.fdiv(pot, pot, inv);
+    b.jmp_label(store);
+    b.bind(skip);
+    b.fli(pot, 0.0);
+    b.bind(store);
+    b.fst(pot, pg, 0);
+    b.addi(pa, pa, 8);
+    b.addi(pg, pg, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("cutcp")
+}
+
+/// One radix-2 FFT butterfly pass over `n` complex points: strided loads,
+/// twiddle multiply, separable compute.
+#[must_use]
+pub fn fft(n: u32) -> Program {
+    let n = i64::from(n) & !1;
+    let half = n / 2;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("fft");
+    let re = a.words(n as u64);
+    let im = a.words(n as u64);
+    init_f64_array(&mut b, re, n as usize, -1.0, 1.0, 0x72);
+    init_f64_array(&mut b, im, n as usize, -1.0, 1.0, 0x73);
+
+    let (pre, pim, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let (ar, ai, br, bi, wr, wi, t1, t2) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(10),
+        Reg::fp(11),
+        Reg::fp(4),
+        Reg::fp(5),
+    );
+    let off = half * 8;
+    b.init_reg(pre, re as i64);
+    b.init_reg(pim, im as i64);
+    b.init_reg(i, half);
+    b.fli(wr, 0.7071);
+    b.fli(wi, -0.7071);
+    let head = b.bind_new_label();
+    b.fld(ar, pre, 0);
+    b.fld(ai, pim, 0);
+    b.fld(br, pre, off);
+    b.fld(bi, pim, off);
+    // t = w * b (complex)
+    b.fmul(t1, br, wr);
+    b.fmul(t2, bi, wi);
+    b.fsub(t1, t1, t2);
+    b.fmul(t2, br, wi);
+    b.fmul(br, bi, wr);
+    b.fadd(t2, t2, br);
+    // a' = a + t ; b' = a - t
+    b.fadd(br, ar, t1);
+    b.fadd(bi, ai, t2);
+    b.fst(br, pre, 0);
+    b.fst(bi, pim, 0);
+    b.fsub(br, ar, t1);
+    b.fsub(bi, ai, t2);
+    b.fst(br, pre, off);
+    b.fst(bi, pim, off);
+    b.addi(pre, pre, 8);
+    b.addi(pim, pim, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("fft")
+}
+
+/// K-means assignment step: distance to 4 centroids, argmin with branches.
+#[must_use]
+pub fn kmeans(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("kmeans");
+    let pts = a.words(n as u64);
+    let assign = a.words(n as u64);
+    init_f64_array(&mut b, pts, n as usize, 0.0, 100.0, 0x74);
+
+    let (pp, pa, i, best) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let t = Reg::int(5);
+    let (x, d, dbest, c) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3));
+    b.init_reg(pp, pts as i64);
+    b.init_reg(pa, assign as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.fld(x, pp, 0);
+    b.li(best, 0);
+    b.fli(dbest, 1.0e18);
+    for (k, center) in [12.5, 37.5, 62.5, 87.5].into_iter().enumerate() {
+        let skip = b.label();
+        b.fli(c, center);
+        b.fsub(d, x, c);
+        b.fmul(d, d, d);
+        b.fle(t, dbest, d);
+        b.bne_label(t, Reg::ZERO, skip);
+        b.fmov(dbest, d);
+        b.li(best, k as i64);
+        b.bind(skip);
+    }
+    b.st(best, pa, 0);
+    b.addi(pp, pp, 8);
+    b.addi(pa, pa, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("kmeans")
+}
+
+/// Lattice-Boltzmann style site update: long straight-line FP on streamed
+/// data, very high ILP.
+#[must_use]
+pub fn lbm(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("lbm");
+    let f0 = a.words(n as u64 + 2);
+    let f1 = a.words(n as u64 + 2);
+    let f2 = a.words(n as u64 + 2);
+    let out = a.words(n as u64);
+    init_f64_array(&mut b, f0, n as usize + 2, 0.1, 1.0, 0x75);
+    init_f64_array(&mut b, f1, n as usize + 2, 0.1, 1.0, 0x76);
+    init_f64_array(&mut b, f2, n as usize + 2, 0.1, 1.0, 0x77);
+
+    let (p0, p1, p2, po, i) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    let (a0, a1, a2, rho, u, eq, om) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(4),
+        Reg::fp(5),
+        Reg::fp(10),
+    );
+    b.init_reg(p0, f0 as i64);
+    b.init_reg(p1, f1 as i64);
+    b.init_reg(p2, f2 as i64);
+    b.init_reg(po, out as i64);
+    b.init_reg(i, n);
+    b.fli(om, 1.85);
+    let head = b.bind_new_label();
+    b.fld(a0, p0, 0);
+    b.fld(a1, p1, 8);
+    b.fld(a2, p2, 16);
+    b.fadd(rho, a0, a1);
+    b.fadd(rho, rho, a2);
+    b.fsub(u, a1, a2);
+    b.fdiv(u, u, rho);
+    b.fmul(eq, u, u);
+    b.fmul(eq, eq, rho);
+    b.fsub(eq, rho, eq);
+    b.fsub(eq, eq, a0);
+    b.fmul(eq, eq, om);
+    b.fadd(a0, a0, eq);
+    b.fst(a0, po, 0);
+    b.addi(p0, p0, 8);
+    b.addi(p1, p1, 8);
+    b.addi(p2, p2, 8);
+    b.addi(po, po, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("lbm")
+}
+
+/// Dense matrix multiply, `C += A·B`, classic ijk nest with an invariant-
+/// hoisted `A[i][k]`.
+#[must_use]
+pub fn mm(n: u32) -> Program {
+    let dim = i64::from(n.max(4).min(64));
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("mm");
+    let ma = a.words((dim * dim) as u64);
+    let mb = a.words((dim * dim) as u64);
+    let mc = a.words((dim * dim) as u64);
+    init_f64_array(&mut b, ma, (dim * dim) as usize, -1.0, 1.0, 0x78);
+    init_f64_array(&mut b, mb, (dim * dim) as usize, -1.0, 1.0, 0x79);
+
+    let (i, k, j, pa, pb, pc, pbk, pci) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+    );
+    let (aik, bkj, cij) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
+    let row = dim * 8;
+    b.init_reg(pa, ma as i64);
+    b.init_reg(pb, mb as i64);
+    b.init_reg(pc, mc as i64);
+    b.init_reg(i, dim);
+    let li = b.bind_new_label();
+    b.li(k, dim);
+    b.mov(pbk, pb);
+    let lk = b.bind_new_label();
+    b.fld(aik, pa, 0);
+    b.li(j, dim);
+    b.mov(pci, pc);
+    let lj = b.bind_new_label();
+    b.fld(bkj, pbk, 0);
+    b.fld(cij, pci, 0);
+    b.fmul(bkj, aik, bkj);
+    b.fadd(cij, cij, bkj);
+    b.fst(cij, pci, 0);
+    b.addi(pbk, pbk, 8);
+    b.addi(pci, pci, 8);
+    b.addi(j, j, -1);
+    b.bne_label(j, Reg::ZERO, lj);
+    b.addi(pa, pa, 8);
+    b.addi(k, k, -1);
+    b.bne_label(k, Reg::ZERO, lk);
+    b.addi(pc, pc, row);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, li);
+    b.halt();
+    b.build().expect("mm")
+}
+
+/// Needleman–Wunsch anti-diagonal DP: each cell depends on the previous
+/// cell in the same row — a genuine loop-carried recurrence.
+#[must_use]
+pub fn needle(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("needle");
+    let scores = a.words(n as u64 + 1);
+    let sub = a.words(n as u64);
+    init_i64_array(&mut b, scores, n as usize + 1, 0, 10, 0x7A);
+    init_i64_array(&mut b, sub, n as usize, -3, 4, 0x7B);
+
+    let (ps, pu, i, prev, cur, s, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(ps, scores as i64);
+    b.init_reg(pu, sub as i64);
+    b.init_reg(i, n);
+    b.li(prev, 0);
+    let head = b.bind_new_label();
+    let keep = b.label();
+    b.ld(cur, ps, 8); // up-neighbor
+    b.ld(s, pu, 0);
+    b.add(cur, cur, s);
+    b.addi(t, prev, -1); // left-neighbor path (gap penalty)
+    b.bge_label(cur, t, keep);
+    b.mov(cur, t);
+    b.bind(keep);
+    b.st(cur, ps, 0);
+    b.mov(prev, cur);
+    b.addi(ps, ps, 8);
+    b.addi(pu, pu, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("needle")
+}
+
+/// Neural-net forward layer: dot products over weights (nest of MACs).
+#[must_use]
+pub fn nnw(n: u32) -> Program {
+    let hidden = 16i64;
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("nnw");
+    let input = a.words(n as u64);
+    let weights = a.words((hidden * 8) as u64);
+    let out = a.words(hidden as u64 * (n as u64 / 8).max(1));
+    init_f64_array(&mut b, input, n as usize, -1.0, 1.0, 0x7C);
+    init_f64_array(&mut b, weights, (hidden * 8) as usize, -0.5, 0.5, 0x7D);
+
+    let (pi, pw, po, i, h, k, pk, pwk) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+    );
+    let (x, w, acc) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
+    b.init_reg(pi, input as i64);
+    b.init_reg(po, out as i64);
+    b.init_reg(i, n / 8);
+    let lwin = b.bind_new_label();
+    b.li(h, hidden);
+    b.li(pw, weights as i64);
+    let lh = b.bind_new_label();
+    b.fli(acc, 0.0);
+    b.li(k, 8);
+    b.mov(pk, pi);
+    b.mov(pwk, pw);
+    let lk = b.bind_new_label();
+    b.fld(x, pk, 0);
+    b.fld(w, pwk, 0);
+    b.fmul(x, x, w);
+    b.fadd(acc, acc, x);
+    b.addi(pk, pk, 8);
+    b.addi(pwk, pwk, 8);
+    b.addi(k, k, -1);
+    b.bne_label(k, Reg::ZERO, lk);
+    b.fst(acc, po, 0);
+    b.addi(po, po, 8);
+    b.addi(pw, pw, 64);
+    b.addi(h, h, -1);
+    b.bne_label(h, Reg::ZERO, lh);
+    b.addi(pi, pi, 64);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, lwin);
+    b.halt();
+    b.build().expect("nnw")
+}
+
+/// Sparse matrix–vector product (CSR-ish): indexed gathers from the vector.
+#[must_use]
+pub fn spmv(n: u32) -> Program {
+    let n = i64::from(n);
+    let nnz_per_row = 8i64;
+    let cols = 2048i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("spmv");
+    let vals = a.words((n * nnz_per_row) as u64);
+    let idx = a.words((n * nnz_per_row) as u64);
+    let vec = a.words(cols as u64);
+    let out = a.words(n as u64);
+    init_f64_array(&mut b, vals, (n * nnz_per_row) as usize, -1.0, 1.0, 0x7E);
+    init_i64_array(&mut b, idx, (n * nnz_per_row) as usize, 0, cols, 0x7F);
+    init_f64_array(&mut b, vec, cols as usize, -1.0, 1.0, 0x80);
+
+    let (pv, px, pvec, po, i, k, col) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    let (v, x, acc) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
+    b.init_reg(pv, vals as i64);
+    b.init_reg(px, idx as i64);
+    b.init_reg(pvec, vec as i64);
+    b.init_reg(po, out as i64);
+    b.init_reg(i, n);
+    let row = b.bind_new_label();
+    b.fli(acc, 0.0);
+    b.li(k, nnz_per_row);
+    let elem = b.bind_new_label();
+    b.fld(v, pv, 0);
+    b.ld(col, px, 0);
+    b.shli(col, col, 3);
+    b.add(col, col, pvec);
+    b.fld(x, col, 0); // gather
+    b.fmul(v, v, x);
+    b.fadd(acc, acc, v);
+    b.addi(pv, pv, 8);
+    b.addi(px, px, 8);
+    b.addi(k, k, -1);
+    b.bne_label(k, Reg::ZERO, elem);
+    b.fst(acc, po, 0);
+    b.addi(po, po, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, row);
+    b.halt();
+    b.build().expect("spmv")
+}
+
+/// 1-D 3-point stencil: `out[i] = 0.25·a[i-1] + 0.5·a[i] + 0.25·a[i+1]`.
+#[must_use]
+pub fn stencil(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("stencil");
+    let input = a.words(n as u64 + 2);
+    let output = a.words(n as u64);
+    init_f64_array(&mut b, input, n as usize + 2, 0.0, 4.0, 0x81);
+
+    let (pi, po, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let (l, c, r, acc, kq, kh) =
+        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(10), Reg::fp(11));
+    b.init_reg(pi, input as i64);
+    b.init_reg(po, output as i64);
+    b.init_reg(i, n);
+    b.fli(kq, 0.25);
+    b.fli(kh, 0.5);
+    let head = b.bind_new_label();
+    b.fld(l, pi, 0);
+    b.fld(c, pi, 8);
+    b.fld(r, pi, 16);
+    b.fmul(l, l, kq);
+    b.fmul(c, c, kh);
+    b.fmul(r, r, kq);
+    b.fadd(acc, l, c);
+    b.fadd(acc, acc, r);
+    b.fst(acc, po, 0);
+    b.addi(pi, pi, 8);
+    b.addi(po, po, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("stencil")
+}
+
+/// Two-point angular correlation: histogram of binned distances —
+/// data-dependent store addresses (irregular writes).
+#[must_use]
+pub fn tpacf(n: u32) -> Program {
+    let n = i64::from(n);
+    let bins = 32i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("tpacf");
+    let angles = a.words(n as u64);
+    let hist = a.words(bins as u64);
+    init_f64_array(&mut b, angles, n as usize, 0.0, 32.0, 0x82);
+
+    let (pa, ph, i, bin, cnt) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    let x = Reg::fp(0);
+    b.init_reg(pa, angles as i64);
+    b.init_reg(ph, hist as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.fld(x, pa, 0);
+    b.cvt_f_i(bin, x);
+    b.andi(bin, bin, bins - 1);
+    b.shli(bin, bin, 3);
+    b.add(bin, bin, ph);
+    b.ld(cnt, bin, 0);
+    b.addi(cnt, cnt, 1);
+    b.st(cnt, bin, 0);
+    b.addi(pa, pa, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("tpacf")
+}
+
+/// Sum of absolute differences over two pixel rows (video motion search).
+#[must_use]
+pub fn sad(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("sad");
+    let cur = a.words(n as u64);
+    let refr = a.words(n as u64);
+    init_i64_array(&mut b, cur, n as usize, 0, 256, 0x83);
+    init_i64_array(&mut b, refr, n as usize, 0, 256, 0x84);
+
+    let (pc, pr, i, c, r, d, acc) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(pc, cur as i64);
+    b.init_reg(pr, refr as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.ld(c, pc, 0);
+    b.ld(r, pr, 0);
+    b.sub(d, c, r);
+    b.srai(c, d, 63); // branch-free abs
+    b.xor(d, d, c);
+    b.sub(d, d, c);
+    b.add(acc, acc, d);
+    b.addi(pc, pc, 8);
+    b.addi(pr, pr, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("sad")
+}

@@ -1,0 +1,266 @@
+//! SPECfp benchmark analogues: semi-regular floating-point codes.
+
+use prism_isa::{Program, ProgramBuilder, Reg};
+
+use crate::helpers::{init_f64_array, init_i64_array, Alloc};
+
+/// `433.milc` analogue: SU(3)-flavored complex matrix-vector products on
+/// lattice sites (straight-line FP with interleaved re/im).
+#[must_use]
+pub fn milc(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("433.milc");
+    let links = a.words(6 * n as u64);
+    let vecs = a.words(2 * n as u64);
+    let out = a.words(2 * n as u64);
+    init_f64_array(&mut b, links, 6 * n as usize, -1.0, 1.0, 0x90);
+    init_f64_array(&mut b, vecs, 2 * n as usize, -1.0, 1.0, 0x91);
+
+    let (pl, pv, po, i) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let (m0, m1, m2, vr, vi, ar, ai, t) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(4),
+        Reg::fp(5),
+        Reg::fp(6),
+        Reg::fp(7),
+    );
+    b.init_reg(pl, links as i64);
+    b.init_reg(pv, vecs as i64);
+    b.init_reg(po, out as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.fld(m0, pl, 0);
+    b.fld(m1, pl, 8);
+    b.fld(m2, pl, 16);
+    b.fld(vr, pv, 0);
+    b.fld(vi, pv, 8);
+    b.fmul(ar, m0, vr);
+    b.fmul(t, m1, vi);
+    b.fsub(ar, ar, t);
+    b.fmul(ai, m0, vi);
+    b.fmul(t, m1, vr);
+    b.fadd(ai, ai, t);
+    b.fmul(t, m2, vr);
+    b.fadd(ar, ar, t);
+    b.fst(ar, po, 0);
+    b.fst(ai, po, 8);
+    b.addi(pl, pl, 48);
+    b.addi(pv, pv, 16);
+    b.addi(po, po, 16);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("milc")
+}
+
+/// `444.namd` analogue: pairwise force inner loop with an exclusion-list
+/// branch and reciprocal-sqrt-style arithmetic.
+#[must_use]
+pub fn namd(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("444.namd");
+    let dx = a.words(n as u64);
+    let excl = a.words(n as u64);
+    let force = a.words(n as u64);
+    init_f64_array(&mut b, dx, n as usize, 0.5, 9.0, 0x92);
+    init_i64_array(&mut b, excl, n as usize, 0, 10, 0x93);
+
+    let (pd, pe, pf, i, e) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    let (x, r2, inv, f6, f12, fout) =
+        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4), Reg::fp(5));
+    b.init_reg(pd, dx as i64);
+    b.init_reg(pe, excl as i64);
+    b.init_reg(pf, force as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    let excluded = b.label();
+    let store = b.label();
+    b.ld(e, pe, 0);
+    b.beq_label(e, Reg::ZERO, excluded); // ~10% excluded
+    b.fld(x, pd, 0);
+    b.fmul(r2, x, x);
+    b.fli(inv, 1.0);
+    b.fdiv(inv, inv, r2);
+    b.fmul(f6, inv, inv);
+    b.fmul(f6, f6, inv);
+    b.fmul(f12, f6, f6);
+    b.fsub(fout, f12, f6);
+    b.fmul(fout, fout, inv);
+    b.jmp_label(store);
+    b.bind(excluded);
+    b.fli(fout, 0.0);
+    b.bind(store);
+    b.fst(fout, pf, 0);
+    b.addi(pd, pd, 8);
+    b.addi(pe, pe, 8);
+    b.addi(pf, pf, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("namd")
+}
+
+/// `450.soplex` analogue: sparse simplex pivot update — indexed row
+/// updates with a numerical-tolerance branch.
+#[must_use]
+pub fn soplex(n: u32) -> Program {
+    let n = i64::from(n);
+    let cols = 1024i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("450.soplex");
+    let vals = a.words(n as u64);
+    let idx = a.words(n as u64);
+    let dense = a.words(cols as u64);
+    init_f64_array(&mut b, vals, n as usize, -2.0, 2.0, 0x94);
+    init_i64_array(&mut b, idx, n as usize, 0, cols, 0x95);
+    init_f64_array(&mut b, dense, cols as usize, -2.0, 2.0, 0x96);
+
+    let (pv, px, pd, i, col, t) =
+        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6));
+    let (v, d, pivot, tol) = (Reg::fp(0), Reg::fp(1), Reg::fp(10), Reg::fp(11));
+    b.init_reg(pv, vals as i64);
+    b.init_reg(px, idx as i64);
+    b.init_reg(pd, dense as i64);
+    b.init_reg(i, n);
+    b.fli(pivot, 1.25);
+    b.fli(tol, 1.0e-3);
+    let head = b.bind_new_label();
+    let skip = b.label();
+    b.fld(v, pv, 0);
+    b.fabs(d, v);
+    b.flt(t, d, tol);
+    b.bne_label(t, Reg::ZERO, skip); // numerically-zero entries skipped
+    b.ld(col, px, 0);
+    b.shli(col, col, 3);
+    b.add(col, col, pd);
+    b.fld(d, col, 0);
+    b.fmul(v, v, pivot);
+    b.fsub(d, d, v);
+    b.fst(d, col, 0);
+    b.bind(skip);
+    b.addi(pv, pv, 8);
+    b.addi(px, px, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("soplex")
+}
+
+/// `453.povray` analogue: ray–sphere intersection tests — discriminant
+/// branch, sqrt on the hit path.
+#[must_use]
+pub fn povray(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("453.povray");
+    let rays = a.words(2 * n as u64);
+    let hits = a.words(n as u64);
+    init_f64_array(&mut b, rays, 2 * n as usize, -2.0, 2.0, 0x97);
+
+    let (pr, ph, i, t) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let (ox, dx, bq, cq, disc, root) =
+        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4), Reg::fp(5));
+    let one = Reg::fp(10);
+    b.init_reg(pr, rays as i64);
+    b.init_reg(ph, hits as i64);
+    b.init_reg(i, n);
+    b.fli(one, 1.0);
+    let head = b.bind_new_label();
+    let miss = b.label();
+    let store = b.label();
+    b.fld(ox, pr, 0);
+    b.fld(dx, pr, 8);
+    b.fmul(bq, ox, dx);
+    b.fmul(cq, ox, ox);
+    b.fsub(cq, cq, one);
+    b.fmul(disc, bq, bq);
+    b.fsub(disc, disc, cq);
+    b.fli(root, 0.0);
+    b.flt(t, disc, root);
+    b.bne_label(t, Reg::ZERO, miss);
+    b.fsqrt(root, disc);
+    b.fsub(root, root, bq);
+    b.jmp_label(store);
+    b.bind(miss);
+    b.fli(root, -1.0);
+    b.bind(store);
+    b.fst(root, ph, 0);
+    b.addi(pr, pr, 16);
+    b.addi(ph, ph, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("povray")
+}
+
+/// `482.sphinx3` analogue: Gaussian mixture scoring — nested dot products
+/// with per-component max tracking.
+#[must_use]
+pub fn sphinx3(n: u32) -> Program {
+    let comps = 8i64;
+    let dims = 8i64;
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("482.sphinx3");
+    let feats = a.words((n * dims) as u64);
+    let means = a.words((comps * dims) as u64);
+    let scores = a.words(n as u64);
+    init_f64_array(&mut b, feats, (n * dims) as usize, -1.0, 1.0, 0x98);
+    init_f64_array(&mut b, means, (comps * dims) as usize, -1.0, 1.0, 0x99);
+
+    let (pf, pm, ps, i, c, k, pfk, pmk, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+    );
+    let (x, m, d, acc, best) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4));
+    b.init_reg(pf, feats as i64);
+    b.init_reg(ps, scores as i64);
+    b.init_reg(i, n);
+    let frame = b.bind_new_label();
+    b.fli(best, -1.0e18);
+    b.li(c, comps);
+    b.li(pm, means as i64);
+    let comp = b.bind_new_label();
+    b.fli(acc, 0.0);
+    b.li(k, dims);
+    b.mov(pfk, pf);
+    b.mov(pmk, pm);
+    let dim = b.bind_new_label();
+    b.fld(x, pfk, 0);
+    b.fld(m, pmk, 0);
+    b.fsub(d, x, m);
+    b.fmul(d, d, d);
+    b.fadd(acc, acc, d);
+    b.addi(pfk, pfk, 8);
+    b.addi(pmk, pmk, 8);
+    b.addi(k, k, -1);
+    b.bne_label(k, Reg::ZERO, dim);
+    b.fneg(acc, acc);
+    let worse = b.label();
+    b.fle(t, acc, best);
+    b.bne_label(t, Reg::ZERO, worse);
+    b.fmov(best, acc);
+    b.bind(worse);
+    b.addi(pm, pm, dims * 8);
+    b.addi(c, c, -1);
+    b.bne_label(c, Reg::ZERO, comp);
+    b.fst(best, ps, 0);
+    b.addi(pf, pf, dims * 8);
+    b.addi(ps, ps, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, frame);
+    b.halt();
+    b.build().expect("sphinx3")
+}

@@ -1,0 +1,596 @@
+//! SPECint benchmark analogues: irregular integer codes — pointer chasing,
+//! unpredictable branches, bit manipulation. The hard cases for BSAs.
+
+use prism_isa::{Program, ProgramBuilder, Reg};
+
+use crate::helpers::{init_chase_array, init_i64_array, Alloc};
+
+/// `164.gzip` analogue: LZ77 longest-match search — hash-chain probes with
+/// an early-exit comparison loop.
+#[must_use]
+pub fn gzip(n: u32) -> Program {
+    let n = i64::from(n);
+    let win = 4096i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("164.gzip");
+    let window = a.words(win as u64 + 16);
+    let starts = a.words(n as u64);
+    let lens = a.words(n as u64);
+    init_i64_array(&mut b, window, win as usize + 16, 0, 32, 0xC0);
+    init_i64_array(&mut b, starts, n as usize, 0, win - 16, 0xC1);
+
+    let (pw, ps, pl, i, cur, cand, k, x, y, len) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+        Reg::int(10),
+    );
+    b.init_reg(pw, window as i64);
+    b.init_reg(ps, starts as i64);
+    b.init_reg(pl, lens as i64);
+    b.init_reg(i, n);
+    let outer = b.bind_new_label();
+    b.ld(cur, ps, 0);
+    b.shli(cur, cur, 3);
+    b.add(cur, cur, pw);
+    b.addi(cand, cur, 64); // candidate match 8 words ahead
+    b.li(len, 0);
+    b.li(k, 8);
+    let matchloop = b.bind_new_label();
+    let differ = b.label();
+    b.ld(x, cur, 0);
+    b.ld(y, cand, 0);
+    b.bne_label(x, y, differ); // early exit — data dependent
+    b.addi(len, len, 1);
+    b.addi(cur, cur, 8);
+    b.addi(cand, cand, 8);
+    b.addi(k, k, -1);
+    b.bne_label(k, Reg::ZERO, matchloop);
+    b.bind(differ);
+    b.st(len, pl, 0);
+    b.addi(ps, ps, 8);
+    b.addi(pl, pl, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, outer);
+    b.halt();
+    b.build().expect("gzip")
+}
+
+/// `181.mcf` analogue: network-simplex arc scan — pointer chase through a
+/// permutation with a cost-comparison branch.
+#[must_use]
+pub fn mcf(n: u32) -> Program {
+    mcf_named("181.mcf", n, 0xC2)
+}
+
+/// `429.mcf` (the CPU2006 variant; different arc-cost distribution).
+#[must_use]
+pub fn mcf429(n: u32) -> Program {
+    mcf_named("429.mcf", n, 0xC3)
+}
+
+fn mcf_named(name: &str, n: u32, seed: u64) -> Program {
+    let n = i64::from(n);
+    let nodes = 2048u64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new(name);
+    let next = a.words(nodes);
+    let cost = a.words(nodes);
+    init_chase_array(&mut b, next, nodes as usize, seed);
+    init_i64_array(&mut b, cost, nodes as usize, -100, 100, seed ^ 1);
+
+    let (pn, pc, i, cur, c, acc, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(pn, next as i64);
+    b.init_reg(pc, cost as i64);
+    b.init_reg(i, n);
+    b.li(cur, 0);
+    let head = b.bind_new_label();
+    let nonneg = b.label();
+    b.shli(t, cur, 3);
+    b.add(t, t, pc);
+    b.ld(c, t, 0);
+    b.bge_label(c, Reg::ZERO, nonneg); // negative reduced cost → pivot
+    b.add(acc, acc, c);
+    b.bind(nonneg);
+    b.shli(t, cur, 3);
+    b.add(t, t, pn);
+    b.ld(cur, t, 0); // chase
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("mcf")
+}
+
+/// `175.vpr` analogue: placement cost delta — net bounding-box updates with
+/// several data-dependent branches.
+#[must_use]
+pub fn vpr(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("175.vpr");
+    let xs = a.words(n as u64);
+    let bbs = a.words(n as u64);
+    init_i64_array(&mut b, xs, n as usize, 0, 100, 0xC4);
+
+    let (px, pb, i, x, lo, hi, cost) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(px, xs as i64);
+    b.init_reg(pb, bbs as i64);
+    b.init_reg(i, n);
+    b.li(lo, 50);
+    b.li(hi, 50);
+    let head = b.bind_new_label();
+    let not_lo = b.label();
+    let not_hi = b.label();
+    b.ld(x, px, 0);
+    b.bge_label(x, lo, not_lo);
+    b.mov(lo, x); // extend bbox left
+    b.bind(not_lo);
+    b.bge_label(hi, x, not_hi);
+    b.mov(hi, x); // extend bbox right
+    b.bind(not_hi);
+    b.sub(cost, hi, lo);
+    b.st(cost, pb, 0);
+    b.addi(px, px, 8);
+    b.addi(pb, pb, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("vpr")
+}
+
+/// `197.parser` analogue: dictionary trie walk per token — short
+/// data-dependent descents.
+#[must_use]
+pub fn parser(n: u32) -> Program {
+    let n = i64::from(n);
+    let trie = 1024i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("197.parser");
+    let nodes = a.words(2 * trie as u64);
+    let tokens = a.words(n as u64);
+    init_i64_array(&mut b, nodes, 2 * trie as usize, 0, trie, 0xC5);
+    init_i64_array(&mut b, tokens, n as usize, 0, 64, 0xC6);
+
+    let (pn, pt, i, tok, node, d, t, hits) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+    );
+    b.init_reg(pn, nodes as i64);
+    b.init_reg(pt, tokens as i64);
+    b.init_reg(i, n);
+    let outer = b.bind_new_label();
+    b.ld(tok, pt, 0);
+    b.li(node, 1);
+    b.li(d, 4);
+    let descend = b.bind_new_label();
+    b.and(t, node, tok);
+    b.andi(t, t, 1);
+    b.add(t, t, node);
+    b.shli(t, t, 3);
+    b.add(t, t, pn);
+    b.ld(node, t, 0); // child pointer
+    b.srai(tok, tok, 1);
+    b.addi(d, d, -1);
+    b.bne_label(d, Reg::ZERO, descend);
+    b.add(hits, hits, node);
+    b.addi(pt, pt, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, outer);
+    b.halt();
+    b.build().expect("parser")
+}
+
+/// `256.bzip2` analogue: move-to-front coding — a scan loop with a
+/// data-dependent early exit, then a shift loop.
+#[must_use]
+pub fn bzip2(n: u32) -> Program {
+    bzip2_named("256.bzip2", n, 0xC7)
+}
+
+/// `401.bzip2` (CPU2006 variant; different symbol distribution).
+#[must_use]
+pub fn bzip2_401(n: u32) -> Program {
+    bzip2_named("401.bzip2", n, 0xC8)
+}
+
+fn bzip2_named(name: &str, n: u32, seed: u64) -> Program {
+    let n = i64::from(n);
+    let alpha = 16i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new(name);
+    let mtf = a.words(alpha as u64);
+    let input = a.words(n as u64);
+    let output = a.words(n as u64);
+    b.init_words(mtf, &(0..alpha).collect::<Vec<i64>>());
+    init_i64_array(&mut b, input, n as usize, 0, 4, seed); // skewed: small ranks
+
+    let (pm, pi, po, i, sym, j, pj, v, prev) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+    );
+    b.init_reg(pm, mtf as i64);
+    b.init_reg(pi, input as i64);
+    b.init_reg(po, output as i64);
+    b.init_reg(i, n);
+    let outer = b.bind_new_label();
+    b.ld(sym, pi, 0);
+    // Find sym's rank: scan the MTF table.
+    b.li(j, 0);
+    b.mov(pj, pm);
+    let scan = b.bind_new_label();
+    let found = b.label();
+    b.ld(v, pj, 0);
+    b.beq_label(v, sym, found);
+    b.addi(pj, pj, 8);
+    b.addi(j, j, 1);
+    b.slti(v, j, alpha);
+    b.bne_label(v, Reg::ZERO, scan);
+    b.bind(found);
+    b.st(j, po, 0);
+    // Move to front: shift [0..j) down by one.
+    b.ld(prev, pm, 0);
+    b.st(sym, pm, 0);
+    let shifted = b.label();
+    b.beq_label(j, Reg::ZERO, shifted);
+    b.st(prev, pj, 0); // crude: put the old head where sym was
+    b.bind(shifted);
+    b.addi(pi, pi, 8);
+    b.addi(po, po, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, outer);
+    b.halt();
+    b.build().expect("bzip2")
+}
+
+/// `403.gcc` analogue: a dataflow-equations pass — bitset OR/AND over
+/// basic-block sets with change detection.
+#[must_use]
+pub fn gcc(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("403.gcc");
+    let gen = a.words(n as u64);
+    let kill = a.words(n as u64);
+    let inb = a.words(n as u64 + 1);
+    init_i64_array(&mut b, gen, n as usize, i64::MIN, i64::MAX, 0xC9);
+    init_i64_array(&mut b, kill, n as usize, i64::MIN, i64::MAX, 0xCA);
+
+    let (pg, pk, pin, i, g, k, x, out, changed) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+    );
+    b.init_reg(pg, gen as i64);
+    b.init_reg(pk, kill as i64);
+    b.init_reg(pin, inb as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    let same = b.label();
+    b.ld(g, pg, 0);
+    b.ld(k, pk, 0);
+    b.ld(x, pin, 0);
+    // out = gen | (in & ~kill)
+    b.xori(k, k, -1);
+    b.and(out, x, k);
+    b.or(out, out, g);
+    b.ld(x, pin, 8);
+    b.beq_label(out, x, same);
+    b.st(out, pin, 8);
+    b.addi(changed, changed, 1);
+    b.bind(same);
+    b.addi(pg, pg, 8);
+    b.addi(pk, pk, 8);
+    b.addi(pin, pin, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("gcc")
+}
+
+/// `458.sjeng` analogue: bitboard attack generation — shifts/masks with a
+/// popcount-ish loop and capture branch.
+#[must_use]
+pub fn sjeng(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("458.sjeng");
+    let boards = a.words(n as u64);
+    let scores = a.words(n as u64);
+    init_i64_array(&mut b, boards, n as usize, i64::MIN, i64::MAX, 0xCB);
+
+    let (pb, ps, i, bb, att, cnt, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(pb, boards as i64);
+    b.init_reg(ps, scores as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.ld(bb, pb, 0);
+    // Knight-ish attack spread.
+    b.shli(att, bb, 6);
+    b.shri(t, bb, 10);
+    b.or(att, att, t);
+    b.shli(t, bb, 15);
+    b.or(att, att, t);
+    // Popcount 4 nibbles (partial).
+    b.li(cnt, 0);
+    for shift in [0i64, 16, 32, 48] {
+        b.shri(t, att, shift);
+        b.andi(t, t, 0xF);
+        b.add(cnt, cnt, t);
+    }
+    let quiet = b.label();
+    b.and(t, att, bb);
+    b.beq_label(t, Reg::ZERO, quiet); // capture available?
+    b.shli(cnt, cnt, 1);
+    b.bind(quiet);
+    b.st(cnt, ps, 0);
+    b.addi(pb, pb, 8);
+    b.addi(ps, ps, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("sjeng")
+}
+
+/// `473.astar` analogue: grid relaxation — neighbor cost comparisons with
+/// conditional updates (branchy, cache-friendly).
+#[must_use]
+pub fn astar(n: u32) -> Program {
+    let n = i64::from(n);
+    let grid = 64i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("473.astar");
+    let dist = a.words((grid * grid) as u64 + grid as u64 + 1);
+    let cost = a.words((grid * grid) as u64);
+    init_i64_array(&mut b, dist, (grid * grid) as usize + grid as usize + 1, 0, 10_000, 0xCC);
+    init_i64_array(&mut b, cost, (grid * grid) as usize, 1, 10, 0xCD);
+
+    let (pd, pc, i, d, c, nb, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(pd, dist as i64);
+    b.init_reg(pc, cost as i64);
+    b.init_reg(i, n.min(grid * grid - grid - 1));
+    let head = b.bind_new_label();
+    b.ld(d, pd, 0);
+    b.ld(c, pc, 0);
+    // Relax east neighbor.
+    let no_east = b.label();
+    b.ld(nb, pd, 8);
+    b.add(t, d, c);
+    b.bge_label(t, nb, no_east);
+    b.st(t, pd, 8);
+    b.bind(no_east);
+    // Relax south neighbor.
+    let no_south = b.label();
+    b.ld(nb, pd, grid * 8);
+    b.add(t, d, c);
+    b.bge_label(t, nb, no_south);
+    b.st(t, pd, grid * 8);
+    b.bind(no_south);
+    b.addi(pd, pd, 8);
+    b.addi(pc, pc, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("astar")
+}
+
+/// `456.hmmer` analogue: Viterbi inner loop — three-way max recurrence
+/// over match/insert/delete states (regular structure, serial dependence).
+#[must_use]
+pub fn hmmer(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("456.hmmer");
+    let emit = a.words(n as u64);
+    let trans = a.words(n as u64);
+    let dp = a.words(n as u64 + 1);
+    init_i64_array(&mut b, emit, n as usize, -50, 50, 0xCE);
+    init_i64_array(&mut b, trans, n as usize, -20, 0, 0xCF);
+
+    let (pe, pt, pd, i, m, ins, e, tr, best) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+    );
+    b.init_reg(pe, emit as i64);
+    b.init_reg(pt, trans as i64);
+    b.init_reg(pd, dp as i64);
+    b.init_reg(i, n);
+    let head = b.bind_new_label();
+    b.ld(e, pe, 0);
+    b.ld(tr, pt, 0);
+    b.ld(m, pd, 0); // previous match score
+    b.add(m, m, tr);
+    b.add(ins, m, e);
+    // best = max(m, ins) without a branch, then one branchy clamp.
+    b.slt(best, m, ins);
+    let keep = b.label();
+    b.beq_label(best, Reg::ZERO, keep);
+    b.mov(m, ins);
+    b.bind(keep);
+    b.add(m, m, e);
+    b.st(m, pd, 8);
+    b.addi(pe, pe, 8);
+    b.addi(pt, pt, 8);
+    b.addi(pd, pd, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("hmmer")
+}
+
+/// `445.gobmk` analogue: board-region flood scan — neighbor tests with
+/// many short branches over a byte board.
+#[must_use]
+pub fn gobmk(n: u32) -> Program {
+    let n = i64::from(n);
+    let side = 64i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("445.gobmk");
+    let board = a.words((side * side) as u64 + side as u64 + 1);
+    let libs = a.words((side * side) as u64);
+    init_i64_array(&mut b, board, (side * side) as usize + side as usize + 1, 0, 3, 0xD0);
+
+    let (pb, pl, i, v, nbv, cnt) =
+        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6));
+    b.init_reg(pb, board as i64);
+    b.init_reg(pl, libs as i64);
+    b.init_reg(i, n.min(side * side - side - 1));
+    let head = b.bind_new_label();
+    let empty = b.label();
+    let store = b.label();
+    b.ld(v, pb, 0);
+    b.beq_label(v, Reg::ZERO, empty); // empty point
+    b.li(cnt, 0);
+    for off in [8i64, side * 8] {
+        let occupied = b.label();
+        b.ld(nbv, pb, off);
+        b.bne_label(nbv, Reg::ZERO, occupied);
+        b.addi(cnt, cnt, 1); // liberty
+        b.bind(occupied);
+    }
+    b.jmp_label(store);
+    b.bind(empty);
+    b.li(cnt, -1);
+    b.bind(store);
+    b.st(cnt, pl, 0);
+    b.addi(pb, pb, 8);
+    b.addi(pl, pl, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("gobmk")
+}
+
+/// `464.h264ref` analogue: two-phase encoder slice — SAD motion estimation
+/// (regular int) followed by intra-prediction selection (branchy), the
+/// switching benchmark of the paper's Fig. 14.
+#[must_use]
+pub fn h264ref(n: u32) -> Program {
+    let n = i64::from(n) & !7;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("464.h264ref");
+    let cur = a.words(n as u64);
+    let refw = a.words(n as u64 + 8);
+    let modes = a.words(n as u64);
+    init_i64_array(&mut b, cur, n as usize, 0, 256, 0xD1);
+    init_i64_array(&mut b, refw, n as usize + 8, 0, 256, 0xD2);
+
+    // Phase 1: SAD (data parallel).
+    let (pc, pr, i, x, y, d, acc) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
+    b.init_reg(pc, cur as i64);
+    b.init_reg(pr, refw as i64);
+    b.init_reg(i, n);
+    let sad = b.bind_new_label();
+    b.ld(x, pc, 0);
+    b.ld(y, pr, 0);
+    b.sub(d, x, y);
+    b.srai(x, d, 63);
+    b.xor(d, d, x);
+    b.sub(d, d, x);
+    b.add(acc, acc, d);
+    b.addi(pc, pc, 8);
+    b.addi(pr, pr, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, sad);
+
+    // Phase 2: intra-mode decision (irregular branches).
+    let (pm, j, v, mode) = (Reg::int(8), Reg::int(9), Reg::int(10), Reg::int(11));
+    b.init_reg(pm, modes as i64);
+    b.li(pc, cur as i64);
+    b.li(j, n);
+    let intra = b.bind_new_label();
+    let try_dc = b.label();
+    let use_planar = b.label();
+    let decided = b.label();
+    b.ld(v, pc, 0);
+    b.slti(mode, v, 64);
+    b.beq_label(mode, Reg::ZERO, try_dc);
+    b.li(mode, 0); // vertical
+    b.jmp_label(decided);
+    b.bind(try_dc);
+    b.slti(mode, v, 192);
+    b.beq_label(mode, Reg::ZERO, use_planar);
+    b.li(mode, 1); // DC
+    b.jmp_label(decided);
+    b.bind(use_planar);
+    b.li(mode, 2); // planar
+    b.bind(decided);
+    b.st(mode, pm, 0);
+    b.addi(pc, pc, 8);
+    b.addi(pm, pm, 8);
+    b.addi(j, j, -1);
+    b.bne_label(j, Reg::ZERO, intra);
+    b.halt();
+    b.build().expect("h264ref")
+}

@@ -1,0 +1,120 @@
+//! TPC-H query analogues: scan/aggregate (Q1) and lookup-join (Q2) —
+//! database kernels with predicates over columnar data.
+
+use prism_isa::{Program, ProgramBuilder, Reg};
+
+use crate::helpers::{init_f64_array, init_i64_array, Alloc};
+
+/// Q1 analogue: predicated scan-aggregate over a lineitem-like column set:
+/// `WHERE shipdate <= D` then `SUM(price·(1-discount))` per flag group.
+#[must_use]
+pub fn q1(n: u32) -> Program {
+    let n = i64::from(n);
+    let groups = 4i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("tpch1");
+    let shipdate = a.words(n as u64);
+    let flag = a.words(n as u64);
+    let price = a.words(n as u64);
+    let discount = a.words(n as u64);
+    let sums = a.words(groups as u64);
+    init_i64_array(&mut b, shipdate, n as usize, 0, 1000, 0xB0);
+    init_i64_array(&mut b, flag, n as usize, 0, groups, 0xB1);
+    init_f64_array(&mut b, price, n as usize, 1.0, 100.0, 0xB2);
+    init_f64_array(&mut b, discount, n as usize, 0.0, 0.1, 0xB3);
+
+    let (pd, pf, pp, pc, ps, i, date, g) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+    );
+    let (pr, di, rev, cur, one) =
+        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(10));
+    b.init_reg(pd, shipdate as i64);
+    b.init_reg(pf, flag as i64);
+    b.init_reg(pp, price as i64);
+    b.init_reg(pc, discount as i64);
+    b.init_reg(ps, sums as i64);
+    b.init_reg(i, n);
+    b.fli(one, 1.0);
+    let head = b.bind_new_label();
+    let skip = b.label();
+    b.ld(date, pd, 0);
+    b.slti(date, date, 900); // predicate: ~90% selectivity
+    b.beq_label(date, Reg::ZERO, skip);
+    b.fld(pr, pp, 0);
+    b.fld(di, pc, 0);
+    b.fsub(rev, one, di);
+    b.fmul(rev, rev, pr);
+    b.ld(g, pf, 0);
+    b.shli(g, g, 3);
+    b.add(g, g, ps);
+    b.fld(cur, g, 0);
+    b.fadd(cur, cur, rev);
+    b.fst(cur, g, 0);
+    b.bind(skip);
+    b.addi(pd, pd, 8);
+    b.addi(pf, pf, 8);
+    b.addi(pp, pp, 8);
+    b.addi(pc, pc, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("tpch q1")
+}
+
+/// Q2 analogue: foreign-key lookup join — for each supplier row, probe a
+/// hash-bucketed part table and keep the min cost (irregular gathers).
+#[must_use]
+pub fn q2(n: u32) -> Program {
+    let n = i64::from(n);
+    let buckets = 1024i64;
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("tpch2");
+    let keys = a.words(n as u64);
+    let table = a.words(buckets as u64);
+    let mincost = a.words(1);
+    init_i64_array(&mut b, keys, n as usize, 0, 1_000_000, 0xB4);
+    init_i64_array(&mut b, table, buckets as usize, 1, 10_000, 0xB5);
+
+    let (pk, pt, pm, i, k, h, cost, best) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+    );
+    b.init_reg(pk, keys as i64);
+    b.init_reg(pt, table as i64);
+    b.init_reg(pm, mincost as i64);
+    b.init_reg(i, n);
+    b.li(best, i64::MAX / 2);
+    let head = b.bind_new_label();
+    let worse = b.label();
+    b.ld(k, pk, 0);
+    // Multiplicative hash into buckets.
+    b.li(h, 0x9E37);
+    b.mul(h, h, k);
+    b.shri(h, h, 4);
+    b.andi(h, h, buckets - 1);
+    b.shli(h, h, 3);
+    b.add(h, h, pt);
+    b.ld(cost, h, 0); // probe
+    b.bge_label(cost, best, worse);
+    b.mov(best, cost);
+    b.bind(worse);
+    b.addi(pk, pk, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.st(best, pm, 0);
+    b.halt();
+    b.build().expect("tpch q2")
+}

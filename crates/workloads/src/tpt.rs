@@ -1,0 +1,304 @@
+//! Intel TPT (throughput) kernel analogues \[17\]: highly regular,
+//! data-parallel codes — the workloads DySER's evaluation targeted.
+
+use prism_isa::{Program, ProgramBuilder, Reg};
+
+use crate::helpers::{init_f64_array, init_i64_array, init_sorted_array, Alloc};
+
+/// 1-D convolution with a 5-tap filter: `out[i] = Σ_k in[i+k]·w[k]`.
+///
+/// Fully unrolled taps make a memory/compute-separable, vectorizable body.
+#[must_use]
+pub fn conv(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("conv");
+    let input = a.words((n + 8) as u64);
+    let output = a.words(n as u64);
+    init_f64_array(&mut b, input, (n + 8) as usize, -1.0, 1.0, 0xC0);
+
+    let (pin, pout, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let acc = Reg::fp(0);
+    let x = Reg::fp(1);
+    let t = Reg::fp(2);
+    let (w0, w1, w2, w3, w4) =
+        (Reg::fp(10), Reg::fp(11), Reg::fp(12), Reg::fp(13), Reg::fp(14));
+    b.init_reg(pin, input as i64);
+    b.init_reg(pout, output as i64);
+    b.init_reg(i, n);
+    b.fli(w0, 0.1);
+    b.fli(w1, 0.25);
+    b.fli(w2, 0.3);
+    b.fli(w3, 0.25);
+    b.fli(w4, 0.1);
+    let head = b.bind_new_label();
+    b.fld(x, pin, 0);
+    b.fmul(acc, x, w0);
+    b.fld(x, pin, 8);
+    b.fmul(t, x, w1);
+    b.fadd(acc, acc, t);
+    b.fld(x, pin, 16);
+    b.fmul(t, x, w2);
+    b.fadd(acc, acc, t);
+    b.fld(x, pin, 24);
+    b.fmul(t, x, w3);
+    b.fadd(acc, acc, t);
+    b.fld(x, pin, 32);
+    b.fmul(t, x, w4);
+    b.fadd(acc, acc, t);
+    b.fst(acc, pout, 0);
+    b.addi(pin, pin, 8);
+    b.addi(pout, pout, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("conv")
+}
+
+/// Merge of two sorted runs: per-element data-dependent branch picks the
+/// smaller head — control is critical and varies.
+#[must_use]
+pub fn merge(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("merge");
+    let left = a.words(n as u64 + 1);
+    let right = a.words(n as u64 + 1);
+    let out = a.words(2 * n as u64);
+    init_sorted_array(&mut b, left, n as usize, 9, 0x11);
+    init_sorted_array(&mut b, right, n as usize, 9, 0x22);
+    // Sentinels so neither run underflows during the merge of 2n-2 items.
+    b.init_words(left + (n as u64) * 8, &[i64::MAX / 2]);
+    b.init_words(right + (n as u64) * 8, &[i64::MAX / 2]);
+
+    let (pl, pr, po, i) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    let (vl, vr) = (Reg::int(5), Reg::int(6));
+    b.init_reg(pl, left as i64);
+    b.init_reg(pr, right as i64);
+    b.init_reg(po, out as i64);
+    b.init_reg(i, 2 * n - 2);
+    let head = b.bind_new_label();
+    let take_right = b.label();
+    let cont = b.label();
+    b.ld(vl, pl, 0);
+    b.ld(vr, pr, 0);
+    b.bge_label(vl, vr, take_right);
+    b.st(vl, po, 0);
+    b.addi(pl, pl, 8);
+    b.jmp_label(cont);
+    b.bind(take_right);
+    b.st(vr, po, 0);
+    b.addi(pr, pr, 8);
+    b.bind(cont);
+    b.addi(po, po, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("merge")
+}
+
+/// N-body force accumulation: for each body, sum pairwise inverse-square
+/// contributions over all others (outer×inner nest, FP-heavy).
+#[must_use]
+pub fn nbody(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("nbody");
+    let pos = a.words(n as u64);
+    let force = a.words(n as u64);
+    init_f64_array(&mut b, pos, n as usize, -10.0, 10.0, 0x33);
+
+    let (ppos, pfor, i, j, pj) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    let (xi, xj, d, d2, inv, facc) =
+        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4), Reg::fp(5));
+    let eps = Reg::fp(10);
+    b.init_reg(ppos, pos as i64);
+    b.init_reg(pfor, force as i64);
+    b.init_reg(i, n);
+    b.fli(eps, 0.01);
+    let outer = b.bind_new_label();
+    b.fld(xi, ppos, 0);
+    b.fli(facc, 0.0);
+    b.li(j, n);
+    b.li(pj, pos as i64);
+    let inner = b.bind_new_label();
+    b.fld(xj, pj, 0);
+    b.fsub(d, xj, xi);
+    b.fmul(d2, d, d);
+    b.fadd(d2, d2, eps);
+    b.fdiv(inv, d, d2);
+    b.fadd(facc, facc, inv);
+    b.addi(pj, pj, 8);
+    b.addi(j, j, -1);
+    b.bne_label(j, Reg::ZERO, inner);
+    b.fst(facc, pfor, 0);
+    b.addi(ppos, ppos, 8);
+    b.addi(pfor, pfor, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, outer);
+    b.halt();
+    b.build().expect("nbody")
+}
+
+/// Radar correlation: complex multiply-accumulate over a pulse window
+/// (interleaved re/im arrays, stride-16 access).
+#[must_use]
+pub fn radar(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("radar");
+    let signal = a.words(2 * n as u64 + 32);
+    let replica = a.words(32);
+    let out = a.words(2 * n as u64);
+    init_f64_array(&mut b, signal, 2 * n as usize + 32, -1.0, 1.0, 0x44);
+    init_f64_array(&mut b, replica, 32, -1.0, 1.0, 0x45);
+
+    let (ps, pr, po, i, k, pk, psk) =
+        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6), Reg::int(7));
+    let (sr, si, rr, ri, accr, acci, t1, t2) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(4),
+        Reg::fp(5),
+        Reg::fp(6),
+        Reg::fp(7),
+    );
+    b.init_reg(ps, signal as i64);
+    b.init_reg(po, out as i64);
+    b.init_reg(i, n);
+    b.init_reg(pr, replica as i64);
+    let outer = b.bind_new_label();
+    b.fli(accr, 0.0);
+    b.fli(acci, 0.0);
+    b.li(k, 8);
+    b.mov(pk, pr);
+    b.mov(psk, ps);
+    let inner = b.bind_new_label();
+    b.fld(sr, psk, 0);
+    b.fld(si, psk, 8);
+    b.fld(rr, pk, 0);
+    b.fld(ri, pk, 8);
+    b.fmul(t1, sr, rr);
+    b.fmul(t2, si, ri);
+    b.fsub(t1, t1, t2);
+    b.fadd(accr, accr, t1);
+    b.fmul(t1, sr, ri);
+    b.fmul(t2, si, rr);
+    b.fadd(t1, t1, t2);
+    b.fadd(acci, acci, t1);
+    b.addi(psk, psk, 16);
+    b.addi(pk, pk, 16);
+    b.addi(k, k, -1);
+    b.bne_label(k, Reg::ZERO, inner);
+    b.fst(accr, po, 0);
+    b.fst(acci, po, 8);
+    b.addi(ps, ps, 16);
+    b.addi(po, po, 16);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, outer);
+    b.halt();
+    b.build().expect("radar")
+}
+
+/// Repeated binary-search descents through an implicit tree (array-backed):
+/// irregular, data-dependent loads and branches.
+#[must_use]
+pub fn treesearch(n: u32) -> Program {
+    let keys = 4096u64; // tree size (power of two minus structure)
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("treesearch");
+    let tree = a.words(keys);
+    let queries = a.words(n as u64);
+    init_sorted_array(&mut b, tree, keys as usize, 7, 0x55);
+    init_i64_array(&mut b, queries, n as usize, 0, 7 * keys as i64, 0x56);
+
+    let (ptree, pq, i, lo, hi, mid, pm, v, q, found) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+        Reg::int(10),
+    );
+    b.init_reg(ptree, tree as i64);
+    b.init_reg(pq, queries as i64);
+    b.init_reg(i, n);
+    let outer = b.bind_new_label();
+    b.ld(q, pq, 0);
+    b.li(lo, 0);
+    b.li(hi, keys as i64);
+    let descend = b.bind_new_label();
+    let go_right = b.label();
+    let done = b.label();
+    b.sub(mid, hi, lo);
+    b.srai(mid, mid, 1);
+    b.add(mid, mid, lo);
+    b.shli(pm, mid, 3);
+    b.add(pm, pm, ptree);
+    b.ld(v, pm, 0);
+    b.blt_label(v, q, go_right);
+    b.mov(hi, mid);
+    b.jmp_label(done);
+    b.bind(go_right);
+    b.addi(lo, mid, 1);
+    b.bind(done);
+    b.sub(v, hi, lo);
+    b.slti(v, v, 2);
+    b.beq_label(v, Reg::ZERO, descend);
+    b.add(found, found, lo);
+    b.addi(pq, pq, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, outer);
+    b.halt();
+    b.build().expect("treesearch")
+}
+
+/// Volume-rendering ray step: trilinear-ish interpolation with an opacity
+/// early-out branch — data parallel with some control.
+#[must_use]
+pub fn vr(n: u32) -> Program {
+    let n = i64::from(n);
+    let mut a = Alloc::new();
+    let mut b = ProgramBuilder::new("vr");
+    let vol = a.words(n as u64 + 4);
+    let img = a.words(n as u64);
+    init_f64_array(&mut b, vol, n as usize + 4, 0.0, 1.0, 0x66);
+
+    let (pv, pi, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let t = Reg::int(4);
+    let (s0, s1, w, acc, thr) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4));
+    b.init_reg(pv, vol as i64);
+    b.init_reg(pi, img as i64);
+    b.init_reg(i, n);
+    b.fli(w, 0.6);
+    b.fli(thr, 0.8);
+    let head = b.bind_new_label();
+    let opaque = b.label();
+    let store = b.label();
+    b.fld(s0, pv, 0);
+    b.fld(s1, pv, 8);
+    b.fsub(s1, s1, s0);
+    b.fmul(s1, s1, w);
+    b.fadd(acc, s0, s1);
+    b.flt(t, thr, acc);
+    b.bne_label(t, Reg::ZERO, opaque);
+    b.fmul(acc, acc, w);
+    b.jmp_label(store);
+    b.bind(opaque);
+    b.fli(acc, 1.0);
+    b.bind(store);
+    b.fst(acc, pi, 0);
+    b.addi(pv, pv, 8);
+    b.addi(pi, pi, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("vr")
+}

@@ -1,0 +1,53 @@
+//! Region-affinity analysis of a real multi-phase workload: which unit
+//! executes which part of a JPEG-encode analogue, and how the ExoCore
+//! switches over time (the paper's Fig. 13/14 views for one benchmark).
+//!
+//! Run with: `cargo run --release --example affinity_trace`
+
+use prism_exocore::{oracle_schedule, switching_timeline, WorkloadData};
+use prism_tdg::{run_exocore, BsaKind, ExecUnit};
+use prism_udg::CoreConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = prism_workloads::by_name("cjpeg-1").expect("registered workload");
+    let data = WorkloadData::prepare(&w.build_default())?;
+    let core = CoreConfig::ooo2();
+
+    println!("workload: {} ({} dynamic insts, {} loops)", w.name, data.trace.len(), data.ir.loops.len());
+    for l in &data.ir.loops.loops {
+        println!(
+            "  loop {}: {} static insts, {} iterations, {:.0}% of execution",
+            l.id,
+            l.static_size(&data.ir.cfg),
+            l.iterations,
+            100.0 * l.dyn_insts as f64 / data.trace.len() as f64
+        );
+    }
+
+    let schedule = oracle_schedule(&data, &core, &BsaKind::ALL);
+    println!("\noracle schedule:");
+    for (lid, kind) in &schedule.map {
+        println!("  loop {lid} → {kind}");
+    }
+
+    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &BsaKind::ALL);
+    println!("\nper-unit breakdown (Fig. 13 view):");
+    println!("{:<10} {:>10} {:>10} {:>12}", "unit", "insts", "cycles", "energy (µJ)");
+    for u in ExecUnit::ALL {
+        println!(
+            "{:<10} {:>10} {:>10} {:>12.3}",
+            u.to_string(),
+            run.unit_insts[u as usize],
+            run.unit_cycles[u as usize],
+            run.unit_energy[u as usize] * 1e6
+        );
+    }
+
+    println!("\nswitching timeline (Fig. 14 view):");
+    let window = (data.trace.len() as u64 / 24).max(100);
+    for p in switching_timeline(&data, &core, &schedule, &BsaKind::ALL, window) {
+        let bar = "#".repeat((p.speedup * 10.0).round().clamp(1.0, 50.0) as usize);
+        println!("  @{:>7}: {:>5.2}x {:<8} {}", p.end_seq, p.speedup, p.dominant_unit.to_string(), bar);
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Design-space exploration over a handful of workloads: evaluates several
+//! ExoCore design points and prints a miniature Fig. 12 plus the Pareto
+//! frontier.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use prism_exocore::{
+    all_bsa_subsets, evaluate_point, oracle_table, pareto_frontier, DesignPoint, FrontierPoint,
+    WorkloadData,
+};
+use prism_udg::CoreConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small cross-section of the registry: regular / semi-regular /
+    // irregular workloads.
+    let names = ["stencil", "mm", "cjpeg-1", "tpch1", "181.mcf", "458.sjeng"];
+    println!("preparing {} workloads…", names.len());
+    let data: Vec<WorkloadData> = names
+        .iter()
+        .map(|n| {
+            let w = prism_workloads::by_name(n).expect(n);
+            WorkloadData::prepare(&w.build_default())
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Evaluate IO2 and OOO2 with every BSA subset.
+    let mut labeled: Vec<(String, FrontierPoint)> = Vec::new();
+    let mut reference_cycles: Vec<u64> = Vec::new();
+    let mut reference_energy: Vec<f64> = Vec::new();
+    println!("{:<14} {:>9} {:>11} {:>8}", "config", "speedup", "energy-eff", "area");
+    for core in [CoreConfig::io2(), CoreConfig::ooo2()] {
+        let tables: Vec<_> = data.iter().map(|w| oracle_table(w, &core)).collect();
+        for bsas in all_bsa_subsets() {
+            let point = DesignPoint::new(core.clone(), bsas);
+            let result = evaluate_point(&data, &tables, &point);
+            if reference_cycles.is_empty() {
+                reference_cycles = result.per_workload.iter().map(|m| m.cycles).collect();
+                reference_energy = result.per_workload.iter().map(|m| m.energy).collect();
+            }
+            let speedup = prism_exocore::geomean(
+                result
+                    .per_workload
+                    .iter()
+                    .zip(&reference_cycles)
+                    .map(|(m, &r)| r as f64 / m.cycles.max(1) as f64),
+            );
+            let eff = prism_exocore::geomean(
+                result
+                    .per_workload
+                    .iter()
+                    .zip(&reference_energy)
+                    .map(|(m, &r)| r / m.energy),
+            );
+            println!("{:<14} {:>9.2} {:>11.2} {:>8.2}", result.label, speedup, eff, result.area_mm2);
+            labeled.push((result.label, FrontierPoint { perf: speedup, energy: 1.0 / eff }));
+        }
+    }
+
+    println!("\nPareto frontier (perf ↑, energy ↓):");
+    for (label, p) in pareto_frontier(&labeled) {
+        println!("  {:<14} perf {:.2}, energy {:.2}", label, p.perf, p.energy);
+    }
+    Ok(())
+}

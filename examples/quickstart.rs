@@ -1,0 +1,73 @@
+//! Quickstart: author a kernel, trace it, model it on two cores, then let
+//! the TDG accelerate it on an ExoCore.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use prism_exocore::{oracle_schedule, WorkloadData};
+use prism_isa::{ProgramBuilder, Reg};
+use prism_tdg::{run_exocore, BsaKind};
+use prism_udg::{simulate_trace, CoreConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Author a kernel in the mini-ISA: y[i] = a*x[i] + y[i] (daxpy).
+    let (px, py, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let (fa, fx, fy) = (Reg::fp(0), Reg::fp(1), Reg::fp(2));
+    let mut b = ProgramBuilder::new("daxpy");
+    b.init_reg(px, 0x10000);
+    b.init_reg(py, 0x24000);
+    b.init_reg(i, 2000);
+    b.fli(fa, 2.5);
+    let head = b.bind_new_label();
+    b.fld(fx, px, 0);
+    b.fld(fy, py, 0);
+    b.fmul(fx, fx, fa);
+    b.fadd(fy, fy, fx);
+    b.fst(fy, py, 0);
+    b.addi(px, px, 8);
+    b.addi(py, py, 8);
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    let program = b.build()?;
+
+    // 2. Trace it (functional simulation + cache/branch models).
+    let trace = prism_sim::trace(&program)?;
+    println!("traced {} dynamic instructions", trace.stats.insts);
+    println!(
+        "  loads {}, stores {}, branches {}, mispredicts {}",
+        trace.stats.loads, trace.stats.stores, trace.stats.cond_branches, trace.stats.mispredicts
+    );
+
+    // 3. Model the baseline cores with the µDG.
+    for cfg in [CoreConfig::io2(), CoreConfig::ooo2(), CoreConfig::ooo6()] {
+        let run = simulate_trace(&trace, &cfg);
+        println!(
+            "{:>5}: {:>8} cycles, IPC {:.2}, energy {:.2} µJ",
+            cfg.name,
+            run.cycles,
+            run.ipc(),
+            run.energy.total() * 1e6
+        );
+    }
+
+    // 4. Build the IR + BSA plans and run a full ExoCore with the Oracle
+    //    scheduler.
+    let data = WorkloadData::prepare(&program)?;
+    let core = CoreConfig::ooo2();
+    let schedule = oracle_schedule(&data, &core, &BsaKind::ALL);
+    println!("\noracle schedule: {:?}", schedule.map);
+    let exo = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &BsaKind::ALL);
+    let base = simulate_trace(&trace, &core);
+    println!(
+        "OOO2 ExoCore: {} cycles ({:.2}x speedup), energy {:.2} µJ ({:.2}x more efficient)",
+        exo.cycles,
+        base.cycles as f64 / exo.cycles as f64,
+        exo.energy.total() * 1e6,
+        base.energy.total() / exo.energy.total()
+    );
+    println!(
+        "unaccelerated instruction fraction: {:.1}%",
+        exo.unaccelerated_fraction() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,222 @@
+//! `prism` — command-line front end to the modeling framework.
+//!
+//! ```text
+//! prism list                          list registered workloads
+//! prism run <workload> [options]      model one workload
+//!     --core IO2|OOO2|OOO4|OOO6       host core          (default OOO2)
+//!     --bsa  <subset of SDNT>|none    BSAs present       (default SDNT)
+//!     --scheduler oracle|amdahl       BSA selection      (default oracle)
+//!     -n <size>                       problem size       (default per workload)
+//! prism compare <workload>            4 cores × {bare, full ExoCore}
+//! ```
+
+use prism::exocore::{amdahl_schedule, oracle_schedule, WorkloadData};
+use prism::tdg::{run_exocore, BsaKind, ExecUnit};
+use prism::udg::{simulate_trace, CoreConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => {
+            eprintln!("usage: prism <list|run|compare> [args]   (see --help in the source header)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_list() -> i32 {
+    println!("{:<14} {:<11} {:<12} default-n", "name", "suite", "class");
+    for w in prism::workloads::ALL {
+        println!(
+            "{:<14} {:<11} {:<12} {}",
+            w.name,
+            w.suite.name(),
+            format!("{:?}", w.class()),
+            w.default_n
+        );
+    }
+    println!("\n({} workloads; microbenchmarks: prism::workloads::MICRO)", prism::workloads::ALL.len());
+    0
+}
+
+fn parse_core(s: &str) -> Option<CoreConfig> {
+    match s.to_ascii_uppercase().as_str() {
+        "IO2" => Some(CoreConfig::io2()),
+        "OOO2" => Some(CoreConfig::ooo2()),
+        "OOO4" => Some(CoreConfig::ooo4()),
+        "OOO6" => Some(CoreConfig::ooo6()),
+        _ => None,
+    }
+}
+
+fn parse_bsas(s: &str) -> Option<Vec<BsaKind>> {
+    if s.eq_ignore_ascii_case("none") {
+        return Some(Vec::new());
+    }
+    let mut out = Vec::new();
+    for c in s.to_ascii_uppercase().chars() {
+        out.push(match c {
+            'S' => BsaKind::Simd,
+            'D' => BsaKind::DpCgra,
+            'N' => BsaKind::NsDf,
+            'T' => BsaKind::TraceP,
+            _ => return None,
+        });
+    }
+    Some(out)
+}
+
+struct RunOpts {
+    workload: String,
+    core: CoreConfig,
+    bsas: Vec<BsaKind>,
+    scheduler: String,
+    n: Option<u32>,
+}
+
+fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
+    let mut it = args.iter();
+    let workload = it.next().ok_or("missing workload name")?.clone();
+    let mut opts = RunOpts {
+        workload,
+        core: CoreConfig::ooo2(),
+        bsas: BsaKind::ALL.to_vec(),
+        scheduler: "oracle".into(),
+        n: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut take = || it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--core" => {
+                let v = take()?;
+                opts.core = parse_core(&v).ok_or(format!("unknown core {v}"))?;
+            }
+            "--bsa" => {
+                let v = take()?;
+                opts.bsas = parse_bsas(&v).ok_or(format!("bad BSA set {v}"))?;
+            }
+            "--scheduler" => opts.scheduler = take()?,
+            "-n" => {
+                opts.n = Some(take()?.parse().map_err(|e| format!("bad -n: {e}"))?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn prepare(name: &str, n: Option<u32>) -> Result<WorkloadData, String> {
+    let w = prism::workloads::by_name(name)
+        .or_else(|| prism::workloads::MICRO.iter().find(|m| m.name == name))
+        .ok_or_else(|| format!("unknown workload {name} (try `prism list`)"))?;
+    let program = (w.build)(n.unwrap_or(w.default_n));
+    WorkloadData::prepare(&program).map_err(|e| e.to_string())
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let opts = match parse_run_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let data = match prepare(&opts.workload, opts.n) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let core =
+        if opts.bsas.contains(&BsaKind::Simd) { opts.core.clone().with_simd() } else { opts.core.clone() };
+
+    println!(
+        "{}: {} dynamic insts, {} loops",
+        data.name,
+        data.trace.len(),
+        data.ir.loops.len()
+    );
+    let base = simulate_trace(&data.trace, &opts.core);
+    println!(
+        "baseline {}: {} cycles (IPC {:.2}), {:.3} µJ",
+        opts.core.name,
+        base.cycles,
+        base.ipc(),
+        base.energy.total() * 1e6
+    );
+    if opts.bsas.is_empty() {
+        return 0;
+    }
+    let schedule = match opts.scheduler.as_str() {
+        "oracle" => oracle_schedule(&data, &core, &opts.bsas),
+        "amdahl" => amdahl_schedule(&data, &core, &opts.bsas),
+        s => {
+            eprintln!("error: unknown scheduler {s}");
+            return 2;
+        }
+    };
+    for (lid, kind) in &schedule.map {
+        println!("  loop {lid} → {kind}");
+    }
+    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &opts.bsas);
+    println!(
+        "ExoCore: {} cycles ({:.2}x), {:.3} µJ ({:.2}x energy-eff), area {:.2} mm²",
+        run.cycles,
+        base.cycles as f64 / run.cycles.max(1) as f64,
+        run.energy.total() * 1e6,
+        base.energy.total() / run.energy.total(),
+        run.area_mm2
+    );
+    for u in ExecUnit::ALL {
+        if run.unit_insts[u as usize] > 0 {
+            println!(
+                "  {:<8} {:>7} insts {:>8} cycles {:>9.3} µJ",
+                u.to_string(),
+                run.unit_insts[u as usize],
+                run.unit_cycles[u as usize],
+                run.unit_energy[u as usize] * 1e6
+            );
+        }
+    }
+    0
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let Some(name) = args.first() else {
+        eprintln!("usage: prism compare <workload>");
+        return 2;
+    };
+    let data = match prepare(name, None) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "{:<6} {:>10} {:>7} | {:>10} {:>7} {:>8}",
+        "core", "bare cyc", "µJ", "exo cyc", "µJ", "speedup"
+    );
+    for core in [CoreConfig::io2(), CoreConfig::ooo2(), CoreConfig::ooo4(), CoreConfig::ooo6()] {
+        let base = simulate_trace(&data.trace, &core);
+        let exo_core = core.clone().with_simd();
+        let schedule = oracle_schedule(&data, &exo_core, &BsaKind::ALL);
+        let run =
+            run_exocore(&data.trace, &data.ir, &exo_core, &data.plans, &schedule, &BsaKind::ALL);
+        println!(
+            "{:<6} {:>10} {:>7.3} | {:>10} {:>7.3} {:>7.2}x",
+            core.name,
+            base.cycles,
+            base.energy.total() * 1e6,
+            run.cycles,
+            run.energy.total() * 1e6,
+            base.cycles as f64 / run.cycles.max(1) as f64
+        );
+    }
+    0
+}

@@ -1,0 +1,140 @@
+//! Model-validation integration tests: the µDG core model against the
+//! independent cycle-stepped reference simulator, and sanity bounds on the
+//! BSA models (the Table 1 methodology as an automated check).
+
+use prism::exocore::WorkloadData;
+use prism::tdg::{run_exocore, Assignment, BsaKind};
+use prism::udg::{simulate_reference, simulate_trace, CoreConfig};
+
+fn traced(name: &str) -> prism::sim::Trace {
+    let w = prism::workloads::by_name(name).unwrap_or_else(|| panic!("{name}"));
+    prism::sim::trace(&(w.build)(w.default_n / 3 + 16)).expect(name)
+}
+
+#[test]
+fn udg_matches_reference_within_15_percent_across_suites() {
+    // One representative per suite; both 1-wide and 8-wide extremes.
+    let names = ["stencil", "spmv", "cjpeg-1", "453.povray", "tpch1", "456.hmmer"];
+    let mut worst: f64 = 0.0;
+    for name in names {
+        let t = traced(name);
+        for cfg in [CoreConfig::ooo(1), CoreConfig::ooo(8)] {
+            let r = simulate_reference(&t, &cfg);
+            let u = simulate_trace(&t, &cfg);
+            assert_eq!(r.insts, t.len() as u64, "{name}: reference lost insts");
+            let err = (r.ipc() - u.ipc()).abs() / r.ipc().max(1e-9);
+            worst = worst.max(err);
+            assert!(
+                err < 0.15,
+                "{name}/{}: µDG {:.3} vs reference {:.3} IPC ({:.0}% error)",
+                cfg.name,
+                u.ipc(),
+                r.ipc(),
+                err * 100.0
+            );
+        }
+    }
+    // Keep the bar honest: the typical error should be well under the cap.
+    assert!(worst < 0.15);
+}
+
+#[test]
+fn simd_model_bounds() {
+    // Vector length 4: a perfect SIMD loop cannot exceed ~4x + mispredict
+    // elimination headroom; it must never be pessimized below ~0.9x.
+    let w = prism::workloads::by_name("stencil").unwrap();
+    let data = WorkloadData::prepare(&w.build_default()).unwrap();
+    let core = CoreConfig::ooo4();
+    let base = simulate_trace(&data.trace, &core);
+    let lid = *data.plans.simd.keys().next().expect("stencil vectorizes");
+    let mut a = Assignment::none();
+    a.set(lid, BsaKind::Simd);
+    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &a, &[BsaKind::Simd]);
+    let speedup = base.cycles as f64 / run.cycles as f64;
+    assert!(
+        (0.9..=6.0).contains(&speedup),
+        "SIMD speedup out of physical bounds: {speedup:.2}"
+    );
+    // SIMD cannot touch more lanes than exist.
+    assert!(run.events.accel.vector_lane_ops <= 4 * data.trace.len() as u64);
+}
+
+#[test]
+fn trace_p_replay_fraction_matches_path_profile() {
+    // The irregular-branch loop of tpch1 has ~10% off-path iterations:
+    // the Trace-P model's replay count must track the path profile.
+    let w = prism::workloads::by_name("tpch1").unwrap();
+    let data = WorkloadData::prepare(&w.build_default()).unwrap();
+    let lid = *data.plans.trace_p.keys().next().expect("tpch1 has a hot trace");
+    let prof = &data.ir.paths[&lid];
+    let expected_off = prof.iterations - prof.hot_path().map_or(0, |(_, c)| *c);
+    let mut a = Assignment::none();
+    a.set(lid, BsaKind::TraceP);
+    let run = run_exocore(
+        &data.trace,
+        &data.ir,
+        &CoreConfig::ooo2(),
+        &data.plans,
+        &a,
+        &[BsaKind::TraceP],
+    );
+    let tol = expected_off / 5 + 8;
+    assert!(
+        run.trace_replays.abs_diff(expected_off) <= tol,
+        "replays {} vs off-path iterations {}",
+        run.trace_replays,
+        expected_off
+    );
+}
+
+#[test]
+fn offload_units_eliminate_pipeline_energy() {
+    // NS-DF regions bypass fetch/decode/rename: with 100% coverage the
+    // pipeline-event counts must drop to (almost) nothing.
+    let w = prism::workloads::by_name("456.hmmer").unwrap();
+    let data = WorkloadData::prepare(&w.build_default()).unwrap();
+    let core = CoreConfig::ooo2();
+    let base = simulate_trace(&data.trace, &core);
+    let Some((&lid, _)) = data.plans.ns_df.iter().next() else {
+        panic!("hmmer should offload to NS-DF");
+    };
+    let mut a = Assignment::none();
+    a.set(lid, BsaKind::NsDf);
+    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &a, &[BsaKind::NsDf]);
+    assert!(
+        run.events.core.fetches < base.events.core.fetches / 4,
+        "fetches {} vs baseline {}",
+        run.events.core.fetches,
+        base.events.core.fetches
+    );
+    // But the shared cache still sees the loop's accesses.
+    assert!(run.events.core.dcache_accesses * 2 >= base.events.core.dcache_accesses);
+}
+
+#[test]
+fn dp_cgra_communicates_and_computes() {
+    let w = prism::workloads::by_name("conv").unwrap();
+    let data = WorkloadData::prepare(&w.build_default()).unwrap();
+    let Some((&lid, plan)) = data.plans.dp_cgra.iter().next() else {
+        panic!("conv should be CGRA-mappable");
+    };
+    assert!(plan.vectorized, "conv's loop is data-parallel");
+    assert!(plan.offloaded.len() >= 5, "conv has a large compute slice");
+    let mut a = Assignment::none();
+    a.set(lid, BsaKind::DpCgra);
+    let run = run_exocore(
+        &data.trace,
+        &data.ir,
+        &CoreConfig::ooo2(),
+        &data.plans,
+        &a,
+        &[BsaKind::DpCgra],
+    );
+    assert!(run.events.accel.cgra_ops > 0);
+    // Comm cannot exceed the rejected-plan bound.
+    assert!(
+        run.events.accel.comm_sends + run.events.accel.comm_recvs
+            <= run.events.accel.cgra_ops,
+        "communication exceeds computation: the analyzer bound leaked"
+    );
+}

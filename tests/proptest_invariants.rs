@@ -1,0 +1,215 @@
+//! Property-based tests over the core data structures and models:
+//! randomly generated programs and event streams must uphold the
+//! framework's invariants.
+
+use proptest::prelude::*;
+
+use prism::isa::{FuClass, Inst, Opcode, Program, ProgramBuilder, Reg};
+use prism::sim::{Memory, RegDepTracker};
+use prism::udg::{CoreConfig, CoreModel, ModelDep, ModelInst, ResourceTable};
+
+// ---------------------------------------------------------------------
+// Random straight-line + loop program generation.
+// ---------------------------------------------------------------------
+
+/// An opcode-level random instruction for program generation.
+#[derive(Debug, Clone)]
+enum GenOp {
+    Alu(u8, u8, u8),
+    AluImm(u8, u8, i8),
+    Mul(u8, u8, u8),
+    Load(u8, u8, u8),
+    Store(u8, u8, u8),
+    Fp(u8, u8, u8),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (1u8..12, 1u8..12, 1u8..12).prop_map(|(a, b, c)| GenOp::Alu(a, b, c)),
+        (1u8..12, 1u8..12, -8i8..8).prop_map(|(a, b, i)| GenOp::AluImm(a, b, i)),
+        (1u8..12, 1u8..12, 1u8..12).prop_map(|(a, b, c)| GenOp::Mul(a, b, c)),
+        (1u8..12, 0u8..16, 1u8..12).prop_map(|(d, o, _)| GenOp::Load(d, o, 0)),
+        (1u8..12, 0u8..16, 1u8..12).prop_map(|(v, o, _)| GenOp::Store(v, o, 0)),
+        (1u8..12, 1u8..12, 1u8..12).prop_map(|(a, b, c)| GenOp::Fp(a, b, c)),
+    ]
+}
+
+/// Builds a terminating program: a counted loop whose body is the random
+/// op sequence (guaranteed induction + exit).
+fn build_program(body: &[GenOp], trips: i64) -> Program {
+    let base = Reg::int(20);
+    let i = Reg::int(21);
+    let mut b = ProgramBuilder::new("prop");
+    b.init_reg(base, 0x1_0000);
+    b.init_reg(i, trips);
+    let head = b.bind_new_label();
+    for op in body {
+        match *op {
+            GenOp::Alu(d, s1, s2) => {
+                b.add(Reg::int(d), Reg::int(s1), Reg::int(s2));
+            }
+            GenOp::AluImm(d, s, imm) => {
+                b.addi(Reg::int(d), Reg::int(s), i64::from(imm));
+            }
+            GenOp::Mul(d, s1, s2) => {
+                b.mul(Reg::int(d), Reg::int(s1), Reg::int(s2));
+            }
+            GenOp::Load(d, off, _) => {
+                b.ld(Reg::int(d), base, i64::from(off) * 8);
+            }
+            GenOp::Store(v, off, _) => {
+                b.st(Reg::int(v), base, i64::from(off) * 8);
+            }
+            GenOp::Fp(d, s1, s2) => {
+                b.fadd(Reg::fp(d), Reg::fp(s1), Reg::fp(s2));
+            }
+        }
+    }
+    b.addi(i, i, -1);
+    b.bne_label(i, Reg::ZERO, head);
+    b.halt();
+    b.build().expect("generated programs are structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_trace_and_model_consistently(
+        body in proptest::collection::vec(gen_op(), 1..24),
+        trips in 1i64..40,
+    ) {
+        let program = build_program(&body, trips);
+        let trace = prism::sim::trace(&program).expect("traces");
+        // Exact dynamic length: body + induction + branch per trip + halt.
+        let expected = (body.len() as u64 + 2) * trips as u64 + 1;
+        prop_assert_eq!(trace.stats.insts, expected);
+
+        for cfg in [CoreConfig::io2(), CoreConfig::ooo2(), CoreConfig::ooo6()] {
+            let run = prism::udg::simulate_trace(&trace, &cfg);
+            // IPC is physically bounded by the width; cycles are nonzero.
+            prop_assert!(run.cycles > 0);
+            prop_assert!(run.ipc() <= f64::from(cfg.width) + 1e-9);
+            // Energy must be positive and finite.
+            let e = run.energy.total();
+            prop_assert!(e.is_finite() && e > 0.0);
+            // Commit count equals trace length (via event bookkeeping).
+            prop_assert_eq!(run.events.core.commits, trace.stats.insts);
+        }
+    }
+
+    #[test]
+    fn udg_and_reference_stay_close_on_random_programs(
+        body in proptest::collection::vec(gen_op(), 1..16),
+        trips in 8i64..48,
+    ) {
+        let program = build_program(&body, trips);
+        let trace = prism::sim::trace(&program).expect("traces");
+        let cfg = CoreConfig::ooo2();
+        let u = prism::udg::simulate_trace(&trace, &cfg);
+        let r = prism::udg::simulate_reference(&trace, &cfg);
+        prop_assert_eq!(r.insts, trace.stats.insts);
+        let err = (u.ipc() - r.ipc()).abs() / r.ipc().max(1e-9);
+        prop_assert!(
+            err < 0.30,
+            "models diverge: µDG {:.3} vs reference {:.3}", u.ipc(), r.ipc()
+        );
+    }
+
+    #[test]
+    fn memory_roundtrips_random_writes(
+        writes in proptest::collection::vec((0u64..1_000_000, any::<u64>()), 1..64)
+    ) {
+        let mut mem = Memory::new();
+        let mut model: std::collections::HashMap<u64, u64> = Default::default();
+        for (addr, val) in &writes {
+            let addr = addr & !7; // aligned
+            mem.write_u64(addr, *val);
+            model.insert(addr, *val);
+        }
+        for (addr, val) in model {
+            prop_assert_eq!(mem.read_u64(addr), val);
+        }
+    }
+
+    #[test]
+    fn resource_table_never_overcommits(
+        units in 1u32..6,
+        requests in proptest::collection::vec(0u64..500, 1..120)
+    ) {
+        let mut table = ResourceTable::new(units);
+        let mut grants: std::collections::HashMap<u64, u32> = Default::default();
+        for &earliest in &requests {
+            let got = table.acquire(earliest);
+            prop_assert!(got >= earliest || got >= *grants.keys().min().unwrap_or(&0));
+            *grants.entry(got).or_insert(0) += 1;
+        }
+        for (cycle, count) in grants {
+            prop_assert!(count <= units, "cycle {cycle} granted {count} > {units}");
+        }
+    }
+
+    #[test]
+    fn core_model_times_are_causally_ordered(
+        latencies in proptest::collection::vec(1u64..20, 1..60)
+    ) {
+        let mut core = CoreModel::new(&CoreConfig::ooo4());
+        let mut last_complete = 0u64;
+        for (k, &lat) in latencies.iter().enumerate() {
+            let deps = if k % 2 == 1 { vec![ModelDep::data(last_complete)] } else { vec![] };
+            let mi = ModelInst { fu: FuClass::Alu, latency: lat, deps, ..ModelInst::default() };
+            let t = core.issue(&mi);
+            // The five node times are monotone within an instruction.
+            prop_assert!(t.fetch <= t.dispatch);
+            prop_assert!(t.dispatch <= t.execute);
+            prop_assert!(t.execute < t.complete);
+            prop_assert!(t.complete < t.commit);
+            prop_assert_eq!(t.complete, t.execute + lat);
+            if k % 2 == 1 {
+                prop_assert!(t.execute >= last_complete, "dependence violated");
+            }
+            last_complete = t.complete;
+        }
+    }
+
+    #[test]
+    fn reg_dep_tracker_matches_naive_last_writer(
+        ops in proptest::collection::vec((1u8..10, 1u8..10, 1u8..10), 1..80)
+    ) {
+        let mut tracker = RegDepTracker::new();
+        let mut naive: std::collections::HashMap<usize, u64> = Default::default();
+        for (seq, &(d, s1, s2)) in ops.iter().enumerate() {
+            let inst = Inst::rrr(Opcode::Add, Reg::int(d), Reg::int(s1), Reg::int(s2));
+            let expected: Vec<u64> = inst
+                .sources()
+                .filter_map(|r| naive.get(&r.index()).copied())
+                .collect();
+            prop_assert_eq!(tracker.sources(&inst), expected);
+            tracker.retire(&inst, seq as u64);
+            naive.insert(Reg::int(d).index(), seq as u64);
+        }
+    }
+
+    #[test]
+    fn program_ir_loop_invariants(
+        body in proptest::collection::vec(gen_op(), 1..12),
+        trips in 4i64..32,
+    ) {
+        let program = build_program(&body, trips);
+        let trace = prism::sim::trace(&program).expect("traces");
+        let ir = prism::ir::ProgramIr::analyze(&trace);
+        // Exactly one loop; its dynamic stats match the construction.
+        prop_assert_eq!(ir.loops.len(), 1);
+        let l = ir.loops.innermost().next().unwrap();
+        prop_assert_eq!(l.iterations, trips as u64);
+        prop_assert_eq!(l.entries, 1);
+        prop_assert_eq!(u64::from(l.static_size(&ir.cfg)), body.len() as u64 + 2);
+        // The induction register is always classified as an induction.
+        let regs = &ir.regs[&l.id];
+        let induction_found = matches!(
+            regs.carried.get(&Reg::int(21)),
+            Some(prism::ir::CarriedClass::Induction { step: -1 })
+        );
+        prop_assert!(induction_found);
+    }
+}

@@ -1,0 +1,155 @@
+//! Functional-correctness tests for the workload kernels: the programs are
+//! not just timing stimuli — they must compute the right answers. Each
+//! test runs the kernel to completion on the functional machine and checks
+//! its output memory against a Rust reimplementation.
+
+use prism::isa::Program;
+use prism::sim::Machine;
+
+/// Runs a program to completion and returns the machine.
+fn run(program: &Program) -> Machine {
+    let mut m = Machine::new(program);
+    let mut steps = 0u64;
+    while !m.is_halted() {
+        m.step(program).expect("exec fault");
+        steps += 1;
+        assert!(steps < 50_000_000, "runaway kernel");
+    }
+    m
+}
+
+/// Reads back the initialized input array a workload placed in memory.
+fn read_f64s(program: &Program, seg_idx: usize) -> (u64, Vec<f64>) {
+    let seg = &program.data[seg_idx];
+    let vals = seg
+        .bytes
+        .chunks(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    (seg.addr, vals)
+}
+
+fn read_i64s(program: &Program, seg_idx: usize) -> (u64, Vec<i64>) {
+    let seg = &program.data[seg_idx];
+    let vals = seg
+        .bytes
+        .chunks(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    (seg.addr, vals)
+}
+
+#[test]
+fn conv_computes_the_five_tap_filter() {
+    let n = 64usize;
+    let program = (prism::workloads::by_name("conv").unwrap().build)(n as u32);
+    let (in_addr, input) = read_f64s(&program, 0);
+    let m = run(&program);
+    // The output array starts after the input (allocator order).
+    let weights = [0.1, 0.25, 0.3, 0.25, 0.1];
+    // Find output base: first store address = input end + padding; easier:
+    // recompute from the program's second register init (pout).
+    let out_addr = program.reg_init.iter().find(|(r, _)| r.index() == 2).unwrap().1 as u64;
+    assert_ne!(out_addr, in_addr);
+    for i in 0..n {
+        let expected: f64 = (0..5).map(|k| input[i + k] * weights[k]).sum();
+        let got = m.mem.read_f64(out_addr + (i * 8) as u64);
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "conv[{i}] = {got}, expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn merge_produces_sorted_output() {
+    let n = 128usize;
+    let program = (prism::workloads::by_name("merge").unwrap().build)(n as u32);
+    let m = run(&program);
+    let out_addr = program.reg_init.iter().find(|(r, _)| r.index() == 3).unwrap().1 as u64;
+    let merged: Vec<i64> =
+        (0..2 * n - 2).map(|i| m.mem.read_u64(out_addr + (i * 8) as u64) as i64).collect();
+    assert!(
+        merged.windows(2).all(|w| w[0] <= w[1]),
+        "merge output not sorted: {:?}…",
+        &merged[..8]
+    );
+    // All elements positive (came from the sorted inputs, not junk).
+    assert!(merged.iter().all(|&v| v > 0));
+}
+
+#[test]
+fn sad_sums_absolute_differences() {
+    let n = 200usize;
+    let program = (prism::workloads::by_name("sad").unwrap().build)(n as u32);
+    let (_, cur) = read_i64s(&program, 0);
+    let (_, refr) = read_i64s(&program, 1);
+    let m = run(&program);
+    let expected: i64 = (0..n).map(|i| (cur[i] - refr[i]).abs()).sum();
+    // The accumulator lives in r7.
+    assert_eq!(m.reg(prism::isa::Reg::int(7)), expected);
+}
+
+#[test]
+fn stencil_computes_weighted_neighbors() {
+    let n = 64usize;
+    let program = (prism::workloads::by_name("stencil").unwrap().build)(n as u32);
+    let (_, input) = read_f64s(&program, 0);
+    let m = run(&program);
+    let out_addr = program.reg_init.iter().find(|(r, _)| r.index() == 2).unwrap().1 as u64;
+    for i in 0..n {
+        let expected = 0.25 * input[i] + 0.5 * input[i + 1] + 0.25 * input[i + 2];
+        let got = m.mem.read_f64(out_addr + (i * 8) as u64);
+        assert!((got - expected).abs() < 1e-9, "stencil[{i}] = {got} vs {expected}");
+    }
+}
+
+#[test]
+fn mm_multiplies_matrices() {
+    let dim = 8usize;
+    let program = (prism::workloads::by_name("mm").unwrap().build)(dim as u32);
+    let (_, a) = read_f64s(&program, 0);
+    let (b_addr, b) = read_f64s(&program, 1);
+    let m = run(&program);
+    // C base: the third register init (pc, r6).
+    let c_addr = program.reg_init.iter().find(|(r, _)| r.index() == 6).unwrap().1 as u64;
+    assert_ne!(c_addr, b_addr);
+    for i in 0..dim {
+        for j in 0..dim {
+            let expected: f64 = (0..dim).map(|k| a[i * dim + k] * b[k * dim + j]).sum();
+            let got = m.mem.read_f64(c_addr + ((i * dim + j) * 8) as u64);
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "C[{i}][{j}] = {got}, expected {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tpacf_histogram_counts_sum_to_n() {
+    let n = 400usize;
+    let program = (prism::workloads::by_name("tpacf").unwrap().build)(n as u32);
+    let m = run(&program);
+    let hist_addr = program.reg_init.iter().find(|(r, _)| r.index() == 2).unwrap().1 as u64;
+    let total: i64 = (0..32).map(|i| m.mem.read_u64(hist_addr + i * 8) as i64).sum();
+    assert_eq!(total, n as i64, "histogram must count every sample once");
+}
+
+#[test]
+fn mcf_chase_visits_the_whole_cycle() {
+    // The pointer-chase array is a single cycle: after `nodes` steps the
+    // cursor returns to 0. Run exactly that many iterations.
+    let program = (prism::workloads::by_name("181.mcf").unwrap().build)(2048);
+    let m = run(&program);
+    assert_eq!(m.reg(prism::isa::Reg::int(4)), 0, "chase should close its cycle");
+}
+
+#[test]
+fn treesearch_finds_plausible_indices() {
+    let program = (prism::workloads::by_name("treesearch").unwrap().build)(64);
+    let m = run(&program);
+    // `found` accumulates binary-search result indices: all in [0, 4096].
+    let acc = m.reg(prism::isa::Reg::int(10));
+    assert!(acc >= 0 && acc <= 64 * 4096, "accumulated index sum {acc} out of range");
+}
