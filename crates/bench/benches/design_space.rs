@@ -1,46 +1,43 @@
-//! Criterion benchmarks of design-space-exploration throughput: how fast a
-//! full 16-subset sweep runs per workload — the paper's argument that the
-//! TDG makes 64-point explorations tractable.
+//! Benchmarks of design-space-exploration throughput: how fast a full
+//! 16-subset sweep runs per workload — the paper's argument that the TDG
+//! makes 64-point explorations tractable. (Dependency-free timing harness;
+//! criterion is not available in this build environment.)
+//!
+//! Run with: `cargo bench -p prism-bench --bench design_space`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use prism_exocore::{all_bsa_subsets, evaluate_point, oracle_table, DesignPoint, WorkloadData};
 use prism_udg::CoreConfig;
 
-fn bench_subset_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dse_16_subsets");
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    println!("{name:<44} {:>12.2?}", start.elapsed() / iters);
+}
+
+fn main() {
     for name in ["stencil", "cjpeg-1", "181.mcf"] {
         let w = prism_workloads::by_name(name).expect("registered");
         let data = vec![WorkloadData::prepare(&(w.build)(w.default_n / 2)).unwrap()];
         let core = CoreConfig::ooo2();
         let tables = vec![oracle_table(&data[0], &core)];
-        g.bench_with_input(BenchmarkId::from_parameter(name), &data, |b, data| {
-            b.iter(|| {
-                for bsas in all_bsa_subsets() {
-                    let point = DesignPoint::new(core.clone(), bsas);
-                    std::hint::black_box(evaluate_point(data, &tables, &point));
-                }
-            })
+        bench(&format!("dse_16_subsets/{name}"), 10, || {
+            for bsas in all_bsa_subsets() {
+                let point = DesignPoint::new(core.clone(), bsas);
+                std::hint::black_box(evaluate_point(&data, &tables, &point));
+            }
         });
     }
-    g.finish();
-}
 
-fn bench_workload_preparation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload_preparation");
     for name in ["mm", "spmv", "464.h264ref"] {
         let w = prism_workloads::by_name(name).expect("registered");
         let program = (w.build)(w.default_n / 2);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, p| {
-            b.iter(|| WorkloadData::prepare(std::hint::black_box(p)).unwrap())
+        bench(&format!("workload_preparation/{name}"), 10, || {
+            WorkloadData::prepare(&program).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = dse;
-    config = Criterion::default().sample_size(10);
-    targets = bench_subset_sweep, bench_workload_preparation
-}
-criterion_main!(dse);

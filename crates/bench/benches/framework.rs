@@ -1,119 +1,93 @@
-//! Criterion benchmarks of the modeling framework itself.
+//! Benchmarks of the modeling framework itself (dependency-free timing
+//! harness; criterion is not available in this build environment).
 //!
 //! The TDG's pitch is methodological: it must be much faster than
 //! cycle-level simulation while retaining accuracy. These benches measure
 //! every stage of the pipeline — and `udg_vs_reference` quantifies the
 //! speed gap between the one-pass µDG model and the cycle-stepped
 //! reference simulator.
+//!
+//! Run with: `cargo bench -p prism-bench --bench framework`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 
 use prism_exocore::{oracle_pick, oracle_table, WorkloadData};
 use prism_tdg::{run_exocore, AccelPlans, BsaKind};
 use prism_udg::{simulate_reference, simulate_trace, CoreConfig};
+
+/// Times `f` over `iters` runs and prints mean wall time, plus per-element
+/// throughput when `elems > 0`.
+fn bench<T>(name: &str, elems: u64, iters: u32, mut f: impl FnMut() -> T) {
+    // One warm-up run.
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let mean = start.elapsed() / iters;
+    if elems > 0 {
+        let per_sec = elems as f64 / mean.as_secs_f64();
+        println!("{name:<44} {mean:>12.2?}  ({per_sec:>12.0} elems/s)");
+    } else {
+        println!("{name:<44} {mean:>12.2?}");
+    }
+}
 
 fn stencil_trace() -> prism_sim::Trace {
     let w = prism_workloads::by_name("stencil").expect("registered");
     prism_sim::trace(&(w.build)(800)).expect("traces")
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
+fn main() {
     let w = prism_workloads::by_name("stencil").expect("registered");
     let program = (w.build)(800);
-    let n = prism_sim::trace(&program).unwrap().len() as u64;
-    let mut g = c.benchmark_group("trace_generation");
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("stencil", |b| {
-        b.iter(|| prism_sim::trace(std::hint::black_box(&program)).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_udg_model(c: &mut Criterion) {
     let trace = stencil_trace();
-    let mut g = c.benchmark_group("udg_model");
-    g.throughput(Throughput::Elements(trace.len() as u64));
+    let n = trace.len() as u64;
+
+    bench("trace_generation/stencil", n, 20, || {
+        prism_sim::trace(&program).unwrap()
+    });
+
     for cfg in [CoreConfig::io2(), CoreConfig::ooo2(), CoreConfig::ooo6()] {
-        g.bench_with_input(BenchmarkId::from_parameter(&cfg.name), &cfg, |b, cfg| {
-            b.iter(|| simulate_trace(std::hint::black_box(&trace), cfg))
+        bench(&format!("udg_model/{}", cfg.name), n, 20, || {
+            simulate_trace(&trace, &cfg)
         });
     }
-    g.finish();
-}
 
-fn bench_udg_vs_reference(c: &mut Criterion) {
-    let trace = stencil_trace();
-    let cfg = CoreConfig::ooo4();
-    let mut g = c.benchmark_group("udg_vs_reference");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("udg_one_pass", |b| {
-        b.iter(|| simulate_trace(std::hint::black_box(&trace), &cfg))
+    let ooo4 = CoreConfig::ooo4();
+    bench("udg_vs_reference/udg_one_pass", n, 20, || {
+        simulate_trace(&trace, &ooo4)
     });
-    g.bench_function("cycle_stepped_reference", |b| {
-        b.iter(|| simulate_reference(std::hint::black_box(&trace), &cfg))
+    bench("udg_vs_reference/cycle_stepped_reference", n, 20, || {
+        simulate_reference(&trace, &ooo4)
     });
-    g.finish();
-}
 
-fn bench_ir_analysis(c: &mut Criterion) {
-    let trace = stencil_trace();
-    let mut g = c.benchmark_group("ir_analysis");
-    g.throughput(Throughput::Elements(trace.len() as u64));
-    g.bench_function("full_stack", |b| {
-        b.iter(|| prism_ir::ProgramIr::analyze(std::hint::black_box(&trace)))
+    bench("ir_analysis/full_stack", n, 20, || {
+        prism_ir::ProgramIr::analyze(&trace)
     });
-    g.finish();
-}
 
-fn bench_bsa_planning(c: &mut Criterion) {
-    let trace = stencil_trace();
     let ir = prism_ir::ProgramIr::analyze(&trace);
-    c.bench_function("bsa_planning/all_four", |b| {
-        b.iter(|| AccelPlans::analyze(std::hint::black_box(&ir)))
-    });
-}
+    bench("bsa_planning/all_four", 0, 20, || AccelPlans::analyze(&ir));
 
-fn bench_transforms(c: &mut Criterion) {
-    let w = prism_workloads::by_name("stencil").expect("registered");
-    let data = WorkloadData::prepare(&(w.build)(800)).unwrap();
+    let data = WorkloadData::prepare(&program).unwrap();
     let core = CoreConfig::ooo2();
     let table = oracle_table(&data, &core);
-    let mut g = c.benchmark_group("combined_tdg_run");
-    g.throughput(Throughput::Elements(data.trace.len() as u64));
     for kind in BsaKind::ALL {
         let a = oracle_pick(&table, &data, &[kind]);
         if a.map.is_empty() {
             continue;
         }
-        g.bench_with_input(BenchmarkId::from_parameter(kind), &a, |b, a| {
-            b.iter(|| {
-                run_exocore(
-                    std::hint::black_box(&data.trace),
-                    &data.ir,
-                    &core,
-                    &data.plans,
-                    a,
-                    &[kind],
-                )
-            })
-        });
+        bench(
+            &format!("combined_tdg_run/{kind}"),
+            data.trace.len() as u64,
+            20,
+            || run_exocore(&data.trace, &data.ir, &core, &data.plans, &a, &[kind]),
+        );
     }
-    g.finish();
-}
 
-fn bench_oracle_scheduling(c: &mut Criterion) {
     let w = prism_workloads::by_name("cjpeg-1").expect("registered");
     let data = WorkloadData::prepare(&(w.build)(600)).unwrap();
-    let core = CoreConfig::ooo2();
-    c.bench_function("oracle_scheduling/cjpeg", |b| {
-        b.iter(|| oracle_table(std::hint::black_box(&data), &core))
+    bench("oracle_scheduling/cjpeg", 0, 20, || {
+        oracle_table(&data, &core)
     });
 }
-
-criterion_group! {
-    name = framework;
-    config = Criterion::default().sample_size(20);
-    targets = bench_trace_generation, bench_udg_model, bench_udg_vs_reference,
-        bench_ir_analysis, bench_bsa_planning, bench_transforms, bench_oracle_scheduling
-}
-criterion_main!(framework);

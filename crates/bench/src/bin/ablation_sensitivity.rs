@@ -9,23 +9,19 @@
 //!   3. mispredict penalty,
 //!   4. SIMD vector length and NS-DF live-transfer cost (accelerator side).
 
-use prism_exocore::{geomean, oracle_schedule, WorkloadData};
+use prism_bench::{prepare_named, run_or_exit};
+use prism_exocore::{geomean, oracle_schedule};
+use prism_pipeline::PreparedWorkload;
 use prism_tdg::{run_exocore, BsaKind};
 use prism_udg::{simulate_trace, CoreConfig};
 
 const WORKLOADS: &[&str] = &["stencil", "cjpeg-1", "tpch1", "456.hmmer", "458.sjeng"];
 
-fn prepare() -> Vec<WorkloadData> {
-    WORKLOADS
-        .iter()
-        .map(|n| {
-            let w = prism_workloads::by_name(n).expect(n);
-            WorkloadData::prepare(&w.build_default()).expect(n)
-        })
-        .collect()
+fn prepare() -> Vec<PreparedWorkload> {
+    run_or_exit(prepare_named(WORKLOADS))
 }
 
-fn geomean_speedup(data: &[WorkloadData], core: &CoreConfig) -> (f64, f64) {
+fn geomean_speedup(data: &[PreparedWorkload], core: &CoreConfig) -> (f64, f64) {
     // (full-ExoCore speedup, full-ExoCore energy-eff) vs this core alone.
     let ratios: Vec<(f64, f64)> = data
         .iter()
@@ -51,7 +47,10 @@ fn main() {
     println!("(geomean over {:?})\n", WORKLOADS);
 
     println!("-- host issue-window size (OOO2 otherwise) --");
-    println!("{:>8} {:>10} {:>12} {:>12}", "window", "base IPC", "exo speedup", "exo en-eff");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "window", "base IPC", "exo speedup", "exo en-eff"
+    );
     for window in [16, 32, 64, 128] {
         let mut core = CoreConfig::ooo2();
         core.window_size = window;
@@ -62,7 +61,10 @@ fn main() {
     }
 
     println!("\n-- host ROB size (OOO2 otherwise) --");
-    println!("{:>8} {:>10} {:>12} {:>12}", "rob", "base IPC", "exo speedup", "exo en-eff");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "rob", "base IPC", "exo speedup", "exo en-eff"
+    );
     for rob in [32, 64, 128, 256] {
         let mut core = CoreConfig::ooo2();
         core.rob_size = rob;
@@ -96,8 +98,14 @@ fn main() {
         let mut a = prism_tdg::Assignment::none();
         let lid = *plans.simd.keys().next().expect("stencil vectorizes");
         a.set(lid, BsaKind::Simd);
-        let run =
-            run_exocore(&stencil.trace, &stencil.ir, &core, &plans, &a, &[BsaKind::Simd]);
+        let run = run_exocore(
+            &stencil.trace,
+            &stencil.ir,
+            &core,
+            &plans,
+            &a,
+            &[BsaKind::Simd],
+        );
         println!("{vl:>4} {:>12.2}", base.cycles as f64 / run.cycles as f64);
     }
 

@@ -3,15 +3,18 @@
 //! geomean over all workloads. Each curve is one accelerator family; each
 //! point on it is one core.
 
-use prism_bench::{by_label, full_design_space};
+use prism_bench::{by_label, full_design_space, run_or_exit};
 
 fn main() {
-    let results = full_design_space();
+    let results = run_or_exit(full_design_space());
     let reference = by_label(&results, "IO2").clone();
 
     println!("=== Fig. 3 / Fig. 10: ExoCore tradeoffs across all workloads ===");
     println!("(relative performance ↑ and relative energy ↓ vs the IO2 core)\n");
-    println!("{:<22} {:>8} {:>8} {:>8} {:>8}", "family \\ core", "IO2", "OOO2", "OOO4", "OOO6");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8}",
+        "family \\ core", "IO2", "OOO2", "OOO4", "OOO6"
+    );
 
     let families: &[(&str, &str)] = &[
         ("Gen. Core Only", ""),
@@ -26,8 +29,11 @@ fn main() {
         for (name, codes) in families {
             let mut row = format!("{name:<22}");
             for core in ["IO2", "OOO2", "OOO4", "OOO6"] {
-                let label =
-                    if codes.is_empty() { core.to_string() } else { format!("{core}-{codes}") };
+                let label = if codes.is_empty() {
+                    core.to_string()
+                } else {
+                    format!("{core}-{codes}")
+                };
                 let r = by_label(&results, &label);
                 let v = if metric == "performance" {
                     r.geomean_speedup_over(&reference)

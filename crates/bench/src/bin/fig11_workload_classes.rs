@@ -3,7 +3,7 @@
 //! semi-regular (Mediabench, TPCH, SPECfp), and irregular (SPECint)
 //! workload groups.
 
-use prism_bench::{by_label, full_design_space};
+use prism_bench::{by_label, full_design_space, run_or_exit};
 use prism_exocore::{geomean, DesignResult};
 use prism_workloads::RegularityClass;
 
@@ -14,27 +14,37 @@ fn class_of(workload: &str) -> RegularityClass {
 }
 
 fn class_speedup(r: &DesignResult, reference: &DesignResult, class: RegularityClass) -> f64 {
-    geomean(r.per_workload.iter().filter(|m| class_of(&m.workload) == class).filter_map(|m| {
-        reference
-            .per_workload
+    geomean(
+        r.per_workload
             .iter()
-            .find(|x| x.workload == m.workload)
-            .map(|x| x.cycles as f64 / m.cycles.max(1) as f64)
-    }))
+            .filter(|m| class_of(&m.workload) == class)
+            .filter_map(|m| {
+                reference
+                    .per_workload
+                    .iter()
+                    .find(|x| x.workload == m.workload)
+                    .map(|x| x.cycles as f64 / m.cycles.max(1) as f64)
+            }),
+    )
 }
 
 fn class_energy(r: &DesignResult, reference: &DesignResult, class: RegularityClass) -> f64 {
-    geomean(r.per_workload.iter().filter(|m| class_of(&m.workload) == class).filter_map(|m| {
-        reference
-            .per_workload
+    geomean(
+        r.per_workload
             .iter()
-            .find(|x| x.workload == m.workload)
-            .map(|x| m.energy / x.energy)
-    }))
+            .filter(|m| class_of(&m.workload) == class)
+            .filter_map(|m| {
+                reference
+                    .per_workload
+                    .iter()
+                    .find(|x| x.workload == m.workload)
+                    .map(|x| m.energy / x.energy)
+            }),
+    )
 }
 
 fn main() {
-    let results = full_design_space();
+    let results = run_or_exit(full_design_space());
     let reference = by_label(&results, "IO2").clone();
 
     println!("=== Fig. 11: accelerator × core × workload-class interaction ===");
@@ -50,16 +60,25 @@ fn main() {
     ];
     for (class, title) in [
         (RegularityClass::Regular, "Regular Workloads (TPT, Parboil)"),
-        (RegularityClass::SemiRegular, "Semi-Regular Workloads (Mediabench, TPCH, SPECfp)"),
+        (
+            RegularityClass::SemiRegular,
+            "Semi-Regular Workloads (Mediabench, TPCH, SPECfp)",
+        ),
         (RegularityClass::Irregular, "Irregular Workloads (SPECint)"),
     ] {
         println!("-- {title} --");
-        println!("{:<16} {:>14} {:>14} {:>14} {:>14}", "family", "IO2", "OOO2", "OOO4", "OOO6");
+        println!(
+            "{:<16} {:>14} {:>14} {:>14} {:>14}",
+            "family", "IO2", "OOO2", "OOO4", "OOO6"
+        );
         for (name, codes) in families {
             let mut row = format!("{name:<16}");
             for core in ["IO2", "OOO2", "OOO4", "OOO6"] {
-                let label =
-                    if codes.is_empty() { core.to_string() } else { format!("{core}-{codes}") };
+                let label = if codes.is_empty() {
+                    core.to_string()
+                } else {
+                    format!("{core}-{codes}")
+                };
                 let r = by_label(&results, &label);
                 let p = class_speedup(r, &reference, class);
                 let e = class_energy(r, &reference, class);

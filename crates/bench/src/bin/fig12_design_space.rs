@@ -3,10 +3,10 @@
 //! relative to the dual-issue in-order (IO2) design, sorted by speedup
 //! (as the paper's x-axis is).
 
-use prism_bench::{by_label, full_design_space};
+use prism_bench::{by_label, full_design_space, run_or_exit};
 
 fn main() {
-    let results = full_design_space();
+    let results = run_or_exit(full_design_space());
     let reference = by_label(&results, "IO2").clone();
 
     let mut rows: Vec<(String, f64, f64, f64)> = results
@@ -24,7 +24,10 @@ fn main() {
 
     println!("=== Fig. 12: design-space characterization (all 64 ExoCores) ===");
     println!("(vs IO2; sorted by speedup, as in the paper's x-axis)\n");
-    println!("{:<14} {:>8} {:>11} {:>7}", "config", "speedup", "energy-eff", "area");
+    println!(
+        "{:<14} {:>8} {:>11} {:>7}",
+        "config", "speedup", "energy-eff", "area"
+    );
     for (label, s, e, a) in &rows {
         println!("{label:<14} {s:>8.2} {e:>11.2} {a:>7.2}");
     }
@@ -49,9 +52,7 @@ fn main() {
             })
             .count()
     };
-    println!(
-        "OOO6-S baseline: speedup {p_ref:.2}, energy-eff {e_ref:.2}, area {a_ref:.2}"
-    );
+    println!("OOO6-S baseline: speedup {p_ref:.2}, energy-eff {e_ref:.2}, area {a_ref:.2}");
     println!(
         "OOO2 ExoCores matching OOO6-S perf at lower energy+area: {} (paper: 4)",
         beats("OOO2")
@@ -72,7 +73,10 @@ fn main() {
         100.0 * best_io.1 / ooo6.geomean_speedup_over(&reference)
     );
     let full_io2 = rows.iter().find(|(l, ..)| l == "IO2-SDNT").unwrap();
-    let most_eff = rows.iter().max_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
+    let most_eff = rows
+        .iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .unwrap();
     println!(
         "most energy-efficient design: {} ({:.2}); full IO2 ExoCore: {:.2} (paper: IO2 full ExoCore is most efficient)",
         most_eff.0, most_eff.2, full_io2.2

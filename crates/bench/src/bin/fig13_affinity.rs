@@ -2,20 +2,33 @@
 //! time and energy of a full OOO2 ExoCore, broken down by the unit that
 //! ran each region, relative to the OOO2 core alone.
 
-use prism_bench::{by_label, full_design_space};
+use prism_bench::{by_label, full_design_space, run_or_exit};
 
 fn main() {
-    let results = full_design_space();
+    let results = run_or_exit(full_design_space());
     let exo = by_label(&results, "OOO2-SDNT");
     let base = by_label(&results, "OOO2");
 
     println!("=== Fig. 13: per-benchmark OOO2-ExoCore breakdown (baseline = OOO2 alone) ===\n");
     println!(
         "{:<14} | {:>5} {:>5} {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5} {:>5} {:>5} | {:>6}",
-        "benchmark", "GPP", "SIMD", "CGRA", "NSDF", "TrcP", "GPP", "SIMD", "CGRA", "NSDF", "TrcP",
+        "benchmark",
+        "GPP",
+        "SIMD",
+        "CGRA",
+        "NSDF",
+        "TrcP",
+        "GPP",
+        "SIMD",
+        "CGRA",
+        "NSDF",
+        "TrcP",
         "spdup"
     );
-    println!("{:<14} | {:^29} | {:^29} |", "", "exec. time fraction", "energy fraction");
+    println!(
+        "{:<14} | {:^29} | {:^29} |",
+        "", "exec. time fraction", "energy fraction"
+    );
 
     let mut unaccel_sum = 0.0;
     for m in &exo.per_workload {

@@ -2,7 +2,8 @@
 //! an OOO2 full ExoCore — execution time and energy relative to the OOO2
 //! core alone, for both schedulers.
 
-use prism_exocore::{amdahl_schedule, geomean, oracle_schedule, WorkloadData};
+use prism_bench::{run_or_exit, session};
+use prism_exocore::{amdahl_schedule, geomean, oracle_schedule};
 use prism_tdg::{run_exocore, BsaKind};
 use prism_udg::{simulate_trace, CoreConfig};
 
@@ -12,21 +13,36 @@ fn main() {
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
         "benchmark", "oracle T", "amdahl T", "oracle E", "amdahl E"
     );
-    println!("{:<12} {:^21} {:^21}", "", "(rel. exec. time)", "(rel. energy)");
+    println!(
+        "{:<12} {:^21} {:^21}",
+        "", "(rel. exec. time)", "(rel. energy)"
+    );
 
     let core = CoreConfig::ooo2();
     let mut perf_ratio = Vec::new(); // amdahl perf / oracle perf
     let mut energy_ratio = Vec::new(); // baseline energy / amdahl energy
 
     for w in prism_workloads::by_suite(prism_workloads::Suite::Mediabench) {
-        let data = WorkloadData::prepare(&w.build_default()).expect(w.name);
+        let data = run_or_exit(session().prepare(w));
         let base = simulate_trace(&data.trace, &core);
         let oracle = oracle_schedule(&data, &core, &BsaKind::ALL);
         let amdahl = amdahl_schedule(&data, &core, &BsaKind::ALL);
-        let run_o =
-            run_exocore(&data.trace, &data.ir, &core, &data.plans, &oracle, &BsaKind::ALL);
-        let run_a =
-            run_exocore(&data.trace, &data.ir, &core, &data.plans, &amdahl, &BsaKind::ALL);
+        let run_o = run_exocore(
+            &data.trace,
+            &data.ir,
+            &core,
+            &data.plans,
+            &oracle,
+            &BsaKind::ALL,
+        );
+        let run_a = run_exocore(
+            &data.trace,
+            &data.ir,
+            &core,
+            &data.plans,
+            &amdahl,
+            &BsaKind::ALL,
+        );
         let bt = base.cycles as f64;
         let be = base.energy.total();
         println!(

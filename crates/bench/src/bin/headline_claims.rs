@@ -2,10 +2,10 @@
 //! measurements. Exits non-zero if a claim's *shape* fails to hold (the
 //! substitutions in DESIGN.md mean absolute factors differ).
 
-use prism_bench::{by_label, full_design_space};
+use prism_bench::{by_label, full_design_space, run_or_exit};
 
 fn main() {
-    let results = full_design_space();
+    let results = run_or_exit(full_design_space());
     let io2 = by_label(&results, "IO2").clone();
     let mut failures = 0;
     let mut check = |name: &str, ok: bool, detail: String| {
@@ -95,12 +95,19 @@ fn main() {
     );
 
     // Claim 6: low unaccelerated fraction on the full OOO2 ExoCore.
-    let unaccel = full2.per_workload.iter().map(|m| m.unaccelerated).sum::<f64>()
+    let unaccel = full2
+        .per_workload
+        .iter()
+        .map(|m| m.unaccelerated)
+        .sum::<f64>()
         / full2.per_workload.len() as f64;
     check(
         "most cycles are accelerated on the full OOO2 ExoCore",
         unaccel <= 0.35,
-        format!("avg unaccelerated fraction {:.0}% (paper: 16%)", unaccel * 100.0),
+        format!(
+            "avg unaccelerated fraction {:.0}% (paper: 16%)",
+            unaccel * 100.0
+        ),
     );
 
     println!();

@@ -4,11 +4,19 @@
 //! that the *relative* conclusions — which BSA the Oracle picks, and the
 //! rough speedup — are stable across inputs.
 
-use prism_exocore::{oracle_schedule, WorkloadData};
+use prism_bench::{run_or_exit, session};
+use prism_exocore::oracle_schedule;
 use prism_tdg::{run_exocore, BsaKind};
 use prism_udg::{simulate_trace, CoreConfig};
 
-const WORKLOADS: &[&str] = &["stencil", "spmv", "cjpeg-1", "tpch1", "181.mcf", "456.hmmer"];
+const WORKLOADS: &[&str] = &[
+    "stencil",
+    "spmv",
+    "cjpeg-1",
+    "tpch1",
+    "181.mcf",
+    "456.hmmer",
+];
 
 fn main() {
     println!("=== Input sensitivity: ExoCore speedup across problem sizes ===\n");
@@ -23,7 +31,7 @@ fn main() {
         let mut speedups = Vec::new();
         let mut picks = Vec::new();
         for scale in [w.default_n / 3 + 16, w.default_n, w.default_n * 2] {
-            let data = WorkloadData::prepare(&(w.build)(scale)).expect(name);
+            let data = run_or_exit(session().prepare_sized(w, scale));
             let base = simulate_trace(&data.trace, &core);
             let a = oracle_schedule(&data, &core, &BsaKind::ALL);
             let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &a, &BsaKind::ALL);

@@ -10,6 +10,7 @@
 //! Fig. 5 (see `prism_bench::published` for the substitution caveat).
 
 use prism_bench::published::{PublishedPoint, BERET, C_CORES, DYSER, SIMD};
+use prism_bench::{run_or_exit, session};
 use prism_exocore::WorkloadData;
 use prism_tdg::{run_exocore, Assignment, BsaKind};
 use prism_udg::{simulate_reference, simulate_trace, CoreConfig};
@@ -26,14 +27,30 @@ fn main() {
 /// Benchmark set for the core-model validation: the vertical
 /// microbenchmarks (paper ref. \[2\]) plus a diverse registry slice.
 const CORE_VALIDATION_SET: &[&str] = &[
-    "conv", "stencil", "mm", "merge", "treesearch", "lbm", "needle", "cjpeg-1", "gsmdecode",
-    "tpch1", "181.mcf", "458.sjeng", "456.hmmer", "175.vpr",
+    "conv",
+    "stencil",
+    "mm",
+    "merge",
+    "treesearch",
+    "lbm",
+    "needle",
+    "cjpeg-1",
+    "gsmdecode",
+    "tpch1",
+    "181.mcf",
+    "458.sjeng",
+    "456.hmmer",
+    "175.vpr",
 ];
 
 fn validation_workloads() -> Vec<&'static prism_workloads::Workload> {
     prism_workloads::MICRO
         .iter()
-        .chain(CORE_VALIDATION_SET.iter().map(|n| prism_workloads::by_name(n).expect(n)))
+        .chain(
+            CORE_VALIDATION_SET
+                .iter()
+                .map(|n| prism_workloads::by_name(n).expect(n)),
+        )
         .collect()
 }
 
@@ -47,13 +64,14 @@ fn core_cross_validation() {
     let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
     for w in validation_workloads() {
         let name = w.name;
-        let trace = prism_sim::trace(&w.build_default()).expect(name);
+        let prepared = run_or_exit(session().prepare(w));
+        let trace = &prepared.trace;
         let narrow = CoreConfig::ooo(1);
         let wide = CoreConfig::ooo(8);
-        let r1 = simulate_reference(&trace, &narrow);
-        let u1 = simulate_trace(&trace, &narrow);
-        let r8 = simulate_reference(&trace, &wide);
-        let u8_ = simulate_trace(&trace, &wide);
+        let r1 = simulate_reference(trace, &narrow);
+        let u1 = simulate_trace(trace, &narrow);
+        let r8 = simulate_reference(trace, &wide);
+        let u8_ = simulate_trace(trace, &wide);
         for (r, u) in [(r1.ipc(), u1.ipc()), (r8.ipc(), u8_.ipc())] {
             let e = (u - r).abs() / r.max(1e-9);
             errs.push(e);
@@ -83,13 +101,11 @@ fn core_cross_validation() {
     println!("(paper range: 0.02–5.5 IPC)\n");
 }
 
-fn accel_validation(
-    label: &str,
-    kind: BsaKind,
-    core: CoreConfig,
-    published: &[PublishedPoint],
-) {
-    println!("-- {label} (model: {kind}) vs published points, base {} --", core.name);
+fn accel_validation(label: &str, kind: BsaKind, core: CoreConfig, published: &[PublishedPoint]) {
+    println!(
+        "-- {label} (model: {kind}) vs published points, base {} --",
+        core.name
+    );
     println!(
         "{:<12} {:>8} {:>8} {:>9} {:>9}",
         "benchmark", "pub spd", "our spd", "pub 1/E", "our 1/E"
@@ -101,7 +117,7 @@ fn accel_validation(
             println!("{:<12} (not registered)", p.benchmark);
             continue;
         };
-        let data = WorkloadData::prepare(&w.build_default()).expect(p.benchmark);
+        let data = run_or_exit(session().prepare(w));
         let base = simulate_trace(&data.trace, &core);
         // Assign the BSA to every loop it has a plan for (single-accel
         // evaluation, as in the original publications).

@@ -3,65 +3,95 @@
 //! The evaluation harness: one binary per table and figure of *Analyzing
 //! Behavior Specialized Acceleration* (ASPLOS 2016). See `DESIGN.md` §4
 //! for the experiment index and `EXPERIMENTS.md` for recorded results.
+//!
+//! Every binary goes through the shared [`session`] — a
+//! [`prism_pipeline::Session`] that memoizes trace/IR/plan preparation,
+//! caches design-point results in a content-addressed artifact store, and
+//! fans work out over `--jobs N` (or `PRISM_JOBS`) worker threads.
 
 #![warn(missing_docs)]
 
 pub mod published;
 
-use std::path::PathBuf;
+use std::sync::OnceLock;
 
-use prism_exocore::{explore, DesignResult, WorkloadData};
+use prism_exocore::DesignResult;
+use prism_pipeline::{jobs_from_args, PipelineError, PreparedWorkload, Session};
 
-/// Prepares every registered workload (trace + IR + plans).
-#[must_use]
-pub fn prepare_all_workloads() -> Vec<WorkloadData> {
-    prism_workloads::ALL
-        .iter()
-        .map(|w| {
-            WorkloadData::prepare(&w.build_default())
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-        })
-        .collect()
-}
-
-/// Prepares the workloads of one suite.
-#[must_use]
-pub fn prepare_suite(suite: prism_workloads::Suite) -> Vec<WorkloadData> {
-    prism_workloads::by_suite(suite)
-        .map(|w| {
-            WorkloadData::prepare(&w.build_default())
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-        })
-        .collect()
-}
-
-fn cache_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/prism_dse_cache.json")
-}
-
-/// Runs (or loads from cache) the full 64-point design-space exploration
-/// over all workloads. Delete `target/prism_dse_cache.json` or set
-/// `PRISM_REFRESH=1` to recompute.
-#[must_use]
-pub fn full_design_space() -> Vec<DesignResult> {
-    let path = cache_path();
-    let refresh = std::env::var_os("PRISM_REFRESH").is_some();
-    if !refresh {
-        if let Ok(bytes) = std::fs::read(&path) {
-            if let Ok(results) = serde_json::from_slice::<Vec<DesignResult>>(&bytes) {
-                if results.len() == 64 {
-                    return results;
-                }
-            }
+/// The process-wide pipeline session shared by all bench binaries.
+/// Honors a `--jobs N` command-line flag, `PRISM_JOBS`, and
+/// `PRISM_ARTIFACT_DIR`.
+pub fn session() -> &'static Session {
+    static SESSION: OnceLock<Session> = OnceLock::new();
+    SESSION.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        match jobs_from_args(&args) {
+            Some(jobs) => Session::new().with_jobs(jobs),
+            None => Session::new(),
         }
-    }
-    eprintln!("[prism-bench] running full design-space exploration (64 points × {} workloads)…",
-        prism_workloads::ALL.len());
-    let data = prepare_all_workloads();
-    let results = explore(&data);
-    if let Ok(json) = serde_json::to_vec(&results) {
-        let _ = std::fs::write(&path, json);
-    }
+    })
+}
+
+/// Unwraps a pipeline result, exiting with a readable error (workload +
+/// stage) instead of a panic backtrace.
+pub fn run_or_exit<T>(result: Result<T, PipelineError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// Prepares every registered workload (trace + IR + plans), in parallel.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the workload and failing stage.
+pub fn prepare_all_workloads() -> Result<Vec<PreparedWorkload>, PipelineError> {
+    session().prepare_all()
+}
+
+/// Prepares the workloads of one suite, in parallel.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the workload and failing stage.
+pub fn prepare_suite(
+    suite: prism_workloads::Suite,
+) -> Result<Vec<PreparedWorkload>, PipelineError> {
+    session().prepare_suite(suite)
+}
+
+/// Prepares registry workloads by name, in parallel.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the workload and failing stage; an
+/// unknown name fails in the build stage.
+pub fn prepare_named(names: &[&str]) -> Result<Vec<PreparedWorkload>, PipelineError> {
+    let workloads = names
+        .iter()
+        .map(|n| {
+            prism_workloads::by_name(n).ok_or_else(|| {
+                PipelineError::new(*n, prism_pipeline::Stage::Build, "unknown workload")
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    session().prepare_batch(&workloads)
+}
+
+/// Runs the full 64-point design-space exploration over all workloads,
+/// loading already-evaluated points from the content-addressed artifact
+/// store (`target/prism-artifacts`, override with `PRISM_ARTIFACT_DIR`).
+/// Artifacts invalidate automatically when any input changes; a fully
+/// cached run does no tracing at all. Cache hit/miss counts are logged.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the workload and failing stage.
+pub fn full_design_space() -> Result<Vec<DesignResult>, PipelineError> {
+    let s = session();
+    let results = s.full_design_space();
+    s.log_stats();
     results
 }
 

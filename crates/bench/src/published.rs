@@ -28,51 +28,179 @@ pub struct PublishedPoint {
 /// five benchmarks, speedups clustered slightly above/below 1× with strong
 /// energy reduction.
 pub const C_CORES: &[PublishedPoint] = &[
-    PublishedPoint { benchmark: "djpeg-2", speedup: 1.05, energy_reduction: 1.9 },
-    PublishedPoint { benchmark: "cjpeg-2", speedup: 0.95, energy_reduction: 1.7 },
-    PublishedPoint { benchmark: "175.vpr", speedup: 0.90, energy_reduction: 1.4 },
-    PublishedPoint { benchmark: "429.mcf", speedup: 1.00, energy_reduction: 1.3 },
-    PublishedPoint { benchmark: "401.bzip2", speedup: 1.10, energy_reduction: 1.5 },
-    PublishedPoint { benchmark: "256.bzip2", speedup: 0.95, energy_reduction: 1.45 },
+    PublishedPoint {
+        benchmark: "djpeg-2",
+        speedup: 1.05,
+        energy_reduction: 1.9,
+    },
+    PublishedPoint {
+        benchmark: "cjpeg-2",
+        speedup: 0.95,
+        energy_reduction: 1.7,
+    },
+    PublishedPoint {
+        benchmark: "175.vpr",
+        speedup: 0.90,
+        energy_reduction: 1.4,
+    },
+    PublishedPoint {
+        benchmark: "429.mcf",
+        speedup: 1.00,
+        energy_reduction: 1.3,
+    },
+    PublishedPoint {
+        benchmark: "401.bzip2",
+        speedup: 1.10,
+        energy_reduction: 1.5,
+    },
+    PublishedPoint {
+        benchmark: "256.bzip2",
+        speedup: 0.95,
+        energy_reduction: 1.45,
+    },
 ];
 
 /// BERET validation set (paper Fig. 5 row 4; baseline IO2): speedups
 /// 0.82–1.17×, energy reductions 1.0–2.2×.
 pub const BERET: &[PublishedPoint] = &[
-    PublishedPoint { benchmark: "181.mcf", speedup: 1.05, energy_reduction: 1.6 },
-    PublishedPoint { benchmark: "429.mcf", speedup: 1.02, energy_reduction: 1.5 },
-    PublishedPoint { benchmark: "164.gzip", speedup: 0.95, energy_reduction: 1.3 },
-    PublishedPoint { benchmark: "175.vpr", speedup: 0.85, energy_reduction: 1.2 },
-    PublishedPoint { benchmark: "197.parser", speedup: 0.90, energy_reduction: 1.25 },
-    PublishedPoint { benchmark: "256.bzip2", speedup: 1.00, energy_reduction: 1.4 },
-    PublishedPoint { benchmark: "cjpeg-2", speedup: 1.10, energy_reduction: 1.8 },
-    PublishedPoint { benchmark: "gsmdecode", speedup: 1.17, energy_reduction: 2.0 },
-    PublishedPoint { benchmark: "gsmencode", speedup: 1.08, energy_reduction: 1.9 },
+    PublishedPoint {
+        benchmark: "181.mcf",
+        speedup: 1.05,
+        energy_reduction: 1.6,
+    },
+    PublishedPoint {
+        benchmark: "429.mcf",
+        speedup: 1.02,
+        energy_reduction: 1.5,
+    },
+    PublishedPoint {
+        benchmark: "164.gzip",
+        speedup: 0.95,
+        energy_reduction: 1.3,
+    },
+    PublishedPoint {
+        benchmark: "175.vpr",
+        speedup: 0.85,
+        energy_reduction: 1.2,
+    },
+    PublishedPoint {
+        benchmark: "197.parser",
+        speedup: 0.90,
+        energy_reduction: 1.25,
+    },
+    PublishedPoint {
+        benchmark: "256.bzip2",
+        speedup: 1.00,
+        energy_reduction: 1.4,
+    },
+    PublishedPoint {
+        benchmark: "cjpeg-2",
+        speedup: 1.10,
+        energy_reduction: 1.8,
+    },
+    PublishedPoint {
+        benchmark: "gsmdecode",
+        speedup: 1.17,
+        energy_reduction: 2.0,
+    },
+    PublishedPoint {
+        benchmark: "gsmencode",
+        speedup: 1.08,
+        energy_reduction: 1.9,
+    },
 ];
 
 /// SIMD validation set (paper Fig. 5 row 5; baseline OOO4, gem5-measured):
 /// speedups 1.0–3.6×.
 pub const SIMD: &[PublishedPoint] = &[
-    PublishedPoint { benchmark: "conv", speedup: 3.3, energy_reduction: 2.6 },
-    PublishedPoint { benchmark: "radar", speedup: 2.2, energy_reduction: 1.9 },
-    PublishedPoint { benchmark: "fft", speedup: 1.9, energy_reduction: 1.6 },
-    PublishedPoint { benchmark: "mm", speedup: 2.8, energy_reduction: 2.2 },
-    PublishedPoint { benchmark: "stencil", speedup: 3.6, energy_reduction: 2.8 },
-    PublishedPoint { benchmark: "lbm", speedup: 2.4, energy_reduction: 2.0 },
-    PublishedPoint { benchmark: "nnw", speedup: 2.0, energy_reduction: 1.7 },
-    PublishedPoint { benchmark: "spmv", speedup: 1.1, energy_reduction: 1.0 },
-    PublishedPoint { benchmark: "cutcp", speedup: 1.6, energy_reduction: 1.4 },
+    PublishedPoint {
+        benchmark: "conv",
+        speedup: 3.3,
+        energy_reduction: 2.6,
+    },
+    PublishedPoint {
+        benchmark: "radar",
+        speedup: 2.2,
+        energy_reduction: 1.9,
+    },
+    PublishedPoint {
+        benchmark: "fft",
+        speedup: 1.9,
+        energy_reduction: 1.6,
+    },
+    PublishedPoint {
+        benchmark: "mm",
+        speedup: 2.8,
+        energy_reduction: 2.2,
+    },
+    PublishedPoint {
+        benchmark: "stencil",
+        speedup: 3.6,
+        energy_reduction: 2.8,
+    },
+    PublishedPoint {
+        benchmark: "lbm",
+        speedup: 2.4,
+        energy_reduction: 2.0,
+    },
+    PublishedPoint {
+        benchmark: "nnw",
+        speedup: 2.0,
+        energy_reduction: 1.7,
+    },
+    PublishedPoint {
+        benchmark: "spmv",
+        speedup: 1.1,
+        energy_reduction: 1.0,
+    },
+    PublishedPoint {
+        benchmark: "cutcp",
+        speedup: 1.6,
+        energy_reduction: 1.4,
+    },
 ];
 
 /// DySER validation set (paper Fig. 5 row 6; baseline OOO4): speedups up
 /// to ~6× on the most separable kernels.
 pub const DYSER: &[PublishedPoint] = &[
-    PublishedPoint { benchmark: "conv", speedup: 3.8, energy_reduction: 2.4 },
-    PublishedPoint { benchmark: "radar", speedup: 2.6, energy_reduction: 1.8 },
-    PublishedPoint { benchmark: "nbody", speedup: 3.0, energy_reduction: 2.0 },
-    PublishedPoint { benchmark: "mm", speedup: 3.4, energy_reduction: 2.1 },
-    PublishedPoint { benchmark: "stencil", speedup: 4.2, energy_reduction: 2.5 },
-    PublishedPoint { benchmark: "kmeans", speedup: 2.2, energy_reduction: 1.6 },
-    PublishedPoint { benchmark: "fft", speedup: 2.0, energy_reduction: 1.5 },
-    PublishedPoint { benchmark: "nnw", speedup: 2.4, energy_reduction: 1.8 },
+    PublishedPoint {
+        benchmark: "conv",
+        speedup: 3.8,
+        energy_reduction: 2.4,
+    },
+    PublishedPoint {
+        benchmark: "radar",
+        speedup: 2.6,
+        energy_reduction: 1.8,
+    },
+    PublishedPoint {
+        benchmark: "nbody",
+        speedup: 3.0,
+        energy_reduction: 2.0,
+    },
+    PublishedPoint {
+        benchmark: "mm",
+        speedup: 3.4,
+        energy_reduction: 2.1,
+    },
+    PublishedPoint {
+        benchmark: "stencil",
+        speedup: 4.2,
+        energy_reduction: 2.5,
+    },
+    PublishedPoint {
+        benchmark: "kmeans",
+        speedup: 2.2,
+        energy_reduction: 1.6,
+    },
+    PublishedPoint {
+        benchmark: "fft",
+        speedup: 2.0,
+        energy_reduction: 1.5,
+    },
+    PublishedPoint {
+        benchmark: "nnw",
+        speedup: 2.4,
+        energy_reduction: 1.8,
+    },
 ];

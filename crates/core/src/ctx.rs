@@ -90,7 +90,11 @@ impl<'t> ExecCtx<'t> {
     pub fn attribute(&mut self, unit: ExecUnit, insts: u64, end_seq: u64, start: u64, end: u64) {
         self.unit_insts[unit as usize] += insts;
         self.unit_cycles[unit as usize] += end.saturating_sub(start);
-        self.timeline.push(TimelineSample { end_seq, end_cycle: end, unit });
+        self.timeline.push(TimelineSample {
+            end_seq,
+            end_cycle: end,
+            unit,
+        });
     }
 
     /// Resolves the register-dependence producer seqs of `inst`, as of the

@@ -129,10 +129,9 @@ fn analyze_loop(ir: &ProgramIr, l: &Loop, vectorizable: bool) -> Option<CgraPlan
             let pinned_srcs: Vec<prism_isa::Reg> = if on_core.contains(&sid) {
                 if inst.op.is_mem() {
                     inst.src1.into_iter().collect()
-                } else if inst.op.is_control() {
-                    inst.sources().collect()
                 } else {
-                    inst.sources().collect() // core-side arith: keep producers
+                    // Control: pin condition producers; arith: keep producers.
+                    inst.sources().collect()
                 }
             } else {
                 Vec::new()
@@ -341,8 +340,8 @@ pub fn execute_dp_cgra(
         // Union by sid, lanes per sid.
         let mut by_sid: BTreeMap<StaticId, Vec<usize>> = BTreeMap::new();
         for (s, e) in group {
-            for i in *s..*e {
-                by_sid.entry(region[i].sid).or_default().push(i);
+            for (i, elem) in region.iter().enumerate().take(*e).skip(*s) {
+                by_sid.entry(elem.sid).or_default().push(i);
             }
         }
 
@@ -359,7 +358,9 @@ pub fn execute_dp_cgra(
                 dep_seqs[li - g_start].iter().any(|&s| {
                     s >= group_lo_seq
                         && s <= group_hi_seq
-                        && plan.offloaded.contains(&region[(s - group_lo_seq) as usize + g_start].sid)
+                        && plan
+                            .offloaded
+                            .contains(&region[(s - group_lo_seq) as usize + g_start].sid)
                 })
             })
         };
@@ -532,26 +533,25 @@ pub fn execute_dp_cgra(
                 }
             }
             let collapse = plan.vectorized && inst.op.is_mem();
-            let issue_one = |deps: Vec<ModelDep>,
-                                 m: Option<&prism_sim::MemRecord>,
-                                 core: &mut CoreModel| {
-                let (latency, mem_level, is_store) = match m {
-                    Some(m) if m.is_store => (1, Some(m.level), true),
-                    Some(m) => (u64::from(m.latency), Some(m.level), false),
-                    None => (u64::from(inst.op.latency()), None, false),
+            let issue_one =
+                |deps: Vec<ModelDep>, m: Option<&prism_sim::MemRecord>, core: &mut CoreModel| {
+                    let (latency, mem_level, is_store) = match m {
+                        Some(m) if m.is_store => (1, Some(m.level), true),
+                        Some(m) => (u64::from(m.latency), Some(m.level), false),
+                        None => (u64::from(inst.op.latency()), None, false),
+                    };
+                    let mi = ModelInst {
+                        fu: inst.fu_class(),
+                        latency,
+                        deps,
+                        mem_level,
+                        is_store,
+                        reads: inst.sources().count() as u8,
+                        writes: u8::from(inst.dest().is_some()),
+                        ..ModelInst::default()
+                    };
+                    core.issue(&mi).complete
                 };
-                let mi = ModelInst {
-                    fu: inst.fu_class(),
-                    latency,
-                    deps,
-                    mem_level,
-                    is_store,
-                    reads: inst.sources().count() as u8,
-                    writes: u8::from(inst.dest().is_some()),
-                    ..ModelInst::default()
-                };
-                core.issue(&mi).complete
-            };
             let complete = if collapse {
                 let m = region[lanes[0]].mem;
                 issue_one(deps, m.as_ref(), core)
@@ -617,8 +617,15 @@ mod tests {
         // The four FP arithmetic ops offload; memory + control + induction
         // address arithmetic stays on the core.
         assert_eq!(p.offloaded.len(), 4, "offloaded: {:?}", p.offloaded);
-        assert!(p.vectorized && p.lanes > 1, "data-parallel loop should clone lanes");
-        assert!(p.depth >= 3, "fmul→fadd→fmul→fsub chain has depth ≥3, got {}", p.depth);
+        assert!(
+            p.vectorized && p.lanes > 1,
+            "data-parallel loop should clone lanes"
+        );
+        assert!(
+            p.depth >= 3,
+            "fmul→fadd→fmul→fsub chain has depth ≥3, got {}",
+            p.depth
+        );
         assert!(u64::from(p.sends + p.recvs) <= p.offloaded.len() as u64);
         assert!(p.est_speedup() > 1.0);
     }

@@ -92,8 +92,7 @@ pub fn simulate_with_fma(trace: &Trace, config: &CoreConfig, plan: &FmaPlan) -> 
     let mut ctx = ExecCtx::new(trace);
     // Deferred fmul deps, keyed by the fmul's dyn seq.
     let mut pending_mul: HashMap<u64, Vec<ModelDep>> = HashMap::new();
-    let fused_muls: std::collections::HashSet<StaticId> =
-        plan.fused.values().copied().collect();
+    let fused_muls: std::collections::HashSet<StaticId> = plan.fused.values().copied().collect();
 
     for d in &trace.insts {
         let inst = trace.static_inst(d);

@@ -352,9 +352,9 @@ mod tests {
         });
         let plans = analyze_ns_df(&ir);
         assert!(
-            plans.values().all(|p| {
-                !ir.loops.loops[p.loop_id as usize].has_calls(&ir.cfg, &ir.program)
-            }),
+            plans
+                .values()
+                .all(|p| { !ir.loops.loops[p.loop_id as usize].has_calls(&ir.cfg, &ir.program) }),
             "call-containing loops must not plan"
         );
     }
@@ -374,7 +374,12 @@ mod tests {
         let mut e = DataflowEngine::new(100);
         // A branch resolves late…
         let branch = &t.insts[1]; // the bne
-        let c = e.issue(branch, &[ModelDep::data(150)], ControlDep::IterationOnly, &mut ctx);
+        let c = e.issue(
+            branch,
+            &[ModelDep::data(150)],
+            ControlDep::IterationOnly,
+            &mut ctx,
+        );
         assert!(c >= 150);
         assert!(e.last_ctrl >= c, "branch updates last_ctrl");
         // …full-control ops wait for it; iteration-only ops do not.
@@ -383,7 +388,10 @@ mod tests {
         assert!(full >= e.last_ctrl);
         let mut e2 = DataflowEngine::new(100);
         let free = e2.issue(op, &[], ControlDep::IterationOnly, &mut ctx);
-        assert!(free < 150, "iteration-only op must not wait for unrelated control");
+        assert!(
+            free < 150,
+            "iteration-only op must not wait for unrelated control"
+        );
     }
 
     #[test]

@@ -83,7 +83,7 @@ impl Assignment {
     /// Checks the non-overlap invariant against the loop forest.
     #[must_use]
     pub fn is_well_formed(&self, ir: &ProgramIr) -> bool {
-        for (&lid, _) in &self.map {
+        for &lid in self.map.keys() {
             let mut cur = ir.loops.loops[lid as usize].parent;
             while let Some(p) = cur {
                 if self.map.contains_key(&p) {
@@ -122,7 +122,13 @@ mod tests {
         let t = nested_trace();
         let ir = prism_ir::ProgramIr::analyze(&t);
         let inner = ir.loops.innermost().next().unwrap().id;
-        let outer = ir.loops.loops.iter().find(|l| !l.is_innermost()).unwrap().id;
+        let outer = ir
+            .loops
+            .loops
+            .iter()
+            .find(|l| !l.is_innermost())
+            .unwrap()
+            .id;
         let mut a = Assignment::none();
         a.set(inner, BsaKind::Simd);
         assert!(a.is_well_formed(&ir));

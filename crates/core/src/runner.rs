@@ -84,7 +84,10 @@ pub fn run_exocore(
 ) -> ExoRunResult {
     assert!(assignment.is_well_formed(ir), "overlapping loop assignment");
     for (&lid, &kind) in &assignment.map {
-        assert!(plans.has(kind, lid), "assignment without plan: {kind} @ loop {lid}");
+        assert!(
+            plans.has(kind, lid),
+            "assignment without plan: {kind} @ loop {lid}"
+        );
         assert!(
             accels_present.contains(&kind),
             "assignment to absent accelerator {kind}"
@@ -107,7 +110,10 @@ pub fn run_exocore(
     }
     let block_of = |sid: u32| -> BlockId { ir.cfg.block_of[sid as usize] };
     let in_loop = |lid: LoopId, b: BlockId| -> bool {
-        ir.loops.loops[lid as usize].blocks.binary_search(&b).is_ok()
+        ir.loops.loops[lid as usize]
+            .blocks
+            .binary_search(&b)
+            .is_ok()
     };
 
     let mut core = CoreModel::new(core_cfg);
@@ -141,8 +147,7 @@ pub fn run_exocore(
             // Find the contiguous region: all insts while inside the loop.
             let start_idx = i;
             let mut end_idx = i;
-            while end_idx < trace.insts.len() && in_loop(lid, block_of(trace.insts[end_idx].sid))
-            {
+            while end_idx < trace.insts.len() && in_loop(lid, block_of(trace.insts[end_idx].sid)) {
                 end_idx += 1;
             }
             let region = &trace.insts[start_idx..end_idx];
@@ -179,9 +184,8 @@ pub fn run_exocore(
                 BsaKind::TraceP => {
                     core.stall_fetch_until(core.now() + SWITCH_PENALTY);
                     let plan = &plans.trace_p[&lid];
-                    let (end, replays) = crate::trace_p::execute_trace_p(
-                        region, plan, l, ir, &mut ctx, &mut core,
-                    );
+                    let (end, replays) =
+                        crate::trace_p::execute_trace_p(region, plan, l, ir, &mut ctx, &mut core);
                     trace_replays += replays;
                     end
                 }
@@ -230,8 +234,8 @@ pub fn run_exocore(
     // GPP's core events = total minus what regions claimed.
     {
         let mut claimed = prism_energy::CoreEvents::default();
-        for u in 1..ExecUnit::COUNT {
-            claimed.merge(&unit_core[u]);
+        for unit in unit_core.iter().take(ExecUnit::COUNT).skip(1) {
+            claimed.merge(unit);
         }
         unit_core[ExecUnit::Gpp as usize] = events.core.since(&claimed);
     }
@@ -253,8 +257,8 @@ pub fn run_exocore(
     let offload_cycles = (ctx.unit_cycles[ExecUnit::NsDf as usize]
         + ctx.unit_cycles[ExecUnit::TraceP as usize])
         .min(cycles);
-    let mut leakage = model.leakage(core_area, cycles)
-        - model.leakage(core_area * 0.65, offload_cycles);
+    let mut leakage =
+        model.leakage(core_area, cycles) - model.leakage(core_area * 0.65, offload_cycles);
     let areas_of = |k: &BsaKind| match k {
         BsaKind::Simd => areas.simd,
         BsaKind::DpCgra => areas.dp_cgra,
@@ -263,8 +267,8 @@ pub fn run_exocore(
     };
     for k in accels_present {
         let active = ctx.unit_cycles[k.unit() as usize].min(cycles);
-        leakage += model.leakage(areas_of(k), active)
-            + 0.1 * model.leakage(areas_of(k), cycles - active);
+        leakage +=
+            model.leakage(areas_of(k), active) + 0.1 * model.leakage(areas_of(k), cycles - active);
     }
     let energy = EnergyBreakdown {
         core_dynamic: model.core_dynamic(&events.core, &core_cfg.energy_config()),
@@ -277,7 +281,11 @@ pub fn run_exocore(
     let mut unit_energy = [0.0f64; ExecUnit::COUNT];
     let ecfg = core_cfg.energy_config();
     for u in 0..ExecUnit::COUNT {
-        let share = if cycles == 0 { 0.0 } else { ctx.unit_cycles[u] as f64 / cycles as f64 };
+        let share = if cycles == 0 {
+            0.0
+        } else {
+            ctx.unit_cycles[u] as f64 / cycles as f64
+        };
         unit_energy[u] = model.core_dynamic(&unit_core[u], &ecfg)
             + model.accel_dynamic(&unit_accel[u])
             + energy.leakage * share;
@@ -364,7 +372,14 @@ mod tests {
         let p = dp_kernel(100);
         let (t, ir, plans) = setup(&p);
         let base = simulate_trace(&t, &CoreConfig::ooo2());
-        let run = run_exocore(&t, &ir, &CoreConfig::ooo2(), &plans, &Assignment::none(), &[]);
+        let run = run_exocore(
+            &t,
+            &ir,
+            &CoreConfig::ooo2(),
+            &plans,
+            &Assignment::none(),
+            &[],
+        );
         assert_eq!(run.cycles, base.cycles);
         assert_eq!(run.events.core, base.events.core);
         assert_eq!(run.unit_insts[ExecUnit::Gpp as usize], t.len() as u64);
@@ -467,7 +482,12 @@ mod tests {
         let run = run_exocore(&t, &ir, &cfg, &plans, &a, &[BsaKind::DpCgra]);
         assert!(run.events.accel.cgra_ops > 0);
         assert!(run.events.accel.cgra_config_words > 0, "config loaded once");
-        assert!(run.cycles < base.cycles, "{} !< {}", run.cycles, base.cycles);
+        assert!(
+            run.cycles < base.cycles,
+            "{} !< {}",
+            run.cycles,
+            base.cycles
+        );
     }
 
     #[test]

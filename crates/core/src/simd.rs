@@ -111,9 +111,8 @@ fn analyze_loop(ir: &ProgramIr, l: &Loop) -> Option<SimdPlan> {
     // for path divergence, plus VL scalar ops per scalarized access.
     let body_size = f64::from(l.static_size(&ir.cfg));
     let distinct_paths = paths.paths.len().max(1) as f64;
-    let union_est = body_size.min(
-        paths.avg_blocks_per_iter() / paths.paths[0].0.len().max(1) as f64 * body_size,
-    );
+    let union_est = body_size
+        .min(paths.avg_blocks_per_iter() / paths.paths[0].0.len().max(1) as f64 * body_size);
     let masks = (distinct_paths - 1.0).min(6.0);
     let scalar_extra = f64::from(scalarized) * (VECTOR_LENGTH as f64 - 1.0 + 1.0);
     let est_group = union_est + masks + scalar_extra;
@@ -228,9 +227,9 @@ fn execute_group(
     let mut paths: HashSet<Vec<StaticId>> = HashSet::new();
     for (s, e) in group {
         let mut path = Vec::new();
-        for i in *s..*e {
-            by_sid.entry(region[i].sid).or_default().push(i);
-            path.push(region[i].sid);
+        for (i, elem) in region.iter().enumerate().take(*e).skip(*s) {
+            by_sid.entry(elem.sid).or_default().push(i);
+            path.push(elem.sid);
         }
         paths.insert(path);
     }

@@ -81,7 +81,13 @@ fn analyze_loop(ir: &ProgramIr, l: &Loop) -> Option<TracePPlan> {
     let mut depth = 1u32;
     for &sid in &hot_path_sids {
         let inst = ir.program.inst(sid);
-        let d = inst.sources().filter_map(|s| def.get(&s)).max().copied().unwrap_or(0) + 1;
+        let d = inst
+            .sources()
+            .filter_map(|s| def.get(&s))
+            .max()
+            .copied()
+            .unwrap_or(0)
+            + 1;
         if let Some(dst) = inst.dest() {
             def.insert(dst, d);
         }
@@ -135,7 +141,10 @@ pub fn execute_trace_p(
             .map(|d| d.sid)
             .eq(plan.hot_path_sids.iter().copied())
             || iter_insts.len() == plan.hot_path_sids.len()
-                && iter_insts.iter().zip(&plan.hot_path_sids).all(|(d, &sid)| d.sid == sid);
+                && iter_insts
+                    .iter()
+                    .zip(&plan.hot_path_sids)
+                    .all(|(d, &sid)| d.sid == sid);
 
         if on_trace {
             // Speculative dataflow over the hot trace.
@@ -226,7 +235,11 @@ mod tests {
         let plans = analyze_trace_p(&ir);
         assert_eq!(plans.len(), 1);
         let p = plans.values().next().unwrap();
-        assert!((0.8..=0.95).contains(&p.hot_fraction), "hot {:.2}", p.hot_fraction);
+        assert!(
+            (0.8..=0.95).contains(&p.hot_fraction),
+            "hot {:.2}",
+            p.hot_fraction
+        );
         assert!(!p.hot_path_sids.is_empty());
         assert!(p.est_speedup > 0.5);
     }

@@ -3,10 +3,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The four behavior-specialized accelerators studied in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BsaKind {
     /// Short-vector SIMD: data-parallel loops with little control.
     Simd,
@@ -23,7 +21,12 @@ pub enum BsaKind {
 
 impl BsaKind {
     /// All four BSAs, in the paper's S/D/N/T order.
-    pub const ALL: [BsaKind; 4] = [BsaKind::Simd, BsaKind::DpCgra, BsaKind::NsDf, BsaKind::TraceP];
+    pub const ALL: [BsaKind; 4] = [
+        BsaKind::Simd,
+        BsaKind::DpCgra,
+        BsaKind::NsDf,
+        BsaKind::TraceP,
+    ];
 
     /// One-letter code used in the paper's Figure 12 labels
     /// (S: SIMD, D: DP-CGRA, N: NS-DF, T: Trace-P).
@@ -62,7 +65,7 @@ impl fmt::Display for BsaKind {
 }
 
 /// Where a region of the program executed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum ExecUnit {
     /// The general-purpose core.
@@ -82,8 +85,13 @@ impl ExecUnit {
     pub const COUNT: usize = 5;
 
     /// All units in breakdown order (GPP first, as in Fig. 13's legend).
-    pub const ALL: [ExecUnit; ExecUnit::COUNT] =
-        [ExecUnit::Gpp, ExecUnit::Simd, ExecUnit::DpCgra, ExecUnit::NsDf, ExecUnit::TraceP];
+    pub const ALL: [ExecUnit; ExecUnit::COUNT] = [
+        ExecUnit::Gpp,
+        ExecUnit::Simd,
+        ExecUnit::DpCgra,
+        ExecUnit::NsDf,
+        ExecUnit::TraceP,
+    ];
 }
 
 impl fmt::Display for ExecUnit {

@@ -5,8 +5,6 @@
 //! (DySER \[17\], BERET \[18\], SEED \[36\]), exactly as the paper does for its
 //! own area estimation (§4 "Area Estimation").
 
-use serde::{Deserialize, Serialize};
-
 use crate::CoreEnergyConfig;
 
 /// Area of a general-purpose core (mm², excluding L2).
@@ -31,7 +29,7 @@ pub fn core_area_mm2(cfg: &CoreEnergyConfig) -> f64 {
 }
 
 /// Areas of the four BSAs (mm²), from their source publications.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccelAreas {
     /// 256-bit SIMD datapath + vector registers.
     pub simd: f64,
@@ -45,7 +43,12 @@ pub struct AccelAreas {
 
 impl Default for AccelAreas {
     fn default() -> Self {
-        AccelAreas { simd: 0.6, dp_cgra: 0.9, ns_df: 1.7, trace_p: 0.6 }
+        AccelAreas {
+            simd: 0.6,
+            dp_cgra: 0.9,
+            ns_df: 1.7,
+            trace_p: 0.6,
+        }
     }
 }
 

@@ -5,10 +5,8 @@
 //! This is the accumulator; [`EnergyModel`](crate::EnergyModel) is the
 //! McPAT/CACTI-substitute it is fed to.
 
-use serde::{Deserialize, Serialize};
-
 /// Event counts for the general-purpose core pipeline.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreEvents {
     /// Instructions fetched (I-cache reads + predecode).
     pub fetches: u64,
@@ -45,7 +43,7 @@ pub struct CoreEvents {
 }
 
 /// Event counts for accelerator structures.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccelEvents {
     /// Operations executed on CGRA functional units (DP-CGRA).
     pub cgra_ops: u64,
@@ -72,7 +70,7 @@ pub struct AccelEvents {
 }
 
 /// Full event record: core + accelerator activity for one modeled run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnergyEvents {
     /// General-purpose-core pipeline events.
     pub core: CoreEvents,
@@ -96,9 +94,24 @@ impl CoreEvents {
     /// Adds another record's counts into this one.
     pub fn merge(&mut self, other: &CoreEvents) {
         add_fields!(
-            self, other, fetches, decodes, renames, window_ops, regfile_reads, regfile_writes,
-            alu_ops, muldiv_ops, fp_ops, dcache_accesses, l2_accesses, dram_accesses, rob_ops,
-            commits, bp_lookups, mispredict_flushes
+            self,
+            other,
+            fetches,
+            decodes,
+            renames,
+            window_ops,
+            regfile_reads,
+            regfile_writes,
+            alu_ops,
+            muldiv_ops,
+            fp_ops,
+            dcache_accesses,
+            l2_accesses,
+            dram_accesses,
+            rob_ops,
+            commits,
+            bp_lookups,
+            mispredict_flushes
         );
     }
 
@@ -107,9 +120,25 @@ impl CoreEvents {
     pub fn since(&self, earlier: &CoreEvents) -> CoreEvents {
         let mut out = CoreEvents::default();
         sub_fields!(
-            out, self, earlier, fetches, decodes, renames, window_ops, regfile_reads,
-            regfile_writes, alu_ops, muldiv_ops, fp_ops, dcache_accesses, l2_accesses,
-            dram_accesses, rob_ops, commits, bp_lookups, mispredict_flushes
+            out,
+            self,
+            earlier,
+            fetches,
+            decodes,
+            renames,
+            window_ops,
+            regfile_reads,
+            regfile_writes,
+            alu_ops,
+            muldiv_ops,
+            fp_ops,
+            dcache_accesses,
+            l2_accesses,
+            dram_accesses,
+            rob_ops,
+            commits,
+            bp_lookups,
+            mispredict_flushes
         );
         out
     }
@@ -119,9 +148,19 @@ impl AccelEvents {
     /// Adds another record's counts into this one.
     pub fn merge(&mut self, other: &AccelEvents) {
         add_fields!(
-            self, other, cgra_ops, cgra_config_words, comm_sends, comm_recvs, cfu_ops,
-            op_storage_accesses, writeback_bus_ops, store_buffer_accesses, vector_lane_ops,
-            mask_ops, trace_replays
+            self,
+            other,
+            cgra_ops,
+            cgra_config_words,
+            comm_sends,
+            comm_recvs,
+            cfu_ops,
+            op_storage_accesses,
+            writeback_bus_ops,
+            store_buffer_accesses,
+            vector_lane_ops,
+            mask_ops,
+            trace_replays
         );
     }
 
@@ -135,9 +174,20 @@ impl AccelEvents {
     pub fn since(&self, earlier: &AccelEvents) -> AccelEvents {
         let mut out = AccelEvents::default();
         sub_fields!(
-            out, self, earlier, cgra_ops, cgra_config_words, comm_sends, comm_recvs, cfu_ops,
-            op_storage_accesses, writeback_bus_ops, store_buffer_accesses, vector_lane_ops,
-            mask_ops, trace_replays
+            out,
+            self,
+            earlier,
+            cgra_ops,
+            cgra_config_words,
+            comm_sends,
+            comm_recvs,
+            cfu_ops,
+            op_storage_accesses,
+            writeback_bus_ops,
+            store_buffer_accesses,
+            vector_lane_ops,
+            mask_ops,
+            trace_replays
         );
         out
     }

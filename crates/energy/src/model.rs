@@ -8,13 +8,11 @@
 //! between configurations — which every result in the paper is expressed in
 //! — follow the same structural trends McPAT produces.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AccelEvents, CoreEvents, EnergyEvents};
 
 /// Structural parameters of a general-purpose core that the energy model
 /// cares about (a subset of the paper's Table 4).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreEnergyConfig {
     /// Pipeline width (fetch/dispatch/issue/writeback).
     pub width: u32,
@@ -29,7 +27,7 @@ pub struct CoreEnergyConfig {
 }
 
 /// Energy and power figures produced by the model, in joules / watts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Core pipeline dynamic energy (J).
     pub core_dynamic: f64,
@@ -50,7 +48,7 @@ impl EnergyBreakdown {
 /// Per-event energy constants in picojoules and global technology numbers.
 ///
 /// Defaults model a 22nm-class node at 2 GHz.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// Clock frequency (Hz), used to convert cycles to seconds for leakage.
     pub frequency_hz: f64,
@@ -252,7 +250,13 @@ mod tests {
     use super::*;
 
     fn cfg_ooo(width: u32, rob: u32, window: u32) -> CoreEnergyConfig {
-        CoreEnergyConfig { width, rob_size: rob, window_size: window, out_of_order: true, dcache_ports: 1 }
+        CoreEnergyConfig {
+            width,
+            rob_size: rob,
+            window_size: window,
+            out_of_order: true,
+            dcache_ports: 1,
+        }
     }
 
     fn events_per_inst(n: u64) -> CoreEvents {
@@ -276,14 +280,23 @@ mod tests {
         let ev = events_per_inst(1000);
         let e2 = m.core_dynamic(&ev, &cfg_ooo(2, 64, 32));
         let e6 = m.core_dynamic(&ev, &cfg_ooo(6, 192, 52));
-        assert!(e6 > e2 * 1.2, "six-wide should cost materially more: {e6} vs {e2}");
+        assert!(
+            e6 > e2 * 1.2,
+            "six-wide should cost materially more: {e6} vs {e2}"
+        );
     }
 
     #[test]
     fn inorder_skips_ooo_structures() {
         let m = EnergyModel::new();
         let ev = events_per_inst(1000);
-        let io = CoreEnergyConfig { width: 2, rob_size: 0, window_size: 0, out_of_order: false, dcache_ports: 1 };
+        let io = CoreEnergyConfig {
+            width: 2,
+            rob_size: 0,
+            window_size: 0,
+            out_of_order: false,
+            dcache_ports: 1,
+        };
         let e_io = m.core_dynamic(&ev, &io);
         let e_ooo = m.core_dynamic(&ev, &cfg_ooo(2, 64, 32));
         assert!(e_io < e_ooo, "in-order must be cheaper: {e_io} vs {e_ooo}");
@@ -292,10 +305,14 @@ mod tests {
     #[test]
     fn dram_dominates_cache_hits() {
         let m = EnergyModel::new();
-        let mut hit = CoreEvents::default();
-        hit.dcache_accesses = 100;
-        let mut miss = CoreEvents::default();
-        miss.dram_accesses = 100;
+        let hit = CoreEvents {
+            dcache_accesses: 100,
+            ..CoreEvents::default()
+        };
+        let miss = CoreEvents {
+            dram_accesses: 100,
+            ..CoreEvents::default()
+        };
         let cfg = cfg_ooo(2, 64, 32);
         assert!(m.core_dynamic(&miss, &cfg) > 10.0 * m.core_dynamic(&hit, &cfg));
     }
@@ -306,9 +323,11 @@ mod tests {
         // fetch/decode/rename/window energy.
         let m = EnergyModel::new();
         let core = m.core_dynamic(&events_per_inst(1), &cfg_ooo(4, 168, 48));
-        let mut accel = AccelEvents::default();
-        accel.cfu_ops = 1;
-        accel.op_storage_accesses = 2;
+        let accel = AccelEvents {
+            cfu_ops: 1,
+            op_storage_accesses: 2,
+            ..AccelEvents::default()
+        };
         assert!(m.accel_dynamic(&accel) < core / 2.0);
     }
 

@@ -42,6 +42,11 @@ impl WorkloadData {
         let trace = prism_sim::trace_with(program, config)?;
         let ir = ProgramIr::analyze(&trace);
         let plans = AccelPlans::analyze(&ir);
-        Ok(WorkloadData { name: program.name.clone(), trace, ir, plans })
+        Ok(WorkloadData {
+            name: program.name.clone(),
+            trace,
+            ir,
+            plans,
+        })
     }
 }

@@ -2,8 +2,6 @@
 //! × 16 BSA subsets = 64 ExoCore design points, evaluated over a workload
 //! set with Oracle scheduling.
 
-use serde::{Deserialize, Serialize};
-
 use prism_tdg::{run_exocore, BsaKind, ExoRunResult};
 use prism_udg::CoreConfig;
 
@@ -23,7 +21,11 @@ impl DesignPoint {
     /// datapath on (as in the paper's `-S` configurations).
     #[must_use]
     pub fn new(core: CoreConfig, bsas: Vec<BsaKind>) -> Self {
-        let core = if bsas.contains(&BsaKind::Simd) { core.with_simd() } else { core };
+        let core = if bsas.contains(&BsaKind::Simd) {
+            core.with_simd()
+        } else {
+            core
+        };
         DesignPoint { core, bsas }
     }
 
@@ -35,7 +37,11 @@ impl DesignPoint {
         } else {
             let mut codes: Vec<char> = self.bsas.iter().map(|b| b.code()).collect();
             codes.sort_unstable_by_key(|c| "SDNT".find(*c));
-            format!("{}-{}", self.core.name, codes.into_iter().collect::<String>())
+            format!(
+                "{}-{}",
+                self.core.name,
+                codes.into_iter().collect::<String>()
+            )
         }
     }
 
@@ -62,7 +68,12 @@ impl DesignPoint {
 /// The four Table-4 cores.
 #[must_use]
 pub fn all_cores() -> Vec<CoreConfig> {
-    vec![CoreConfig::io2(), CoreConfig::ooo2(), CoreConfig::ooo4(), CoreConfig::ooo6()]
+    vec![
+        CoreConfig::io2(),
+        CoreConfig::ooo2(),
+        CoreConfig::ooo4(),
+        CoreConfig::ooo6(),
+    ]
 }
 
 /// All 16 subsets of the four BSAs, in mask order.
@@ -93,7 +104,7 @@ pub fn all_design_points() -> Vec<DesignPoint> {
 }
 
 /// Per-workload metrics at one design point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadMetrics {
     /// Workload name.
     pub workload: String,
@@ -125,7 +136,7 @@ impl WorkloadMetrics {
 }
 
 /// Aggregated result for one design point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignResult {
     /// Fig. 12 label.
     pub label: String,
@@ -199,7 +210,14 @@ pub fn evaluate_point(
     let mut per_workload = Vec::with_capacity(data.len());
     for (w, table) in data.iter().zip(tables) {
         let assignment = oracle_pick(table, w, &point.bsas);
-        let run = run_exocore(&w.trace, &w.ir, &point.core, &w.plans, &assignment, &point.bsas);
+        let run = run_exocore(
+            &w.trace,
+            &w.ir,
+            &point.core,
+            &w.plans,
+            &assignment,
+            &point.bsas,
+        );
         per_workload.push(WorkloadMetrics::from_run(&run, &w.name));
     }
     DesignResult {
@@ -220,8 +238,7 @@ pub fn evaluate_point(
 pub fn explore(data: &[WorkloadData]) -> Vec<DesignResult> {
     let mut results = Vec::with_capacity(64);
     for core in all_cores() {
-        let tables: Vec<crate::OracleTable> =
-            data.iter().map(|w| oracle_table(w, &core)).collect();
+        let tables: Vec<crate::OracleTable> = data.iter().map(|w| oracle_table(w, &core)).collect();
         for bsas in all_bsa_subsets() {
             let point = DesignPoint::new(core.clone(), bsas);
             results.push(evaluate_point(data, &tables, &point));
@@ -232,7 +249,7 @@ pub fn explore(data: &[WorkloadData]) -> Vec<DesignResult> {
 
 /// A point on the performance–energy plane (for frontier extraction,
 /// Fig. 3/10).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrontierPoint {
     /// Relative performance (higher = better).
     pub perf: f64,
@@ -245,7 +262,11 @@ pub struct FrontierPoint {
 #[must_use]
 pub fn pareto_frontier(points: &[(String, FrontierPoint)]) -> Vec<(String, FrontierPoint)> {
     let mut sorted: Vec<&(String, FrontierPoint)> = points.iter().collect();
-    sorted.sort_by(|a, b| a.1.perf.partial_cmp(&b.1.perf).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| {
+        a.1.perf
+            .partial_cmp(&b.1.perf)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut frontier: Vec<(String, FrontierPoint)> = Vec::new();
     // Walk from highest performance down, keeping points that strictly
     // improve energy.
@@ -303,10 +324,34 @@ mod tests {
     #[test]
     fn pareto_frontier_filters_dominated_points() {
         let pts = vec![
-            ("a".into(), FrontierPoint { perf: 1.0, energy: 1.0 }),
-            ("b".into(), FrontierPoint { perf: 2.0, energy: 0.9 }), // dominates a
-            ("c".into(), FrontierPoint { perf: 3.0, energy: 1.5 }),
-            ("d".into(), FrontierPoint { perf: 2.5, energy: 2.0 }), // dominated by c
+            (
+                "a".into(),
+                FrontierPoint {
+                    perf: 1.0,
+                    energy: 1.0,
+                },
+            ),
+            (
+                "b".into(),
+                FrontierPoint {
+                    perf: 2.0,
+                    energy: 0.9,
+                },
+            ), // dominates a
+            (
+                "c".into(),
+                FrontierPoint {
+                    perf: 3.0,
+                    energy: 1.5,
+                },
+            ),
+            (
+                "d".into(),
+                FrontierPoint {
+                    perf: 2.5,
+                    energy: 2.0,
+                },
+            ), // dominated by c
         ];
         let f = pareto_frontier(&pts);
         let names: Vec<&str> = f.iter().map(|(n, _)| n.as_str()).collect();

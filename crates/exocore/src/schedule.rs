@@ -61,8 +61,8 @@ pub fn oracle_table(data: &WorkloadData, core: &CoreConfig) -> OracleTable {
             let ed = run.cycles as f64 * run.energy.total();
             // Region share of baseline time, approximated by its dynamic-
             // instruction share.
-            let region_share = data.ir.loops.loops[lid as usize].dyn_insts as f64
-                / data.trace.len().max(1) as f64;
+            let region_share =
+                data.ir.loops.loops[lid as usize].dyn_insts as f64 / data.trace.len().max(1) as f64;
             let slowdown = run.cycles as f64 - baseline.cycles as f64;
             let allowed = MAX_REGION_SLOWDOWN * region_share * baseline.cycles as f64;
             candidates.push(CandidateGain {
@@ -75,36 +75,37 @@ pub fn oracle_table(data: &WorkloadData, core: &CoreConfig) -> OracleTable {
             });
         }
     }
-    OracleTable { baseline, candidates }
+    OracleTable {
+        baseline,
+        candidates,
+    }
 }
 
 /// Picks the Oracle assignment from a measured table, restricted to the
 /// `enabled` BSAs: best energy-delay first, greedy non-overlapping.
 #[must_use]
-pub fn oracle_pick(
-    table: &OracleTable,
-    data: &WorkloadData,
-    enabled: &[BsaKind],
-) -> Assignment {
+pub fn oracle_pick(table: &OracleTable, data: &WorkloadData, enabled: &[BsaKind]) -> Assignment {
     let mut ranked: Vec<&CandidateGain> = table
         .candidates
         .iter()
         .filter(|c| enabled.contains(&c.kind) && c.perf_ok && c.ed_gain > 0.0)
         .collect();
-    ranked.sort_by(|a, b| b.ed_gain.partial_cmp(&a.ed_gain).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| {
+        b.ed_gain
+            .partial_cmp(&a.ed_gain)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut assignment = Assignment::none();
     let mut taken: Vec<LoopId> = Vec::new();
     let overlaps = |a: LoopId, b: LoopId| -> bool {
-        let anc = |mut x: LoopId, y: LoopId| {
-            loop {
-                if x == y {
-                    return true;
-                }
-                match data.ir.loops.loops[x as usize].parent {
-                    Some(p) => x = p,
-                    None => return false,
-                }
+        let anc = |mut x: LoopId, y: LoopId| loop {
+            if x == y {
+                return true;
+            }
+            match data.ir.loops.loops[x as usize].parent {
+                Some(p) => x = p,
+                None => return false,
             }
         };
         anc(a, b) || anc(b, a)
@@ -121,11 +122,7 @@ pub fn oracle_pick(
 
 /// Convenience: build the table and pick in one call.
 #[must_use]
-pub fn oracle_schedule(
-    data: &WorkloadData,
-    core: &CoreConfig,
-    enabled: &[BsaKind],
-) -> Assignment {
+pub fn oracle_schedule(data: &WorkloadData, core: &CoreConfig, enabled: &[BsaKind]) -> Assignment {
     oracle_pick(&oracle_table(data, core), data, enabled)
 }
 
@@ -133,11 +130,7 @@ pub fn oracle_schedule(
 /// of the loop tree applying Amdahl's law with each BSA's *static* speedup
 /// estimate — what a profile-guided compiler could do without oracle runs.
 #[must_use]
-pub fn amdahl_schedule(
-    data: &WorkloadData,
-    core: &CoreConfig,
-    enabled: &[BsaKind],
-) -> Assignment {
+pub fn amdahl_schedule(data: &WorkloadData, core: &CoreConfig, enabled: &[BsaKind]) -> Assignment {
     let loops = &data.ir.loops.loops;
     let n = loops.len();
     // Process smallest-body loops first so children are solved before
@@ -156,7 +149,11 @@ pub fn amdahl_schedule(
 
     for &i in &order {
         let l = &loops[i];
-        let child_insts: u64 = l.children.iter().map(|&c| loops[c as usize].dyn_insts).sum();
+        let child_insts: u64 = l
+            .children
+            .iter()
+            .map(|&c| loops[c as usize].dyn_insts)
+            .sum();
         let child_best: f64 = l.children.iter().map(|&c| best_time[c as usize]).sum();
         let own = l.dyn_insts.saturating_sub(child_insts) as f64;
         let keep = own + child_best;
@@ -230,19 +227,18 @@ mod tests {
         let table = oracle_table(&data, &core);
         assert!(!table.candidates.is_empty());
         let a = oracle_pick(&table, &data, &BsaKind::ALL);
-        assert!(!a.map.is_empty(), "oracle found nothing on a vectorizable loop");
-        // And the pick actually beats the baseline on energy-delay.
-        let run = run_exocore(
-            &data.trace,
-            &data.ir,
-            &core,
-            &data.plans,
-            &a,
-            &BsaKind::ALL,
+        assert!(
+            !a.map.is_empty(),
+            "oracle found nothing on a vectorizable loop"
         );
+        // And the pick actually beats the baseline on energy-delay.
+        let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &a, &BsaKind::ALL);
         let base_ed = table.baseline.cycles as f64 * table.baseline.energy.total();
         let ed = run.cycles as f64 * run.energy.total();
-        assert!(ed < base_ed, "oracle pick must improve ED: {ed} vs {base_ed}");
+        assert!(
+            ed < base_ed,
+            "oracle pick must improve ED: {ed} vs {base_ed}"
+        );
     }
 
     #[test]
@@ -250,7 +246,7 @@ mod tests {
         let data = WorkloadData::prepare(&dp_kernel(600)).unwrap();
         let table = oracle_table(&data, &CoreConfig::ooo2());
         let only_nsdf = oracle_pick(&table, &data, &[BsaKind::NsDf]);
-        for (_, kind) in &only_nsdf.map {
+        for kind in only_nsdf.map.values() {
             assert_eq!(*kind, BsaKind::NsDf);
         }
         let none = oracle_pick(&table, &data, &[]);

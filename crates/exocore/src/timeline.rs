@@ -2,8 +2,6 @@
 //! an ExoCore over its plain core, annotated with the unit that dominated
 //! each window.
 
-use serde::{Deserialize, Serialize};
-
 use prism_sim::RegDepTracker;
 use prism_tdg::{run_exocore, Assignment, BsaKind, ExecUnit};
 use prism_udg::{CoreConfig, CoreModel, MemDepTracker};
@@ -11,7 +9,7 @@ use prism_udg::{CoreConfig, CoreModel, MemDepTracker};
 use crate::WorkloadData;
 
 /// One timeline window.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WindowPoint {
     /// Last original-trace instruction of the window.
     pub end_seq: u64,
@@ -137,7 +135,13 @@ pub fn switching_timeline(
         } else {
             base_cycles as f64 / exo_cycles as f64
         };
-        points.push(WindowPoint { end_seq, base_cycles, exo_cycles, speedup, dominant_unit });
+        points.push(WindowPoint {
+            end_seq,
+            base_cycles,
+            exo_cycles,
+            speedup,
+            dominant_unit,
+        });
     }
     points
 }
@@ -151,7 +155,13 @@ mod tests {
     /// Two-phase program: vectorizable streaming then branchy integer code.
     fn two_phase() -> WorkloadData {
         let mut b = ProgramBuilder::new("twophase");
-        let (p, q, i, t, x) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+        let (p, q, i, t, x) = (
+            Reg::int(1),
+            Reg::int(2),
+            Reg::int(3),
+            Reg::int(4),
+            Reg::int(5),
+        );
         let (fa, fb) = (Reg::fp(0), Reg::fp(1));
         b.init_reg(p, 0x10000);
         b.init_reg(q, 0x24000);
@@ -190,9 +200,11 @@ mod tests {
         assert_eq!(pts.last().unwrap().end_seq, data.trace.len() as u64 - 1);
         // Phase 1 should be accelerated (if the oracle chose anything).
         if !a.map.is_empty() {
-            let units: std::collections::HashSet<_> =
-                pts.iter().map(|p| p.dominant_unit).collect();
-            assert!(units.len() >= 2, "expected switching between units: {units:?}");
+            let units: std::collections::HashSet<_> = pts.iter().map(|p| p.dominant_unit).collect();
+            assert!(
+                units.len() >= 2,
+                "expected switching between units: {units:?}"
+            );
         }
         for p in &pts {
             assert!(p.speedup.is_finite() && p.speedup > 0.0);

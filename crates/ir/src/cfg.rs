@@ -152,7 +152,11 @@ impl Cfg {
             blocks[bi].succs = ss;
         }
 
-        Cfg { blocks, block_of, edge_counts: HashMap::new() }
+        Cfg {
+            blocks,
+            block_of,
+            edge_counts: HashMap::new(),
+        }
     }
 
     /// Number of blocks.
@@ -220,7 +224,11 @@ mod tests {
         let t = diamond_and_loop();
         let cfg = Cfg::build(&t);
         let b0 = cfg.block_containing(0);
-        assert_eq!(b0.succs.len(), 2, "conditional entry block has two successors");
+        assert_eq!(
+            b0.succs.len(),
+            2,
+            "conditional entry block has two successors"
+        );
         // The join/loop block has multiple preds (then, else, and itself).
         let loop_block = cfg.block_containing(4);
         assert!(loop_block.preds.len() >= 2);
@@ -240,7 +248,9 @@ mod tests {
         assert_eq!(loop_block.exec_count, 5);
         // Back edge traversed 4 times.
         assert_eq!(
-            cfg.edge_counts.get(&(loop_block.id, loop_block.id)).copied(),
+            cfg.edge_counts
+                .get(&(loop_block.id, loop_block.id))
+                .copied(),
             Some(4)
         );
     }

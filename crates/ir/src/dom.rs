@@ -41,17 +41,18 @@ impl Dominators {
 
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[0] = Some(0);
-        let intersect = |idom: &[Option<BlockId>], rpo: &[usize], mut a: BlockId, mut b: BlockId| {
-            while a != b {
-                while rpo[a as usize] > rpo[b as usize] {
-                    a = idom[a as usize].expect("processed");
+        let intersect =
+            |idom: &[Option<BlockId>], rpo: &[usize], mut a: BlockId, mut b: BlockId| {
+                while a != b {
+                    while rpo[a as usize] > rpo[b as usize] {
+                        a = idom[a as usize].expect("processed");
+                    }
+                    while rpo[b as usize] > rpo[a as usize] {
+                        b = idom[b as usize].expect("processed");
+                    }
                 }
-                while rpo[b as usize] > rpo[a as usize] {
-                    b = idom[b as usize].expect("processed");
-                }
-            }
-            a
-        };
+                a
+            };
 
         let mut changed = true;
         while changed {
@@ -148,7 +149,10 @@ mod tests {
         // Neither branch arm dominates the join.
         assert_eq!(dom.idom(join), Some(entry));
         for b in 1..cfg.len() as BlockId {
-            assert!(dom.dominates(entry, b), "entry dominates everything reachable");
+            assert!(
+                dom.dominates(entry, b),
+                "entry dominates everything reachable"
+            );
         }
     }
 
@@ -170,7 +174,10 @@ mod tests {
         // All loop blocks are dominated by the header.
         for b in 0..cfg.len() as BlockId {
             if cfg.blocks[b as usize].succs.contains(&header) {
-                assert!(dom.dominates(header, b), "back-edge source dominated by header");
+                assert!(
+                    dom.dominates(header, b),
+                    "back-edge source dominated by header"
+                );
             }
         }
     }

@@ -99,7 +99,15 @@ impl ProgramIr {
             .innermost()
             .map(|l| (l.id, classify_loop_registers(&trace.program, &cfg, l)))
             .collect();
-        ProgramIr { program: trace.program.clone(), cfg, dom, loops, paths, mem, regs }
+        ProgramIr {
+            program: trace.program.clone(),
+            cfg,
+            dom,
+            loops,
+            paths,
+            mem,
+            regs,
+        }
     }
 }
 
@@ -137,7 +145,13 @@ mod tests {
         assert!((prof.hot_path_fraction() - 0.5).abs() < 1e-9);
         // Both analyses present for the inner loop only.
         assert!(ir.regs.contains_key(&inner.id));
-        let outer_id = ir.loops.loops.iter().find(|l| !l.is_innermost()).unwrap().id;
+        let outer_id = ir
+            .loops
+            .loops
+            .iter()
+            .find(|l| !l.is_innermost())
+            .unwrap()
+            .id;
         assert!(!ir.regs.contains_key(&outer_id));
     }
 }

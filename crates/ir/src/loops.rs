@@ -57,7 +57,10 @@ impl Loop {
     /// Number of static instructions in the loop body.
     #[must_use]
     pub fn static_size(&self, cfg: &Cfg) -> u32 {
-        self.blocks.iter().map(|&b| cfg.blocks[b as usize].len()).sum()
+        self.blocks
+            .iter()
+            .map(|&b| cfg.blocks[b as usize].len())
+            .sum()
     }
 
     /// Whether the loop body contains call or return instructions (NS-DF
@@ -65,9 +68,12 @@ impl Loop {
     #[must_use]
     pub fn has_calls(&self, cfg: &Cfg, program: &prism_isa::Program) -> bool {
         self.blocks.iter().any(|&b| {
-            cfg.blocks[b as usize]
-                .inst_ids()
-                .any(|i| matches!(program.inst(i).op, prism_isa::Opcode::Call | prism_isa::Opcode::Ret))
+            cfg.blocks[b as usize].inst_ids().any(|i| {
+                matches!(
+                    program.inst(i).op,
+                    prism_isa::Opcode::Call | prism_isa::Opcode::Ret
+                )
+            })
         })
     }
 }
@@ -187,7 +193,10 @@ impl LoopForest {
             }
         }
 
-        LoopForest { loops, loop_of_block }
+        LoopForest {
+            loops,
+            loop_of_block,
+        }
     }
 
     fn annotate(&mut self, cfg: &Cfg, trace: &Trace) {
@@ -209,8 +218,7 @@ impl LoopForest {
                     while let Some(id) = lid {
                         let lp = &self.loops[id as usize];
                         if lp.header == b {
-                            let from_outside = prev_block
-                                .is_none_or(|p| !lp.blocks.contains(&p));
+                            let from_outside = prev_block.is_none_or(|p| !lp.blocks.contains(&p));
                             self.loops[id as usize].iterations += 1;
                             if from_outside {
                                 self.loops[id as usize].entries += 1;
@@ -244,8 +252,7 @@ impl LoopForest {
     /// The innermost loop containing static instruction `sid`, if any.
     #[must_use]
     pub fn loop_of_inst(&self, cfg: &Cfg, sid: prism_isa::StaticId) -> Option<&Loop> {
-        self.loop_of_block[cfg.block_of[sid as usize] as usize]
-            .map(|l| &self.loops[l as usize])
+        self.loop_of_block[cfg.block_of[sid as usize] as usize].map(|l| &self.loops[l as usize])
     }
 }
 

@@ -65,7 +65,10 @@ impl LoopMemInfo {
     /// The pattern for a static op, defaulting to irregular if unseen.
     #[must_use]
     pub fn pattern(&self, sid: StaticId) -> AccessPattern {
-        self.patterns.get(&sid).copied().unwrap_or(AccessPattern::Irregular)
+        self.patterns
+            .get(&sid)
+            .copied()
+            .unwrap_or(AccessPattern::Irregular)
     }
 }
 
@@ -101,8 +104,8 @@ pub fn analyze_memory(
 
     for d in &trace.insts {
         let b = cfg.block_of[d.sid as usize];
-        let in_loop = forest.loop_of_block[b as usize]
-            .filter(|&l| forest.loops[l as usize].is_innermost());
+        let in_loop =
+            forest.loop_of_block[b as usize].filter(|&l| forest.loops[l as usize].is_innermost());
 
         // Maintain the loop context and iteration counter.
         if d.sid == cfg.blocks[b as usize].start {

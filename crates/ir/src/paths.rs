@@ -64,7 +64,11 @@ impl PathProfile {
 
 /// Profiles the paths of every innermost loop in one pass over the trace.
 #[must_use]
-pub fn profile_paths(cfg: &Cfg, forest: &LoopForest, trace: &Trace) -> HashMap<LoopId, PathProfile> {
+pub fn profile_paths(
+    cfg: &Cfg,
+    forest: &LoopForest,
+    trace: &Trace,
+) -> HashMap<LoopId, PathProfile> {
     let mut profiles: HashMap<LoopId, PathProfile> = HashMap::new();
     let mut raw: HashMap<LoopId, HashMap<Vec<BlockId>, u64>> = HashMap::new();
     for l in forest.innermost() {
@@ -75,31 +79,30 @@ pub fn profile_paths(cfg: &Cfg, forest: &LoopForest, trace: &Trace) -> HashMap<L
     // Current innermost-loop context: (loop id, current iteration's path).
     let mut active: Option<(LoopId, Vec<BlockId>)> = None;
 
-    let flush =
-        |active: &mut Option<(LoopId, Vec<BlockId>)>,
-         raw: &mut HashMap<LoopId, HashMap<Vec<BlockId>, u64>>,
-         profiles: &mut HashMap<LoopId, PathProfile>,
-         continued: bool| {
-            if let Some((lid, path)) = active.take() {
-                let prof = profiles.get_mut(&lid).expect("profiled loop");
-                prof.iterations += 1;
-                if continued {
-                    prof.back_edges += 1;
-                }
-                let paths = raw.get_mut(&lid).expect("profiled loop");
-                if paths.len() < MAX_PATHS || paths.contains_key(&path) {
-                    *paths.entry(path).or_insert(0) += 1;
-                }
+    let flush = |active: &mut Option<(LoopId, Vec<BlockId>)>,
+                 raw: &mut HashMap<LoopId, HashMap<Vec<BlockId>, u64>>,
+                 profiles: &mut HashMap<LoopId, PathProfile>,
+                 continued: bool| {
+        if let Some((lid, path)) = active.take() {
+            let prof = profiles.get_mut(&lid).expect("profiled loop");
+            prof.iterations += 1;
+            if continued {
+                prof.back_edges += 1;
             }
-        };
+            let paths = raw.get_mut(&lid).expect("profiled loop");
+            if paths.len() < MAX_PATHS || paths.contains_key(&path) {
+                *paths.entry(path).or_insert(0) += 1;
+            }
+        }
+    };
 
     for d in &trace.insts {
         let b = cfg.block_of[d.sid as usize];
         if d.sid != cfg.blocks[b as usize].start {
             continue; // only block entries matter for paths
         }
-        let in_loop = forest.loop_of_block[b as usize]
-            .filter(|&l| forest.loops[l as usize].is_innermost());
+        let in_loop =
+            forest.loop_of_block[b as usize].filter(|&l| forest.loops[l as usize].is_innermost());
         match (&mut active, in_loop) {
             (Some((lid, path)), Some(l)) if *lid == l => {
                 if forest.loops[l as usize].header == b {

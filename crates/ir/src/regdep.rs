@@ -126,8 +126,15 @@ fn classify_writer(
     // accumulation itself.
     let assoc = matches!(
         inst.op,
-        Opcode::Add | Opcode::FAdd | Opcode::FMul | Opcode::Mul | Opcode::FMin | Opcode::FMax
-            | Opcode::And | Opcode::Or | Opcode::Xor
+        Opcode::Add
+            | Opcode::FAdd
+            | Opcode::FMul
+            | Opcode::Mul
+            | Opcode::FMin
+            | Opcode::FMax
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
     );
     if assoc && (inst.src1 == Some(r)) != (inst.src2 == Some(r)) && uses == 1 {
         return CarriedClass::Reduction { op: inst.op };
@@ -167,9 +174,18 @@ mod tests {
             b.bne_label(i, Reg::ZERO, head);
             b.halt();
         });
-        assert_eq!(info.carried[&Reg::int(1)], CarriedClass::Induction { step: 8 });
-        assert_eq!(info.carried[&Reg::int(2)], CarriedClass::Induction { step: -1 });
-        assert_eq!(info.carried[&Reg::int(3)], CarriedClass::Reduction { op: Opcode::Add });
+        assert_eq!(
+            info.carried[&Reg::int(1)],
+            CarriedClass::Induction { step: 8 }
+        );
+        assert_eq!(
+            info.carried[&Reg::int(2)],
+            CarriedClass::Induction { step: -1 }
+        );
+        assert_eq!(
+            info.carried[&Reg::int(3)],
+            CarriedClass::Reduction { op: Opcode::Add }
+        );
         assert!(info.vectorizable_dataflow());
     }
 
@@ -189,7 +205,10 @@ mod tests {
         });
         assert_eq!(info.carried[&Reg::int(1)], CarriedClass::CrossIteration);
         assert!(!info.vectorizable_dataflow());
-        assert_eq!(info.cross_iteration_regs().collect::<Vec<_>>(), vec![Reg::int(1)]);
+        assert_eq!(
+            info.cross_iteration_regs().collect::<Vec<_>>(),
+            vec![Reg::int(1)]
+        );
     }
 
     #[test]
@@ -245,6 +264,9 @@ mod tests {
             b.bne_label(i, Reg::ZERO, head);
             b.halt();
         });
-        assert_eq!(info.carried[&Reg::fp(0)], CarriedClass::Reduction { op: Opcode::FMul });
+        assert_eq!(
+            info.carried[&Reg::fp(0)],
+            CarriedClass::Reduction { op: Opcode::FMul }
+        );
     }
 }

@@ -66,7 +66,12 @@ pub fn find_spills(program: &Program, cfg: &Cfg, l: &Loop) -> Vec<SpillPair> {
                 clobbered = true;
             }
             if inst.op.is_load() && inst.src1 == Some(base) && inst.imm == st.imm && clobbered {
-                pairs.push(SpillPair { store: st_sid, load: ld_sid, base, offset: st.imm });
+                pairs.push(SpillPair {
+                    store: st_sid,
+                    load: ld_sid,
+                    base,
+                    offset: st.imm,
+                });
                 break;
             }
             if inst.op.is_store() && inst.src1 == Some(base) && inst.imm == st.imm {

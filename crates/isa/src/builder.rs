@@ -1,6 +1,5 @@
 //! Label-based assembler API for authoring programs.
 
-
 use crate::{DataSegment, Inst, Opcode, Program, Reg, StaticId, ValidateProgramError};
 
 /// A forward-referencable code label.

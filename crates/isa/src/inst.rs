@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{FuClass, Opcode, Reg};
 
 /// Index of a static instruction within a [`Program`](crate::Program).
@@ -29,7 +27,7 @@ pub type StaticId = u32;
 /// let add = Inst::rrr(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3));
 /// assert_eq!(add.to_string(), "add r1, r2, r3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Inst {
     /// Operation.
     pub op: Opcode,
@@ -49,25 +47,53 @@ impl Inst {
     /// Three-register instruction `op dst, src1, src2`.
     #[must_use]
     pub fn rrr(op: Opcode, dst: Reg, src1: Reg, src2: Reg) -> Self {
-        Inst { op, dst: Some(dst), src1: Some(src1), src2: Some(src2), imm: 0, width: 0 }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: 0,
+            width: 0,
+        }
     }
 
     /// Register-immediate instruction `op dst, src1, imm`.
     #[must_use]
     pub fn rri(op: Opcode, dst: Reg, src1: Reg, imm: i64) -> Self {
-        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm, width: 0 }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: None,
+            imm,
+            width: 0,
+        }
     }
 
     /// Two-register instruction `op dst, src1`.
     #[must_use]
     pub fn rr(op: Opcode, dst: Reg, src1: Reg) -> Self {
-        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm: 0, width: 0 }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: Some(src1),
+            src2: None,
+            imm: 0,
+            width: 0,
+        }
     }
 
     /// Immediate-only instruction with a destination, e.g. `li dst, imm`.
     #[must_use]
     pub fn ri(op: Opcode, dst: Reg, imm: i64) -> Self {
-        Inst { op, dst: Some(dst), src1: None, src2: None, imm, width: 0 }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: None,
+            src2: None,
+            imm,
+            width: 0,
+        }
     }
 
     /// Load `dst = mem[base + offset]` of `width` bytes.
@@ -79,7 +105,14 @@ impl Inst {
     pub fn load(op: Opcode, dst: Reg, base: Reg, offset: i64, width: u8) -> Self {
         assert!(op.is_load(), "load() requires a load opcode");
         assert!(matches!(width, 1 | 2 | 4 | 8), "invalid memory width");
-        Inst { op, dst: Some(dst), src1: Some(base), src2: None, imm: offset, width }
+        Inst {
+            op,
+            dst: Some(dst),
+            src1: Some(base),
+            src2: None,
+            imm: offset,
+            width,
+        }
     }
 
     /// Store `mem[base + offset] = data` of `width` bytes.
@@ -91,26 +124,57 @@ impl Inst {
     pub fn store(op: Opcode, data: Reg, base: Reg, offset: i64, width: u8) -> Self {
         assert!(op.is_store(), "store() requires a store opcode");
         assert!(matches!(width, 1 | 2 | 4 | 8), "invalid memory width");
-        Inst { op, dst: None, src1: Some(base), src2: Some(data), imm: offset, width }
+        Inst {
+            op,
+            dst: None,
+            src1: Some(base),
+            src2: Some(data),
+            imm: offset,
+            width,
+        }
     }
 
     /// Conditional branch `op src1, src2 -> target`.
     #[must_use]
     pub fn branch(op: Opcode, src1: Reg, src2: Reg, target: StaticId) -> Self {
-        assert!(op.is_cond_branch(), "branch() requires a conditional branch opcode");
-        Inst { op, dst: None, src1: Some(src1), src2: Some(src2), imm: i64::from(target), width: 0 }
+        assert!(
+            op.is_cond_branch(),
+            "branch() requires a conditional branch opcode"
+        );
+        Inst {
+            op,
+            dst: None,
+            src1: Some(src1),
+            src2: Some(src2),
+            imm: i64::from(target),
+            width: 0,
+        }
     }
 
     /// Unconditional jump to `target`.
     #[must_use]
     pub fn jmp(target: StaticId) -> Self {
-        Inst { op: Opcode::Jmp, dst: None, src1: None, src2: None, imm: i64::from(target), width: 0 }
+        Inst {
+            op: Opcode::Jmp,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: i64::from(target),
+            width: 0,
+        }
     }
 
     /// Zero-operand instruction (`nop`, `halt`).
     #[must_use]
     pub fn nullary(op: Opcode) -> Self {
-        Inst { op, dst: None, src1: None, src2: None, imm: 0, width: 0 }
+        Inst {
+            op,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+            width: 0,
+        }
     }
 
     /// Branch / jump target, if this is a direct control transfer.
@@ -186,8 +250,15 @@ impl fmt::Display for Inst {
             write!(f, "-> {}", self.imm)?;
         } else if matches!(
             self.op,
-            Opcode::Li | Opcode::AddI | Opcode::AndI | Opcode::OrI | Opcode::XorI | Opcode::ShlI
-                | Opcode::ShrI | Opcode::SraI | Opcode::SltI
+            Opcode::Li
+                | Opcode::AddI
+                | Opcode::AndI
+                | Opcode::OrI
+                | Opcode::XorI
+                | Opcode::ShlI
+                | Opcode::ShrI
+                | Opcode::SraI
+                | Opcode::SltI
         ) {
             sep(f)?;
             write!(f, "{}", self.imm)?;

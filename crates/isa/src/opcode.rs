@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Functional-unit class an opcode executes on.
 ///
 /// Matches the FU grouping of the paper's Table 4 (ALU, Mul/Div, FP), plus
 /// memory and control classes that occupy cache ports / branch units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FuClass {
     /// Simple integer ALU (add/sub/logic/shift/compare, branches).
     Alu,
@@ -27,7 +25,7 @@ pub enum FuClass {
 /// Vector (`V*`) and fused (`Fma`) forms are produced by TDG transforms and
 /// by the SIMD model; the scalar subset is what workload programs are
 /// authored in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Opcode {
     // -- Integer ALU ------------------------------------------------------
     /// `dst = src1 + src2`
@@ -216,7 +214,10 @@ impl Opcode {
     #[must_use]
     pub fn is_control(self) -> bool {
         self.is_cond_branch()
-            || matches!(self, Opcode::Jmp | Opcode::Call | Opcode::Ret | Opcode::Halt)
+            || matches!(
+                self,
+                Opcode::Jmp | Opcode::Call | Opcode::Ret | Opcode::Halt
+            )
     }
 
     /// Returns `true` for loads (integer, FP, or vector).
@@ -255,7 +256,15 @@ impl Opcode {
         use Opcode::*;
         matches!(
             self,
-            Fma | VOp | VLd | VSt | VShuffle | VMask | SetPred | Config | CommSend | CommRecv
+            Fma | VOp
+                | VLd
+                | VSt
+                | VShuffle
+                | VMask
+                | SetPred
+                | Config
+                | CommSend
+                | CommRecv
                 | Switch
         )
     }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Inst, Opcode, Reg, StaticId};
 
 /// Error returned by [`Program::validate`].
@@ -47,7 +45,7 @@ impl fmt::Display for ValidateProgramError {
 impl std::error::Error for ValidateProgramError {}
 
 /// A region of initial memory contents.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataSegment {
     /// Start address.
     pub addr: u64,
@@ -75,7 +73,7 @@ pub struct DataSegment {
 /// assert_eq!(prog.len(), 3);
 /// # Ok::<(), prism_isa::ValidateProgramError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// Human-readable name (workload kernel name).
     pub name: String,
@@ -94,7 +92,12 @@ impl Program {
     /// tests and generated code.
     #[must_use]
     pub fn from_insts(name: impl Into<String>, insts: Vec<Inst>) -> Self {
-        Program { name: name.into(), insts, reg_init: Vec::new(), data: Vec::new() }
+        Program {
+            name: name.into(),
+            insts,
+            reg_init: Vec::new(),
+            data: Vec::new(),
+        }
     }
 
     /// Number of static instructions.
@@ -182,7 +185,10 @@ mod tests {
 
     #[test]
     fn empty_program_invalid() {
-        assert_eq!(halt_prog(vec![]).validate(), Err(ValidateProgramError::Empty));
+        assert_eq!(
+            halt_prog(vec![]).validate(),
+            Err(ValidateProgramError::Empty)
+        );
     }
 
     #[test]
@@ -208,7 +214,10 @@ mod tests {
         ]);
         assert!(matches!(
             p.validate(),
-            Err(ValidateProgramError::TransformOnlyOpcode { at: 0, op: Opcode::Fma })
+            Err(ValidateProgramError::TransformOnlyOpcode {
+                at: 0,
+                op: Opcode::Fma
+            })
         ));
     }
 

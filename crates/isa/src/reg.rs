@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of integer registers.
 pub const NUM_INT_REGS: u8 = 32;
 /// Number of floating-point registers.
@@ -34,7 +32,7 @@ pub const NUM_REGS: u8 = NUM_INT_REGS + NUM_FP_REGS;
 /// assert_eq!(r3.to_string(), "r3");
 /// assert_eq!(f1.to_string(), "f1");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {

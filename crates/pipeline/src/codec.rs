@@ -1,0 +1,122 @@
+//! JSON encoding/decoding for cached [`DesignResult`] artifacts.
+//!
+//! Decoding is strict: any missing or mistyped field yields `None`, which
+//! the session treats as a cache miss (recompute and overwrite) rather than
+//! an error.
+
+use prism_exocore::{DesignResult, WorkloadMetrics};
+
+use crate::json::Json;
+
+/// Encodes one design result as a JSON payload.
+#[must_use]
+pub fn encode_design_result(r: &DesignResult) -> Json {
+    Json::Obj(vec![
+        ("label".into(), Json::Str(r.label.clone())),
+        ("core".into(), Json::Str(r.core.clone())),
+        ("bsas".into(), Json::Str(r.bsas.clone())),
+        ("area_mm2".into(), Json::F64(r.area_mm2)),
+        (
+            "per_workload".into(),
+            Json::Arr(r.per_workload.iter().map(encode_metrics).collect()),
+        ),
+    ])
+}
+
+fn encode_metrics(m: &WorkloadMetrics) -> Json {
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(m.workload.clone())),
+        ("cycles".into(), Json::U64(m.cycles)),
+        ("energy".into(), Json::F64(m.energy)),
+        ("unaccelerated".into(), Json::F64(m.unaccelerated)),
+        (
+            "unit_cycles".into(),
+            Json::Arr(m.unit_cycles.iter().map(|&c| Json::U64(c)).collect()),
+        ),
+        (
+            "unit_energy".into(),
+            Json::Arr(m.unit_energy.iter().map(|&e| Json::F64(e)).collect()),
+        ),
+    ])
+}
+
+/// Decodes a design result payload; `None` on any shape mismatch.
+#[must_use]
+pub fn decode_design_result(json: &Json) -> Option<DesignResult> {
+    let per_workload = json
+        .get("per_workload")?
+        .as_arr()?
+        .iter()
+        .map(decode_metrics)
+        .collect::<Option<_>>()?;
+    Some(DesignResult {
+        label: json.get("label")?.as_str()?.to_string(),
+        core: json.get("core")?.as_str()?.to_string(),
+        bsas: json.get("bsas")?.as_str()?.to_string(),
+        area_mm2: json.get("area_mm2")?.as_f64()?,
+        per_workload,
+    })
+}
+
+fn decode_metrics(json: &Json) -> Option<WorkloadMetrics> {
+    let unit_cycles: Vec<u64> = json
+        .get("unit_cycles")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<_>>()?;
+    let unit_energy: Vec<f64> = json
+        .get("unit_energy")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<Option<_>>()?;
+    Some(WorkloadMetrics {
+        workload: json.get("workload")?.as_str()?.to_string(),
+        cycles: json.get("cycles")?.as_u64()?,
+        energy: json.get("energy")?.as_f64()?,
+        unaccelerated: json.get("unaccelerated")?.as_f64()?,
+        unit_cycles: unit_cycles.try_into().ok()?,
+        unit_energy: unit_energy.try_into().ok()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DesignResult {
+        DesignResult {
+            label: "OOO2-SDN".into(),
+            core: "OOO2".into(),
+            bsas: "SDN".into(),
+            area_mm2: 7.25,
+            per_workload: vec![WorkloadMetrics {
+                workload: "stencil".into(),
+                cycles: (1u64 << 53) + 3,
+                energy: 1.0 / 3.0,
+                unaccelerated: 0.125,
+                unit_cycles: [10, 20, 30, 40, 50],
+                unit_energy: [0.1, 0.2, 0.3, 0.4, 0.5],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let r = sample();
+        let text = encode_design_result(&r).to_string();
+        let back = decode_design_result(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn shape_mismatch_decodes_to_none() {
+        let mut json = encode_design_result(&sample());
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "area_mm2");
+        }
+        assert_eq!(decode_design_result(&json), None);
+        assert_eq!(decode_design_result(&Json::Null), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed pipeline errors: every failure names the workload and the stage
+//! that produced it, so a 44-workload batch run points straight at the
+//! culprit instead of panicking.
+
+/// The pipeline stage an error originated in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Kernel construction / program validation.
+    Build,
+    /// Dynamic trace generation (functional simulation).
+    Trace,
+    /// IR reconstruction from the trace.
+    Analyze,
+    /// BSA plan analysis.
+    Plan,
+    /// Design-point evaluation (scheduling + combined TDG run).
+    Evaluate,
+    /// Artifact-store I/O.
+    Store,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Stage::Build => "build",
+            Stage::Trace => "trace",
+            Stage::Analyze => "analyze",
+            Stage::Plan => "plan",
+            Stage::Evaluate => "evaluate",
+            Stage::Store => "store",
+        })
+    }
+}
+
+/// A pipeline failure, carrying the workload name and failing stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    /// The workload being processed when the failure occurred.
+    pub workload: String,
+    /// The stage that failed.
+    pub stage: Stage,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl PipelineError {
+    /// Creates an error for `workload` failing in `stage`.
+    #[must_use]
+    pub fn new(workload: impl Into<String>, stage: Stage, message: impl Into<String>) -> Self {
+        PipelineError {
+            workload: workload.into(),
+            stage,
+            message: message.into(),
+        }
+    }
+
+    /// Wraps a [`prism_sim::TraceError`] from the trace stage.
+    #[must_use]
+    pub fn trace(workload: impl Into<String>, err: &prism_sim::TraceError) -> Self {
+        PipelineError::new(workload, Stage::Trace, err.to_string())
+    }
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "workload `{}` failed in {} stage: {}",
+            self.workload, self.stage, self.message
+        )
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_names_workload_and_stage() {
+        let e = PipelineError::new("stencil", Stage::Trace, "boom");
+        let text = e.to_string();
+        assert!(text.contains("stencil"), "{text}");
+        assert!(text.contains("trace"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # prism-pipeline
+//!
+//! The staged evaluation pipeline behind every prism experiment:
+//!
+//! ```text
+//! workload ──trace──▶ Trace ──analyze──▶ ProgramIr ──plan──▶ AccelPlans
+//!                                                              │
+//!              oracle tables (per workload × base core)  ◀─────┘
+//!                                │
+//!                        design-point evaluation ──▶ DesignResult
+//! ```
+//!
+//! A [`Session`] memoizes every stage in memory and stores design-point
+//! results in an on-disk, content-addressed [`ArtifactStore`]. Keys cover
+//! workload identity and build size, the full [`prism_sim::TracerConfig`],
+//! the full core configuration, the BSA subset, and the schema/crate
+//! version — so stale artifacts are structurally impossible: change any
+//! input and the key changes; only the affected stages recompute.
+//!
+//! Fan-out across (workload × design point) runs on [`parallel_map`],
+//! which reduces in canonical input order: results are bit-identical
+//! whether run with `--jobs 1` or `--jobs N` (also settable via the
+//! `PRISM_JOBS` environment variable).
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod hash;
+pub mod json;
+pub mod key;
+pub mod par;
+pub mod session;
+pub mod store;
+
+pub use codec::{decode_design_result, encode_design_result};
+pub use error::{PipelineError, Stage};
+pub use hash::ContentHash;
+pub use json::Json;
+pub use key::{KeyBuilder, SCHEMA_VERSION};
+pub use par::{jobs_from_args, parallel_map, resolve_jobs};
+pub use session::{PreparedWorkload, Session, SessionStats};
+pub use store::{ArtifactStore, StoreStats};

@@ -1,0 +1,554 @@
+//! The [`Session`]: the single entry point for the staged evaluation
+//! pipeline `workload → Trace → ProgramIr → AccelPlans → evaluation`.
+//!
+//! A session owns an in-memory memo (prepared workloads, oracle tables) and
+//! an on-disk [`ArtifactStore`] of design-point results, both keyed by
+//! content hashes of every input that affects the artifact. Stages
+//! invalidate independently: changing the tracer config re-traces, changing
+//! only a core config reuses every trace and recomputes only the affected
+//! oracle tables and design points.
+//!
+//! All fan-out runs through [`parallel_map`], so results are reduced in
+//! canonical (input-index) order and a `--jobs 1` run is bit-identical to a
+//! `--jobs N` run.
+
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use prism_exocore::{
+    all_bsa_subsets, all_cores, oracle_pick, oracle_table, DesignPoint, DesignResult, OracleTable,
+    WorkloadData, WorkloadMetrics,
+};
+use prism_sim::TracerConfig;
+use prism_tdg::{run_exocore, BsaKind};
+use prism_udg::CoreConfig;
+use prism_workloads::{Suite, Workload};
+
+use crate::codec::{decode_design_result, encode_design_result};
+use crate::error::PipelineError;
+use crate::hash::{ContentHash, Sha256};
+use crate::key::KeyBuilder;
+use crate::par::{parallel_map, resolve_jobs};
+use crate::store::{ArtifactStore, StoreStats};
+
+/// A workload prepared by a [`Session`]: its content key plus the shared
+/// trace/IR/plans data. Dereferences to [`WorkloadData`].
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// Content hash of (workload name, build size, tracer config).
+    pub key: ContentHash,
+    /// The prepared trace, IR, and accelerator plans.
+    pub data: Arc<WorkloadData>,
+}
+
+impl Deref for PreparedWorkload {
+    type Target = WorkloadData;
+
+    fn deref(&self) -> &WorkloadData {
+        &self.data
+    }
+}
+
+/// Aggregate cache counters for one session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionStats {
+    /// On-disk artifact store counters.
+    pub artifacts: StoreStats,
+    /// In-memory memo hits (prepared workloads + oracle tables).
+    pub memo_hits: u64,
+    /// In-memory memo misses.
+    pub memo_misses: u64,
+}
+
+/// The pipeline session: memoized stages + content-addressed artifacts +
+/// deterministic parallelism.
+#[derive(Debug)]
+pub struct Session {
+    tracer: TracerConfig,
+    jobs: usize,
+    refresh: bool,
+    store: ArtifactStore,
+    workloads: Mutex<HashMap<ContentHash, Arc<WorkloadData>>>,
+    tables: Mutex<HashMap<ContentHash, Arc<OracleTable>>>,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// Creates a session from the environment: default tracer config,
+    /// `PRISM_JOBS` (else hardware parallelism) workers, artifacts under
+    /// `PRISM_ARTIFACT_DIR` (else `target/prism-artifacts`).
+    ///
+    /// `PRISM_REFRESH` is honored but deprecated: artifacts are
+    /// content-addressed and invalidate themselves when any input changes.
+    #[must_use]
+    pub fn new() -> Self {
+        let refresh = std::env::var_os("PRISM_REFRESH").is_some();
+        if refresh {
+            eprintln!(
+                "[prism-pipeline] PRISM_REFRESH is deprecated: artifacts are \
+                 content-addressed and invalidate automatically when inputs \
+                 change. Forcing recompute for this run."
+            );
+        }
+        Session {
+            tracer: TracerConfig::default(),
+            jobs: resolve_jobs(None),
+            refresh,
+            store: ArtifactStore::new(ArtifactStore::default_dir()),
+            workloads: Mutex::new(HashMap::new()),
+            tables: Mutex::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the tracer configuration (stage-1 cache key input).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: TracerConfig) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Overrides the worker count (e.g. from a `--jobs` flag).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Redirects the on-disk artifact store.
+    #[must_use]
+    pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = ArtifactStore::new(dir);
+        self
+    }
+
+    /// Forces recomputation of disk artifacts (they are still re-saved).
+    #[must_use]
+    pub fn with_refresh(mut self, refresh: bool) -> Self {
+        self.refresh = refresh;
+        self
+    }
+
+    /// The session's worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The session's tracer configuration.
+    #[must_use]
+    pub fn tracer(&self) -> &TracerConfig {
+        &self.tracer
+    }
+
+    /// The content key of a registered workload at size `n` under this
+    /// session's tracer config — computable without preparing anything.
+    #[must_use]
+    pub fn workload_key(&self, name: &str, n: u32) -> ContentHash {
+        let mut kb = KeyBuilder::new("workload");
+        kb.field("name", name);
+        kb.field("n", n);
+        kb.tracer(&self.tracer);
+        kb.finish()
+    }
+
+    /// The content key of one design point over an ordered workload set.
+    #[must_use]
+    pub fn design_point_key(
+        &self,
+        workload_keys: &[ContentHash],
+        core: &CoreConfig,
+        bsas: &[BsaKind],
+    ) -> ContentHash {
+        let mut kb = KeyBuilder::new("design-result");
+        kb.field("workloads", workload_keys.len());
+        for (i, key) in workload_keys.iter().enumerate() {
+            kb.hash_field(&format!("workload.{i}"), key);
+        }
+        kb.core(core);
+        kb.bsas(bsas);
+        kb.finish()
+    }
+
+    fn memo_workload(
+        &self,
+        key: ContentHash,
+        name: &str,
+        build: impl FnOnce() -> prism_isa::Program,
+    ) -> Result<PreparedWorkload, PipelineError> {
+        if let Some(data) = self
+            .workloads
+            .lock()
+            .expect("workload memo poisoned")
+            .get(&key)
+        {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PreparedWorkload {
+                key,
+                data: Arc::clone(data),
+            });
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let program = build();
+        let data = WorkloadData::prepare_with(&program, &self.tracer)
+            .map_err(|e| PipelineError::trace(name, &e))?;
+        let data = Arc::new(data);
+        self.workloads
+            .lock()
+            .expect("workload memo poisoned")
+            .insert(key, Arc::clone(&data));
+        Ok(PreparedWorkload { key, data })
+    }
+
+    /// Prepares a registered workload at its default size.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] naming the workload and failing stage.
+    pub fn prepare(&self, workload: &Workload) -> Result<PreparedWorkload, PipelineError> {
+        self.prepare_sized(workload, workload.default_n)
+    }
+
+    /// Prepares a registered workload at an explicit size.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] naming the workload and failing stage.
+    pub fn prepare_sized(
+        &self,
+        workload: &Workload,
+        n: u32,
+    ) -> Result<PreparedWorkload, PipelineError> {
+        let key = self.workload_key(workload.name, n);
+        self.memo_workload(key, workload.name, || (workload.build)(n))
+    }
+
+    /// Prepares an ad-hoc program (keyed by a content hash of the program
+    /// itself, so two identical programs share one preparation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] naming the program and failing stage.
+    pub fn prepare_program(
+        &self,
+        program: &prism_isa::Program,
+    ) -> Result<PreparedWorkload, PipelineError> {
+        let mut h = Sha256::new();
+        h.update_str(&format!("{program:?}"));
+        let mut kb = KeyBuilder::new("program");
+        kb.hash_field("program", &h.finish());
+        kb.tracer(&self.tracer);
+        let key = kb.finish();
+        self.memo_workload(key, &program.name, || program.clone())
+    }
+
+    /// Prepares a batch of workloads in parallel, preserving input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure in input order.
+    pub fn prepare_batch(
+        &self,
+        workloads: &[&Workload],
+    ) -> Result<Vec<PreparedWorkload>, PipelineError> {
+        parallel_map(workloads, self.jobs, |_, w| self.prepare(w))
+            .into_iter()
+            .collect()
+    }
+
+    /// Prepares every registered workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure in registry order.
+    pub fn prepare_all(&self) -> Result<Vec<PreparedWorkload>, PipelineError> {
+        self.prepare_batch(&prism_workloads::ALL.iter().collect::<Vec<_>>())
+    }
+
+    /// Prepares the workloads of one suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure in registry order.
+    pub fn prepare_suite(&self, suite: Suite) -> Result<Vec<PreparedWorkload>, PipelineError> {
+        self.prepare_batch(&prism_workloads::by_suite(suite).collect::<Vec<_>>())
+    }
+
+    /// Prepares the microbenchmark set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure in registry order.
+    pub fn prepare_micro(&self) -> Result<Vec<PreparedWorkload>, PipelineError> {
+        self.prepare_batch(&prism_workloads::MICRO.iter().collect::<Vec<_>>())
+    }
+
+    /// The oracle table for `workload` on `core`'s base configuration,
+    /// memoized per (workload key, core).
+    #[must_use]
+    pub fn oracle_table(&self, workload: &PreparedWorkload, core: &CoreConfig) -> Arc<OracleTable> {
+        let mut kb = KeyBuilder::new("oracle-table");
+        kb.hash_field("workload", &workload.key);
+        kb.core(core);
+        let key = kb.finish();
+        if let Some(table) = self.tables.lock().expect("table memo poisoned").get(&key) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(table);
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(oracle_table(&workload.data, core));
+        self.tables
+            .lock()
+            .expect("table memo poisoned")
+            .insert(key, Arc::clone(&table));
+        table
+    }
+
+    fn evaluate_point(
+        &self,
+        data: &[PreparedWorkload],
+        tables: &[Arc<OracleTable>],
+        core: &CoreConfig,
+        bsas: &[BsaKind],
+    ) -> DesignResult {
+        let point = DesignPoint::new(core.clone(), bsas.to_vec());
+        let mut per_workload = Vec::with_capacity(data.len());
+        for (w, table) in data.iter().zip(tables) {
+            let assignment = oracle_pick(table, &w.data, &point.bsas);
+            let run = run_exocore(
+                &w.trace,
+                &w.ir,
+                &point.core,
+                &w.plans,
+                &assignment,
+                &point.bsas,
+            );
+            per_workload.push(WorkloadMetrics::from_run(&run, &w.name));
+        }
+        DesignResult {
+            label: point.label(),
+            core: point.core.name.clone(),
+            bsas: point.bsas.iter().map(|b| b.code()).collect(),
+            area_mm2: point.area_mm2(),
+            per_workload,
+        }
+    }
+
+    /// Evaluates every (core × BSA-subset) design point over `data`,
+    /// in canonical core-major order. Oracle tables are measured once per
+    /// (workload, base core) and shared across that core's subsets. Work is
+    /// distributed over [`Session::jobs`] threads; the result order and
+    /// values are independent of the job count.
+    #[must_use]
+    pub fn explore_grid(
+        &self,
+        data: &[PreparedWorkload],
+        cores: &[CoreConfig],
+        subsets: &[Vec<BsaKind>],
+    ) -> Vec<DesignResult> {
+        // Stage 1: fill the oracle-table memo over (core × workload).
+        let pairs: Vec<(usize, usize)> = (0..cores.len())
+            .flat_map(|c| (0..data.len()).map(move |w| (c, w)))
+            .collect();
+        parallel_map(&pairs, self.jobs, |_, &(c, w)| {
+            let _ = self.oracle_table(&data[w], &cores[c]);
+        });
+        // Stage 2: evaluate every point; tables now come from the memo.
+        let points: Vec<(usize, usize)> = (0..cores.len())
+            .flat_map(|c| (0..subsets.len()).map(move |s| (c, s)))
+            .collect();
+        parallel_map(&points, self.jobs, |_, &(c, s)| {
+            let tables: Vec<Arc<OracleTable>> = data
+                .iter()
+                .map(|w| self.oracle_table(w, &cores[c]))
+                .collect();
+            self.evaluate_point(data, &tables, &cores[c], &subsets[s])
+        })
+    }
+
+    /// [`Session::explore_grid`] over the paper's full 64-point space
+    /// (4 cores × 16 BSA subsets).
+    #[must_use]
+    pub fn explore(&self, data: &[PreparedWorkload]) -> Vec<DesignResult> {
+        self.explore_grid(data, &all_cores(), &all_bsa_subsets())
+    }
+
+    /// Like [`Session::explore_grid`], backed by the on-disk artifact
+    /// store: design points already on disk are loaded instead of
+    /// recomputed, and workloads are prepared only if at least one point is
+    /// missing. A fully cached run does no tracing at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if a missing point forces preparation
+    /// and a workload fails.
+    pub fn explore_grid_cached(
+        &self,
+        workloads: &[&Workload],
+        cores: &[CoreConfig],
+        subsets: &[Vec<BsaKind>],
+    ) -> Result<Vec<DesignResult>, PipelineError> {
+        let wkeys: Vec<ContentHash> = workloads
+            .iter()
+            .map(|w| self.workload_key(w.name, w.default_n))
+            .collect();
+        let mut keys = Vec::with_capacity(cores.len() * subsets.len());
+        for core in cores {
+            for bsas in subsets {
+                keys.push(self.design_point_key(&wkeys, core, bsas));
+            }
+        }
+        let mut results: Vec<Option<DesignResult>> = keys
+            .iter()
+            .map(|key| {
+                if self.refresh {
+                    return None;
+                }
+                self.store
+                    .load(key)
+                    .and_then(|payload| decode_design_result(&payload))
+            })
+            .collect();
+        let missing: Vec<usize> = (0..results.len())
+            .filter(|&i| results[i].is_none())
+            .collect();
+        if !missing.is_empty() {
+            let data = self.prepare_batch(workloads)?;
+            // Fill oracle tables only for cores that still have work.
+            let mut core_ids: Vec<usize> = missing.iter().map(|&i| i / subsets.len()).collect();
+            core_ids.dedup();
+            let pairs: Vec<(usize, usize)> = core_ids
+                .iter()
+                .flat_map(|&c| (0..data.len()).map(move |w| (c, w)))
+                .collect();
+            parallel_map(&pairs, self.jobs, |_, &(c, w)| {
+                let _ = self.oracle_table(&data[w], &cores[c]);
+            });
+            let computed = parallel_map(&missing, self.jobs, |_, &idx| {
+                let (c, s) = (idx / subsets.len(), idx % subsets.len());
+                let tables: Vec<Arc<OracleTable>> = data
+                    .iter()
+                    .map(|w| self.oracle_table(w, &cores[c]))
+                    .collect();
+                self.evaluate_point(&data, &tables, &cores[c], &subsets[s])
+            });
+            for (&idx, result) in missing.iter().zip(computed) {
+                self.store.save(&keys[idx], encode_design_result(&result));
+                results[idx] = Some(result);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every point filled"))
+            .collect())
+    }
+
+    /// The full 64-point exploration over every registered workload,
+    /// backed by the artifact store.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if a workload fails to prepare.
+    pub fn full_design_space(&self) -> Result<Vec<DesignResult>, PipelineError> {
+        let workloads: Vec<&Workload> = prism_workloads::ALL.iter().collect();
+        self.explore_grid_cached(&workloads, &all_cores(), &all_bsa_subsets())
+    }
+
+    /// Current cache counters.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            artifacts: self.store.stats(),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Logs cache hit/miss counts to stderr.
+    pub fn log_stats(&self) {
+        let s = self.stats();
+        eprintln!(
+            "[prism-pipeline] artifact cache: {} hits, {} misses ({} discarded); \
+             memo: {} hits, {} misses; jobs={}",
+            s.artifacts.hits,
+            s.artifacts.misses,
+            s.artifacts.discarded,
+            s.memo_hits,
+            s.memo_misses,
+            self.jobs,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_tracer() -> TracerConfig {
+        TracerConfig {
+            max_insts: 20_000,
+            ..TracerConfig::default()
+        }
+    }
+
+    #[test]
+    fn prepare_memoizes_by_content_key() {
+        let session = Session::new().with_tracer(quick_tracer()).with_jobs(1);
+        let w = &prism_workloads::MICRO[0];
+        let a = session.prepare(w).expect("prepare");
+        let b = session.prepare(w).expect("prepare");
+        assert!(
+            Arc::ptr_eq(&a.data, &b.data),
+            "second prepare must hit the memo"
+        );
+        let s = session.stats();
+        assert_eq!((s.memo_hits, s.memo_misses), (1, 1));
+    }
+
+    #[test]
+    fn workload_key_depends_on_tracer_and_size() {
+        let a = Session::new().with_tracer(quick_tracer());
+        let b = Session::new().with_tracer(TracerConfig {
+            max_insts: 40_000,
+            ..quick_tracer()
+        });
+        assert_ne!(a.workload_key("x", 100), b.workload_key("x", 100));
+        assert_ne!(a.workload_key("x", 100), a.workload_key("x", 101));
+        assert_ne!(a.workload_key("x", 100), a.workload_key("y", 100));
+        assert_eq!(a.workload_key("x", 100), a.workload_key("x", 100));
+    }
+
+    #[test]
+    fn prepare_program_shares_identical_programs() {
+        let session = Session::new().with_tracer(quick_tracer()).with_jobs(1);
+        let w = &prism_workloads::MICRO[0];
+        let p1 = (w.build)(64);
+        let p2 = (w.build)(64);
+        let a = session.prepare_program(&p1).expect("prepare");
+        let b = session.prepare_program(&p2).expect("prepare");
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+    }
+
+    #[test]
+    fn oracle_tables_are_memoized_per_core() {
+        let session = Session::new().with_tracer(quick_tracer()).with_jobs(1);
+        let w = &prism_workloads::MICRO[0];
+        let prepared = session.prepare(w).expect("prepare");
+        let t1 = session.oracle_table(&prepared, &CoreConfig::ooo2());
+        let t2 = session.oracle_table(&prepared, &CoreConfig::ooo2());
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let t3 = session.oracle_table(&prepared, &CoreConfig::ooo4());
+        assert!(!Arc::ptr_eq(&t1, &t3));
+    }
+}

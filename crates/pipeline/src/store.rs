@@ -1,0 +1,216 @@
+//! The on-disk artifact store: one JSON file per content hash, with the
+//! key and schema version embedded so stale or corrupt files are *detected*
+//! and discarded with a warning — never silently reused and never a panic.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::ContentHash;
+use crate::json::Json;
+use crate::key::SCHEMA_VERSION;
+
+/// Hit/miss counters for one store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Artifacts served from disk.
+    pub hits: u64,
+    /// Keys with no artifact on disk.
+    pub misses: u64,
+    /// Corrupt or stale files discarded (each also counts as a miss).
+    pub discarded: u64,
+}
+
+/// A content-addressed artifact directory.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Opens (and lazily creates) a store under `dir`.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ArtifactStore {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+        }
+    }
+
+    /// The default location: `$PRISM_ARTIFACT_DIR` if set, else
+    /// `target/prism-artifacts` next to the workspace.
+    #[must_use]
+    pub fn default_dir() -> PathBuf {
+        if let Some(dir) = std::env::var_os("PRISM_ARTIFACT_DIR") {
+            return PathBuf::from(dir);
+        }
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/prism-artifacts")
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &ContentHash) -> PathBuf {
+        self.dir.join(format!("{}.json", key.short()))
+    }
+
+    /// Loads the payload stored under `key`, or `None` on a miss. Corrupt
+    /// files and key/schema mismatches are deleted with a warning and
+    /// reported as misses.
+    pub fn load(&self, key: &ContentHash) -> Option<Json> {
+        let path = self.path_for(key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match Self::validate(&text, key) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            Err(why) => {
+                eprintln!(
+                    "[prism-pipeline] discarding stale/corrupt artifact {}: {why}",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                self.discarded.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn validate(text: &str, key: &ContentHash) -> Result<Json, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema field")?;
+        if schema != u64::from(SCHEMA_VERSION) {
+            return Err(format!("schema {schema} != current {SCHEMA_VERSION}"));
+        }
+        let stored = doc
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or("missing key field")?;
+        if stored != key.hex() {
+            return Err("content key mismatch (hash prefix collision or stale file)".into());
+        }
+        doc.get("payload")
+            .cloned()
+            .ok_or_else(|| "missing payload field".into())
+    }
+
+    /// Stores `payload` under `key`. I/O failures are reported as warnings,
+    /// not errors: a read-only cache degrades to recompute-every-time.
+    pub fn save(&self, key: &ContentHash, payload: Json) {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::U64(u64::from(SCHEMA_VERSION))),
+            ("key".into(), Json::Str(key.hex())),
+            ("payload".into(), payload),
+        ]);
+        let path = self.path_for(key);
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(&self.dir)?;
+            // Write-then-rename so concurrent readers never see a torn file.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            std::fs::write(&tmp, doc.to_string())?;
+            std::fs::rename(&tmp, &path)
+        };
+        if let Err(e) = write() {
+            eprintln!(
+                "[prism-pipeline] failed to store artifact {}: {e}",
+                path.display()
+            );
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            discarded: self.discarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyBuilder;
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("prism-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::new(dir)
+    }
+
+    fn key(tag: &str) -> ContentHash {
+        let mut kb = KeyBuilder::new("test");
+        kb.field("tag", tag);
+        kb.finish()
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_counters() {
+        let store = temp_store("roundtrip");
+        let k = key("a");
+        assert_eq!(store.load(&k), None);
+        let payload = Json::Obj(vec![("x".into(), Json::U64(7))]);
+        store.save(&k, payload.clone());
+        assert_eq!(store.load(&k), Some(payload));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.discarded), (1, 1, 0));
+    }
+
+    #[test]
+    fn corrupt_files_are_discarded_not_fatal() {
+        let store = temp_store("corrupt");
+        let k = key("b");
+        store.save(&k, Json::Null);
+        let path = store.path_for(&k);
+        std::fs::write(&path, "{ not json").unwrap();
+        assert_eq!(store.load(&k), None);
+        assert!(!path.exists(), "corrupt file should be deleted");
+        assert_eq!(store.stats().discarded, 1);
+    }
+
+    #[test]
+    fn schema_bump_invalidates() {
+        let store = temp_store("schema");
+        let k = key("c");
+        store.save(&k, Json::U64(1));
+        // Rewrite with a wrong schema version.
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::U64(u64::from(SCHEMA_VERSION) + 1)),
+            ("key".into(), Json::Str(k.hex())),
+            ("payload".into(), Json::U64(1)),
+        ]);
+        std::fs::write(store.path_for(&k), doc.to_string()).unwrap();
+        assert_eq!(store.load(&k), None);
+        assert_eq!(store.stats().discarded, 1);
+    }
+
+    #[test]
+    fn key_mismatch_invalidates() {
+        let store = temp_store("keymismatch");
+        let k1 = key("d");
+        let k2 = key("e");
+        store.save(&k1, Json::U64(1));
+        // Copy k1's file over k2's slot: embedded key no longer matches.
+        std::fs::copy(store.path_for(&k1), store.path_for(&k2)).unwrap();
+        assert_eq!(store.load(&k2), None);
+        assert_eq!(store.stats().discarded, 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end pipeline tests: artifact-cache round-trips, content-key
+//! invalidation, and the determinism guarantee (`--jobs 1` ≡ `--jobs N`).
+
+use prism_pipeline::{Json, Session};
+use prism_sim::TracerConfig;
+use prism_tdg::BsaKind;
+use prism_udg::CoreConfig;
+use prism_workloads::{Workload, MICRO};
+
+fn quick_tracer() -> TracerConfig {
+    TracerConfig {
+        max_insts: 20_000,
+        ..TracerConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("prism-pipeline-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn micro_set() -> Vec<&'static Workload> {
+    MICRO.iter().take(3).collect()
+}
+
+fn small_grid() -> (Vec<CoreConfig>, Vec<Vec<BsaKind>>) {
+    (
+        vec![CoreConfig::io2(), CoreConfig::ooo2()],
+        vec![
+            vec![],
+            vec![BsaKind::Simd],
+            vec![BsaKind::NsDf],
+            BsaKind::ALL.to_vec(),
+        ],
+    )
+}
+
+#[test]
+fn artifact_cache_roundtrip_hits_on_second_run() {
+    let dir = temp_dir("roundtrip");
+    let (cores, subsets) = small_grid();
+    let workloads = micro_set();
+
+    // Cold run: every point is a miss, then gets stored.
+    let cold = Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(1)
+        .with_store_dir(&dir);
+    let first = cold
+        .explore_grid_cached(&workloads, &cores, &subsets)
+        .expect("cold run");
+    let s = cold.stats();
+    assert_eq!(s.artifacts.hits, 0);
+    assert_eq!(s.artifacts.misses, (cores.len() * subsets.len()) as u64);
+
+    // Warm run in a fresh session: every point loads from disk — no
+    // tracing happens at all (the workload memo stays empty).
+    let warm = Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(1)
+        .with_store_dir(&dir);
+    let second = warm
+        .explore_grid_cached(&workloads, &cores, &subsets)
+        .expect("warm run");
+    let s = warm.stats();
+    assert_eq!(s.artifacts.misses, 0, "warm run must not miss");
+    assert_eq!(s.artifacts.hits, (cores.len() * subsets.len()) as u64);
+    assert_eq!(s.memo_misses, 0, "warm run must not prepare any workload");
+
+    // Loaded results are bit-identical to computed ones.
+    assert_eq!(first, second);
+}
+
+#[test]
+fn tracer_config_change_invalidates_artifacts() {
+    let dir = temp_dir("tracer-invalidation");
+    let (cores, subsets) = small_grid();
+    let workloads = micro_set();
+
+    let a = Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(1)
+        .with_store_dir(&dir);
+    a.explore_grid_cached(&workloads, &cores, &subsets)
+        .expect("first run");
+
+    // Same store, different tracer: every key changes, so nothing hits.
+    let other = TracerConfig {
+        max_insts: 10_000,
+        ..quick_tracer()
+    };
+    let b = Session::new()
+        .with_tracer(other)
+        .with_jobs(1)
+        .with_store_dir(&dir);
+    b.explore_grid_cached(&workloads, &cores, &subsets)
+        .expect("second run");
+    let s = b.stats();
+    assert_eq!(
+        s.artifacts.hits, 0,
+        "changed tracer config must miss every artifact"
+    );
+    assert_eq!(s.artifacts.misses, (cores.len() * subsets.len()) as u64);
+}
+
+#[test]
+fn corrupt_artifact_recomputes_instead_of_failing() {
+    let dir = temp_dir("corrupt");
+    let (cores, subsets) = small_grid();
+    let workloads = micro_set();
+
+    let a = Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(1)
+        .with_store_dir(&dir);
+    let first = a
+        .explore_grid_cached(&workloads, &cores, &subsets)
+        .expect("first run");
+
+    // Truncate one artifact and swap valid JSON of the wrong shape into
+    // another; both must be treated as misses and recomputed.
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    files.sort();
+    std::fs::write(&files[0], "{ truncated").expect("corrupt file");
+    std::fs::write(&files[1], Json::Obj(vec![]).to_string()).expect("wrong shape");
+
+    let b = Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(1)
+        .with_store_dir(&dir);
+    let second = b
+        .explore_grid_cached(&workloads, &cores, &subsets)
+        .expect("recovery run");
+    assert_eq!(first, second);
+    let s = b.stats();
+    assert_eq!(s.artifacts.misses, 2);
+    assert_eq!(s.artifacts.hits, (cores.len() * subsets.len()) as u64 - 2);
+}
+
+#[test]
+fn parallel_and_sequential_runs_are_bit_identical() {
+    let (cores, subsets) = small_grid();
+    let workloads = micro_set();
+
+    let seq = Session::new().with_tracer(quick_tracer()).with_jobs(1);
+    let data = seq.prepare_batch(&workloads).expect("prepare");
+    let sequential = seq.explore_grid(&data, &cores, &subsets);
+
+    for jobs in [2, 4] {
+        let par = Session::new().with_tracer(quick_tracer()).with_jobs(jobs);
+        let data = par.prepare_batch(&workloads).expect("prepare");
+        let parallel = par.explore_grid(&data, &cores, &subsets);
+        assert_eq!(
+            sequential, parallel,
+            "jobs={jobs} must produce bit-identical DesignResults to jobs=1"
+        );
+    }
+}
+
+#[test]
+fn refresh_recomputes_but_still_saves() {
+    let dir = temp_dir("refresh");
+    let (cores, subsets) = small_grid();
+    let workloads = micro_set();
+
+    let a = Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(1)
+        .with_store_dir(&dir);
+    let first = a
+        .explore_grid_cached(&workloads, &cores, &subsets)
+        .expect("first run");
+
+    let b = Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(1)
+        .with_store_dir(&dir)
+        .with_refresh(true);
+    let second = b
+        .explore_grid_cached(&workloads, &cores, &subsets)
+        .expect("refresh run");
+    assert_eq!(first, second);
+    assert_eq!(b.stats().artifacts.hits, 0, "refresh must bypass the store");
+    assert!(b.stats().memo_misses > 0, "refresh must actually recompute");
+}

@@ -17,7 +17,11 @@ pub struct BranchPredictorConfig {
 
 impl Default for BranchPredictorConfig {
     fn default() -> Self {
-        BranchPredictorConfig { pht_bits: 12, history_bits: 12, ras_depth: 16 }
+        BranchPredictorConfig {
+            pht_bits: 12,
+            history_bits: 12,
+            ras_depth: 16,
+        }
     }
 }
 
@@ -43,7 +47,11 @@ pub struct BranchPredictor {
 }
 
 fn bump(counter: &mut u8, up: bool) {
-    *counter = if up { (*counter + 1).min(3) } else { counter.saturating_sub(1) };
+    *counter = if up {
+        (*counter + 1).min(3)
+    } else {
+        counter.saturating_sub(1)
+    };
 }
 
 impl BranchPredictor {
@@ -156,7 +164,10 @@ mod tests {
             }
         }
         // Warms up in a couple of iterations, then perfect.
-        assert!(wrong <= 2, "mispredicted {wrong} times on a monotone branch");
+        assert!(
+            wrong <= 2,
+            "mispredicted {wrong} times on a monotone branch"
+        );
     }
 
     #[test]
@@ -171,7 +182,10 @@ mod tests {
             }
         }
         // Far better than the 25% a static predictor would get.
-        assert!(wrong < 40, "gshare failed to learn periodic pattern ({wrong}/400)");
+        assert!(
+            wrong < 40,
+            "gshare failed to learn periodic pattern ({wrong}/400)"
+        );
     }
 
     #[test]
@@ -188,7 +202,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong > 300, "suspiciously good on random data: {wrong}/1000");
+        assert!(
+            wrong > 300,
+            "suspiciously good on random data: {wrong}/1000"
+        );
     }
 
     #[test]

@@ -2,10 +2,8 @@
 //! methodology (§4): 2-way 32 KiB L1I, 2-way 64 KiB L1D (4-cycle), 8-way
 //! 2 MiB unified L2 (22-cycle hit).
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and hit latency of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -21,19 +19,34 @@ impl CacheConfig {
     /// The paper's L1 instruction cache: 2-way 32 KiB, 4-cycle.
     #[must_use]
     pub fn l1i() -> Self {
-        CacheConfig { size_bytes: 32 * 1024, ways: 2, line_bytes: 64, hit_latency: 4 }
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 4,
+        }
     }
 
     /// The paper's L1 data cache: 2-way 64 KiB, 4-cycle.
     #[must_use]
     pub fn l1d() -> Self {
-        CacheConfig { size_bytes: 64 * 1024, ways: 2, line_bytes: 64, hit_latency: 4 }
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 4,
+        }
     }
 
     /// The paper's unified L2: 8-way 2 MiB, 22-cycle hit.
     #[must_use]
     pub fn l2() -> Self {
-        CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 8, line_bytes: 64, hit_latency: 22 }
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 22,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -61,7 +74,10 @@ impl Cache {
     /// Panics if the geometry is degenerate (zero sets or ways).
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.ways > 0 && config.sets() > 0, "degenerate cache geometry");
+        assert!(
+            config.ways > 0 && config.sets() > 0,
+            "degenerate cache geometry"
+        );
         Cache {
             config,
             tags: vec![u64::MAX; (config.sets() * u64::from(config.ways)) as usize],
@@ -119,7 +135,7 @@ impl Cache {
 }
 
 /// Per-access outcome of a hierarchy lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemLevel {
     /// Hit in the first-level cache.
     L1,
@@ -149,7 +165,10 @@ struct StridePrefetcher {
 
 impl StridePrefetcher {
     fn new(entries: usize, degree: u32) -> Self {
-        StridePrefetcher { table: vec![StrideEntry::default(); entries], degree }
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); entries],
+            degree,
+        }
     }
 
     /// Observes an access; returns prefetch addresses to install.
@@ -221,7 +240,12 @@ impl MemoryHierarchy {
     /// Creates a hierarchy without a prefetcher (for cache-behavior tests).
     #[must_use]
     pub fn without_prefetcher(l1: CacheConfig, l2: CacheConfig, dram_latency: u32) -> Self {
-        MemoryHierarchy { l1: Cache::new(l1), l2: Cache::new(l2), dram_latency, prefetcher: None }
+        MemoryHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            dram_latency,
+            prefetcher: None,
+        }
     }
 
     /// Performs a demand access from static instruction `pc` and returns
@@ -230,7 +254,10 @@ impl MemoryHierarchy {
         let result = if self.l1.access(addr) {
             (self.l1.config().hit_latency, MemLevel::L1)
         } else if self.l2.access(addr) {
-            (self.l1.config().hit_latency + self.l2.config().hit_latency, MemLevel::L2)
+            (
+                self.l1.config().hit_latency + self.l2.config().hit_latency,
+                MemLevel::L2,
+            )
         } else {
             (
                 self.l1.config().hit_latency + self.l2.config().hit_latency + self.dram_latency,
@@ -279,7 +306,12 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         // Tiny direct test: 2 ways, 1 set.
-        let cfg = CacheConfig { size_bytes: 128, ways: 2, line_bytes: 64, hit_latency: 1 };
+        let cfg = CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 1,
+        };
         let mut c = Cache::new(cfg);
         assert!(!c.access(0)); // A miss
         assert!(!c.access(64)); // B miss
@@ -303,8 +335,18 @@ mod tests {
     #[test]
     fn l2_serves_l1_victims() {
         // Thrash two lines mapping to the same L1 set but fitting in L2.
-        let l1 = CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64, hit_latency: 4 };
-        let l2 = CacheConfig { size_bytes: 4096, ways: 8, line_bytes: 64, hit_latency: 22 };
+        let l1 = CacheConfig {
+            size_bytes: 128,
+            ways: 1,
+            line_bytes: 64,
+            hit_latency: 4,
+        };
+        let l2 = CacheConfig {
+            size_bytes: 4096,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 22,
+        };
         let mut h = MemoryHierarchy::without_prefetcher(l1, l2, 100);
         h.access(0, 0); // cold
         h.access(128, 0); // evicts 0 from L1 (same set), cold in L2
@@ -336,7 +378,9 @@ mod tests {
         let mut x: u64 = 12345;
         let mut dram = 0;
         for _ in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let addr = 0x100_0000 + (x % (16 * 1024 * 1024));
             let (_, lvl) = h.access(addr, 9);
             if lvl == MemLevel::Dram {

@@ -187,8 +187,14 @@ impl Machine {
             And => self.wd(&inst, self.s1(&inst) & self.s2(&inst)),
             Or => self.wd(&inst, self.s1(&inst) | self.s2(&inst)),
             Xor => self.wd(&inst, self.s1(&inst) ^ self.s2(&inst)),
-            Shl => self.wd(&inst, self.s1(&inst).wrapping_shl(self.s2(&inst) as u32 & 63)),
-            Shr => self.wd(&inst, ((self.s1(&inst) as u64) >> (self.s2(&inst) as u32 & 63)) as i64),
+            Shl => self.wd(
+                &inst,
+                self.s1(&inst).wrapping_shl(self.s2(&inst) as u32 & 63),
+            ),
+            Shr => self.wd(
+                &inst,
+                ((self.s1(&inst) as u64) >> (self.s2(&inst) as u32 & 63)) as i64,
+            ),
             Sra => self.wd(&inst, self.s1(&inst) >> (self.s2(&inst) as u32 & 63)),
             Slt => self.wd(&inst, i64::from(self.s1(&inst) < self.s2(&inst))),
             AddI => self.wd(&inst, self.s1(&inst).wrapping_add(inst.imm)),
@@ -196,7 +202,10 @@ impl Machine {
             OrI => self.wd(&inst, self.s1(&inst) | inst.imm),
             XorI => self.wd(&inst, self.s1(&inst) ^ inst.imm),
             ShlI => self.wd(&inst, self.s1(&inst).wrapping_shl(inst.imm as u32 & 63)),
-            ShrI => self.wd(&inst, ((self.s1(&inst) as u64) >> (inst.imm as u32 & 63)) as i64),
+            ShrI => self.wd(
+                &inst,
+                ((self.s1(&inst) as u64) >> (inst.imm as u32 & 63)) as i64,
+            ),
             SraI => self.wd(&inst, self.s1(&inst) >> (inst.imm as u32 & 63)),
             SltI => self.wd(&inst, i64::from(self.s1(&inst) < inst.imm)),
             Li => self.wd(&inst, inst.imm),
@@ -204,11 +213,25 @@ impl Machine {
             Mul => self.wd(&inst, self.s1(&inst).wrapping_mul(self.s2(&inst))),
             Div => {
                 let d = self.s2(&inst);
-                self.wd(&inst, if d == 0 { -1 } else { self.s1(&inst).wrapping_div(d) });
+                self.wd(
+                    &inst,
+                    if d == 0 {
+                        -1
+                    } else {
+                        self.s1(&inst).wrapping_div(d)
+                    },
+                );
             }
             Rem => {
                 let d = self.s2(&inst);
-                self.wd(&inst, if d == 0 { self.s1(&inst) } else { self.s1(&inst).wrapping_rem(d) });
+                self.wd(
+                    &inst,
+                    if d == 0 {
+                        self.s1(&inst)
+                    } else {
+                        self.s1(&inst).wrapping_rem(d)
+                    },
+                );
             }
             FAdd => self.wf(&inst, self.f1(&inst) + self.f2(&inst)),
             FSub => self.wf(&inst, self.f1(&inst) - self.f2(&inst)),
@@ -233,7 +256,11 @@ impl Machine {
                 let shift = 64 - 8 * u32::from(inst.width);
                 let val = ((raw << shift) as i64) >> shift;
                 self.wd(&inst, val);
-                mem = Some(MemEffect { addr, width: inst.width, is_store: false });
+                mem = Some(MemEffect {
+                    addr,
+                    width: inst.width,
+                    is_store: false,
+                });
             }
             FLd => {
                 let addr = (self.s1(&inst) as u64).wrapping_add(inst.imm as u64);
@@ -244,22 +271,35 @@ impl Machine {
                     f64::from_bits(bits)
                 };
                 self.wf(&inst, v);
-                mem = Some(MemEffect { addr, width: inst.width, is_store: false });
+                mem = Some(MemEffect {
+                    addr,
+                    width: inst.width,
+                    is_store: false,
+                });
             }
             St => {
                 let addr = (self.s1(&inst) as u64).wrapping_add(inst.imm as u64);
                 self.mem.write_uint(addr, self.s2(&inst) as u64, inst.width);
-                mem = Some(MemEffect { addr, width: inst.width, is_store: true });
+                mem = Some(MemEffect {
+                    addr,
+                    width: inst.width,
+                    is_store: true,
+                });
             }
             FSt => {
                 let addr = (self.s1(&inst) as u64).wrapping_add(inst.imm as u64);
                 let v = self.f2(&inst);
                 if inst.width == 4 {
-                    self.mem.write_uint(addr, u64::from((v as f32).to_bits()), 4);
+                    self.mem
+                        .write_uint(addr, u64::from((v as f32).to_bits()), 4);
                 } else {
                     self.mem.write_u64(addr, v.to_bits());
                 }
-                mem = Some(MemEffect { addr, width: inst.width, is_store: true });
+                mem = Some(MemEffect {
+                    addr,
+                    width: inst.width,
+                    is_store: true,
+                });
             }
             Beq | Bne | Blt | Bge => {
                 let (a, b) = (self.s1(&inst), self.s2(&inst));
@@ -318,7 +358,13 @@ impl Machine {
 
         self.pc = next_pc;
         self.halted = halted;
-        Ok(StepEffect { sid, next_pc, mem, control, halted })
+        Ok(StepEffect {
+            sid,
+            next_pc,
+            mem,
+            control,
+            halted,
+        })
     }
 
     fn wd(&mut self, inst: &Inst, value: i64) {
@@ -475,7 +521,10 @@ mod tests {
             vec![Inst::rrr(Opcode::VOp, Reg::fp(1), Reg::fp(2), Reg::fp(3))],
         );
         let mut m = Machine::new(&p);
-        assert!(matches!(m.step(&p), Err(ExecError::Unexecutable(0, Opcode::VOp))));
+        assert!(matches!(
+            m.step(&p),
+            Err(ExecError::Unexecutable(0, Opcode::VOp))
+        ));
     }
 
     #[test]

@@ -5,14 +5,12 @@
 //! information the µDG embeds — observed memory latencies and levels,
 //! branch outcomes and mispredict flags.
 
-use serde::{Deserialize, Serialize};
-
 use prism_isa::{Inst, Program, StaticId, NUM_REGS};
 
 use crate::MemLevel;
 
 /// Memory event attached to a dynamic load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRecord {
     /// Effective byte address.
     pub addr: u64,
@@ -27,7 +25,7 @@ pub struct MemRecord {
 }
 
 /// Control event attached to a dynamic control-transfer instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchRecord {
     /// Whether the branch was taken.
     pub taken: bool,
@@ -38,7 +36,7 @@ pub struct BranchRecord {
 }
 
 /// One retired dynamic instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynInst {
     /// Position in the recorded stream (0-based).
     pub seq: u64,
@@ -51,7 +49,7 @@ pub struct DynInst {
 }
 
 /// Aggregate statistics over a recorded trace.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TraceStats {
     /// Retired instructions recorded.
     pub insts: u64,
@@ -72,7 +70,7 @@ pub struct TraceStats {
 }
 
 /// A recorded execution: the program plus its dynamic event stream.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     /// The executed program.
     pub program: Program,
@@ -129,7 +127,9 @@ pub struct RegDepTracker {
 
 impl Default for RegDepTracker {
     fn default() -> Self {
-        RegDepTracker { last_writer: [None; NUM_REGS as usize] }
+        RegDepTracker {
+            last_writer: [None; NUM_REGS as usize],
+        }
     }
 }
 

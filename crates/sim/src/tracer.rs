@@ -5,8 +5,8 @@
 use prism_isa::Program;
 
 use crate::{
-    BranchPredictor, BranchPredictorConfig, BranchRecord, CacheConfig, DynInst, ExecError,
-    Machine, MemRecord, MemoryHierarchy, Trace, TraceStats, DEFAULT_DRAM_LATENCY,
+    BranchPredictor, BranchPredictorConfig, BranchRecord, CacheConfig, DynInst, ExecError, Machine,
+    MemRecord, MemoryHierarchy, Trace, TraceStats, DEFAULT_DRAM_LATENCY,
 };
 
 /// Configuration for trace generation.
@@ -109,7 +109,13 @@ pub fn trace_with(program: &Program, config: &TracerConfig) -> Result<Trace, Tra
 
         let mem = effect.mem.map(|m| {
             let (latency, level) = dcache.access(m.addr, effect.sid);
-            MemRecord { addr: m.addr, width: m.width, is_store: m.is_store, latency, level }
+            MemRecord {
+                addr: m.addr,
+                width: m.width,
+                is_store: m.is_store,
+                latency,
+                level,
+            }
         });
 
         let branch = effect.control.map(|c| {
@@ -124,7 +130,11 @@ pub fn trace_with(program: &Program, config: &TracerConfig) -> Result<Trace, Tra
             } else {
                 false // direct jmp / halt
             };
-            BranchRecord { taken: c.taken, target: c.target, mispredicted }
+            BranchRecord {
+                taken: c.taken,
+                target: c.target,
+                mispredicted,
+            }
         });
 
         if recording {
@@ -148,7 +158,12 @@ pub fn trace_with(program: &Program, config: &TracerConfig) -> Result<Trace, Tra
                     stats.mispredicts += 1;
                 }
             }
-            insts.push(DynInst { seq: stats.insts, sid: effect.sid, mem, branch });
+            insts.push(DynInst {
+                seq: stats.insts,
+                sid: effect.sid,
+                mem,
+                branch,
+            });
             stats.insts += 1;
             if stats.insts >= config.max_insts {
                 break;
@@ -159,7 +174,11 @@ pub fn trace_with(program: &Program, config: &TracerConfig) -> Result<Trace, Tra
         }
     }
 
-    Ok(Trace { program: program.clone(), insts, stats })
+    Ok(Trace {
+        program: program.clone(),
+        insts,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -209,7 +228,11 @@ mod tests {
         let t = trace(&p).unwrap();
         // 64 sequential 8B loads touch 8 cache lines; the stride prefetcher
         // covers all but the first few cold misses.
-        assert!(t.stats.dram_accesses <= 3, "dram = {}", t.stats.dram_accesses);
+        assert!(
+            t.stats.dram_accesses <= 3,
+            "dram = {}",
+            t.stats.dram_accesses
+        );
         assert!(t.stats.l1_hits >= 56, "l1 hits = {}", t.stats.l1_hits);
     }
 
@@ -219,13 +242,20 @@ mod tests {
         let t = trace(&p).unwrap();
         // A monotone loop branch mispredicts at most a handful of times
         // (warmup + final not-taken).
-        assert!(t.stats.mispredicts <= 4, "mispredicts = {}", t.stats.mispredicts);
+        assert!(
+            t.stats.mispredicts <= 4,
+            "mispredicts = {}",
+            t.stats.mispredicts
+        );
     }
 
     #[test]
     fn max_insts_truncates() {
         let p = array_sum(1000);
-        let cfg = TracerConfig { max_insts: 100, ..TracerConfig::default() };
+        let cfg = TracerConfig {
+            max_insts: 100,
+            ..TracerConfig::default()
+        };
         let t = trace_with(&p, &cfg).unwrap();
         assert_eq!(t.stats.insts, 100);
     }
@@ -233,7 +263,10 @@ mod tests {
     #[test]
     fn fast_forward_skips_prefix() {
         let p = array_sum(100);
-        let cfg = TracerConfig { fast_forward: 250, ..TracerConfig::default() };
+        let cfg = TracerConfig {
+            fast_forward: 250,
+            ..TracerConfig::default()
+        };
         let t = trace_with(&p, &cfg).unwrap();
         // 501 total dynamic insts; 250 skipped.
         assert_eq!(t.stats.insts, 251);

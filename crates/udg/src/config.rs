@@ -1,7 +1,5 @@
 //! General-purpose core configurations (the paper's Table 4).
 
-use serde::{Deserialize, Serialize};
-
 use prism_energy::CoreEnergyConfig;
 
 /// Microarchitectural parameters of a general-purpose core.
@@ -9,7 +7,7 @@ use prism_energy::CoreEnergyConfig;
 /// The four named constructors are the paper's Table 4 design points; the
 /// [`CoreConfig::ooo`] constructor builds arbitrary widths for the
 /// OOO1↔OOO8 cross-validation of Table 1.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Display name (e.g. `"OOO2"`).
     pub name: String,
@@ -191,15 +189,34 @@ mod tests {
     #[test]
     fn table4_values() {
         let io2 = CoreConfig::io2();
-        assert_eq!((io2.width, io2.rob_size, io2.window_size, io2.dcache_ports), (2, 0, 0, 1));
+        assert_eq!(
+            (io2.width, io2.rob_size, io2.window_size, io2.dcache_ports),
+            (2, 0, 0, 1)
+        );
         assert!(!io2.out_of_order);
         let ooo2 = CoreConfig::ooo2();
         assert_eq!((ooo2.width, ooo2.rob_size, ooo2.window_size), (2, 64, 32));
         let ooo4 = CoreConfig::ooo4();
-        assert_eq!((ooo4.width, ooo4.rob_size, ooo4.window_size, ooo4.dcache_ports), (4, 168, 48, 2));
+        assert_eq!(
+            (
+                ooo4.width,
+                ooo4.rob_size,
+                ooo4.window_size,
+                ooo4.dcache_ports
+            ),
+            (4, 168, 48, 2)
+        );
         assert_eq!((ooo4.alus, ooo4.muldivs, ooo4.fpus), (3, 2, 2));
         let ooo6 = CoreConfig::ooo6();
-        assert_eq!((ooo6.width, ooo6.rob_size, ooo6.window_size, ooo6.dcache_ports), (6, 192, 52, 3));
+        assert_eq!(
+            (
+                ooo6.width,
+                ooo6.rob_size,
+                ooo6.window_size,
+                ooo6.dcache_ports
+            ),
+            (6, 192, 52, 3)
+        );
         assert_eq!((ooo6.alus, ooo6.muldivs, ooo6.fpus), (4, 2, 3));
     }
 

@@ -12,13 +12,11 @@
 //! backwards — the paper's Appendix A recommends exactly this ("examining
 //! which edges are on the critical path") for validating new BSA models.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a node in a [`DepGraph`] (insertion index).
 pub type NodeId = u64;
 
 /// Classification of µDG edges, for critical-path attribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeKind {
     /// Fetch bandwidth: `F[i-w] → F[i]`.
     FetchBw,
@@ -63,7 +61,7 @@ pub enum EdgeKind {
 }
 
 /// Per-node provenance when tracking is enabled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Provenance {
     /// The predecessor that determined this node's time.
     pub pred: NodeId,
@@ -101,7 +99,10 @@ impl DepGraph {
     /// time (enables [`DepGraph::critical_path`]).
     #[must_use]
     pub fn with_tracking() -> Self {
-        DepGraph { times: Vec::new(), provenance: Some(Vec::new()) }
+        DepGraph {
+            times: Vec::new(),
+            provenance: Some(Vec::new()),
+        }
     }
 
     /// Number of nodes.
@@ -143,11 +144,7 @@ impl DepGraph {
     /// # Panics
     ///
     /// Panics if any predecessor id is not yet in the graph.
-    pub fn add_node_after_min(
-        &mut self,
-        floor: u64,
-        edges: &[(NodeId, u64, EdgeKind)],
-    ) -> NodeId {
+    pub fn add_node_after_min(&mut self, floor: u64, edges: &[(NodeId, u64, EdgeKind)]) -> NodeId {
         let mut best = floor;
         let mut prov: Option<Provenance> = None;
         for &(pred, latency, kind) in edges {

@@ -44,8 +44,8 @@ mod resource;
 mod run;
 
 pub use config::CoreConfig;
-pub use reference::{simulate_reference, ReferenceRun};
 pub use graph::{DepGraph, EdgeKind, NodeId, Provenance};
 pub use model::{BindingCounts, CoreModel, InstTimes, MemDepTracker, ModelDep, ModelInst};
+pub use reference::{simulate_reference, ReferenceRun};
 pub use resource::ResourceTable;
 pub use run::{finish_run, model_inst_for, simulate_trace, CoreRun};

@@ -39,13 +39,19 @@ impl ModelDep {
     /// A register data dependence ready at `ready`.
     #[must_use]
     pub fn data(ready: u64) -> Self {
-        ModelDep { ready, kind: EdgeKind::DataDep }
+        ModelDep {
+            ready,
+            kind: EdgeKind::DataDep,
+        }
     }
 
     /// A memory (store→load) dependence ready at `ready`.
     #[must_use]
     pub fn memory(ready: u64) -> Self {
-        ModelDep { ready, kind: EdgeKind::MemDep }
+        ModelDep {
+            ready,
+            kind: EdgeKind::MemDep,
+        }
     }
 }
 
@@ -124,7 +130,10 @@ struct TimeRing {
 
 impl TimeRing {
     fn new(capacity: usize) -> Self {
-        TimeRing { buf: vec![0; capacity.max(1)], len: 0 }
+        TimeRing {
+            buf: vec![0; capacity.max(1)],
+            len: 0,
+        }
     }
 
     fn push(&mut self, t: u64) {
@@ -161,7 +170,10 @@ struct WindowOccupancy {
 
 impl WindowOccupancy {
     fn new(capacity: usize) -> Self {
-        WindowOccupancy { capacity, heap: std::collections::BinaryHeap::new() }
+        WindowOccupancy {
+            capacity,
+            heap: std::collections::BinaryHeap::new(),
+        }
     }
 
     /// Earliest dispatch time permitted by window occupancy.
@@ -238,7 +250,11 @@ impl CoreModel {
             fetch: ring(cfg.width),
             dispatch: ring(cfg.width),
             execute: ring(cfg.window_size.max(cfg.width)),
-            window: WindowOccupancy::new(if cfg.out_of_order { cfg.window_size as usize } else { 0 }),
+            window: WindowOccupancy::new(if cfg.out_of_order {
+                cfg.window_size as usize
+            } else {
+                0
+            }),
             commit: ring(cfg.rob_size.max(cfg.width)),
             alu: ResourceTable::new(cfg.alus),
             muldiv: ResourceTable::new(cfg.muldivs),
@@ -460,7 +476,13 @@ impl CoreModel {
             ev.mispredict_flushes += 1;
         }
 
-        InstTimes { fetch: f, dispatch: d, execute: e, complete: p, commit: c }
+        InstTimes {
+            fetch: f,
+            dispatch: d,
+            execute: e,
+            complete: p,
+            commit: c,
+        }
     }
 }
 
@@ -508,14 +530,20 @@ mod tests {
     use super::*;
 
     fn simple(fu: FuClass, latency: u64, deps: Vec<ModelDep>) -> ModelInst {
-        ModelInst { fu, latency, deps, ..ModelInst::default() }
+        ModelInst {
+            fu,
+            latency,
+            deps,
+            ..ModelInst::default()
+        }
     }
 
     #[test]
     fn independent_insts_pipeline_at_width() {
         let mut m = CoreModel::new(&CoreConfig::ooo2());
-        let times: Vec<InstTimes> =
-            (0..8).map(|_| m.issue(&simple(FuClass::Alu, 1, vec![]))).collect();
+        let times: Vec<InstTimes> = (0..8)
+            .map(|_| m.issue(&simple(FuClass::Alu, 1, vec![])))
+            .collect();
         // Two per cycle at the fetch stage.
         assert_eq!(times[0].fetch, times[1].fetch);
         assert_eq!(times[2].fetch, times[0].fetch + 1);
@@ -546,7 +574,11 @@ mod tests {
     fn inorder_stalls_on_use_and_serializes_issue() {
         let mut m = CoreModel::new(&CoreConfig::io2());
         let load = m.issue(&simple(FuClass::Mem, 50, vec![]));
-        let user = m.issue(&simple(FuClass::Alu, 1, vec![ModelDep::data(load.complete)]));
+        let user = m.issue(&simple(
+            FuClass::Alu,
+            1,
+            vec![ModelDep::data(load.complete)],
+        ));
         let later = m.issue(&simple(FuClass::Alu, 1, vec![]));
         assert!(user.execute >= load.complete);
         // In-order: the independent instruction cannot issue before its elder.
@@ -603,7 +635,10 @@ mod tests {
         let slow = m.issue(&simple(FuClass::Mem, 80, vec![]));
         let fast = m.issue(&simple(FuClass::Alu, 1, vec![]));
         assert!(fast.complete < slow.complete);
-        assert!(fast.commit >= slow.commit, "younger inst must not commit first");
+        assert!(
+            fast.commit >= slow.commit,
+            "younger inst must not commit first"
+        );
     }
 
     #[test]
@@ -611,8 +646,11 @@ mod tests {
         let deps_chain = |m: &mut CoreModel| {
             let mut last = 0u64;
             for i in 0..200 {
-                let deps =
-                    if i % 3 == 0 { vec![] } else { vec![ModelDep::data(last)] };
+                let deps = if i % 3 == 0 {
+                    vec![]
+                } else {
+                    vec![ModelDep::data(last)]
+                };
                 last = m.issue(&simple(FuClass::Alu, 1, deps)).complete;
             }
             m.now()

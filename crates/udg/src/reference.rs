@@ -71,9 +71,16 @@ const PENDING: u64 = u64::MAX;
 #[must_use]
 pub fn simulate_reference(trace: &Trace, config: &CoreConfig) -> ReferenceRun {
     let width = config.width as usize;
-    let rob_cap =
-        if config.out_of_order { config.rob_size as usize } else { (width * 4).max(8) };
-    let window_cap = if config.out_of_order { config.window_size as usize } else { width };
+    let rob_cap = if config.out_of_order {
+        config.rob_size as usize
+    } else {
+        (width * 4).max(8)
+    };
+    let window_cap = if config.out_of_order {
+        config.window_size as usize
+    } else {
+        width
+    };
 
     let mut complete_at: Vec<u64> = vec![PENDING; trace.len()];
     let mut regs = RegDepTracker::new();
@@ -99,8 +106,8 @@ pub fn simulate_reference(trace: &Trace, config: &CoreConfig) -> ReferenceRun {
                     complete_at[e.seq as usize] = done_at;
                     if e.mispredicted && fetch_blocked_on == Some(e.seq) {
                         fetch_blocked_on = None;
-                        fetch_stall_until = fetch_stall_until
-                            .max(done_at + u64::from(config.mispredict_penalty));
+                        fetch_stall_until =
+                            fetch_stall_until.max(done_at + u64::from(config.mispredict_penalty));
                     }
                 }
             }
@@ -163,7 +170,9 @@ pub fn simulate_reference(trace: &Trace, config: &CoreConfig) -> ReferenceRun {
             if ready && *unit > 0 {
                 *unit -= 1;
                 issue_slots -= 1;
-                e.stage = Stage::Executing { done_at: cycle + e.latency.max(1) };
+                e.stage = Stage::Executing {
+                    done_at: cycle + e.latency.max(1),
+                };
             } else if !config.out_of_order {
                 break; // in-order issue: a stalled elder blocks the rest
             }
@@ -227,7 +236,10 @@ pub fn simulate_reference(trace: &Trace, config: &CoreConfig) -> ReferenceRun {
         cycle += 1;
     }
 
-    ReferenceRun { cycles: cycle, insts: committed }
+    ReferenceRun {
+        cycles: cycle,
+        insts: committed,
+    }
 }
 
 #[cfg(test)]
@@ -282,8 +294,12 @@ mod tests {
     #[test]
     fn reference_and_udg_agree_within_tolerance() {
         let t = prism_sim::trace(&dp_kernel(400)).unwrap();
-        for cfg in [CoreConfig::ooo(1), CoreConfig::ooo2(), CoreConfig::ooo4(), CoreConfig::ooo(8)]
-        {
+        for cfg in [
+            CoreConfig::ooo(1),
+            CoreConfig::ooo2(),
+            CoreConfig::ooo4(),
+            CoreConfig::ooo(8),
+        ] {
             let r = simulate_reference(&t, &cfg);
             let u = simulate_trace(&t, &cfg);
             let err = (r.ipc() - u.ipc()).abs() / r.ipc();

@@ -39,7 +39,11 @@ impl ResourceTable {
     #[must_use]
     pub fn new(units: u32) -> Self {
         assert!(units > 0, "resource must have at least one unit");
-        ResourceTable { units, base: 0, ring: vec![0; WINDOW] }
+        ResourceTable {
+            units,
+            base: 0,
+            ring: vec![0; WINDOW],
+        }
     }
 
     /// Number of identical units.

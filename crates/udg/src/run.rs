@@ -212,8 +212,18 @@ mod tests {
         let io2 = simulate_trace(&t, &CoreConfig::io2());
         let ooo2 = simulate_trace(&t, &CoreConfig::ooo2());
         let ooo6 = simulate_trace(&t, &CoreConfig::ooo6());
-        assert!(ooo2.cycles < io2.cycles, "OOO2 {} !< IO2 {}", ooo2.cycles, io2.cycles);
-        assert!(ooo6.cycles < ooo2.cycles, "OOO6 {} !< OOO2 {}", ooo6.cycles, ooo2.cycles);
+        assert!(
+            ooo2.cycles < io2.cycles,
+            "OOO2 {} !< IO2 {}",
+            ooo2.cycles,
+            io2.cycles
+        );
+        assert!(
+            ooo6.cycles < ooo2.cycles,
+            "OOO6 {} !< OOO2 {}",
+            ooo6.cycles,
+            ooo2.cycles
+        );
         assert!(ooo6.ipc() > 1.5, "OOO6 ipc = {}", ooo6.ipc());
     }
 
@@ -240,7 +250,12 @@ mod tests {
         let t = prism_sim::trace(&dp_kernel(500)).unwrap();
         for cfg in [CoreConfig::io2(), CoreConfig::ooo2(), CoreConfig::ooo4()] {
             let r = simulate_trace(&t, &cfg);
-            assert!(r.ipc() <= f64::from(cfg.width), "{}: ipc {}", cfg.name, r.ipc());
+            assert!(
+                r.ipc() <= f64::from(cfg.width),
+                "{}: ipc {}",
+                cfg.name,
+                r.ipc()
+            );
         }
     }
 
@@ -257,7 +272,13 @@ mod tests {
         b.halt();
         let t = prism_sim::trace(&b.build().unwrap()).unwrap();
         let run = simulate_trace(&t, &CoreConfig::ooo4());
-        assert!(run.binding.get(&crate::EdgeKind::MemDep).copied().unwrap_or(0) > 0);
+        assert!(
+            run.binding
+                .get(&crate::EdgeKind::MemDep)
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

@@ -2,8 +2,6 @@
 //! array allocator and seeded input generators.
 
 use prism_isa::ProgramBuilder;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Bump allocator for kernel arrays.
 ///
@@ -42,23 +40,68 @@ impl Default for Alloc {
     }
 }
 
+/// Deterministic per-kernel RNG: SplitMix64, dependency-free and stable
+/// across platforms and releases (kernel data is part of the workload
+/// definition, so the stream must never change).
+#[derive(Debug, Clone)]
+pub struct KernelRng {
+    state: u64,
+}
+
+impl KernelRng {
+    /// Creates a generator with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        KernelRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        // 53 mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add((self.next_u64() % span) as i64)
+    }
+
+    /// Uniform index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
 /// Deterministic per-kernel RNG.
 #[must_use]
-pub fn rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> KernelRng {
+    KernelRng::new(seed)
 }
 
 /// Fills an `f64` array with uniform values in `[lo, hi)`.
 pub fn init_f64_array(b: &mut ProgramBuilder, addr: u64, n: usize, lo: f64, hi: f64, seed: u64) {
     let mut r = rng(seed);
-    let vals: Vec<f64> = (0..n).map(|_| r.gen_range(lo..hi)).collect();
+    let vals: Vec<f64> = (0..n).map(|_| r.f64_in(lo, hi)).collect();
     b.init_f64s(addr, &vals);
 }
 
 /// Fills an `i64` array with uniform values in `[lo, hi)`.
 pub fn init_i64_array(b: &mut ProgramBuilder, addr: u64, n: usize, lo: i64, hi: i64, seed: u64) {
     let mut r = rng(seed);
-    let vals: Vec<i64> = (0..n).map(|_| r.gen_range(lo..hi)).collect();
+    let vals: Vec<i64> = (0..n).map(|_| r.i64_in(lo, hi)).collect();
     b.init_words(addr, &vals);
 }
 
@@ -69,7 +112,7 @@ pub fn init_chase_array(b: &mut ProgramBuilder, addr: u64, n: usize, seed: u64) 
     // Sattolo's algorithm: a single cycle through all n slots.
     let mut idx: Vec<i64> = (0..n as i64).collect();
     for i in (1..n).rev() {
-        let j = r.gen_range(0..i);
+        let j = r.index(i);
         idx.swap(i, j);
     }
     // idx is a permutation; build next-pointers along the cycle.
@@ -87,7 +130,7 @@ pub fn init_sorted_array(b: &mut ProgramBuilder, addr: u64, n: usize, step_max: 
     let mut v = 0i64;
     let vals: Vec<i64> = (0..n)
         .map(|_| {
-            v += r.gen_range(1..=step_max);
+            v += r.i64_in(1, step_max + 1);
             v
         })
         .collect();
@@ -127,7 +170,7 @@ mod tests {
             .chunks(8)
             .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         let mut cur = 0usize;
         for _ in 0..64 {
             assert!(!seen[cur], "cycle revisited {cur} early");

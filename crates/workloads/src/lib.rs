@@ -186,14 +186,54 @@ workloads! {
 /// Vertical microbenchmarks (paper ref. \[2\]): single-mechanism stress
 /// kernels used by the core-model validation; not part of the DSE registry.
 pub const MICRO: &[Workload] = &[
-    Workload { name: "micro-fetch", suite: Suite::Tpt, build: micro::fetch_bound, default_n: 600 },
-    Workload { name: "micro-chain", suite: Suite::Tpt, build: micro::chain_bound, default_n: 600 },
-    Workload { name: "micro-muldiv", suite: Suite::Tpt, build: micro::muldiv_bound, default_n: 600 },
-    Workload { name: "micro-latency", suite: Suite::Tpt, build: micro::latency_bound, default_n: 800 },
-    Workload { name: "micro-mispredict", suite: Suite::Tpt, build: micro::mispredict_bound, default_n: 800 },
-    Workload { name: "micro-window", suite: Suite::Tpt, build: micro::window_bound, default_n: 500 },
-    Workload { name: "micro-forward", suite: Suite::Tpt, build: micro::forwarding_bound, default_n: 600 },
-    Workload { name: "micro-fp", suite: Suite::Tpt, build: micro::fp_bound, default_n: 600 },
+    Workload {
+        name: "micro-fetch",
+        suite: Suite::Tpt,
+        build: micro::fetch_bound,
+        default_n: 600,
+    },
+    Workload {
+        name: "micro-chain",
+        suite: Suite::Tpt,
+        build: micro::chain_bound,
+        default_n: 600,
+    },
+    Workload {
+        name: "micro-muldiv",
+        suite: Suite::Tpt,
+        build: micro::muldiv_bound,
+        default_n: 600,
+    },
+    Workload {
+        name: "micro-latency",
+        suite: Suite::Tpt,
+        build: micro::latency_bound,
+        default_n: 800,
+    },
+    Workload {
+        name: "micro-mispredict",
+        suite: Suite::Tpt,
+        build: micro::mispredict_bound,
+        default_n: 800,
+    },
+    Workload {
+        name: "micro-window",
+        suite: Suite::Tpt,
+        build: micro::window_bound,
+        default_n: 500,
+    },
+    Workload {
+        name: "micro-forward",
+        suite: Suite::Tpt,
+        build: micro::forwarding_bound,
+        default_n: 600,
+    },
+    Workload {
+        name: "micro-fp",
+        suite: Suite::Tpt,
+        build: micro::fp_bound,
+        default_n: 600,
+    },
 ];
 
 /// Looks a workload up by name.
@@ -219,7 +259,11 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert!(ALL.len() >= 44, "paper evaluates >40 benchmarks; have {}", ALL.len());
+        assert!(
+            ALL.len() >= 44,
+            "paper evaluates >40 benchmarks; have {}",
+            ALL.len()
+        );
         let names: HashSet<&str> = ALL.iter().map(|w| w.name).collect();
         assert_eq!(names.len(), ALL.len(), "duplicate names");
         assert!(by_name("mm").is_some());

@@ -9,6 +9,7 @@ use crate::helpers::{init_f64_array, init_i64_array, Alloc};
 
 /// Emits an 8-point DCT-like butterfly pass over `blocks` rows of 8 pixels
 /// (regular, vectorizable).
+#[allow(clippy::approx_constant)] // 0.7071 is the kernel's literal twiddle
 fn emit_dct_phase(b: &mut ProgramBuilder, src: u64, dst: u64, blocks: i64) {
     let (ps, pd, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
     let (x0, x1, s, d, c) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(10));
@@ -34,8 +35,14 @@ fn emit_dct_phase(b: &mut ProgramBuilder, src: u64, dst: u64, blocks: i64) {
 /// Emits a zero-run entropy-coding-like phase: data-dependent branches on
 /// coefficient magnitude (irregular; suits Trace-P / NS-DF).
 fn emit_entropy_phase(b: &mut ProgramBuilder, src: u64, dst: u64, n: i64) {
-    let (ps, pd, i, run, v, t) =
-        (Reg::int(4), Reg::int(5), Reg::int(6), Reg::int(7), Reg::int(8), Reg::int(9));
+    let (ps, pd, i, run, v, t) = (
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+        Reg::int(9),
+    );
     b.init_reg(ps, src as i64);
     b.init_reg(pd, dst as i64);
     b.init_reg(i, n);
@@ -277,8 +284,14 @@ pub fn h264dec(n: u32) -> Program {
     let dst = a.words(n as u64);
     init_i64_array(&mut b, src, n as usize + 8, 0, 256, 0xA8);
 
-    let (ps, pd, i, acc, x, t) =
-        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6));
+    let (ps, pd, i, acc, x, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+    );
     b.init_reg(ps, src as i64);
     b.init_reg(pd, dst as i64);
     b.init_reg(i, n);
@@ -336,7 +349,13 @@ pub fn jpg2000dec(n: u32) -> Program {
     let coeff = a.words(n as u64 + 2);
     init_i64_array(&mut b, coeff, n as usize + 2, -512, 512, 0xA9);
 
-    let (p, i, lo, hi, t) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    let (p, i, lo, hi, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+    );
     b.init_reg(p, coeff as i64);
     b.init_reg(i, n / 2);
     let head = b.bind_new_label();

@@ -197,7 +197,10 @@ mod tests {
         let two = ipc(&p, &CoreConfig::ooo2());
         let six = ipc(&p, &CoreConfig::ooo6());
         assert!(two > 1.5, "OOO2 should sustain ~2 IPC: {two:.2}");
-        assert!(six > 2.0 * two * 0.8, "width should pay off: {six:.2} vs {two:.2}");
+        assert!(
+            six > 2.0 * two * 0.8,
+            "width should pay off: {six:.2} vs {two:.2}"
+        );
     }
 
     #[test]
@@ -205,7 +208,10 @@ mod tests {
         let p = chain_bound(400);
         let two = ipc(&p, &CoreConfig::ooo2());
         let six = ipc(&p, &CoreConfig::ooo6());
-        assert!((six / two) < 1.15, "chain must not scale: {two:.2} → {six:.2}");
+        assert!(
+            (six / two) < 1.15,
+            "chain must not scale: {two:.2} → {six:.2}"
+        );
         assert!(two < 1.3, "serial chain IPC near 1: {two:.2}");
     }
 
@@ -226,7 +232,10 @@ mod tests {
         // One chase = shl+add+ld(4cy)+2 loop ops ≈ 6-7 cycles per 5 insts.
         let p = latency_bound(500);
         let v = ipc(&p, &CoreConfig::ooo6());
-        assert!((0.5..1.2).contains(&v), "chase IPC {v:.2} outside L1-latency band");
+        assert!(
+            (0.5..1.2).contains(&v),
+            "chase IPC {v:.2} outside L1-latency band"
+        );
     }
 
     #[test]
@@ -264,8 +273,11 @@ mod tests {
         let t = prism_sim::trace(&p).unwrap();
         let c2 = simulate_trace(&t, &CoreConfig::ooo2()).cycles; // 1 FPU
         let c6 = simulate_trace(&t, &CoreConfig::ooo6()).cycles; // 3 FPUs
-        // Six 4-cycle self-chains: OOO2 is FPU-bound at 6 cycles/iter;
-        // OOO6 reaches the 4-cycle chain bound — a 1.5x gap.
-        assert!(c2 as f64 / c6 as f64 > 1.4, "FPU count should show: {c2} vs {c6}");
+                                                                 // Six 4-cycle self-chains: OOO2 is FPU-bound at 6 cycles/iter;
+                                                                 // OOO6 reaches the 4-cycle chain bound — a 1.5x gap.
+        assert!(
+            c2 as f64 / c6 as f64 > 1.4,
+            "FPU count should show: {c2} vs {c6}"
+        );
     }
 }

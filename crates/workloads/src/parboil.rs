@@ -48,6 +48,7 @@ pub fn cutcp(n: u32) -> Program {
 /// One radix-2 FFT butterfly pass over `n` complex points: strided loads,
 /// twiddle multiply, separable compute.
 #[must_use]
+#[allow(clippy::approx_constant)] // 0.7071 is the kernel's literal twiddle
 pub fn fft(n: u32) -> Program {
     let n = i64::from(n) & !1;
     let half = n / 2;
@@ -159,7 +160,13 @@ pub fn lbm(n: u32) -> Program {
     init_f64_array(&mut b, f1, n as usize + 2, 0.1, 1.0, 0x76);
     init_f64_array(&mut b, f2, n as usize + 2, 0.1, 1.0, 0x77);
 
-    let (p0, p1, p2, po, i) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    let (p0, p1, p2, po, i) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+    );
     let (a0, a1, a2, rho, u, eq, om) = (
         Reg::fp(0),
         Reg::fp(1),
@@ -204,7 +211,7 @@ pub fn lbm(n: u32) -> Program {
 /// hoisted `A[i][k]`.
 #[must_use]
 pub fn mm(n: u32) -> Program {
-    let dim = i64::from(n.max(4).min(64));
+    let dim = i64::from(n.clamp(4, 64));
     let mut a = Alloc::new();
     let mut b = ProgramBuilder::new("mm");
     let ma = a.words((dim * dim) as u64);
@@ -421,8 +428,14 @@ pub fn stencil(n: u32) -> Program {
     init_f64_array(&mut b, input, n as usize + 2, 0.0, 4.0, 0x81);
 
     let (pi, po, i) = (Reg::int(1), Reg::int(2), Reg::int(3));
-    let (l, c, r, acc, kq, kh) =
-        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(10), Reg::fp(11));
+    let (l, c, r, acc, kq, kh) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(10),
+        Reg::fp(11),
+    );
     b.init_reg(pi, input as i64);
     b.init_reg(po, output as i64);
     b.init_reg(i, n);
@@ -458,7 +471,13 @@ pub fn tpacf(n: u32) -> Program {
     let hist = a.words(bins as u64);
     init_f64_array(&mut b, angles, n as usize, 0.0, 32.0, 0x82);
 
-    let (pa, ph, i, bin, cnt) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    let (pa, ph, i, bin, cnt) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+    );
     let x = Reg::fp(0);
     b.init_reg(pa, angles as i64);
     b.init_reg(ph, hist as i64);

@@ -70,9 +70,21 @@ pub fn namd(n: u32) -> Program {
     init_f64_array(&mut b, dx, n as usize, 0.5, 9.0, 0x92);
     init_i64_array(&mut b, excl, n as usize, 0, 10, 0x93);
 
-    let (pd, pe, pf, i, e) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
-    let (x, r2, inv, f6, f12, fout) =
-        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4), Reg::fp(5));
+    let (pd, pe, pf, i, e) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+    );
+    let (x, r2, inv, f6, f12, fout) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(4),
+        Reg::fp(5),
+    );
     b.init_reg(pd, dx as i64);
     b.init_reg(pe, excl as i64);
     b.init_reg(pf, force as i64);
@@ -120,8 +132,14 @@ pub fn soplex(n: u32) -> Program {
     init_i64_array(&mut b, idx, n as usize, 0, cols, 0x95);
     init_f64_array(&mut b, dense, cols as usize, -2.0, 2.0, 0x96);
 
-    let (pv, px, pd, i, col, t) =
-        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6));
+    let (pv, px, pd, i, col, t) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+    );
     let (v, d, pivot, tol) = (Reg::fp(0), Reg::fp(1), Reg::fp(10), Reg::fp(11));
     b.init_reg(pv, vals as i64);
     b.init_reg(px, idx as i64);
@@ -163,8 +181,14 @@ pub fn povray(n: u32) -> Program {
     init_f64_array(&mut b, rays, 2 * n as usize, -2.0, 2.0, 0x97);
 
     let (pr, ph, i, t) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
-    let (ox, dx, bq, cq, disc, root) =
-        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4), Reg::fp(5));
+    let (ox, dx, bq, cq, disc, root) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(4),
+        Reg::fp(5),
+    );
     let one = Reg::fp(10);
     b.init_reg(pr, rays as i64);
     b.init_reg(ph, hits as i64);

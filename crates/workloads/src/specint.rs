@@ -390,7 +390,14 @@ pub fn astar(n: u32) -> Program {
     let mut b = ProgramBuilder::new("473.astar");
     let dist = a.words((grid * grid) as u64 + grid as u64 + 1);
     let cost = a.words((grid * grid) as u64);
-    init_i64_array(&mut b, dist, (grid * grid) as usize + grid as usize + 1, 0, 10_000, 0xCC);
+    init_i64_array(
+        &mut b,
+        dist,
+        (grid * grid) as usize + grid as usize + 1,
+        0,
+        10_000,
+        0xCC,
+    );
     init_i64_array(&mut b, cost, (grid * grid) as usize, 1, 10, 0xCD);
 
     let (pd, pc, i, d, c, nb, t) = (
@@ -491,10 +498,23 @@ pub fn gobmk(n: u32) -> Program {
     let mut b = ProgramBuilder::new("445.gobmk");
     let board = a.words((side * side) as u64 + side as u64 + 1);
     let libs = a.words((side * side) as u64);
-    init_i64_array(&mut b, board, (side * side) as usize + side as usize + 1, 0, 3, 0xD0);
+    init_i64_array(
+        &mut b,
+        board,
+        (side * side) as usize + side as usize + 1,
+        0,
+        3,
+        0xD0,
+    );
 
-    let (pb, pl, i, v, nbv, cnt) =
-        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6));
+    let (pb, pl, i, v, nbv, cnt) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+    );
     b.init_reg(pb, board as i64);
     b.init_reg(pl, libs as i64);
     b.init_reg(i, n.min(side * side - side - 1));

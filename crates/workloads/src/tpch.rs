@@ -33,8 +33,7 @@ pub fn q1(n: u32) -> Program {
         Reg::int(7),
         Reg::int(8),
     );
-    let (pr, di, rev, cur, one) =
-        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(10));
+    let (pr, di, rev, cur, one) = (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(10));
     b.init_reg(pd, shipdate as i64);
     b.init_reg(pf, flag as i64);
     b.init_reg(pp, price as i64);

@@ -21,8 +21,13 @@ pub fn conv(n: u32) -> Program {
     let acc = Reg::fp(0);
     let x = Reg::fp(1);
     let t = Reg::fp(2);
-    let (w0, w1, w2, w3, w4) =
-        (Reg::fp(10), Reg::fp(11), Reg::fp(12), Reg::fp(13), Reg::fp(14));
+    let (w0, w1, w2, w3, w4) = (
+        Reg::fp(10),
+        Reg::fp(11),
+        Reg::fp(12),
+        Reg::fp(13),
+        Reg::fp(14),
+    );
     b.init_reg(pin, input as i64);
     b.init_reg(pout, output as i64);
     b.init_reg(i, n);
@@ -108,9 +113,21 @@ pub fn nbody(n: u32) -> Program {
     let force = a.words(n as u64);
     init_f64_array(&mut b, pos, n as usize, -10.0, 10.0, 0x33);
 
-    let (ppos, pfor, i, j, pj) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
-    let (xi, xj, d, d2, inv, facc) =
-        (Reg::fp(0), Reg::fp(1), Reg::fp(2), Reg::fp(3), Reg::fp(4), Reg::fp(5));
+    let (ppos, pfor, i, j, pj) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+    );
+    let (xi, xj, d, d2, inv, facc) = (
+        Reg::fp(0),
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+        Reg::fp(4),
+        Reg::fp(5),
+    );
     let eps = Reg::fp(10);
     b.init_reg(ppos, pos as i64);
     b.init_reg(pfor, force as i64);
@@ -153,8 +170,15 @@ pub fn radar(n: u32) -> Program {
     init_f64_array(&mut b, signal, 2 * n as usize + 32, -1.0, 1.0, 0x44);
     init_f64_array(&mut b, replica, 32, -1.0, 1.0, 0x45);
 
-    let (ps, pr, po, i, k, pk, psk) =
-        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6), Reg::int(7));
+    let (ps, pr, po, i, k, pk, psk) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+    );
     let (sr, si, rr, ri, accr, acci, t1, t2) = (
         Reg::fp(0),
         Reg::fp(1),

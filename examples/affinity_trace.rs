@@ -4,16 +4,22 @@
 //!
 //! Run with: `cargo run --release --example affinity_trace`
 
-use prism_exocore::{oracle_schedule, switching_timeline, WorkloadData};
+use prism_exocore::{oracle_schedule, switching_timeline};
+use prism_pipeline::Session;
 use prism_tdg::{run_exocore, BsaKind, ExecUnit};
 use prism_udg::CoreConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = prism_workloads::by_name("cjpeg-1").expect("registered workload");
-    let data = WorkloadData::prepare(&w.build_default())?;
+    let data = Session::new().prepare(w)?;
     let core = CoreConfig::ooo2();
 
-    println!("workload: {} ({} dynamic insts, {} loops)", w.name, data.trace.len(), data.ir.loops.len());
+    println!(
+        "workload: {} ({} dynamic insts, {} loops)",
+        w.name,
+        data.trace.len(),
+        data.ir.loops.len()
+    );
     for l in &data.ir.loops.loops {
         println!(
             "  loop {}: {} static insts, {} iterations, {:.0}% of execution",
@@ -30,9 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  loop {lid} → {kind}");
     }
 
-    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &BsaKind::ALL);
+    let run = run_exocore(
+        &data.trace,
+        &data.ir,
+        &core,
+        &data.plans,
+        &schedule,
+        &BsaKind::ALL,
+    );
     println!("\nper-unit breakdown (Fig. 13 view):");
-    println!("{:<10} {:>10} {:>10} {:>12}", "unit", "insts", "cycles", "energy (µJ)");
+    println!(
+        "{:<10} {:>10} {:>10} {:>12}",
+        "unit", "insts", "cycles", "energy (µJ)"
+    );
     for u in ExecUnit::ALL {
         println!(
             "{:<10} {:>10} {:>10} {:>12.3}",
@@ -47,7 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let window = (data.trace.len() as u64 / 24).max(100);
     for p in switching_timeline(&data, &core, &schedule, &BsaKind::ALL, window) {
         let bar = "#".repeat((p.speedup * 10.0).round().clamp(1.0, 50.0) as usize);
-        println!("  @{:>7}: {:>5.2}x {:<8} {}", p.end_seq, p.speedup, p.dominant_unit.to_string(), bar);
+        println!(
+            "  @{:>7}: {:>5.2}x {:<8} {}",
+            p.end_seq,
+            p.speedup,
+            p.dominant_unit.to_string(),
+            bar
+        );
     }
     Ok(())
 }

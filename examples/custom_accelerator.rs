@@ -67,14 +67,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ndesign-variant comparison on OOO2: no-fusion {} vs fusion {} cycles",
         nothing.cycles, with.cycles
     );
-    println!(
-        "(the TDG makes variants like this a plan-object swap — no compiler or RTL rebuild)"
-    );
+    println!("(the TDG makes variants like this a plan-object swap — no compiler or RTL rebuild)");
 
     // Bonus: show the static opcode the transform introduces is barred
     // from authored programs.
     let mut bad = ProgramBuilder::new("illegal");
-    bad.emit(prism_isa::Inst::rrr(Opcode::Fma, Reg::fp(1), Reg::fp(2), Reg::fp(3)));
+    bad.emit(prism_isa::Inst::rrr(
+        Opcode::Fma,
+        Reg::fp(1),
+        Reg::fp(2),
+        Reg::fp(3),
+    ));
     bad.halt();
     assert!(bad.build().is_err(), "authored fma must be rejected");
     println!("authored `fma` correctly rejected by program validation");

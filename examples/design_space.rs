@@ -4,10 +4,8 @@
 //!
 //! Run with: `cargo run --release --example design_space`
 
-use prism_exocore::{
-    all_bsa_subsets, evaluate_point, oracle_table, pareto_frontier, DesignPoint, FrontierPoint,
-    WorkloadData,
-};
+use prism_exocore::{all_bsa_subsets, pareto_frontier, FrontierPoint};
+use prism_pipeline::Session;
 use prism_udg::CoreConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,45 +13,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // irregular workloads.
     let names = ["stencil", "mm", "cjpeg-1", "tpch1", "181.mcf", "458.sjeng"];
     println!("preparing {} workloads…", names.len());
-    let data: Vec<WorkloadData> = names
+    let session = Session::new();
+    let data = names
         .iter()
         .map(|n| {
             let w = prism_workloads::by_name(n).expect(n);
-            WorkloadData::prepare(&w.build_default())
+            session.prepare(w)
         })
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<Vec<_>, _>>()?;
 
-    // Evaluate IO2 and OOO2 with every BSA subset.
+    // Evaluate IO2 and OOO2 with every BSA subset — one explore_grid call;
+    // the session parallelizes over (workload × design point).
+    let cores = [CoreConfig::io2(), CoreConfig::ooo2()];
+    let results = session.explore_grid(&data, &cores, &all_bsa_subsets());
+
     let mut labeled: Vec<(String, FrontierPoint)> = Vec::new();
     let mut reference_cycles: Vec<u64> = Vec::new();
     let mut reference_energy: Vec<f64> = Vec::new();
-    println!("{:<14} {:>9} {:>11} {:>8}", "config", "speedup", "energy-eff", "area");
-    for core in [CoreConfig::io2(), CoreConfig::ooo2()] {
-        let tables: Vec<_> = data.iter().map(|w| oracle_table(w, &core)).collect();
-        for bsas in all_bsa_subsets() {
-            let point = DesignPoint::new(core.clone(), bsas);
-            let result = evaluate_point(&data, &tables, &point);
-            if reference_cycles.is_empty() {
-                reference_cycles = result.per_workload.iter().map(|m| m.cycles).collect();
-                reference_energy = result.per_workload.iter().map(|m| m.energy).collect();
-            }
-            let speedup = prism_exocore::geomean(
-                result
-                    .per_workload
-                    .iter()
-                    .zip(&reference_cycles)
-                    .map(|(m, &r)| r as f64 / m.cycles.max(1) as f64),
-            );
-            let eff = prism_exocore::geomean(
-                result
-                    .per_workload
-                    .iter()
-                    .zip(&reference_energy)
-                    .map(|(m, &r)| r / m.energy),
-            );
-            println!("{:<14} {:>9.2} {:>11.2} {:>8.2}", result.label, speedup, eff, result.area_mm2);
-            labeled.push((result.label, FrontierPoint { perf: speedup, energy: 1.0 / eff }));
+    println!(
+        "{:<14} {:>9} {:>11} {:>8}",
+        "config", "speedup", "energy-eff", "area"
+    );
+    for result in results {
+        if reference_cycles.is_empty() {
+            reference_cycles = result.per_workload.iter().map(|m| m.cycles).collect();
+            reference_energy = result.per_workload.iter().map(|m| m.energy).collect();
         }
+        let speedup = prism_exocore::geomean(
+            result
+                .per_workload
+                .iter()
+                .zip(&reference_cycles)
+                .map(|(m, &r)| r as f64 / m.cycles.max(1) as f64),
+        );
+        let eff = prism_exocore::geomean(
+            result
+                .per_workload
+                .iter()
+                .zip(&reference_energy)
+                .map(|(m, &r)| r / m.energy),
+        );
+        println!(
+            "{:<14} {:>9.2} {:>11.2} {:>8.2}",
+            result.label, speedup, eff, result.area_mm2
+        );
+        labeled.push((
+            result.label,
+            FrontierPoint {
+                perf: speedup,
+                energy: 1.0 / eff,
+            },
+        ));
     }
 
     println!("\nPareto frontier (perf ↑, energy ↓):");

@@ -3,8 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use prism_exocore::{oracle_schedule, WorkloadData};
+use prism_exocore::oracle_schedule;
 use prism_isa::{ProgramBuilder, Reg};
+use prism_pipeline::Session;
 use prism_tdg::{run_exocore, BsaKind};
 use prism_udg::{simulate_trace, CoreConfig};
 
@@ -50,13 +51,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. Build the IR + BSA plans and run a full ExoCore with the Oracle
-    //    scheduler.
-    let data = WorkloadData::prepare(&program)?;
+    // 4. Build the IR + BSA plans through the pipeline (a second run of
+    //    this process would hit the session memo) and run a full ExoCore
+    //    with the Oracle scheduler.
+    let session = Session::new();
+    let data = session.prepare_program(&program)?;
     let core = CoreConfig::ooo2();
     let schedule = oracle_schedule(&data, &core, &BsaKind::ALL);
     println!("\noracle schedule: {:?}", schedule.map);
-    let exo = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &BsaKind::ALL);
+    let exo = run_exocore(
+        &data.trace,
+        &data.ir,
+        &core,
+        &data.plans,
+        &schedule,
+        &BsaKind::ALL,
+    );
     let base = simulate_trace(&trace, &core);
     println!(
         "OOO2 ExoCore: {} cycles ({:.2}x speedup), energy {:.2} µJ ({:.2}x more efficient)",

@@ -8,24 +8,71 @@
 //!     --scheduler oracle|amdahl       BSA selection      (default oracle)
 //!     -n <size>                       problem size       (default per workload)
 //! prism compare <workload>            4 cores × {bare, full ExoCore}
+//! prism explore                       full 64-point design space (cached)
+//!
+//! Global options: --jobs N            worker threads (default: PRISM_JOBS
+//!                                     or hardware parallelism)
 //! ```
+//!
+//! All preparation runs through the `prism-pipeline` session, so repeated
+//! invocations reuse the content-addressed artifact store.
 
-use prism::exocore::{amdahl_schedule, oracle_schedule, WorkloadData};
+use prism::exocore::{amdahl_schedule, oracle_schedule};
+use prism::pipeline::{jobs_from_args, PreparedWorkload, Session};
 use prism::tdg::{run_exocore, BsaKind, ExecUnit};
 use prism::udg::{simulate_trace, CoreConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let session = match jobs_from_args(&args) {
+        Some(jobs) => Session::new().with_jobs(jobs),
+        None => Session::new(),
+    };
+    strip_jobs_flag(&mut args);
     let code = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
-        Some("run") => cmd_run(&args[1..]),
-        Some("compare") => cmd_compare(&args[1..]),
+        Some("run") => cmd_run(&session, &args[1..]),
+        Some("compare") => cmd_compare(&session, &args[1..]),
+        Some("explore") => cmd_explore(&session),
         _ => {
-            eprintln!("usage: prism <list|run|compare> [args]   (see --help in the source header)");
+            eprintln!(
+                "usage: prism <list|run|compare|explore> [args]   (see --help in the source header)"
+            );
             2
         }
     };
     std::process::exit(code);
+}
+
+/// Removes `--jobs N` / `--jobs=N` (already consumed by the session).
+fn strip_jobs_flag(args: &mut Vec<String>) {
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        args.drain(i..(i + 2).min(args.len()));
+    } else if let Some(i) = args.iter().position(|a| a.starts_with("--jobs=")) {
+        args.remove(i);
+    }
+}
+
+fn cmd_explore(session: &Session) -> i32 {
+    match session.full_design_space() {
+        Ok(results) => {
+            println!("{:<12} {:>8} {:>12}", "label", "area", "workloads");
+            for r in &results {
+                println!(
+                    "{:<12} {:>8.2} {:>12}",
+                    r.label,
+                    r.area_mm2,
+                    r.per_workload.len()
+                );
+            }
+            session.log_stats();
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_list() -> i32 {
@@ -39,7 +86,10 @@ fn cmd_list() -> i32 {
             w.default_n
         );
     }
-    println!("\n({} workloads; microbenchmarks: prism::workloads::MICRO)", prism::workloads::ALL.len());
+    println!(
+        "\n({} workloads; microbenchmarks: prism::workloads::MICRO)",
+        prism::workloads::ALL.len()
+    );
     0
 }
 
@@ -89,7 +139,11 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
         n: None,
     };
     while let Some(flag) = it.next() {
-        let mut take = || it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        let mut take = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
         match flag.as_str() {
             "--core" => {
                 let v = take()?;
@@ -109,15 +163,16 @@ fn parse_run_opts(args: &[String]) -> Result<RunOpts, String> {
     Ok(opts)
 }
 
-fn prepare(name: &str, n: Option<u32>) -> Result<WorkloadData, String> {
+fn prepare(session: &Session, name: &str, n: Option<u32>) -> Result<PreparedWorkload, String> {
     let w = prism::workloads::by_name(name)
         .or_else(|| prism::workloads::MICRO.iter().find(|m| m.name == name))
         .ok_or_else(|| format!("unknown workload {name} (try `prism list`)"))?;
-    let program = (w.build)(n.unwrap_or(w.default_n));
-    WorkloadData::prepare(&program).map_err(|e| e.to_string())
+    session
+        .prepare_sized(w, n.unwrap_or(w.default_n))
+        .map_err(|e| e.to_string())
 }
 
-fn cmd_run(args: &[String]) -> i32 {
+fn cmd_run(session: &Session, args: &[String]) -> i32 {
     let opts = match parse_run_opts(args) {
         Ok(o) => o,
         Err(e) => {
@@ -125,15 +180,18 @@ fn cmd_run(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let data = match prepare(&opts.workload, opts.n) {
+    let data = match prepare(session, &opts.workload, opts.n) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
-    let core =
-        if opts.bsas.contains(&BsaKind::Simd) { opts.core.clone().with_simd() } else { opts.core.clone() };
+    let core = if opts.bsas.contains(&BsaKind::Simd) {
+        opts.core.clone().with_simd()
+    } else {
+        opts.core.clone()
+    };
 
     println!(
         "{}: {} dynamic insts, {} loops",
@@ -163,7 +221,14 @@ fn cmd_run(args: &[String]) -> i32 {
     for (lid, kind) in &schedule.map {
         println!("  loop {lid} → {kind}");
     }
-    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &opts.bsas);
+    let run = run_exocore(
+        &data.trace,
+        &data.ir,
+        &core,
+        &data.plans,
+        &schedule,
+        &opts.bsas,
+    );
     println!(
         "ExoCore: {} cycles ({:.2}x), {:.3} µJ ({:.2}x energy-eff), area {:.2} mm²",
         run.cycles,
@@ -186,12 +251,12 @@ fn cmd_run(args: &[String]) -> i32 {
     0
 }
 
-fn cmd_compare(args: &[String]) -> i32 {
+fn cmd_compare(session: &Session, args: &[String]) -> i32 {
     let Some(name) = args.first() else {
         eprintln!("usage: prism compare <workload>");
         return 2;
     };
-    let data = match prepare(name, None) {
+    let data = match prepare(session, name, None) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
@@ -202,12 +267,23 @@ fn cmd_compare(args: &[String]) -> i32 {
         "{:<6} {:>10} {:>7} | {:>10} {:>7} {:>8}",
         "core", "bare cyc", "µJ", "exo cyc", "µJ", "speedup"
     );
-    for core in [CoreConfig::io2(), CoreConfig::ooo2(), CoreConfig::ooo4(), CoreConfig::ooo6()] {
+    for core in [
+        CoreConfig::io2(),
+        CoreConfig::ooo2(),
+        CoreConfig::ooo4(),
+        CoreConfig::ooo6(),
+    ] {
         let base = simulate_trace(&data.trace, &core);
         let exo_core = core.clone().with_simd();
         let schedule = oracle_schedule(&data, &exo_core, &BsaKind::ALL);
-        let run =
-            run_exocore(&data.trace, &data.ir, &exo_core, &data.plans, &schedule, &BsaKind::ALL);
+        let run = run_exocore(
+            &data.trace,
+            &data.ir,
+            &exo_core,
+            &data.plans,
+            &schedule,
+            &BsaKind::ALL,
+        );
         println!(
             "{:<6} {:>10} {:>7.3} | {:>10} {:>7.3} {:>7.2}x",
             core.name,

@@ -13,7 +13,9 @@
 //! * [`energy`] — energy/power/area models,
 //! * [`tdg`] — the Transformable Dependence Graph and the four BSA models,
 //! * [`exocore`] — schedulers and the design-space exploration,
-//! * [`workloads`] — the 49-kernel benchmark registry.
+//! * [`workloads`] — the 49-kernel benchmark registry,
+//! * [`pipeline`] — the content-addressed, parallel evaluation pipeline
+//!   ([`pipeline::Session`]).
 //!
 //! See the repository's `README.md` for a tour and `DESIGN.md` for the
 //! system inventory.
@@ -34,6 +36,7 @@ pub use prism_energy as energy;
 pub use prism_exocore as exocore;
 pub use prism_ir as ir;
 pub use prism_isa as isa;
+pub use prism_pipeline as pipeline;
 pub use prism_sim as sim;
 pub use prism_tdg as tdg;
 pub use prism_udg as udg;

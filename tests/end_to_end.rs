@@ -32,9 +32,20 @@ fn exocore_never_loses_instructions() {
         let data = prepared(name);
         let core = CoreConfig::ooo2();
         let schedule = oracle_schedule(&data, &core, &BsaKind::ALL);
-        let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &BsaKind::ALL);
+        let run = run_exocore(
+            &data.trace,
+            &data.ir,
+            &core,
+            &data.plans,
+            &schedule,
+            &BsaKind::ALL,
+        );
         let covered: u64 = run.unit_insts.iter().sum();
-        assert_eq!(covered, data.trace.len() as u64, "{name}: instructions lost");
+        assert_eq!(
+            covered,
+            data.trace.len() as u64,
+            "{name}: instructions lost"
+        );
         let cycles: u64 = run.unit_cycles.iter().sum();
         assert_eq!(cycles, run.cycles, "{name}: cycle breakdown mismatch");
     }
@@ -48,8 +59,14 @@ fn oracle_beats_or_matches_every_single_bsa_choice_on_ed() {
     let core = CoreConfig::ooo2();
     let table = prism::exocore::oracle_table(&data, &core);
     let full = prism::exocore::oracle_pick(&table, &data, &BsaKind::ALL);
-    let full_run =
-        run_exocore(&data.trace, &data.ir, &core, &data.plans, &full, &BsaKind::ALL);
+    let full_run = run_exocore(
+        &data.trace,
+        &data.ir,
+        &core,
+        &data.plans,
+        &full,
+        &BsaKind::ALL,
+    );
     let full_ed = full_run.cycles as f64 * full_run.energy.total();
     for kind in BsaKind::ALL {
         let sub = prism::exocore::oracle_pick(&table, &data, &[kind]);
@@ -70,7 +87,14 @@ fn amdahl_schedule_runs_on_every_suite_representative() {
         let core = CoreConfig::ooo2();
         let schedule = amdahl_schedule(&data, &core, &BsaKind::ALL);
         assert!(schedule.is_well_formed(&data.ir), "{name}");
-        let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &BsaKind::ALL);
+        let run = run_exocore(
+            &data.trace,
+            &data.ir,
+            &core,
+            &data.plans,
+            &schedule,
+            &BsaKind::ALL,
+        );
         assert!(run.cycles > 0, "{name}");
     }
 }
@@ -80,10 +104,21 @@ fn accelerated_runs_preserve_total_instruction_attribution() {
     let data = prepared("mpeg2enc"); // two-phase workload
     let core = CoreConfig::ooo2();
     let schedule = oracle_schedule(&data, &core, &BsaKind::ALL);
-    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &schedule, &BsaKind::ALL);
+    let run = run_exocore(
+        &data.trace,
+        &data.ir,
+        &core,
+        &data.plans,
+        &schedule,
+        &BsaKind::ALL,
+    );
     // The two phases should use at least two distinct units (incl. GPP).
     let used = run.unit_insts.iter().filter(|&&c| c > 0).count();
-    assert!(used >= 2, "expected multi-unit execution, got {:?}", run.unit_insts);
+    assert!(
+        used >= 2,
+        "expected multi-unit execution, got {:?}",
+        run.unit_insts
+    );
 }
 
 #[test]
@@ -117,17 +152,27 @@ fn wider_cores_never_slower_across_registry_sample() {
         let ooo2 = simulate_trace(&data.trace, &CoreConfig::ooo2()).cycles;
         let ooo6 = simulate_trace(&data.trace, &CoreConfig::ooo6()).cycles;
         assert!(ooo2 <= io2 + io2 / 20, "{name}: OOO2 {ooo2} vs IO2 {io2}");
-        assert!(ooo6 <= ooo2 + ooo2 / 20, "{name}: OOO6 {ooo6} vs OOO2 {ooo2}");
+        assert!(
+            ooo6 <= ooo2 + ooo2 / 20,
+            "{name}: OOO6 {ooo6} vs OOO2 {ooo2}"
+        );
     }
 }
 
 #[test]
 fn energy_increases_with_core_size_on_identical_work() {
     let data = prepared("lbm");
-    let e2 = simulate_trace(&data.trace, &CoreConfig::ooo2()).energy.total();
-    let e6 = simulate_trace(&data.trace, &CoreConfig::ooo6()).energy.total();
+    let e2 = simulate_trace(&data.trace, &CoreConfig::ooo2())
+        .energy
+        .total();
+    let e6 = simulate_trace(&data.trace, &CoreConfig::ooo6())
+        .energy
+        .total();
     // The 6-wide core does the same work with costlier structures; energy
     // per run can drop only via leakage×time, which the speedup rarely
     // fully offsets in this model.
-    assert!(e6 > 0.8 * e2, "OOO6 energy {e6} implausibly low vs OOO2 {e2}");
+    assert!(
+        e6 > 0.8 * e2,
+        "OOO6 energy {e6} implausibly low vs OOO2 {e2}"
+    );
 }

@@ -14,7 +14,14 @@ fn traced(name: &str) -> prism::sim::Trace {
 #[test]
 fn udg_matches_reference_within_15_percent_across_suites() {
     // One representative per suite; both 1-wide and 8-wide extremes.
-    let names = ["stencil", "spmv", "cjpeg-1", "453.povray", "tpch1", "456.hmmer"];
+    let names = [
+        "stencil",
+        "spmv",
+        "cjpeg-1",
+        "453.povray",
+        "tpch1",
+        "456.hmmer",
+    ];
     let mut worst: f64 = 0.0;
     for name in names {
         let t = traced(name);
@@ -49,7 +56,14 @@ fn simd_model_bounds() {
     let lid = *data.plans.simd.keys().next().expect("stencil vectorizes");
     let mut a = Assignment::none();
     a.set(lid, BsaKind::Simd);
-    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &a, &[BsaKind::Simd]);
+    let run = run_exocore(
+        &data.trace,
+        &data.ir,
+        &core,
+        &data.plans,
+        &a,
+        &[BsaKind::Simd],
+    );
     let speedup = base.cycles as f64 / run.cycles as f64;
     assert!(
         (0.9..=6.0).contains(&speedup),
@@ -65,7 +79,12 @@ fn trace_p_replay_fraction_matches_path_profile() {
     // the Trace-P model's replay count must track the path profile.
     let w = prism::workloads::by_name("tpch1").unwrap();
     let data = WorkloadData::prepare(&w.build_default()).unwrap();
-    let lid = *data.plans.trace_p.keys().next().expect("tpch1 has a hot trace");
+    let lid = *data
+        .plans
+        .trace_p
+        .keys()
+        .next()
+        .expect("tpch1 has a hot trace");
     let prof = &data.ir.paths[&lid];
     let expected_off = prof.iterations - prof.hot_path().map_or(0, |(_, c)| *c);
     let mut a = Assignment::none();
@@ -100,7 +119,14 @@ fn offload_units_eliminate_pipeline_energy() {
     };
     let mut a = Assignment::none();
     a.set(lid, BsaKind::NsDf);
-    let run = run_exocore(&data.trace, &data.ir, &core, &data.plans, &a, &[BsaKind::NsDf]);
+    let run = run_exocore(
+        &data.trace,
+        &data.ir,
+        &core,
+        &data.plans,
+        &a,
+        &[BsaKind::NsDf],
+    );
     assert!(
         run.events.core.fetches < base.events.core.fetches / 4,
         "fetches {} vs baseline {}",
@@ -133,8 +159,7 @@ fn dp_cgra_communicates_and_computes() {
     assert!(run.events.accel.cgra_ops > 0);
     // Comm cannot exceed the rejected-plan bound.
     assert!(
-        run.events.accel.comm_sends + run.events.accel.comm_recvs
-            <= run.events.accel.cgra_ops,
+        run.events.accel.comm_sends + run.events.accel.comm_recvs <= run.events.accel.cgra_ops,
         "communication exceeds computation: the analyzer bound leaked"
     );
 }

@@ -49,7 +49,12 @@ fn conv_computes_the_five_tap_filter() {
     let weights = [0.1, 0.25, 0.3, 0.25, 0.1];
     // Find output base: first store address = input end + padding; easier:
     // recompute from the program's second register init (pout).
-    let out_addr = program.reg_init.iter().find(|(r, _)| r.index() == 2).unwrap().1 as u64;
+    let out_addr = program
+        .reg_init
+        .iter()
+        .find(|(r, _)| r.index() == 2)
+        .unwrap()
+        .1 as u64;
     assert_ne!(out_addr, in_addr);
     for i in 0..n {
         let expected: f64 = (0..5).map(|k| input[i + k] * weights[k]).sum();
@@ -66,9 +71,15 @@ fn merge_produces_sorted_output() {
     let n = 128usize;
     let program = (prism::workloads::by_name("merge").unwrap().build)(n as u32);
     let m = run(&program);
-    let out_addr = program.reg_init.iter().find(|(r, _)| r.index() == 3).unwrap().1 as u64;
-    let merged: Vec<i64> =
-        (0..2 * n - 2).map(|i| m.mem.read_u64(out_addr + (i * 8) as u64) as i64).collect();
+    let out_addr = program
+        .reg_init
+        .iter()
+        .find(|(r, _)| r.index() == 3)
+        .unwrap()
+        .1 as u64;
+    let merged: Vec<i64> = (0..2 * n - 2)
+        .map(|i| m.mem.read_u64(out_addr + (i * 8) as u64) as i64)
+        .collect();
     assert!(
         merged.windows(2).all(|w| w[0] <= w[1]),
         "merge output not sorted: {:?}…",
@@ -96,11 +107,19 @@ fn stencil_computes_weighted_neighbors() {
     let program = (prism::workloads::by_name("stencil").unwrap().build)(n as u32);
     let (_, input) = read_f64s(&program, 0);
     let m = run(&program);
-    let out_addr = program.reg_init.iter().find(|(r, _)| r.index() == 2).unwrap().1 as u64;
+    let out_addr = program
+        .reg_init
+        .iter()
+        .find(|(r, _)| r.index() == 2)
+        .unwrap()
+        .1 as u64;
     for i in 0..n {
         let expected = 0.25 * input[i] + 0.5 * input[i + 1] + 0.25 * input[i + 2];
         let got = m.mem.read_f64(out_addr + (i * 8) as u64);
-        assert!((got - expected).abs() < 1e-9, "stencil[{i}] = {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "stencil[{i}] = {got} vs {expected}"
+        );
     }
 }
 
@@ -112,7 +131,12 @@ fn mm_multiplies_matrices() {
     let (b_addr, b) = read_f64s(&program, 1);
     let m = run(&program);
     // C base: the third register init (pc, r6).
-    let c_addr = program.reg_init.iter().find(|(r, _)| r.index() == 6).unwrap().1 as u64;
+    let c_addr = program
+        .reg_init
+        .iter()
+        .find(|(r, _)| r.index() == 6)
+        .unwrap()
+        .1 as u64;
     assert_ne!(c_addr, b_addr);
     for i in 0..dim {
         for j in 0..dim {
@@ -131,8 +155,15 @@ fn tpacf_histogram_counts_sum_to_n() {
     let n = 400usize;
     let program = (prism::workloads::by_name("tpacf").unwrap().build)(n as u32);
     let m = run(&program);
-    let hist_addr = program.reg_init.iter().find(|(r, _)| r.index() == 2).unwrap().1 as u64;
-    let total: i64 = (0..32).map(|i| m.mem.read_u64(hist_addr + i * 8) as i64).sum();
+    let hist_addr = program
+        .reg_init
+        .iter()
+        .find(|(r, _)| r.index() == 2)
+        .unwrap()
+        .1 as u64;
+    let total: i64 = (0..32)
+        .map(|i| m.mem.read_u64(hist_addr + i * 8) as i64)
+        .sum();
     assert_eq!(total, n as i64, "histogram must count every sample once");
 }
 
@@ -142,7 +173,11 @@ fn mcf_chase_visits_the_whole_cycle() {
     // cursor returns to 0. Run exactly that many iterations.
     let program = (prism::workloads::by_name("181.mcf").unwrap().build)(2048);
     let m = run(&program);
-    assert_eq!(m.reg(prism::isa::Reg::int(4)), 0, "chase should close its cycle");
+    assert_eq!(
+        m.reg(prism::isa::Reg::int(4)),
+        0,
+        "chase should close its cycle"
+    );
 }
 
 #[test]
@@ -151,5 +186,8 @@ fn treesearch_finds_plausible_indices() {
     let m = run(&program);
     // `found` accumulates binary-search result indices: all in [0, 4096].
     let acc = m.reg(prism::isa::Reg::int(10));
-    assert!(acc >= 0 && acc <= 64 * 4096, "accumulated index sum {acc} out of range");
+    assert!(
+        (0..=64 * 4096).contains(&acc),
+        "accumulated index sum {acc} out of range"
+    );
 }
