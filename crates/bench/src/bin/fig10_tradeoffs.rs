@@ -3,10 +3,10 @@
 //! geomean over all workloads. Each curve is one accelerator family; each
 //! point on it is one core.
 
-use prism_bench::{by_label, full_design_space, run_or_exit};
+use prism_bench::{by_label, full_design_space, results_or_exit};
 
 fn main() {
-    let results = run_or_exit(full_design_space());
+    let results = results_or_exit(full_design_space());
     let reference = by_label(&results, "IO2").clone();
 
     println!("=== Fig. 3 / Fig. 10: ExoCore tradeoffs across all workloads ===");

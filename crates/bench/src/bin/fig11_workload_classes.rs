@@ -3,7 +3,7 @@
 //! semi-regular (Mediabench, TPCH, SPECfp), and irregular (SPECint)
 //! workload groups.
 
-use prism_bench::{by_label, full_design_space, run_or_exit};
+use prism_bench::{by_label, full_design_space, results_or_exit};
 use prism_exocore::{geomean, DesignResult};
 use prism_workloads::RegularityClass;
 
@@ -44,7 +44,7 @@ fn class_energy(r: &DesignResult, reference: &DesignResult, class: RegularityCla
 }
 
 fn main() {
-    let results = run_or_exit(full_design_space());
+    let results = results_or_exit(full_design_space());
     let reference = by_label(&results, "IO2").clone();
 
     println!("=== Fig. 11: accelerator × core × workload-class interaction ===");

@@ -3,10 +3,10 @@
 //! relative to the dual-issue in-order (IO2) design, sorted by speedup
 //! (as the paper's x-axis is).
 
-use prism_bench::{by_label, full_design_space, run_or_exit};
+use prism_bench::{by_label, full_design_space, results_or_exit};
 
 fn main() {
-    let results = run_or_exit(full_design_space());
+    let results = results_or_exit(full_design_space());
     let reference = by_label(&results, "IO2").clone();
 
     let mut rows: Vec<(String, f64, f64, f64)> = results

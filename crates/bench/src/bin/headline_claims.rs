@@ -2,10 +2,10 @@
 //! measurements. Exits non-zero if a claim's *shape* fails to hold (the
 //! substitutions in DESIGN.md mean absolute factors differ).
 
-use prism_bench::{by_label, full_design_space, run_or_exit};
+use prism_bench::{by_label, full_design_space, results_or_exit};
 
 fn main() {
-    let results = run_or_exit(full_design_space());
+    let results = results_or_exit(full_design_space());
     let io2 = by_label(&results, "IO2").clone();
     let mut failures = 0;
     let mut check = |name: &str, ok: bool, detail: String| {

@@ -16,7 +16,7 @@ pub mod published;
 use std::sync::OnceLock;
 
 use prism_exocore::DesignResult;
-use prism_pipeline::{jobs_from_args, PipelineError, PreparedWorkload, Session};
+use prism_pipeline::{jobs_from_args, PipelineError, PreparedWorkload, Session, SweepReport};
 
 /// The process-wide pipeline session shared by all bench binaries.
 /// Honors a `--jobs N` command-line flag, `PRISM_JOBS`, and
@@ -85,14 +85,30 @@ pub fn prepare_named(names: &[&str]) -> Result<Vec<PreparedWorkload>, PipelineEr
 /// Artifacts invalidate automatically when any input changes; a fully
 /// cached run does no tracing at all. Cache hit/miss counts are logged.
 ///
-/// # Errors
-///
-/// Returns a [`PipelineError`] naming the workload and failing stage.
-pub fn full_design_space() -> Result<Vec<DesignResult>, PipelineError> {
+/// Failures are isolated per unit: the report carries results for every
+/// healthy design point plus a quarantine list for the rest.
+#[must_use]
+pub fn full_design_space() -> SweepReport {
     let s = session();
-    let results = s.full_design_space();
+    let report = s.full_design_space();
     s.log_stats();
-    results
+    report
+}
+
+/// Unwraps a sweep for figure binaries: renders the failure summary (if
+/// any) to stderr, exits nonzero only when *everything* failed, and
+/// otherwise returns the healthy results so the figure still prints from
+/// whatever survived.
+#[must_use]
+pub fn results_or_exit(report: SweepReport) -> Vec<DesignResult> {
+    if let Some(summary) = report.failure_summary() {
+        eprint!("{summary}");
+    }
+    if report.all_failed() {
+        eprintln!("error: every design point failed; nothing to report");
+        std::process::exit(report.exit_code());
+    }
+    report.results
 }
 
 /// Finds a design result by its Fig. 12 label.

@@ -46,7 +46,7 @@ pub use dse::{
     pareto_frontier, DesignPoint, DesignResult, FrontierPoint, WorkloadMetrics,
 };
 pub use schedule::{
-    amdahl_schedule, oracle_pick, oracle_schedule, oracle_table, CandidateGain, OracleTable,
-    MAX_REGION_SLOWDOWN,
+    amdahl_schedule, oracle_pick, oracle_schedule, oracle_table, oracle_table_budgeted,
+    CandidateGain, OracleTable, MAX_REGION_SLOWDOWN,
 };
 pub use timeline::{switching_timeline, WindowPoint};

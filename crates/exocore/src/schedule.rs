@@ -3,7 +3,9 @@
 
 use prism_ir::LoopId;
 use prism_tdg::{run_exocore, Assignment, BsaKind};
-use prism_udg::{simulate_trace, CoreConfig, CoreRun};
+use prism_udg::{
+    try_simulate_trace, BudgetExceeded, CoreConfig, CoreRun, ExecBudget, FuelMeter, NODES_PER_INST,
+};
 
 use crate::WorkloadData;
 
@@ -44,7 +46,36 @@ pub struct OracleTable {
 /// paper's Oracle uses.
 #[must_use]
 pub fn oracle_table(data: &WorkloadData, core: &CoreConfig) -> OracleTable {
-    let baseline = simulate_trace(&data.trace, core);
+    oracle_table_budgeted(data, core, &ExecBudget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// Charges one whole-trace evaluation (µDG nodes for every dynamic
+/// instruction) against `meter`.
+fn charge_run(meter: &mut FuelMeter, trace_len: usize) -> Result<(), BudgetExceeded> {
+    meter.charge((trace_len as u64).saturating_mul(NODES_PER_INST))
+}
+
+/// [`oracle_table`] under an [`ExecBudget`].
+///
+/// The budget covers the whole table: the baseline run plus one
+/// combined-TDG run per (loop, BSA) candidate, each charged at
+/// [`NODES_PER_INST`] nodes per dynamic instruction. Workloads with many
+/// candidate loops cost proportionally more, which is exactly what a fuel
+/// cap should capture.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] as soon as the next run would not fit.
+pub fn oracle_table_budgeted(
+    data: &WorkloadData,
+    core: &CoreConfig,
+    budget: &ExecBudget,
+) -> Result<OracleTable, BudgetExceeded> {
+    let mut meter = budget.meter();
+    charge_run(&mut meter, data.trace.len())?;
+    let baseline = try_simulate_trace(&data.trace, core, &ExecBudget::unlimited())
+        .expect("unlimited budget cannot trip");
     let base_ed = baseline.cycles as f64 * baseline.energy.total();
     let mut candidates = Vec::new();
     for kind in BsaKind::ALL {
@@ -57,6 +88,7 @@ pub fn oracle_table(data: &WorkloadData, core: &CoreConfig) -> OracleTable {
         for lid in lids {
             let mut a = Assignment::none();
             a.set(lid, kind);
+            charge_run(&mut meter, data.trace.len())?;
             let run = run_exocore(&data.trace, &data.ir, core, &data.plans, &a, &[kind]);
             let ed = run.cycles as f64 * run.energy.total();
             // Region share of baseline time, approximated by its dynamic-
@@ -75,10 +107,10 @@ pub fn oracle_table(data: &WorkloadData, core: &CoreConfig) -> OracleTable {
             });
         }
     }
-    OracleTable {
+    Ok(OracleTable {
         baseline,
         candidates,
-    }
+    })
 }
 
 /// Picks the Oracle assignment from a measured table, restricted to the
@@ -251,6 +283,24 @@ mod tests {
         }
         let none = oracle_pick(&table, &data, &[]);
         assert!(none.map.is_empty());
+    }
+
+    #[test]
+    fn oracle_table_budget_trips_before_candidates() {
+        let data = WorkloadData::prepare(&dp_kernel(600)).unwrap();
+        let core = CoreConfig::ooo2();
+        // Enough for the baseline run but not for the first candidate.
+        let one_run = ExecBudget::for_trace_insts(data.trace.len() as u64, 1);
+        let err = oracle_table_budgeted(&data, &core, &one_run)
+            .expect_err("one-run budget cannot cover the candidate sweep");
+        assert!(err.used > err.max_nodes);
+        // A generous budget reproduces the unbudgeted table.
+        let full = oracle_table(&data, &core);
+        let roomy =
+            ExecBudget::for_trace_insts(data.trace.len() as u64, full.candidates.len() as u64 + 1);
+        let budgeted = oracle_table_budgeted(&data, &core, &roomy).expect("roomy budget");
+        assert_eq!(budgeted.candidates.len(), full.candidates.len());
+        assert_eq!(budgeted.baseline.cycles, full.baseline.cycles);
     }
 
     #[test]

@@ -32,6 +32,34 @@ impl std::fmt::Display for Stage {
     }
 }
 
+/// How a pipeline stage failed — drives retry and quarantine policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// An ordinary typed failure (bad program, trace error, ...).
+    Failed,
+    /// The stage panicked and was caught at the stage boundary.
+    StagePanicked,
+    /// Artifact-store I/O failed even after bounded retries.
+    StoreIo,
+    /// The evaluation ran past its execution budget.
+    BudgetExceeded,
+    /// The µDG result diverged from the reference simulator beyond
+    /// tolerance.
+    Diverged,
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorKind::Failed => "failed",
+            ErrorKind::StagePanicked => "panicked",
+            ErrorKind::StoreIo => "store-io",
+            ErrorKind::BudgetExceeded => "budget-exceeded",
+            ErrorKind::Diverged => "diverged",
+        })
+    }
+}
+
 /// A pipeline failure, carrying the workload name and failing stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PipelineError {
@@ -39,6 +67,8 @@ pub struct PipelineError {
     pub workload: String,
     /// The stage that failed.
     pub stage: Stage,
+    /// How the stage failed.
+    pub kind: ErrorKind,
     /// Human-readable cause.
     pub message: String,
 }
@@ -50,6 +80,7 @@ impl PipelineError {
         PipelineError {
             workload: workload.into(),
             stage,
+            kind: ErrorKind::Failed,
             message: message.into(),
         }
     }
@@ -59,14 +90,58 @@ impl PipelineError {
     pub fn trace(workload: impl Into<String>, err: &prism_sim::TraceError) -> Self {
         PipelineError::new(workload, Stage::Trace, err.to_string())
     }
+
+    /// A caught stage panic. `payload` is the panic payload rendered as
+    /// text (the usual `&str` / `String` payloads; anything else becomes a
+    /// placeholder).
+    #[must_use]
+    pub fn panicked(workload: impl Into<String>, stage: Stage, payload: impl Into<String>) -> Self {
+        PipelineError {
+            kind: ErrorKind::StagePanicked,
+            ..PipelineError::new(workload, stage, payload)
+        }
+    }
+
+    /// Artifact-store I/O that kept failing after retries.
+    #[must_use]
+    pub fn store_io(workload: impl Into<String>, message: impl Into<String>) -> Self {
+        PipelineError {
+            kind: ErrorKind::StoreIo,
+            ..PipelineError::new(workload, Stage::Store, message)
+        }
+    }
+
+    /// An evaluation that ran past its execution budget.
+    #[must_use]
+    pub fn budget(workload: impl Into<String>, err: &prism_udg::BudgetExceeded) -> Self {
+        PipelineError {
+            kind: ErrorKind::BudgetExceeded,
+            ..PipelineError::new(workload, Stage::Evaluate, err.to_string())
+        }
+    }
+
+    /// A µDG result that diverged from the reference simulator.
+    #[must_use]
+    pub fn diverged(workload: impl Into<String>, message: impl Into<String>) -> Self {
+        PipelineError {
+            kind: ErrorKind::Diverged,
+            ..PipelineError::new(workload, Stage::Evaluate, message)
+        }
+    }
+
+    /// Whether this error came from a caught panic.
+    #[must_use]
+    pub fn is_panic(&self) -> bool {
+        self.kind == ErrorKind::StagePanicked
+    }
 }
 
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "workload `{}` failed in {} stage: {}",
-            self.workload, self.stage, self.message
+            "workload `{}` {} in {} stage: {}",
+            self.workload, self.kind, self.stage, self.message
         )
     }
 }
@@ -84,5 +159,30 @@ mod tests {
         assert!(text.contains("stencil"), "{text}");
         assert!(text.contains("trace"), "{text}");
         assert!(text.contains("boom"), "{text}");
+        assert_eq!(e.kind, ErrorKind::Failed);
+    }
+
+    #[test]
+    fn kinds_carry_through_constructors() {
+        let p = PipelineError::panicked("fft", Stage::Evaluate, "index out of bounds");
+        assert!(p.is_panic());
+        assert!(p.to_string().contains("panicked"), "{p}");
+
+        let io = PipelineError::store_io("fft", "disk on fire");
+        assert_eq!(io.kind, ErrorKind::StoreIo);
+        assert_eq!(io.stage, Stage::Store);
+
+        let d = PipelineError::diverged("fft", "ipc off by 12%");
+        assert_eq!(d.kind, ErrorKind::Diverged);
+
+        let b = PipelineError::budget(
+            "fft",
+            &prism_udg::BudgetExceeded {
+                used: 11,
+                max_nodes: 10,
+            },
+        );
+        assert_eq!(b.kind, ErrorKind::BudgetExceeded);
+        assert!(b.to_string().contains("budget"), "{b}");
     }
 }

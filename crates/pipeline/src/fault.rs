@@ -1,0 +1,370 @@
+//! Deterministic fault injection for pipeline robustness testing.
+//!
+//! A [`FaultPlan`] describes which faults to inject and how often, seeded
+//! so a failing run can be replayed exactly. Plans parse from the
+//! `PRISM_FAULTS` environment variable (or any string with the same
+//! grammar):
+//!
+//! ```text
+//! PRISM_FAULTS=store-io:0.05,artifact-corrupt:0.02,stage-panic:trace:1@seed=42
+//! ```
+//!
+//! Comma-separated fault specs, then optional `@`-separated options
+//! (currently only `seed=N`). Specs:
+//!
+//! * `store-io:P` — artifact-store reads/writes fail with probability `P`,
+//! * `artifact-corrupt:P` — loaded artifact bytes are corrupted with
+//!   probability `P` (exercises the validate-and-discard path),
+//! * `trace-truncate:P` — the tracer stage reports a truncated trace with
+//!   probability `P`,
+//! * `stage-panic:<stage>:<count>` — the named stage (`build`, `trace`,
+//!   `analyze`, `plan`, `evaluate`, `store`) panics on its first `count`
+//!   entries, then behaves normally.
+//!
+//! Probability rolls are a pure function of `(seed, site)` — the *site*
+//! string names the decision point (e.g. `load:3fa92c1b:try0`) — so
+//! outcomes do not depend on thread interleaving and a parallel sweep
+//! injects the same faults as a sequential one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::Stage;
+
+/// Environment variable holding the fault plan for [`FaultPlan::from_env`].
+pub const FAULTS_ENV: &str = "PRISM_FAULTS";
+
+/// Message prefix for every injected panic, so caught panics are
+/// attributable to the plan rather than to a real bug.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Shared across a session via `Arc` (panic counters are atomics, so the
+/// plan itself is not `Clone`).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    store_io: f64,
+    artifact_corrupt: f64,
+    trace_truncate: f64,
+    stage_panics: Vec<StagePanic>,
+}
+
+#[derive(Debug)]
+struct StagePanic {
+    stage: Stage,
+    remaining: AtomicU64,
+}
+
+/// splitmix64: tiny, high-quality 64-bit mixer (public-domain algorithm).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the site string: cheap, stable site identity.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl FaultPlan {
+    /// Parses a plan from the [`FAULTS_ENV`] environment variable.
+    /// Returns `None` when the variable is unset or empty. A malformed
+    /// value is a hard error: silently ignoring a typoed fault plan would
+    /// make a chaos run look suspiciously healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but does not parse.
+    #[must_use]
+    pub fn from_env() -> Option<Arc<FaultPlan>> {
+        let raw = std::env::var(FAULTS_ENV).ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        match FaultPlan::parse(&raw) {
+            Ok(plan) => Some(Arc::new(plan)),
+            Err(e) => panic!("bad {FAULTS_ENV} value `{raw}`: {e}"),
+        }
+    }
+
+    /// Parses a plan from its textual form (the `PRISM_FAULTS` grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed spec.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        let (specs, opts) = match text.split_once('@') {
+            Some((s, o)) => (s, Some(o)),
+            None => (text, None),
+        };
+        if let Some(opts) = opts {
+            for opt in opts.split('@').filter(|s| !s.trim().is_empty()) {
+                match opt.trim().split_once('=') {
+                    Some(("seed", v)) => {
+                        plan.seed = v
+                            .trim()
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad seed `{v}`: {e}"))?;
+                    }
+                    _ => return Err(format!("unknown option `{opt}` (expected seed=N)")),
+                }
+            }
+        }
+        for spec in specs.split(',').filter(|s| !s.trim().is_empty()) {
+            let spec = spec.trim();
+            let mut parts = spec.split(':');
+            let name = parts.next().unwrap_or_default();
+            match name {
+                "store-io" | "artifact-corrupt" | "trace-truncate" => {
+                    let p = parts
+                        .next()
+                        .ok_or_else(|| format!("`{spec}`: missing probability"))?
+                        .parse::<f64>()
+                        .map_err(|e| format!("`{spec}`: bad probability: {e}"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("`{spec}`: probability {p} outside [0, 1]"));
+                    }
+                    match name {
+                        "store-io" => plan.store_io = p,
+                        "artifact-corrupt" => plan.artifact_corrupt = p,
+                        _ => plan.trace_truncate = p,
+                    }
+                }
+                "stage-panic" => {
+                    let stage = match parts.next() {
+                        Some("build") => Stage::Build,
+                        Some("trace") => Stage::Trace,
+                        Some("analyze") => Stage::Analyze,
+                        Some("plan") => Stage::Plan,
+                        Some("evaluate") => Stage::Evaluate,
+                        Some("store") => Stage::Store,
+                        other => {
+                            return Err(format!("`{spec}`: bad stage `{}`", other.unwrap_or("")))
+                        }
+                    };
+                    let count = parts
+                        .next()
+                        .ok_or_else(|| format!("`{spec}`: missing count"))?
+                        .parse::<u64>()
+                        .map_err(|e| format!("`{spec}`: bad count: {e}"))?;
+                    plan.stage_panics.push(StagePanic {
+                        stage,
+                        remaining: AtomicU64::new(count),
+                    });
+                }
+                _ => return Err(format!("unknown fault `{name}` in `{spec}`")),
+            }
+            if parts.next().is_some() {
+                return Err(format!("`{spec}`: trailing fields"));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// A builder-style empty plan with an explicit seed, for tests.
+    #[must_use]
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Sets the store-I/O failure probability.
+    #[must_use]
+    pub fn with_store_io(mut self, p: f64) -> Self {
+        self.store_io = p;
+        self
+    }
+
+    /// Sets the artifact-corruption probability.
+    #[must_use]
+    pub fn with_artifact_corrupt(mut self, p: f64) -> Self {
+        self.artifact_corrupt = p;
+        self
+    }
+
+    /// Sets the trace-truncation probability.
+    #[must_use]
+    pub fn with_trace_truncate(mut self, p: f64) -> Self {
+        self.trace_truncate = p;
+        self
+    }
+
+    /// Adds a stage-panic fault: the first `count` entries to `stage`
+    /// panic.
+    #[must_use]
+    pub fn with_stage_panic(mut self, stage: Stage, count: u64) -> Self {
+        self.stage_panics.push(StagePanic {
+            stage,
+            remaining: AtomicU64::new(count),
+        });
+        self
+    }
+
+    /// Deterministic roll in `[0, 1)` for `site`.
+    fn roll(&self, site: &str) -> f64 {
+        let bits = splitmix64(self.seed ^ fnv1a(site));
+        // Take the top 53 bits for a uniform double in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Should the store-I/O operation at `site` fail?
+    #[must_use]
+    pub fn store_io_error(&self, site: &str) -> bool {
+        self.store_io > 0.0 && self.roll(site) < self.store_io
+    }
+
+    /// Should the artifact loaded at `site` be corrupted?
+    #[must_use]
+    pub fn corrupt_artifact(&self, site: &str) -> bool {
+        self.artifact_corrupt > 0.0 && self.roll(site) < self.artifact_corrupt
+    }
+
+    /// Should the trace produced at `site` come back truncated?
+    #[must_use]
+    pub fn truncate_trace(&self, site: &str) -> bool {
+        self.trace_truncate > 0.0 && self.roll(site) < self.trace_truncate
+    }
+
+    /// Entry hook for `stage`: panics (with [`INJECTED_PANIC_PREFIX`])
+    /// while the stage's configured panic count lasts.
+    ///
+    /// # Panics
+    ///
+    /// By design, while injected panics remain for `stage`.
+    pub fn maybe_panic(&self, stage: Stage, site: &str) {
+        for sp in &self.stage_panics {
+            if sp.stage != stage {
+                continue;
+            }
+            // Count down atomically; fire while positive.
+            let prev = sp
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .unwrap_or(0);
+            if prev > 0 {
+                panic!("{INJECTED_PANIC_PREFIX} {stage} stage panic at {site}");
+            }
+        }
+    }
+
+    /// Deterministically mutates artifact text to simulate on-disk
+    /// corruption: flips a byte in the middle of the payload.
+    #[must_use]
+    pub fn corrupt_text(&self, site: &str, text: &str) -> String {
+        let mut bytes = text.as_bytes().to_vec();
+        if bytes.is_empty() {
+            return "\u{0}".into();
+        }
+        let idx = (splitmix64(self.seed ^ fnv1a(site) ^ 0xC0DE) as usize) % bytes.len();
+        bytes[idx] ^= 0x5A;
+        // Re-encode leniently: invalid UTF-8 becomes replacement chars,
+        // which is exactly the kind of garbage a torn write produces.
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let plan =
+            FaultPlan::parse("store-io:0.05,artifact-corrupt:0.02,stage-panic:trace:1@seed=42")
+                .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert!((plan.store_io - 0.05).abs() < 1e-12);
+        assert!((plan.artifact_corrupt - 0.02).abs() < 1e-12);
+        assert_eq!(plan.stage_panics.len(), 1);
+        assert_eq!(plan.stage_panics[0].stage, Stage::Trace);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("store-io").is_err());
+        assert!(FaultPlan::parse("store-io:2.0").is_err());
+        assert!(FaultPlan::parse("stage-panic:warp:1").is_err());
+        assert!(FaultPlan::parse("stage-panic:trace").is_err());
+        assert!(FaultPlan::parse("flux-capacitor:0.5").is_err());
+        assert!(FaultPlan::parse("store-io:0.1@velocity=88").is_err());
+        assert!(FaultPlan::parse("store-io:0.1:extra").is_err());
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        for i in 0..100 {
+            let site = format!("site{i}");
+            assert!(!plan.store_io_error(&site));
+            assert!(!plan.corrupt_artifact(&site));
+            assert!(!plan.truncate_trace(&site));
+        }
+        plan.maybe_panic(Stage::Trace, "anywhere"); // must not panic
+    }
+
+    #[test]
+    fn rolls_are_deterministic_and_site_dependent() {
+        let a = FaultPlan::seeded(7).with_store_io(0.5);
+        let b = FaultPlan::seeded(7).with_store_io(0.5);
+        let mut hits = 0;
+        let mut diverged = false;
+        for i in 0..200 {
+            let site = format!("load:{i}");
+            assert_eq!(a.store_io_error(&site), b.store_io_error(&site));
+            hits += u32::from(a.store_io_error(&site));
+            if a.store_io_error(&site) != a.store_io_error(&format!("save:{i}")) {
+                diverged = true;
+            }
+        }
+        // p=0.5 over 200 sites: both outcomes must occur, and distinct
+        // sites must not be lock-stepped.
+        assert!(hits > 50 && hits < 150, "hits = {hits}");
+        assert!(diverged, "distinct sites always rolled identically");
+    }
+
+    #[test]
+    fn different_seeds_give_different_outcomes() {
+        let a = FaultPlan::seeded(1).with_store_io(0.5);
+        let b = FaultPlan::seeded(2).with_store_io(0.5);
+        let differs = (0..100).any(|i| {
+            let site = format!("s{i}");
+            a.store_io_error(&site) != b.store_io_error(&site)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn stage_panic_fires_exactly_count_times() {
+        let plan = FaultPlan::seeded(0).with_stage_panic(Stage::Evaluate, 2);
+        for i in 0..2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                plan.maybe_panic(Stage::Evaluate, "pt");
+            }));
+            assert!(r.is_err(), "panic {i} did not fire");
+        }
+        plan.maybe_panic(Stage::Evaluate, "pt"); // exhausted: no panic
+        plan.maybe_panic(Stage::Trace, "pt"); // other stages unaffected
+    }
+
+    #[test]
+    fn corrupt_text_changes_the_payload_deterministically() {
+        let plan = FaultPlan::seeded(9);
+        let original = "{\"schema\":1,\"payload\":42}";
+        let c1 = plan.corrupt_text("site", original);
+        let c2 = plan.corrupt_text("site", original);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, original);
+    }
+}

@@ -21,23 +21,38 @@
 //! which reduces in canonical input order: results are bit-identical
 //! whether run with `--jobs 1` or `--jobs N` (also settable via the
 //! `PRISM_JOBS` environment variable).
+//!
+//! ## Fault tolerance
+//!
+//! Sweeps isolate failures instead of aborting: a panicking model stage,
+//! a budget-blown evaluation, or a diverging timing model quarantines the
+//! affected (workload, design point) unit into
+//! [`SweepReport::quarantined`] while every healthy point still produces
+//! a result. Store I/O is retried with bounded backoff and degrades to
+//! recompute. A seeded [`FaultPlan`] (from the `PRISM_FAULTS` environment
+//! variable) injects store I/O errors, artifact corruption, trace
+//! truncation, and stage panics deterministically for chaos testing.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod json;
 pub mod key;
 pub mod par;
 pub mod session;
 pub mod store;
+pub mod sweep;
 
 pub use codec::{decode_design_result, encode_design_result};
-pub use error::{PipelineError, Stage};
+pub use error::{ErrorKind, PipelineError, Stage};
+pub use fault::{FaultPlan, FAULTS_ENV, INJECTED_PANIC_PREFIX};
 pub use hash::ContentHash;
 pub use json::Json;
 pub use key::{KeyBuilder, SCHEMA_VERSION};
 pub use par::{jobs_from_args, parallel_map, resolve_jobs};
-pub use session::{PreparedWorkload, Session, SessionStats};
+pub use session::{DivergenceGuard, PreparedWorkload, Session, SessionStats};
 pub use store::{ArtifactStore, StoreStats};
+pub use sweep::SweepReport;

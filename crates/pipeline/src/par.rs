@@ -69,7 +69,9 @@ where
                     break;
                 }
                 let result = f(i, &items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                // A slot holds plain data; recover rather than cascade a
+                // panic from another worker that died holding a lock.
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
             });
         }
     });
@@ -77,7 +79,7 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("worker filled every slot")
         })
         .collect()

@@ -14,25 +14,28 @@
 
 use std::collections::HashMap;
 use std::ops::Deref;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use prism_exocore::{
-    all_bsa_subsets, all_cores, oracle_pick, oracle_table, DesignPoint, DesignResult, OracleTable,
-    WorkloadData, WorkloadMetrics,
+    all_bsa_subsets, all_cores, oracle_pick, oracle_table_budgeted, DesignPoint, DesignResult,
+    OracleTable, WorkloadData, WorkloadMetrics,
 };
 use prism_sim::TracerConfig;
 use prism_tdg::{run_exocore, BsaKind};
-use prism_udg::CoreConfig;
+use prism_udg::{simulate_reference, simulate_trace, CoreConfig, ExecBudget, NODES_PER_INST};
 use prism_workloads::{Suite, Workload};
 
 use crate::codec::{decode_design_result, encode_design_result};
-use crate::error::PipelineError;
+use crate::error::{PipelineError, Stage};
+use crate::fault::FaultPlan;
 use crate::hash::{ContentHash, Sha256};
 use crate::key::KeyBuilder;
 use crate::par::{parallel_map, resolve_jobs};
 use crate::store::{ArtifactStore, StoreStats};
+use crate::sweep::SweepReport;
 
 /// A workload prepared by a [`Session`]: its content key plus the shared
 /// trace/IR/plans data. Dereferences to [`WorkloadData`].
@@ -63,6 +66,118 @@ pub struct SessionStats {
     pub memo_misses: u64,
 }
 
+/// Opt-in runtime guard: cross-checks the µDG timing model against the
+/// cycle-stepped reference simulator on a sampled subset of
+/// (workload, core) pairs, quarantining points whose relative IPC error
+/// exceeds the tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceGuard {
+    /// Maximum tolerated relative IPC error (e.g. `0.25` = 25%).
+    pub tolerance: f64,
+    /// Check one in `sample` (workload, core) pairs; `1` checks them all.
+    pub sample: u64,
+}
+
+impl DivergenceGuard {
+    /// A guard with the given tolerance checking one in `sample` pairs.
+    #[must_use]
+    pub fn new(tolerance: f64, sample: u64) -> Self {
+        DivergenceGuard {
+            tolerance,
+            sample: sample.max(1),
+        }
+    }
+
+    /// Parses `PRISM_DIVERGENCE=tol[:sample]` (e.g. `0.25` or `0.25:4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but does not parse.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("PRISM_DIVERGENCE").ok()?;
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return None;
+        }
+        let (tol, sample) = match raw.split_once(':') {
+            Some((t, s)) => (t, s.parse::<u64>().ok()),
+            None => (raw, Some(1)),
+        };
+        let (Ok(tolerance), Some(sample)) = (tol.parse::<f64>(), sample) else {
+            panic!("bad PRISM_DIVERGENCE value `{raw}` (expected tol[:sample])");
+        };
+        Some(DivergenceGuard::new(tolerance, sample))
+    }
+
+    /// Whether this (workload key, core) pair is in the checked sample.
+    /// Stable: depends only on the pair, not on sweep order or thread
+    /// interleaving.
+    #[must_use]
+    pub fn selects(&self, workload_key: &ContentHash, core_name: &str) -> bool {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in workload_key.hex().bytes().chain(core_name.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h.is_multiple_of(self.sample)
+    }
+
+    /// Runs both simulators on `(data, core)` and compares IPC.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the divergence when the relative IPC error
+    /// exceeds the tolerance.
+    pub fn check(&self, data: &WorkloadData, core: &CoreConfig) -> Result<(), String> {
+        let udg = simulate_trace(&data.trace, core);
+        let reference = simulate_reference(&data.trace, core);
+        let rel = (udg.ipc() - reference.ipc()).abs() / reference.ipc().max(f64::EPSILON);
+        if rel > self.tolerance {
+            return Err(format!(
+                "uDG IPC {:.4} vs reference IPC {:.4} on {}: relative error {:.4} > tolerance {:.4}",
+                udg.ipc(),
+                reference.ipc(),
+                core.name,
+                rel,
+                self.tolerance
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Renders a caught panic payload as text (the common `&str` / `String`
+/// payloads; anything else becomes a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Attributes a caught panic to a stage by its message, falling back to
+/// `default` (injected panics name their stage; real panics usually
+/// don't).
+fn panic_stage(message: &str, default: Stage) -> Stage {
+    for (needle, stage) in [
+        ("build stage", Stage::Build),
+        ("trace stage", Stage::Trace),
+        ("analyze stage", Stage::Analyze),
+        ("plan stage", Stage::Plan),
+        ("evaluate stage", Stage::Evaluate),
+        ("store stage", Stage::Store),
+    ] {
+        if message.contains(needle) {
+            return stage;
+        }
+    }
+    default
+}
+
 /// The pipeline session: memoized stages + content-addressed artifacts +
 /// deterministic parallelism.
 #[derive(Debug)]
@@ -71,6 +186,9 @@ pub struct Session {
     jobs: usize,
     refresh: bool,
     store: ArtifactStore,
+    faults: Option<Arc<FaultPlan>>,
+    budget: ExecBudget,
+    guard: Option<DivergenceGuard>,
     workloads: Mutex<HashMap<ContentHash, Arc<WorkloadData>>>,
     tables: Mutex<HashMap<ContentHash, Arc<OracleTable>>>,
     memo_hits: AtomicU64,
@@ -86,10 +204,17 @@ impl Default for Session {
 impl Session {
     /// Creates a session from the environment: default tracer config,
     /// `PRISM_JOBS` (else hardware parallelism) workers, artifacts under
-    /// `PRISM_ARTIFACT_DIR` (else `target/prism-artifacts`).
+    /// `PRISM_ARTIFACT_DIR` (else `target/prism-artifacts`), fault
+    /// injection from `PRISM_FAULTS`, a node budget from `PRISM_MAX_NODES`,
+    /// and a divergence guard from `PRISM_DIVERGENCE=tol[:sample]`.
     ///
     /// `PRISM_REFRESH` is honored but deprecated: artifacts are
     /// content-addressed and invalidate themselves when any input changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `PRISM_MAX_NODES` is set but not a number (like the
+    /// other env knobs, a typo must not silently disable the budget).
     #[must_use]
     pub fn new() -> Self {
         let refresh = std::env::var_os("PRISM_REFRESH").is_some();
@@ -100,11 +225,25 @@ impl Session {
                  change. Forcing recompute for this run."
             );
         }
+        let faults = FaultPlan::from_env();
+        let budget = match std::env::var("PRISM_MAX_NODES") {
+            Ok(v) => ExecBudget::new(
+                v.trim()
+                    .parse::<u64>()
+                    .unwrap_or_else(|e| panic!("bad PRISM_MAX_NODES value `{v}`: {e}")),
+            ),
+            Err(_) => ExecBudget::unlimited(),
+        };
+        let mut store = ArtifactStore::new(ArtifactStore::default_dir());
+        store.set_faults(faults.clone());
         Session {
             tracer: TracerConfig::default(),
             jobs: resolve_jobs(None),
             refresh,
-            store: ArtifactStore::new(ArtifactStore::default_dir()),
+            store,
+            faults,
+            budget,
+            guard: DivergenceGuard::from_env(),
             workloads: Mutex::new(HashMap::new()),
             tables: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
@@ -130,6 +269,7 @@ impl Session {
     #[must_use]
     pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store = ArtifactStore::new(dir);
+        self.store.set_faults(self.faults.clone());
         self
     }
 
@@ -137,6 +277,31 @@ impl Session {
     #[must_use]
     pub fn with_refresh(mut self, refresh: bool) -> Self {
         self.refresh = refresh;
+        self
+    }
+
+    /// Installs (or, with `None`, clears) a fault-injection plan, shared
+    /// with the artifact store. Overrides `PRISM_FAULTS`.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> Self {
+        self.store.set_faults(faults.clone());
+        self.faults = faults;
+        self
+    }
+
+    /// Caps every evaluation unit (oracle table, design point) at an
+    /// execution budget. Overrides `PRISM_MAX_NODES`.
+    #[must_use]
+    pub fn with_budget(mut self, budget: ExecBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Installs (or clears) the µDG-vs-reference divergence guard.
+    /// Overrides `PRISM_DIVERGENCE`.
+    #[must_use]
+    pub fn with_divergence_guard(mut self, guard: Option<DivergenceGuard>) -> Self {
+        self.guard = guard;
         self
     }
 
@@ -187,10 +352,13 @@ impl Session {
         name: &str,
         build: impl FnOnce() -> prism_isa::Program,
     ) -> Result<PreparedWorkload, PipelineError> {
+        // Poison recovery: the memo holds plain data, so a panic in some
+        // other thread that happened to hold the lock cannot have left it
+        // half-updated — recover the guard instead of cascading the panic.
         if let Some(data) = self
             .workloads
             .lock()
-            .expect("workload memo poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .get(&key)
         {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
@@ -200,13 +368,29 @@ impl Session {
             });
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = &self.faults {
+            f.maybe_panic(Stage::Build, name);
+        }
         let program = build();
+        if let Some(f) = &self.faults {
+            f.maybe_panic(Stage::Trace, name);
+            if f.truncate_trace(name) {
+                return Err(PipelineError::new(
+                    name,
+                    Stage::Trace,
+                    format!(
+                        "injected fault: trace truncated before {} instructions",
+                        self.tracer.max_insts
+                    ),
+                ));
+            }
+        }
         let data = WorkloadData::prepare_with(&program, &self.tracer)
             .map_err(|e| PipelineError::trace(name, &e))?;
         let data = Arc::new(data);
         self.workloads
             .lock()
-            .expect("workload memo poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(key, Arc::clone(&data));
         Ok(PreparedWorkload { key, data })
     }
@@ -295,37 +479,62 @@ impl Session {
     }
 
     /// The oracle table for `workload` on `core`'s base configuration,
-    /// memoized per (workload key, core).
-    #[must_use]
-    pub fn oracle_table(&self, workload: &PreparedWorkload, core: &CoreConfig) -> Arc<OracleTable> {
+    /// memoized per (workload key, core) and metered against the session's
+    /// execution budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a budget-kind [`PipelineError`] when the table cannot be
+    /// measured within the session's [`ExecBudget`].
+    pub fn oracle_table(
+        &self,
+        workload: &PreparedWorkload,
+        core: &CoreConfig,
+    ) -> Result<Arc<OracleTable>, PipelineError> {
         let mut kb = KeyBuilder::new("oracle-table");
         kb.hash_field("workload", &workload.key);
         kb.core(core);
         let key = kb.finish();
-        if let Some(table) = self.tables.lock().expect("table memo poisoned").get(&key) {
+        if let Some(table) = self
+            .tables
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(table);
+            return Ok(Arc::clone(table));
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
-        let table = Arc::new(oracle_table(&workload.data, core));
+        let table = oracle_table_budgeted(&workload.data, core, &self.budget)
+            .map_err(|e| PipelineError::budget(&workload.name, &e))?;
+        let table = Arc::new(table);
         self.tables
             .lock()
-            .expect("table memo poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .insert(key, Arc::clone(&table));
-        table
+        Ok(table)
     }
 
     fn evaluate_point(
         &self,
         data: &[PreparedWorkload],
-        tables: &[Arc<OracleTable>],
         core: &CoreConfig,
         bsas: &[BsaKind],
-    ) -> DesignResult {
+    ) -> Result<DesignResult, PipelineError> {
         let point = DesignPoint::new(core.clone(), bsas.to_vec());
+        if let Some(f) = &self.faults {
+            f.maybe_panic(Stage::Evaluate, &point.label());
+        }
+        // One fuel meter per design point: every combined-TDG run charges
+        // the µDG nodes it will place.
+        let mut meter = self.budget.meter();
         let mut per_workload = Vec::with_capacity(data.len());
-        for (w, table) in data.iter().zip(tables) {
-            let assignment = oracle_pick(table, &w.data, &point.bsas);
+        for w in data {
+            let table = self.oracle_table(w, core)?;
+            let assignment = oracle_pick(&table, &w.data, &point.bsas);
+            meter
+                .charge((w.trace.len() as u64).saturating_mul(NODES_PER_INST))
+                .map_err(|e| PipelineError::budget(&w.name, &e))?;
             let run = run_exocore(
                 &w.trace,
                 &w.ir,
@@ -336,133 +545,278 @@ impl Session {
             );
             per_workload.push(WorkloadMetrics::from_run(&run, &w.name));
         }
-        DesignResult {
+        Ok(DesignResult {
             label: point.label(),
             core: point.core.name.clone(),
             bsas: point.bsas.iter().map(|b| b.code()).collect(),
             area_mm2: point.area_mm2(),
             per_workload,
+        })
+    }
+
+    /// [`Session::evaluate_point`] behind a panic boundary: a panicking
+    /// model stage becomes a typed error attributed to this design point.
+    fn evaluate_point_guarded(
+        &self,
+        data: &[PreparedWorkload],
+        core: &CoreConfig,
+        bsas: &[BsaKind],
+    ) -> Result<DesignResult, PipelineError> {
+        match catch_unwind(AssertUnwindSafe(|| self.evaluate_point(data, core, bsas))) {
+            Ok(res) => res,
+            Err(payload) => {
+                let label = DesignPoint::new(core.clone(), bsas.to_vec()).label();
+                let msg = panic_message(payload.as_ref());
+                let stage = panic_stage(&msg, Stage::Evaluate);
+                Err(PipelineError::panicked(label, stage, msg))
+            }
         }
     }
 
+    /// Prepares `workloads`, isolating failures: panicking or erroring
+    /// workloads are returned as `(name, error)` instead of aborting the
+    /// batch. The healthy preparations keep input order.
+    pub fn prepare_quarantined(
+        &self,
+        workloads: &[&Workload],
+    ) -> (Vec<PreparedWorkload>, Vec<(String, PipelineError)>) {
+        let outcomes = parallel_map(workloads, self.jobs, |_, w| {
+            catch_unwind(AssertUnwindSafe(|| self.prepare(w))).unwrap_or_else(|payload| {
+                let msg = panic_message(payload.as_ref());
+                let stage = panic_stage(&msg, Stage::Build);
+                Err(PipelineError::panicked(w.name, stage, msg))
+            })
+        });
+        let mut healthy = Vec::new();
+        let mut failed = Vec::new();
+        for (w, res) in workloads.iter().zip(outcomes) {
+            match res {
+                Ok(p) => healthy.push(p),
+                Err(e) => failed.push((w.name.to_string(), e)),
+            }
+        }
+        (healthy, failed)
+    }
+
+    /// The Fig. 12 label of grid point `idx` (core-major order).
+    fn point_label(cores: &[CoreConfig], subsets: &[Vec<BsaKind>], idx: usize) -> String {
+        let (c, s) = (idx / subsets.len(), idx % subsets.len());
+        DesignPoint::new(cores[c].clone(), subsets[s].clone()).label()
+    }
+
+    /// Evaluates the grid points named by `missing` (indices in core-major
+    /// order) with failure isolation, returning `(index, outcome)` pairs in
+    /// input order. Applies the divergence guard, prefills oracle tables,
+    /// and quarantines per point.
+    fn run_points(
+        &self,
+        data: &[PreparedWorkload],
+        cores: &[CoreConfig],
+        subsets: &[Vec<BsaKind>],
+        missing: &[usize],
+    ) -> Vec<(usize, Result<DesignResult, PipelineError>)> {
+        // Cores that still have work (missing is sorted, so dedup works).
+        let mut core_ids: Vec<usize> = missing.iter().map(|&i| i / subsets.len()).collect();
+        core_ids.dedup();
+
+        // Divergence guard: cross-check sampled (workload, core) pairs
+        // against the reference simulator; a diverging pair quarantines
+        // every point of that core.
+        let mut core_block: Vec<Option<PipelineError>> = vec![None; cores.len()];
+        if let Some(g) = self.guard {
+            let pairs: Vec<(usize, usize)> = core_ids
+                .iter()
+                .flat_map(|&c| (0..data.len()).map(move |w| (c, w)))
+                .filter(|&(c, w)| g.selects(&data[w].key, &cores[c].name))
+                .collect();
+            let bad = parallel_map(&pairs, self.jobs, |_, &(c, w)| {
+                g.check(&data[w], &cores[c])
+                    .err()
+                    .map(|m| (c, PipelineError::diverged(&data[w].name, m)))
+            });
+            for (c, e) in bad.into_iter().flatten() {
+                core_block[c].get_or_insert(e);
+            }
+        }
+
+        // Prefill the oracle-table memo over (core × workload); failures
+        // here resurface (typed) when the point is evaluated.
+        let pairs: Vec<(usize, usize)> = core_ids
+            .iter()
+            .filter(|&&c| core_block[c].is_none())
+            .flat_map(|&c| (0..data.len()).map(move |w| (c, w)))
+            .collect();
+        parallel_map(&pairs, self.jobs, |_, &(c, w)| {
+            let _ = catch_unwind(AssertUnwindSafe(|| self.oracle_table(&data[w], &cores[c])));
+        });
+
+        // Evaluate every missing point; tables now come from the memo.
+        parallel_map(missing, self.jobs, |_, &idx| {
+            let (c, s) = (idx / subsets.len(), idx % subsets.len());
+            let res = match &core_block[c] {
+                Some(e) => Err(e.clone()),
+                None => self.evaluate_point_guarded(data, &cores[c], &subsets[s]),
+            };
+            (idx, res)
+        })
+    }
+
     /// Evaluates every (core × BSA-subset) design point over `data`,
-    /// in canonical core-major order. Oracle tables are measured once per
-    /// (workload, base core) and shared across that core's subsets. Work is
-    /// distributed over [`Session::jobs`] threads; the result order and
-    /// values are independent of the job count.
+    /// in canonical core-major order, isolating failures: points whose
+    /// evaluation panics, blows the execution budget, or diverges from the
+    /// reference simulator land in [`SweepReport::quarantined`] while every
+    /// healthy point still produces a result. Oracle tables are measured
+    /// once per (workload, base core) and shared across that core's
+    /// subsets. Work is distributed over [`Session::jobs`] threads; the
+    /// report order and values are independent of the job count.
     #[must_use]
     pub fn explore_grid(
         &self,
         data: &[PreparedWorkload],
         cores: &[CoreConfig],
         subsets: &[Vec<BsaKind>],
-    ) -> Vec<DesignResult> {
-        // Stage 1: fill the oracle-table memo over (core × workload).
-        let pairs: Vec<(usize, usize)> = (0..cores.len())
-            .flat_map(|c| (0..data.len()).map(move |w| (c, w)))
-            .collect();
-        parallel_map(&pairs, self.jobs, |_, &(c, w)| {
-            let _ = self.oracle_table(&data[w], &cores[c]);
-        });
-        // Stage 2: evaluate every point; tables now come from the memo.
-        let points: Vec<(usize, usize)> = (0..cores.len())
-            .flat_map(|c| (0..subsets.len()).map(move |s| (c, s)))
-            .collect();
-        parallel_map(&points, self.jobs, |_, &(c, s)| {
-            let tables: Vec<Arc<OracleTable>> = data
-                .iter()
-                .map(|w| self.oracle_table(w, &cores[c]))
-                .collect();
-            self.evaluate_point(data, &tables, &cores[c], &subsets[s])
-        })
+    ) -> SweepReport {
+        let all: Vec<usize> = (0..cores.len() * subsets.len()).collect();
+        let mut report = SweepReport::default();
+        for (idx, res) in self.run_points(data, cores, subsets, &all) {
+            match res {
+                Ok(r) => report.results.push(r),
+                Err(e) => report
+                    .quarantined
+                    .push((Self::point_label(cores, subsets, idx), e)),
+            }
+        }
+        report
     }
 
     /// [`Session::explore_grid`] over the paper's full 64-point space
     /// (4 cores × 16 BSA subsets).
     #[must_use]
-    pub fn explore(&self, data: &[PreparedWorkload]) -> Vec<DesignResult> {
+    pub fn explore(&self, data: &[PreparedWorkload]) -> SweepReport {
         self.explore_grid(data, &all_cores(), &all_bsa_subsets())
     }
 
-    /// Like [`Session::explore_grid`], backed by the on-disk artifact
-    /// store: design points already on disk are loaded instead of
-    /// recomputed, and workloads are prepared only if at least one point is
-    /// missing. A fully cached run does no tracing at all.
+    /// The fault-isolated, artifact-backed design-space sweep: design
+    /// points already on disk are loaded instead of recomputed, workloads
+    /// are prepared (with quarantine) only if at least one point is
+    /// missing, and every failure — workload preparation, stage panic,
+    /// budget, store I/O, divergence — quarantines the smallest unit it
+    /// affects instead of aborting the sweep. A fully cached run does no
+    /// tracing at all.
+    ///
+    /// When workloads are quarantined, the surviving points are keyed (and
+    /// cached) over the healthy workload subset, so their artifacts are
+    /// distinct from full-set results and a later healthy run recomputes
+    /// the full set.
+    #[must_use]
+    pub fn evaluate_designs(
+        &self,
+        workloads: &[&Workload],
+        cores: &[CoreConfig],
+        subsets: &[Vec<BsaKind>],
+    ) -> SweepReport {
+        let mut report = SweepReport::default();
+
+        // Fast path: everything cached under the full workload set.
+        let full_keys: Vec<ContentHash> = workloads
+            .iter()
+            .map(|w| self.workload_key(w.name, w.default_n))
+            .collect();
+        let mut results = self.load_cached(&full_keys, cores, subsets);
+        if results.iter().all(Option::is_some) {
+            report.results = results.into_iter().flatten().collect();
+            return report;
+        }
+
+        // Prepare with quarantine; failed workloads drop out of the sweep.
+        let (data, failed) = self.prepare_quarantined(workloads);
+        for (name, err) in failed {
+            report.quarantined.push((format!("workload:{name}"), err));
+        }
+        if data.is_empty() {
+            return report;
+        }
+        let healthy_keys: Vec<ContentHash> = data.iter().map(|p| p.key).collect();
+        if data.len() != workloads.len() {
+            // The cache above was keyed over the full set; re-key over the
+            // healthy subset.
+            results = self.load_cached(&healthy_keys, cores, subsets);
+        }
+        let point_keys: Vec<ContentHash> = {
+            let mut keys = Vec::with_capacity(cores.len() * subsets.len());
+            for core in cores {
+                for bsas in subsets {
+                    keys.push(self.design_point_key(&healthy_keys, core, bsas));
+                }
+            }
+            keys
+        };
+
+        let missing: Vec<usize> = (0..results.len())
+            .filter(|&i| results[i].is_none())
+            .collect();
+        for (idx, res) in self.run_points(&data, cores, subsets, &missing) {
+            match res {
+                Ok(r) => {
+                    self.store.save(&point_keys[idx], encode_design_result(&r));
+                    results[idx] = Some(r);
+                }
+                Err(e) => report
+                    .quarantined
+                    .push((Self::point_label(cores, subsets, idx), e)),
+            }
+        }
+        report.results = results.into_iter().flatten().collect();
+        report
+    }
+
+    /// Loads every (core × subset) design point keyed over `wkeys` from the
+    /// artifact store (`None` per point on miss, or everywhere under
+    /// refresh).
+    fn load_cached(
+        &self,
+        wkeys: &[ContentHash],
+        cores: &[CoreConfig],
+        subsets: &[Vec<BsaKind>],
+    ) -> Vec<Option<DesignResult>> {
+        let mut out = Vec::with_capacity(cores.len() * subsets.len());
+        for core in cores {
+            for bsas in subsets {
+                let key = self.design_point_key(wkeys, core, bsas);
+                out.push(if self.refresh {
+                    None
+                } else {
+                    self.store
+                        .load(&key)
+                        .and_then(|payload| decode_design_result(&payload))
+                });
+            }
+        }
+        out
+    }
+
+    /// Like [`Session::evaluate_designs`], for callers that treat any
+    /// quarantine as fatal.
     ///
     /// # Errors
     ///
-    /// Returns a [`PipelineError`] if a missing point forces preparation
-    /// and a workload fails.
+    /// Returns the first quarantined failure when one exists.
     pub fn explore_grid_cached(
         &self,
         workloads: &[&Workload],
         cores: &[CoreConfig],
         subsets: &[Vec<BsaKind>],
     ) -> Result<Vec<DesignResult>, PipelineError> {
-        let wkeys: Vec<ContentHash> = workloads
-            .iter()
-            .map(|w| self.workload_key(w.name, w.default_n))
-            .collect();
-        let mut keys = Vec::with_capacity(cores.len() * subsets.len());
-        for core in cores {
-            for bsas in subsets {
-                keys.push(self.design_point_key(&wkeys, core, bsas));
-            }
-        }
-        let mut results: Vec<Option<DesignResult>> = keys
-            .iter()
-            .map(|key| {
-                if self.refresh {
-                    return None;
-                }
-                self.store
-                    .load(key)
-                    .and_then(|payload| decode_design_result(&payload))
-            })
-            .collect();
-        let missing: Vec<usize> = (0..results.len())
-            .filter(|&i| results[i].is_none())
-            .collect();
-        if !missing.is_empty() {
-            let data = self.prepare_batch(workloads)?;
-            // Fill oracle tables only for cores that still have work.
-            let mut core_ids: Vec<usize> = missing.iter().map(|&i| i / subsets.len()).collect();
-            core_ids.dedup();
-            let pairs: Vec<(usize, usize)> = core_ids
-                .iter()
-                .flat_map(|&c| (0..data.len()).map(move |w| (c, w)))
-                .collect();
-            parallel_map(&pairs, self.jobs, |_, &(c, w)| {
-                let _ = self.oracle_table(&data[w], &cores[c]);
-            });
-            let computed = parallel_map(&missing, self.jobs, |_, &idx| {
-                let (c, s) = (idx / subsets.len(), idx % subsets.len());
-                let tables: Vec<Arc<OracleTable>> = data
-                    .iter()
-                    .map(|w| self.oracle_table(w, &cores[c]))
-                    .collect();
-                self.evaluate_point(&data, &tables, &cores[c], &subsets[s])
-            });
-            for (&idx, result) in missing.iter().zip(computed) {
-                self.store.save(&keys[idx], encode_design_result(&result));
-                results[idx] = Some(result);
-            }
-        }
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("every point filled"))
-            .collect())
+        self.evaluate_designs(workloads, cores, subsets)
+            .into_strict()
     }
 
     /// The full 64-point exploration over every registered workload,
-    /// backed by the artifact store.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`PipelineError`] if a workload fails to prepare.
-    pub fn full_design_space(&self) -> Result<Vec<DesignResult>, PipelineError> {
+    /// backed by the artifact store, with failure isolation.
+    #[must_use]
+    pub fn full_design_space(&self) -> SweepReport {
         let workloads: Vec<&Workload> = prism_workloads::ALL.iter().collect();
-        self.explore_grid_cached(&workloads, &all_cores(), &all_bsa_subsets())
+        self.evaluate_designs(&workloads, &all_cores(), &all_bsa_subsets())
     }
 
     /// Current cache counters.
@@ -479,11 +833,13 @@ impl Session {
     pub fn log_stats(&self) {
         let s = self.stats();
         eprintln!(
-            "[prism-pipeline] artifact cache: {} hits, {} misses ({} discarded); \
-             memo: {} hits, {} misses; jobs={}",
+            "[prism-pipeline] artifact cache: {} hits, {} misses ({} discarded, \
+             {} I/O retries, {} I/O errors); memo: {} hits, {} misses; jobs={}",
             s.artifacts.hits,
             s.artifacts.misses,
             s.artifacts.discarded,
+            s.artifacts.io_retries,
+            s.artifacts.io_errors,
             s.memo_hits,
             s.memo_misses,
             self.jobs,
@@ -502,9 +858,20 @@ mod tests {
         }
     }
 
+    /// A session insulated from ambient env knobs (`PRISM_FAULTS` etc.),
+    /// so these tests stay deterministic under the CI fault matrix.
+    fn clean_session() -> Session {
+        Session::new()
+            .with_tracer(quick_tracer())
+            .with_jobs(1)
+            .with_faults(None)
+            .with_budget(ExecBudget::unlimited())
+            .with_divergence_guard(None)
+    }
+
     #[test]
     fn prepare_memoizes_by_content_key() {
-        let session = Session::new().with_tracer(quick_tracer()).with_jobs(1);
+        let session = clean_session();
         let w = &prism_workloads::MICRO[0];
         let a = session.prepare(w).expect("prepare");
         let b = session.prepare(w).expect("prepare");
@@ -531,7 +898,7 @@ mod tests {
 
     #[test]
     fn prepare_program_shares_identical_programs() {
-        let session = Session::new().with_tracer(quick_tracer()).with_jobs(1);
+        let session = clean_session();
         let w = &prism_workloads::MICRO[0];
         let p1 = (w.build)(64);
         let p2 = (w.build)(64);
@@ -542,13 +909,64 @@ mod tests {
 
     #[test]
     fn oracle_tables_are_memoized_per_core() {
-        let session = Session::new().with_tracer(quick_tracer()).with_jobs(1);
+        let session = clean_session();
         let w = &prism_workloads::MICRO[0];
         let prepared = session.prepare(w).expect("prepare");
-        let t1 = session.oracle_table(&prepared, &CoreConfig::ooo2());
-        let t2 = session.oracle_table(&prepared, &CoreConfig::ooo2());
+        let t1 = session
+            .oracle_table(&prepared, &CoreConfig::ooo2())
+            .unwrap();
+        let t2 = session
+            .oracle_table(&prepared, &CoreConfig::ooo2())
+            .unwrap();
         assert!(Arc::ptr_eq(&t1, &t2));
-        let t3 = session.oracle_table(&prepared, &CoreConfig::ooo4());
+        let t3 = session
+            .oracle_table(&prepared, &CoreConfig::ooo4())
+            .unwrap();
         assert!(!Arc::ptr_eq(&t1, &t3));
+    }
+
+    #[test]
+    fn oracle_table_budget_errors_are_typed() {
+        let session = clean_session().with_budget(ExecBudget::new(10));
+        let w = &prism_workloads::MICRO[0];
+        let prepared = session.prepare(w).expect("prepare");
+        let err = session
+            .oracle_table(&prepared, &CoreConfig::ooo2())
+            .expect_err("10-node budget cannot measure a table");
+        assert_eq!(err.kind, crate::error::ErrorKind::BudgetExceeded);
+        assert_eq!(err.workload, w.name);
+    }
+
+    #[test]
+    fn divergence_guard_env_parsing() {
+        assert_eq!(
+            DivergenceGuard::new(0.25, 0),
+            DivergenceGuard {
+                tolerance: 0.25,
+                sample: 1
+            }
+        );
+        // selects() is stable and sample=1 selects everything.
+        let g = DivergenceGuard::new(0.1, 1);
+        let key = {
+            let mut kb = KeyBuilder::new("t");
+            kb.field("x", 1u32);
+            kb.finish()
+        };
+        assert!(g.selects(&key, "OOO2"));
+        let sparse = DivergenceGuard::new(0.1, 1_000_000_007);
+        assert!(!sparse.selects(&key, "OOO2") || !sparse.selects(&key, "OOO4"));
+    }
+
+    #[test]
+    fn panic_stage_attribution_reads_the_message() {
+        assert_eq!(
+            panic_stage("injected fault: trace stage panic at fft", Stage::Build),
+            Stage::Trace
+        );
+        assert_eq!(
+            panic_stage("index out of bounds: the len is 3", Stage::Evaluate),
+            Stage::Evaluate
+        );
     }
 }

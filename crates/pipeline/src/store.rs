@@ -4,10 +4,20 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crate::fault::FaultPlan;
 use crate::hash::ContentHash;
 use crate::json::Json;
 use crate::key::SCHEMA_VERSION;
+
+/// Transient-I/O retry attempts per store operation.
+const IO_ATTEMPTS: u32 = 3;
+
+/// Backoff before retry `n` (n = 1, 2): 1ms, then 4ms.
+fn backoff(attempt: u32) -> std::time::Duration {
+    std::time::Duration::from_millis(1 << (2 * (attempt - 1)))
+}
 
 /// Hit/miss counters for one store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,15 +28,22 @@ pub struct StoreStats {
     pub misses: u64,
     /// Corrupt or stale files discarded (each also counts as a miss).
     pub discarded: u64,
+    /// Transient I/O failures that were retried.
+    pub io_retries: u64,
+    /// Operations that kept failing after all retries.
+    pub io_errors: u64,
 }
 
 /// A content-addressed artifact directory.
 #[derive(Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
     hits: AtomicU64,
     misses: AtomicU64,
     discarded: AtomicU64,
+    io_retries: AtomicU64,
+    io_errors: AtomicU64,
 }
 
 impl ArtifactStore {
@@ -35,10 +52,18 @@ impl ArtifactStore {
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         ArtifactStore {
             dir: dir.into(),
+            faults: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             discarded: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
         }
+    }
+
+    /// Installs (or clears) the fault-injection plan for this store.
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultPlan>>) {
+        self.faults = faults;
     }
 
     /// The default location: `$PRISM_ARTIFACT_DIR` if set, else
@@ -63,17 +88,57 @@ impl ArtifactStore {
 
     /// Loads the payload stored under `key`, or `None` on a miss. Corrupt
     /// files and key/schema mismatches are deleted with a warning and
-    /// reported as misses.
+    /// reported as misses. Transient I/O errors are retried with bounded
+    /// backoff; if they persist, the load degrades to a miss (recompute)
+    /// rather than failing the pipeline.
     pub fn load(&self, key: &ContentHash) -> Option<Json> {
+        let op = format!("load:{}", key.short());
+        match self.with_retry(&op, |site| self.try_load(key, site)) {
+            Ok(found) => found,
+            Err(e) => {
+                eprintln!(
+                    "[prism-pipeline] artifact load {} failed after {IO_ATTEMPTS} attempts: {e}",
+                    self.path_for(key).display()
+                );
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// One load attempt: reads, (optionally) injects corruption, validates.
+    /// `site` names this attempt for deterministic fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error for anything other than
+    /// file-not-found (which is an `Ok(None)` miss).
+    pub fn try_load(&self, key: &ContentHash, site: &str) -> std::io::Result<Option<Json>> {
+        if let Some(f) = &self.faults {
+            if f.store_io_error(site) {
+                return Err(std::io::Error::other(format!(
+                    "injected I/O fault at {site}"
+                )));
+            }
+        }
         let path = self.path_for(key);
-        let Ok(text) = std::fs::read_to_string(&path) else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
+        let mut text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
         };
+        if let Some(f) = &self.faults {
+            if f.corrupt_artifact(site) {
+                text = f.corrupt_text(site, &text);
+            }
+        }
         match Self::validate(&text, key) {
             Ok(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(payload)
+                Ok(Some(payload))
             }
             Err(why) => {
                 eprintln!(
@@ -83,9 +148,34 @@ impl ArtifactStore {
                 let _ = std::fs::remove_file(&path);
                 self.discarded.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Ok(None)
             }
         }
+    }
+
+    /// Runs `attempt` up to [`IO_ATTEMPTS`] times with backoff, passing a
+    /// per-attempt site string (`<op>:try<N>`) so deterministic fault
+    /// injection can fail early attempts and let a retry succeed.
+    fn with_retry<T>(
+        &self,
+        op: &str,
+        mut attempt: impl FnMut(&str) -> std::io::Result<T>,
+    ) -> std::io::Result<T> {
+        let mut last = None;
+        for n in 0..IO_ATTEMPTS {
+            match attempt(&format!("{op}:try{n}")) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    last = Some(e);
+                    if n + 1 < IO_ATTEMPTS {
+                        self.io_retries.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(backoff(n + 1));
+                    }
+                }
+            }
+        }
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        Err(last.expect("at least one attempt ran"))
     }
 
     fn validate(text: &str, key: &ContentHash) -> Result<Json, String> {
@@ -109,7 +199,8 @@ impl ArtifactStore {
             .ok_or_else(|| "missing payload field".into())
     }
 
-    /// Stores `payload` under `key`. I/O failures are reported as warnings,
+    /// Stores `payload` under `key`. Transient I/O failures are retried
+    /// with bounded backoff; persistent failures are reported as warnings,
     /// not errors: a read-only cache degrades to recompute-every-time.
     pub fn save(&self, key: &ContentHash, payload: Json) {
         let doc = Json::Obj(vec![
@@ -117,20 +208,35 @@ impl ArtifactStore {
             ("key".into(), Json::Str(key.hex())),
             ("payload".into(), payload),
         ]);
-        let path = self.path_for(key);
-        let write = || -> std::io::Result<()> {
-            std::fs::create_dir_all(&self.dir)?;
-            // Write-then-rename so concurrent readers never see a torn file.
-            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-            std::fs::write(&tmp, doc.to_string())?;
-            std::fs::rename(&tmp, &path)
-        };
-        if let Err(e) = write() {
+        let op = format!("save:{}", key.short());
+        if let Err(e) = self.with_retry(&op, |site| self.try_save(key, &doc, site)) {
             eprintln!(
-                "[prism-pipeline] failed to store artifact {}: {e}",
-                path.display()
+                "[prism-pipeline] failed to store artifact {} after {IO_ATTEMPTS} attempts: {e}",
+                self.path_for(key).display()
             );
         }
+    }
+
+    /// One save attempt. `site` names this attempt for deterministic fault
+    /// injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) I/O error.
+    fn try_save(&self, key: &ContentHash, doc: &Json, site: &str) -> std::io::Result<()> {
+        if let Some(f) = &self.faults {
+            if f.store_io_error(site) {
+                return Err(std::io::Error::other(format!(
+                    "injected I/O fault at {site}"
+                )));
+            }
+        }
+        let path = self.path_for(key);
+        std::fs::create_dir_all(&self.dir)?;
+        // Write-then-rename so concurrent readers never see a torn file.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, doc.to_string())?;
+        std::fs::rename(&tmp, &path)
     }
 
     /// Current counters.
@@ -140,6 +246,8 @@ impl ArtifactStore {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             discarded: self.discarded.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -212,5 +320,66 @@ mod tests {
         std::fs::copy(store.path_for(&k1), store.path_for(&k2)).unwrap();
         assert_eq!(store.load(&k2), None);
         assert_eq!(store.stats().discarded, 1);
+    }
+
+    #[test]
+    fn injected_io_faults_are_retried_and_degrade_to_miss() {
+        let mut store = temp_store("iofault");
+        let k = key("f");
+        store.save(&k, Json::U64(9));
+        // Certain I/O failure: every attempt fails, so loads degrade to
+        // misses and saves warn — but nothing panics or errors out.
+        store.set_faults(Some(Arc::new(FaultPlan::seeded(3).with_store_io(1.0))));
+        assert_eq!(store.load(&k), None);
+        let s = store.stats();
+        assert_eq!(s.io_errors, 1);
+        assert_eq!(s.io_retries, (IO_ATTEMPTS - 1) as u64);
+        assert_eq!(s.misses, 1);
+        // Clearing the plan restores normal service: the artifact survived.
+        store.set_faults(None);
+        assert_eq!(store.load(&k), Some(Json::U64(9)));
+    }
+
+    #[test]
+    fn intermittent_io_fault_recovers_via_retry() {
+        // p = 0.5: with 3 attempts per op and per-attempt sites, some seed
+        // fails try0 but passes a later try. Find one deterministically.
+        let k = key("g");
+        let mut hit_retry_path = false;
+        for seed in 0..64 {
+            let plan = FaultPlan::seeded(seed).with_store_io(0.5);
+            let fails_first = plan.store_io_error(&format!("load:{}:try0", k.short()));
+            let passes_later = !plan.store_io_error(&format!("load:{}:try1", k.short()))
+                || !plan.store_io_error(&format!("load:{}:try2", k.short()));
+            if fails_first && passes_later {
+                let mut store = temp_store(&format!("flaky{seed}"));
+                store.save(&k, Json::U64(5));
+                store.set_faults(Some(Arc::new(plan)));
+                assert_eq!(store.load(&k), Some(Json::U64(5)), "seed {seed}");
+                let s = store.stats();
+                assert!(s.io_retries >= 1, "seed {seed}: {s:?}");
+                assert_eq!(s.io_errors, 0, "seed {seed}: {s:?}");
+                hit_retry_path = true;
+                break;
+            }
+        }
+        assert!(hit_retry_path, "no seed in 0..64 exercised the retry path");
+    }
+
+    #[test]
+    fn injected_corruption_hits_the_discard_path() {
+        let mut store = temp_store("corruptfault");
+        let k = key("h");
+        store.save(&k, Json::U64(1));
+        store.set_faults(Some(Arc::new(
+            FaultPlan::seeded(1).with_artifact_corrupt(1.0),
+        )));
+        assert_eq!(store.load(&k), None);
+        let s = store.stats();
+        assert_eq!(s.discarded, 1);
+        assert_eq!(s.io_errors, 0);
+        // The corrupt file was deleted; a clean store now just misses.
+        store.set_faults(None);
+        assert_eq!(store.load(&k), None);
     }
 }

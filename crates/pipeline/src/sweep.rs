@@ -1,0 +1,151 @@
+//! Sweep results with failure isolation: a design-space sweep returns
+//! every point it *could* evaluate plus a quarantine list naming the
+//! points it could not, instead of aborting the whole batch on the first
+//! failure.
+
+use prism_exocore::DesignResult;
+
+use crate::error::PipelineError;
+
+/// The outcome of a fault-isolated design-space sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SweepReport {
+    /// Successfully evaluated design points.
+    pub results: Vec<DesignResult>,
+    /// `(key, error)` for every quarantined unit. Keys are
+    /// `workload:<name>` for whole-workload failures and the design-point
+    /// label (e.g. `OOO2-SDN`) for per-point failures.
+    pub quarantined: Vec<(String, PipelineError)>,
+}
+
+impl SweepReport {
+    /// A fully healthy report.
+    #[must_use]
+    pub fn healthy(results: Vec<DesignResult>) -> Self {
+        SweepReport {
+            results,
+            quarantined: Vec::new(),
+        }
+    }
+
+    /// Whether every unit failed (no results at all, at least one error).
+    /// An empty sweep over zero points is *not* a total failure.
+    #[must_use]
+    pub fn all_failed(&self) -> bool {
+        self.results.is_empty() && !self.quarantined.is_empty()
+    }
+
+    /// Process exit code for CLI / bench front-ends: nonzero only when
+    /// *everything* failed.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.all_failed())
+    }
+
+    /// Renders the failure summary (one line per quarantined unit), or
+    /// `None` when the sweep was fully healthy.
+    #[must_use]
+    pub fn failure_summary(&self) -> Option<String> {
+        if self.quarantined.is_empty() {
+            return None;
+        }
+        let mut out = format!(
+            "{} of {} units quarantined:\n",
+            self.quarantined.len(),
+            self.quarantined.len() + self.results.len()
+        );
+        for (key, err) in &self.quarantined {
+            out.push_str(&format!("  {key}: {err}\n"));
+        }
+        Some(out)
+    }
+
+    /// Sorts the quarantine list by key for stable, diffable output.
+    pub fn sort_quarantined(&mut self) {
+        self.quarantined.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Results, consuming the report — convenience for callers that treat
+    /// any quarantine as fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first quarantined error when one exists.
+    pub fn into_strict(self) -> Result<Vec<DesignResult>, PipelineError> {
+        match self.quarantined.into_iter().next() {
+            Some((_, err)) => Err(err),
+            None => Ok(self.results),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Stage;
+
+    fn err(w: &str) -> PipelineError {
+        PipelineError::new(w, Stage::Evaluate, "boom")
+    }
+
+    #[test]
+    fn healthy_report_has_exit_zero_and_no_summary() {
+        let r = SweepReport::healthy(Vec::new());
+        assert!(!r.all_failed());
+        assert_eq!(r.exit_code(), 0);
+        assert!(r.failure_summary().is_none());
+        assert!(r.into_strict().is_ok());
+    }
+
+    fn dummy_result(label: &str) -> DesignResult {
+        DesignResult {
+            label: label.into(),
+            core: "OOO2".into(),
+            bsas: String::new(),
+            area_mm2: 1.0,
+            per_workload: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn total_failure_sets_exit_one() {
+        let r = SweepReport {
+            results: vec![],
+            quarantined: vec![("workload:fft".into(), err("fft"))],
+        };
+        assert!(r.all_failed());
+        assert_eq!(r.exit_code(), 1);
+        let s = r.failure_summary().unwrap();
+        assert!(s.contains("workload:fft"), "{s}");
+        assert!(s.contains("1 of 1"), "{s}");
+        assert_eq!(r.into_strict().unwrap_err().workload, "fft");
+    }
+
+    #[test]
+    fn partial_failure_keeps_exit_zero_but_reports() {
+        let r = SweepReport {
+            results: vec![dummy_result("OOO2")],
+            quarantined: vec![("OOO4-SDN".into(), err("fft"))],
+        };
+        assert!(!r.all_failed());
+        assert_eq!(r.exit_code(), 0);
+        let s = r.failure_summary().unwrap();
+        assert!(s.contains("1 of 2"), "{s}");
+        assert!(s.contains("OOO4-SDN"), "{s}");
+    }
+
+    #[test]
+    fn sort_quarantined_orders_by_key() {
+        let mut r = SweepReport {
+            results: vec![],
+            quarantined: vec![
+                ("z".into(), err("z")),
+                ("a".into(), err("a")),
+                ("m".into(), err("m")),
+            ],
+        };
+        r.sort_quarantined();
+        let keys: Vec<&str> = r.quarantined.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "m", "z"]);
+    }
+}

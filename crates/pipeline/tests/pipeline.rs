@@ -4,7 +4,7 @@
 use prism_pipeline::{Json, Session};
 use prism_sim::TracerConfig;
 use prism_tdg::BsaKind;
-use prism_udg::CoreConfig;
+use prism_udg::{CoreConfig, ExecBudget};
 use prism_workloads::{Workload, MICRO};
 
 fn quick_tracer() -> TracerConfig {
@@ -12,6 +12,18 @@ fn quick_tracer() -> TracerConfig {
         max_insts: 20_000,
         ..TracerConfig::default()
     }
+}
+
+/// A session insulated from ambient env knobs (`PRISM_FAULTS`,
+/// `PRISM_MAX_NODES`, `PRISM_DIVERGENCE`), so these determinism and cache
+/// tests hold even under the CI fault-injection matrix.
+fn clean_session() -> Session {
+    Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(1)
+        .with_faults(None)
+        .with_budget(ExecBudget::unlimited())
+        .with_divergence_guard(None)
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -44,10 +56,7 @@ fn artifact_cache_roundtrip_hits_on_second_run() {
     let workloads = micro_set();
 
     // Cold run: every point is a miss, then gets stored.
-    let cold = Session::new()
-        .with_tracer(quick_tracer())
-        .with_jobs(1)
-        .with_store_dir(&dir);
+    let cold = clean_session().with_store_dir(&dir);
     let first = cold
         .explore_grid_cached(&workloads, &cores, &subsets)
         .expect("cold run");
@@ -57,10 +66,7 @@ fn artifact_cache_roundtrip_hits_on_second_run() {
 
     // Warm run in a fresh session: every point loads from disk — no
     // tracing happens at all (the workload memo stays empty).
-    let warm = Session::new()
-        .with_tracer(quick_tracer())
-        .with_jobs(1)
-        .with_store_dir(&dir);
+    let warm = clean_session().with_store_dir(&dir);
     let second = warm
         .explore_grid_cached(&workloads, &cores, &subsets)
         .expect("warm run");
@@ -79,10 +85,7 @@ fn tracer_config_change_invalidates_artifacts() {
     let (cores, subsets) = small_grid();
     let workloads = micro_set();
 
-    let a = Session::new()
-        .with_tracer(quick_tracer())
-        .with_jobs(1)
-        .with_store_dir(&dir);
+    let a = clean_session().with_store_dir(&dir);
     a.explore_grid_cached(&workloads, &cores, &subsets)
         .expect("first run");
 
@@ -91,10 +94,7 @@ fn tracer_config_change_invalidates_artifacts() {
         max_insts: 10_000,
         ..quick_tracer()
     };
-    let b = Session::new()
-        .with_tracer(other)
-        .with_jobs(1)
-        .with_store_dir(&dir);
+    let b = clean_session().with_tracer(other).with_store_dir(&dir);
     b.explore_grid_cached(&workloads, &cores, &subsets)
         .expect("second run");
     let s = b.stats();
@@ -111,10 +111,7 @@ fn corrupt_artifact_recomputes_instead_of_failing() {
     let (cores, subsets) = small_grid();
     let workloads = micro_set();
 
-    let a = Session::new()
-        .with_tracer(quick_tracer())
-        .with_jobs(1)
-        .with_store_dir(&dir);
+    let a = clean_session().with_store_dir(&dir);
     let first = a
         .explore_grid_cached(&workloads, &cores, &subsets)
         .expect("first run");
@@ -129,10 +126,7 @@ fn corrupt_artifact_recomputes_instead_of_failing() {
     std::fs::write(&files[0], "{ truncated").expect("corrupt file");
     std::fs::write(&files[1], Json::Obj(vec![]).to_string()).expect("wrong shape");
 
-    let b = Session::new()
-        .with_tracer(quick_tracer())
-        .with_jobs(1)
-        .with_store_dir(&dir);
+    let b = clean_session().with_store_dir(&dir);
     let second = b
         .explore_grid_cached(&workloads, &cores, &subsets)
         .expect("recovery run");
@@ -147,12 +141,12 @@ fn parallel_and_sequential_runs_are_bit_identical() {
     let (cores, subsets) = small_grid();
     let workloads = micro_set();
 
-    let seq = Session::new().with_tracer(quick_tracer()).with_jobs(1);
+    let seq = clean_session();
     let data = seq.prepare_batch(&workloads).expect("prepare");
     let sequential = seq.explore_grid(&data, &cores, &subsets);
 
     for jobs in [2, 4] {
-        let par = Session::new().with_tracer(quick_tracer()).with_jobs(jobs);
+        let par = clean_session().with_jobs(jobs);
         let data = par.prepare_batch(&workloads).expect("prepare");
         let parallel = par.explore_grid(&data, &cores, &subsets);
         assert_eq!(
@@ -168,19 +162,12 @@ fn refresh_recomputes_but_still_saves() {
     let (cores, subsets) = small_grid();
     let workloads = micro_set();
 
-    let a = Session::new()
-        .with_tracer(quick_tracer())
-        .with_jobs(1)
-        .with_store_dir(&dir);
+    let a = clean_session().with_store_dir(&dir);
     let first = a
         .explore_grid_cached(&workloads, &cores, &subsets)
         .expect("first run");
 
-    let b = Session::new()
-        .with_tracer(quick_tracer())
-        .with_jobs(1)
-        .with_store_dir(&dir)
-        .with_refresh(true);
+    let b = clean_session().with_store_dir(&dir).with_refresh(true);
     let second = b
         .explore_grid_cached(&workloads, &cores, &subsets)
         .expect("refresh run");

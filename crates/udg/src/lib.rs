@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod budget;
 mod config;
 mod graph;
 mod model;
@@ -43,9 +44,10 @@ mod reference;
 mod resource;
 mod run;
 
+pub use budget::{BudgetExceeded, ExecBudget, FuelMeter, NODES_PER_INST};
 pub use config::CoreConfig;
 pub use graph::{DepGraph, EdgeKind, NodeId, Provenance};
 pub use model::{BindingCounts, CoreModel, InstTimes, MemDepTracker, ModelDep, ModelInst};
-pub use reference::{simulate_reference, ReferenceRun};
+pub use reference::{simulate_reference, try_simulate_reference, ReferenceRun, Watchdog};
 pub use resource::ResourceTable;
-pub use run::{finish_run, model_inst_for, simulate_trace, CoreRun};
+pub use run::{finish_run, model_inst_for, simulate_trace, try_simulate_trace, CoreRun};

@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 
 use prism_sim::{RegDepTracker, Trace};
 
-use crate::CoreConfig;
+use crate::{BudgetExceeded, CoreConfig, ExecBudget, NODES_PER_INST};
 
 /// Result of a reference simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,8 +68,64 @@ const PENDING: u64 = u64::MAX;
 /// Models: fetch bandwidth and front-end depth, ROB and issue-window
 /// occupancy, issue width, per-class FU counts, dcache ports, oldest-first
 /// select, in-order commit at the pipeline width, and mispredict redirects.
+///
+/// A built-in watchdog bounds the cycle loop; if it trips (a modeling bug
+/// that deadlocks the machine), the partial run is returned. Use
+/// [`try_simulate_reference`] to surface that as a typed error instead.
 #[must_use]
 pub fn simulate_reference(trace: &Trace, config: &CoreConfig) -> ReferenceRun {
+    match try_simulate_reference(trace, config, &ExecBudget::unlimited()) {
+        Ok(run) | Err(Watchdog::Partial(run)) => run,
+        Err(Watchdog::Budget(e)) => unreachable!("unlimited budget tripped: {e}"),
+    }
+}
+
+/// How a budgeted reference simulation was cut short.
+#[derive(Debug, Clone)]
+pub enum Watchdog {
+    /// The explicit [`ExecBudget`] tripped.
+    Budget(BudgetExceeded),
+    /// The internal cycle watchdog tripped (machine deadlock); the partial
+    /// run observed so far is attached.
+    Partial(ReferenceRun),
+}
+
+impl std::fmt::Display for Watchdog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Watchdog::Budget(e) => e.fmt(f),
+            Watchdog::Partial(run) => write!(
+                f,
+                "reference simulator watchdog tripped after {} cycles ({} insts committed)",
+                run.cycles, run.insts
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Watchdog {}
+
+impl From<BudgetExceeded> for Watchdog {
+    fn from(e: BudgetExceeded) -> Self {
+        Watchdog::Budget(e)
+    }
+}
+
+/// [`simulate_reference`] under an [`ExecBudget`]: charges
+/// [`NODES_PER_INST`] fuel per committed instruction plus one per simulated
+/// cycle (so a deadlocked machine still burns fuel), and converts the
+/// internal cycle watchdog into a typed error.
+///
+/// # Errors
+///
+/// [`Watchdog::Budget`] when the budget trips; [`Watchdog::Partial`] when
+/// the machine stops committing and the internal cycle cap is reached.
+pub fn try_simulate_reference(
+    trace: &Trace,
+    config: &CoreConfig,
+    budget: &ExecBudget,
+) -> Result<ReferenceRun, Watchdog> {
+    let mut meter = budget.meter();
     let width = config.width as usize;
     let rob_cap = if config.out_of_order {
         config.rob_size as usize
@@ -98,6 +154,7 @@ pub fn simulate_reference(trace: &Trace, config: &CoreConfig) -> ReferenceRun {
     let max_cycles = 2_000 + trace.len() as u64 * 256;
 
     while (committed as usize) < trace.len() && cycle < max_cycles {
+        meter.charge(1)?;
         // ---- Complete ----------------------------------------------------
         for e in rob.iter_mut() {
             if let Stage::Executing { done_at } = e.stage {
@@ -118,6 +175,7 @@ pub fn simulate_reference(trace: &Trace, config: &CoreConfig) -> ReferenceRun {
         while committed_this_cycle < width {
             match rob.front() {
                 Some(e) if matches!(e.stage, Stage::Done) => {
+                    meter.charge(NODES_PER_INST)?;
                     rob.pop_front();
                     committed += 1;
                     committed_this_cycle += 1;
@@ -236,10 +294,14 @@ pub fn simulate_reference(trace: &Trace, config: &CoreConfig) -> ReferenceRun {
         cycle += 1;
     }
 
-    ReferenceRun {
+    let run = ReferenceRun {
         cycles: cycle,
         insts: committed,
+    };
+    if (committed as usize) < trace.len() {
+        return Err(Watchdog::Partial(run));
     }
+    Ok(run)
 }
 
 #[cfg(test)]

@@ -4,7 +4,10 @@
 use prism_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
 use prism_sim::{RegDepTracker, Trace};
 
-use crate::{CoreConfig, CoreModel, MemDepTracker, ModelDep, ModelInst};
+use crate::{
+    BudgetExceeded, CoreConfig, CoreModel, ExecBudget, MemDepTracker, ModelDep, ModelInst,
+    NODES_PER_INST,
+};
 
 /// Result of evaluating a trace on a core configuration.
 #[derive(Debug, Clone)]
@@ -121,12 +124,31 @@ pub fn model_inst_for(
 /// ```
 #[must_use]
 pub fn simulate_trace(trace: &Trace, config: &CoreConfig) -> CoreRun {
+    try_simulate_trace(trace, config, &ExecBudget::unlimited())
+        .expect("unlimited budget cannot trip")
+}
+
+/// [`simulate_trace`] under an [`ExecBudget`]: the evaluation charges
+/// [`NODES_PER_INST`] fuel per instruction and stops with a typed error
+/// instead of grinding through a pathologically long trace.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] when the trace needs more µDG nodes than the
+/// budget allows.
+pub fn try_simulate_trace(
+    trace: &Trace,
+    config: &CoreConfig,
+    budget: &ExecBudget,
+) -> Result<CoreRun, BudgetExceeded> {
+    let mut meter = budget.meter();
     let mut core = CoreModel::new(config);
     let mut regs = RegDepTracker::new();
     let mut mems = MemDepTracker::new();
     let mut p_times: Vec<u64> = Vec::with_capacity(trace.len());
 
     for d in &trace.insts {
+        meter.charge(NODES_PER_INST)?;
         let mi = model_inst_for(trace, d, &regs, &p_times, &mems);
         let times = core.issue(&mi);
         p_times.push(times.complete);
@@ -139,7 +161,7 @@ pub fn simulate_trace(trace: &Trace, config: &CoreConfig) -> CoreRun {
         }
     }
 
-    finish_run(core, config, trace.len() as u64)
+    Ok(finish_run(core, config, trace.len() as u64))
 }
 
 /// Packages a finished [`CoreModel`] into a [`CoreRun`], pricing its events
@@ -287,6 +309,38 @@ mod tests {
         let run = simulate_trace(&t, &CoreConfig::ooo2());
         let total: u64 = run.binding.values().sum();
         assert_eq!(total, 4 * run.insts);
+    }
+
+    #[test]
+    fn runaway_trace_trips_the_budget() {
+        let t = prism_sim::trace(&dp_kernel(500)).unwrap();
+        // Budget for 10 instructions; the trace has thousands.
+        let budget = ExecBudget::new(10 * NODES_PER_INST);
+        let err = try_simulate_trace(&t, &CoreConfig::ooo2(), &budget)
+            .expect_err("a 500-iteration kernel must blow a 10-inst budget");
+        assert_eq!(err.max_nodes, 10 * NODES_PER_INST);
+        // A budget sized for the whole trace succeeds and matches the
+        // unbudgeted result.
+        let roomy = ExecBudget::for_trace_insts(t.len() as u64, 1);
+        let run = try_simulate_trace(&t, &CoreConfig::ooo2(), &roomy).expect("roomy budget");
+        assert_eq!(run.cycles, simulate_trace(&t, &CoreConfig::ooo2()).cycles);
+    }
+
+    #[test]
+    fn reference_sim_respects_budget() {
+        let t = prism_sim::trace(&dp_kernel(200)).unwrap();
+        let tight = ExecBudget::new(20);
+        match crate::try_simulate_reference(&t, &CoreConfig::ooo2(), &tight) {
+            Err(crate::Watchdog::Budget(e)) => assert_eq!(e.max_nodes, 20),
+            other => panic!("expected budget trip, got {other:?}"),
+        }
+        let roomy = ExecBudget::unlimited();
+        let run = crate::try_simulate_reference(&t, &CoreConfig::ooo2(), &roomy)
+            .expect("unlimited reference run");
+        assert_eq!(
+            run.cycles,
+            crate::simulate_reference(&t, &CoreConfig::ooo2()).cycles
+        );
     }
 
     #[test]

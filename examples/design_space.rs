@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Evaluate IO2 and OOO2 with every BSA subset — one explore_grid call;
     // the session parallelizes over (workload × design point).
     let cores = [CoreConfig::io2(), CoreConfig::ooo2()];
-    let results = session.explore_grid(&data, &cores, &all_bsa_subsets());
+    let report = session.explore_grid(&data, &cores, &all_bsa_subsets());
+    if let Some(summary) = report.failure_summary() {
+        eprint!("{summary}");
+    }
 
     let mut labeled: Vec<(String, FrontierPoint)> = Vec::new();
     let mut reference_cycles: Vec<u64> = Vec::new();
@@ -34,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<14} {:>9} {:>11} {:>8}",
         "config", "speedup", "energy-eff", "area"
     );
-    for result in results {
+    for result in report.results {
         if reference_cycles.is_empty() {
             reference_cycles = result.per_workload.iter().map(|m| m.cycles).collect();
             reference_energy = result.per_workload.iter().map(|m| m.energy).collect();

@@ -54,25 +54,21 @@ fn strip_jobs_flag(args: &mut Vec<String>) {
 }
 
 fn cmd_explore(session: &Session) -> i32 {
-    match session.full_design_space() {
-        Ok(results) => {
-            println!("{:<12} {:>8} {:>12}", "label", "area", "workloads");
-            for r in &results {
-                println!(
-                    "{:<12} {:>8.2} {:>12}",
-                    r.label,
-                    r.area_mm2,
-                    r.per_workload.len()
-                );
-            }
-            session.log_stats();
-            0
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            1
-        }
+    let report = session.full_design_space();
+    println!("{:<12} {:>8} {:>12}", "label", "area", "workloads");
+    for r in &report.results {
+        println!(
+            "{:<12} {:>8.2} {:>12}",
+            r.label,
+            r.area_mm2,
+            r.per_workload.len()
+        );
     }
+    if let Some(summary) = report.failure_summary() {
+        eprint!("{summary}");
+    }
+    session.log_stats();
+    report.exit_code()
 }
 
 fn cmd_list() -> i32 {
