@@ -7,7 +7,10 @@
 //! Every binary goes through the shared [`session`] — a
 //! [`prism_pipeline::Session`] that memoizes trace/IR/plan preparation,
 //! caches design-point results in a content-addressed artifact store, and
-//! fans work out over `--jobs N` (or `PRISM_JOBS`) worker threads.
+//! fans work out over `--jobs N` (or `PRISM_JOBS`) worker threads. With
+//! `PRISM_WORKERS=N` (N > 1), full-space sweeps additionally shard across
+//! N worker *processes* via [`prism_grid`]. `--stats` on any figure
+//! binary prints the store/session counters to stderr.
 
 #![warn(missing_docs)]
 
@@ -16,7 +19,11 @@ pub mod published;
 use std::sync::OnceLock;
 
 use prism_exocore::DesignResult;
-use prism_pipeline::{jobs_from_args, PipelineError, PreparedWorkload, Session, SweepReport};
+pub use prism_grid::run_worker_if_env;
+use prism_grid::{run_grid, workers_from_env, GridConfig};
+use prism_pipeline::{
+    flag_from_args, jobs_from_args, PipelineError, PreparedWorkload, Session, SweepReport,
+};
 
 /// The process-wide pipeline session shared by all bench binaries.
 /// Honors a `--jobs N` command-line flag, `PRISM_JOBS`, and
@@ -30,6 +37,21 @@ pub fn session() -> &'static Session {
             None => Session::new(),
         }
     })
+}
+
+/// Whether `--stats` was passed to this binary.
+#[must_use]
+pub fn stats_requested() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    flag_from_args(&args, "--stats")
+}
+
+/// Prints the shared session's counters to stderr when `--stats` was
+/// passed. Figure binaries call this after their sweep.
+pub fn log_stats_if_requested() {
+    if stats_requested() {
+        eprint!("{}", session().stats().render());
+    }
 }
 
 /// Unwraps a pipeline result, exiting with a readable error (workload +
@@ -87,11 +109,39 @@ pub fn prepare_named(names: &[&str]) -> Result<Vec<PreparedWorkload>, PipelineEr
 ///
 /// Failures are isolated per unit: the report carries results for every
 /// healthy design point plus a quarantine list for the rest.
+///
+/// With `PRISM_WORKERS=N` (N > 1), the sweep is sharded across N worker
+/// processes by the [`prism_grid`] coordinator instead; the merged report
+/// is identical to the in-process one (both draw from the same
+/// content-addressed store).
 #[must_use]
 pub fn full_design_space() -> SweepReport {
+    // Worker mode: under the grid coordinator this binary's stdout is the
+    // wire protocol, so re-enter as a worker before printing anything.
+    prism_grid::run_worker_if_env();
+
+    if let Some(workers) = workers_from_env() {
+        match run_grid(&GridConfig::full_space(workers)) {
+            Ok(outcome) => {
+                eprintln!(
+                    "[grid] {} workers, {} units ({} retried, {} reassigned)",
+                    outcome.stats.workers_spawned,
+                    outcome.stats.units_total,
+                    outcome.stats.units_retried,
+                    outcome.stats.units_reassigned
+                );
+                if stats_requested() {
+                    eprint!("{}", outcome.stats.render());
+                }
+                return outcome.report;
+            }
+            Err(e) => eprintln!("[grid] {e}; falling back to in-process sweep"),
+        }
+    }
     let s = session();
     let report = s.full_design_space();
     s.log_stats();
+    log_stats_if_requested();
     report
 }
 

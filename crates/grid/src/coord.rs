@@ -1,0 +1,599 @@
+//! The grid coordinator: partitions the design-point unit space across a
+//! fleet of worker subprocesses, supervises them by heartbeat, retries
+//! quarantined units on a different shard, reassigns the in-flight units
+//! of dead workers, and merges every shard's [`SweepReport`] into one.
+//!
+//! Workers are re-invocations of the current executable with
+//! `PRISM_GRID_WORKER=1` (see [`crate::worker`]); they share one
+//! content-addressed artifact store, whose write-then-rename protocol
+//! with per-process temp names makes concurrent writers safe. Because
+//! every unit is keyed identically in every process, a grid run and a
+//! single-process run produce byte-identical merged reports (after
+//! [`SweepReport::normalize`]) on a healthy fleet.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use prism_exocore::{all_bsa_subsets, all_cores, DesignPoint};
+use prism_pipeline::{ArtifactStore, PipelineError, Session, Stage, SweepReport};
+use prism_sim::TracerConfig;
+use prism_tdg::BsaKind;
+use prism_udg::CoreConfig;
+use prism_workloads::Workload;
+
+use crate::proto::{FromWorker, ToWorker, PROTO_VERSION};
+use crate::worker::{SHARD_ENV, WORKER_ENV};
+use crate::WORKERS_ENV;
+
+/// Configuration for one grid run.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Worker processes to spawn (shards).
+    pub workers: usize,
+    /// How many times a quarantined unit is retried on a *different*
+    /// shard before its quarantine becomes permanent.
+    pub shard_retries: usize,
+    /// Workload names, resolved against the registry in each worker.
+    pub workloads: Vec<String>,
+    /// Cores of the design grid (must be registry cores — IO2, OOO2,
+    /// OOO4, OOO6 — since assignments name them over the wire).
+    pub cores: Vec<CoreConfig>,
+    /// BSA subsets of the design grid.
+    pub subsets: Vec<Vec<BsaKind>>,
+    /// Tracer instruction limit shared by every shard.
+    pub max_insts: u64,
+    /// Content-addressed artifact store shared by every shard.
+    pub artifact_dir: PathBuf,
+    /// Worker executable; defaults to the current executable.
+    pub worker_cmd: Option<PathBuf>,
+    /// A worker silent for this long is presumed dead and killed.
+    pub heartbeat_timeout: Duration,
+    /// Outstanding assignments per worker: 2 keeps the next unit's
+    /// prepare phase overlapping the current unit's evaluate phase.
+    pub window: usize,
+    /// Extra environment for workers (test hook, e.g. grid faults).
+    pub env: Vec<(String, String)>,
+    /// Environment variables removed from workers (test hook).
+    pub env_remove: Vec<String>,
+}
+
+impl GridConfig {
+    /// The paper's full design space (every registered workload over
+    /// 4 cores × 16 BSA subsets) on `workers` shards, with defaults
+    /// matching a single-process [`Session`] run.
+    #[must_use]
+    pub fn full_space(workers: usize) -> Self {
+        GridConfig {
+            workers,
+            shard_retries: 1,
+            workloads: prism_workloads::ALL
+                .iter()
+                .map(|w| w.name.to_string())
+                .collect(),
+            cores: all_cores(),
+            subsets: all_bsa_subsets(),
+            max_insts: TracerConfig::default().max_insts,
+            artifact_dir: ArtifactStore::default_dir(),
+            worker_cmd: None,
+            heartbeat_timeout: Duration::from_secs(10),
+            window: 2,
+            env: Vec::new(),
+            env_remove: Vec::new(),
+        }
+    }
+}
+
+/// Counters describing how a grid run went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridStats {
+    /// Worker processes spawned.
+    pub workers_spawned: usize,
+    /// Workers that died (crash, heartbeat timeout, protocol error).
+    pub workers_died: usize,
+    /// Design-point units in the sweep.
+    pub units_total: usize,
+    /// Quarantined units retried on a different shard.
+    pub units_retried: usize,
+    /// In-flight units of dead workers that were reassigned.
+    pub units_reassigned: usize,
+    /// Units evaluated in-process because no eligible worker remained.
+    pub local_fallback_units: usize,
+}
+
+impl GridStats {
+    /// Renders the counters as a human-readable block (for `--stats`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "-- grid stats --\n\
+             workers : {} spawned, {} died\n\
+             units   : {} total, {} retried, {} reassigned, {} local\n",
+            self.workers_spawned,
+            self.workers_died,
+            self.units_total,
+            self.units_retried,
+            self.units_reassigned,
+            self.local_fallback_units,
+        )
+    }
+}
+
+/// The merged outcome of a grid run.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// Every shard's report merged (normalized: sorted, deduped, retried
+    /// successes promoted to [`SweepReport::recovered`]).
+    pub report: SweepReport,
+    /// Run counters.
+    pub stats: GridStats,
+}
+
+/// A grid run that could not start (bad config, unspawnable workers).
+/// Unit-level failures never surface here — they quarantine instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridError {
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "grid error: {}", self.message)
+    }
+}
+
+impl std::error::Error for GridError {}
+
+fn err(message: impl Into<String>) -> GridError {
+    GridError {
+        message: message.into(),
+    }
+}
+
+/// One design-point unit of the sweep.
+struct Unit {
+    label: String,
+    core_idx: usize,
+    subset_idx: usize,
+    core_name: String,
+    bsa_codes: String,
+    attempts: usize,
+    failed_on: Vec<usize>,
+    resolved: bool,
+}
+
+/// Coordinator-side view of one worker process.
+struct WorkerState {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    alive: bool,
+    last_beat: Instant,
+    inflight: Vec<usize>,
+}
+
+enum Event {
+    Msg(usize, FromWorker),
+    Garbled(usize, String),
+    Eof(usize),
+}
+
+fn spawn_worker(
+    cmd: &PathBuf,
+    shard: usize,
+    config: &GridConfig,
+    tx: &mpsc::Sender<Event>,
+) -> std::io::Result<(WorkerState, std::thread::JoinHandle<()>)> {
+    let mut builder = Command::new(cmd);
+    builder
+        .env(WORKER_ENV, "1")
+        .env(SHARD_ENV, shard.to_string())
+        .env("PRISM_ARTIFACT_DIR", &config.artifact_dir)
+        // A worker must never recurse into coordinating its own fleet.
+        .env_remove(WORKERS_ENV)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    for key in &config.env_remove {
+        builder.env_remove(key);
+    }
+    for (key, value) in &config.env {
+        builder.env(key, value);
+    }
+    let mut child = builder.spawn()?;
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let hello = ToWorker::Hello {
+        proto: PROTO_VERSION,
+        shard,
+        workloads: config.workloads.clone(),
+        max_insts: config.max_insts,
+        artifact_dir: config.artifact_dir.display().to_string(),
+    };
+    writeln!(stdin, "{}", hello.encode())?;
+    stdin.flush()?;
+    let tx = tx.clone();
+    let reader = std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            match FromWorker::decode(&line) {
+                Ok(msg) => {
+                    if tx.send(Event::Msg(shard, msg)).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Event::Garbled(shard, e));
+                    return;
+                }
+            }
+        }
+        let _ = tx.send(Event::Eof(shard));
+    });
+    Ok((
+        WorkerState {
+            child,
+            stdin: Some(stdin),
+            alive: true,
+            last_beat: Instant::now(),
+            inflight: Vec::new(),
+        },
+        reader,
+    ))
+}
+
+/// Runs the sharded sweep: spawns workers, streams assignments with a
+/// small per-worker window (so prepare overlaps evaluate), supervises by
+/// heartbeat, retries quarantined units on a different shard, reassigns
+/// the in-flight units of dead workers, falls back to in-process
+/// evaluation when no eligible worker remains, and merges every shard's
+/// report.
+///
+/// # Errors
+///
+/// Returns a [`GridError`] only when the run cannot start (zero workers
+/// configured, no worker executable); anything that fails *during* the
+/// run quarantines units instead.
+pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
+    if config.workers == 0 {
+        return Err(err("at least one worker is required"));
+    }
+    let worker_cmd = match &config.worker_cmd {
+        Some(cmd) => cmd.clone(),
+        None => std::env::current_exe()
+            .map_err(|e| err(format!("cannot resolve current executable: {e}")))?,
+    };
+
+    // The unit space, in the same core-major order as `explore_grid`.
+    let mut units: Vec<Unit> = Vec::with_capacity(config.cores.len() * config.subsets.len());
+    for (core_idx, core) in config.cores.iter().enumerate() {
+        for (subset_idx, subset) in config.subsets.iter().enumerate() {
+            units.push(Unit {
+                label: DesignPoint::new(core.clone(), subset.clone()).label(),
+                core_idx,
+                subset_idx,
+                core_name: core.name.clone(),
+                bsa_codes: subset.iter().map(|b| b.code()).collect(),
+                attempts: 0,
+                failed_on: Vec::new(),
+                resolved: false,
+            });
+        }
+    }
+
+    let (tx, rx) = mpsc::channel();
+    let mut workers: Vec<WorkerState> = Vec::with_capacity(config.workers);
+    let mut readers = Vec::with_capacity(config.workers);
+    let mut stats = GridStats {
+        units_total: units.len(),
+        ..GridStats::default()
+    };
+    for shard in 0..config.workers {
+        match spawn_worker(&worker_cmd, shard, config, &tx) {
+            Ok((state, reader)) => {
+                workers.push(state);
+                readers.push(reader);
+                stats.workers_spawned += 1;
+            }
+            Err(e) => {
+                eprintln!("[prism-grid] shard {shard}: spawn failed: {e}");
+                // A placeholder dead slot keeps shard == index; its units
+                // simply never get assigned here.
+                match spawn_dead_placeholder(&mut workers) {
+                    Ok(()) => {}
+                    Err(e) => return Err(err(format!("cannot spawn workers: {e}"))),
+                }
+            }
+        }
+    }
+    drop(tx);
+
+    let mut shard_reports: Vec<SweepReport> =
+        (0..workers.len()).map(|_| SweepReport::default()).collect();
+    let mut pending: VecDeque<usize> = (0..units.len()).collect();
+    let mut local_queue: Vec<usize> = Vec::new();
+    let mut resolved = 0usize;
+
+    let kill = |w: &mut WorkerState| {
+        w.alive = false;
+        w.stdin = None;
+        let _ = w.child.kill();
+    };
+
+    while resolved + local_queue.len() < units.len() {
+        // Dispatch: fill every live worker's window, routing retries away
+        // from shards they already failed on; units with no eligible
+        // shard left fall back to local evaluation.
+        let mut still_pending = VecDeque::new();
+        while let Some(uid) = pending.pop_front() {
+            if units[uid].resolved {
+                continue;
+            }
+            let pick = workers
+                .iter()
+                .enumerate()
+                .filter(|(shard, w)| {
+                    w.alive
+                        && w.inflight.len() < config.window
+                        && !units[uid].failed_on.contains(shard)
+                })
+                .min_by_key(|(_, w)| w.inflight.len())
+                .map(|(shard, _)| shard);
+            match pick {
+                Some(shard) => {
+                    let msg = ToWorker::Assign {
+                        id: uid as u64,
+                        core: units[uid].core_name.clone(),
+                        bsas: units[uid].bsa_codes.clone(),
+                    }
+                    .encode();
+                    let sent = workers[shard]
+                        .stdin
+                        .as_mut()
+                        .is_some_and(|s| writeln!(s, "{msg}").and_then(|()| s.flush()).is_ok());
+                    if sent {
+                        workers[shard].inflight.push(uid);
+                    } else {
+                        // Write failure: the worker is dying; its Eof event
+                        // will handle the cleanup. Try again next round.
+                        still_pending.push_back(uid);
+                    }
+                }
+                None => {
+                    let possible = workers
+                        .iter()
+                        .enumerate()
+                        .any(|(shard, w)| w.alive && !units[uid].failed_on.contains(&shard));
+                    if possible {
+                        still_pending.push_back(uid); // workers busy; wait
+                    } else {
+                        local_queue.push(uid);
+                    }
+                }
+            }
+        }
+        pending = still_pending;
+        if resolved + local_queue.len() >= units.len() {
+            break;
+        }
+
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(Event::Msg(shard, msg)) => {
+                if shard >= workers.len() {
+                    continue;
+                }
+                workers[shard].last_beat = Instant::now();
+                match msg {
+                    FromWorker::HelloAck { .. }
+                    | FromWorker::Heartbeat { .. }
+                    | FromWorker::Bye => {}
+                    FromWorker::UnitResult { id, result } => {
+                        let uid = id as usize;
+                        workers[shard].inflight.retain(|&u| u != uid);
+                        shard_reports[shard].results.push(result);
+                        if uid < units.len() && !units[uid].resolved {
+                            units[uid].resolved = true;
+                            resolved += 1;
+                        }
+                    }
+                    FromWorker::UnitQuarantine { id, key, error } => {
+                        shard_reports[shard].quarantined.push((key, error));
+                        if let Some(uid) = id.map(|id| id as usize) {
+                            workers[shard].inflight.retain(|&u| u != uid);
+                            if uid < units.len() && !units[uid].resolved {
+                                units[uid].attempts += 1;
+                                units[uid].failed_on.push(shard);
+                                if units[uid].attempts <= config.shard_retries {
+                                    stats.units_retried += 1;
+                                    pending.push_back(uid);
+                                } else {
+                                    units[uid].resolved = true;
+                                    resolved += 1;
+                                }
+                            }
+                        }
+                    }
+                    FromWorker::Fatal { message } => {
+                        eprintln!("[prism-grid] shard {shard}: fatal: {message}");
+                        if workers[shard].alive {
+                            kill(&mut workers[shard]);
+                            stats.workers_died += 1;
+                            reassign(&mut workers[shard], &units, &mut pending, &mut stats);
+                        }
+                    }
+                }
+            }
+            Ok(Event::Garbled(shard, e)) => {
+                eprintln!("[prism-grid] shard {shard}: garbled output: {e}");
+                if shard < workers.len() && workers[shard].alive {
+                    kill(&mut workers[shard]);
+                    stats.workers_died += 1;
+                    reassign(&mut workers[shard], &units, &mut pending, &mut stats);
+                }
+            }
+            Ok(Event::Eof(shard)) => {
+                if shard < workers.len() && workers[shard].alive {
+                    eprintln!("[prism-grid] shard {shard}: exited unexpectedly");
+                    kill(&mut workers[shard]);
+                    stats.workers_died += 1;
+                    reassign(&mut workers[shard], &units, &mut pending, &mut stats);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Every reader thread is gone: mark all workers dead.
+                for w in workers.iter_mut().filter(|w| w.alive) {
+                    kill(w);
+                    stats.workers_died += 1;
+                    reassign(w, &units, &mut pending, &mut stats);
+                }
+            }
+        }
+
+        // Heartbeat supervision: a silent worker is dead, and its
+        // in-flight units must not be lost.
+        for (shard, w) in workers.iter_mut().enumerate() {
+            if w.alive && w.last_beat.elapsed() > config.heartbeat_timeout {
+                eprintln!(
+                    "[prism-grid] shard {shard}: no heartbeat for {:?}, killing",
+                    config.heartbeat_timeout
+                );
+                kill(w);
+                stats.workers_died += 1;
+                reassign(w, &units, &mut pending, &mut stats);
+            }
+        }
+    }
+
+    // Clean shutdown: ask politely, then reap (with a kill deadline).
+    for w in workers.iter_mut().filter(|w| w.alive) {
+        if let Some(stdin) = w.stdin.as_mut() {
+            let _ = writeln!(stdin, "{}", ToWorker::Shutdown.encode());
+            let _ = stdin.flush();
+        }
+        w.stdin = None;
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    for w in &mut workers {
+        loop {
+            match w.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    let _ = w.child.kill();
+                    let _ = w.child.wait();
+                    break;
+                }
+            }
+        }
+    }
+    // Late events (results that raced the shutdown) still count.
+    while let Ok(event) = rx.try_recv() {
+        if let Event::Msg(shard, msg) = event {
+            match msg {
+                FromWorker::UnitResult { result, .. } if shard < shard_reports.len() => {
+                    shard_reports[shard].results.push(result);
+                }
+                FromWorker::UnitQuarantine { key, error, .. } if shard < shard_reports.len() => {
+                    shard_reports[shard].quarantined.push((key, error));
+                }
+                _ => {}
+            }
+        }
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+
+    // Local fallback: evaluate in-process whatever no worker could take.
+    if !local_queue.is_empty() {
+        let mut local = SweepReport::default();
+        let session = Session::new()
+            .with_tracer(TracerConfig {
+                max_insts: config.max_insts,
+                ..TracerConfig::default()
+            })
+            .with_store_dir(&config.artifact_dir);
+        let mut workload_refs: Vec<&Workload> = Vec::new();
+        for name in &config.workloads {
+            match prism_workloads::by_name(name)
+                .or_else(|| prism_workloads::MICRO.iter().find(|m| m.name == name))
+            {
+                Some(w) => workload_refs.push(w),
+                None => local.quarantined.push((
+                    format!("workload:{name}"),
+                    PipelineError::new(name, Stage::Build, "unknown workload"),
+                )),
+            }
+        }
+        for uid in local_queue {
+            let unit = &units[uid];
+            let core = config.cores[unit.core_idx].clone();
+            let subset = config.subsets[unit.subset_idx].clone();
+            let report = session.evaluate_designs(&workload_refs, &[core], &[subset]);
+            if report.results.is_empty()
+                && !report.quarantined.iter().any(|(k, _)| *k == unit.label)
+            {
+                local.quarantined.push((
+                    unit.label.clone(),
+                    PipelineError::new(
+                        &unit.label,
+                        Stage::Evaluate,
+                        "no healthy workloads to evaluate",
+                    ),
+                ));
+            }
+            local.merge(report);
+            stats.local_fallback_units += 1;
+        }
+        shard_reports.push(local);
+    }
+
+    let mut merged = SweepReport::default();
+    for report in shard_reports {
+        merged.merge(report);
+    }
+    Ok(GridOutcome {
+        report: merged,
+        stats,
+    })
+}
+
+/// Reassigns a dead worker's in-flight units back to the pending queue.
+fn reassign(
+    worker: &mut WorkerState,
+    units: &[Unit],
+    pending: &mut VecDeque<usize>,
+    stats: &mut GridStats,
+) {
+    for uid in std::mem::take(&mut worker.inflight) {
+        if !units[uid].resolved {
+            stats.units_reassigned += 1;
+            pending.push_back(uid);
+        }
+    }
+}
+
+/// Fills a shard slot whose spawn failed with an already-dead process, so
+/// shard ids keep matching vector indices.
+fn spawn_dead_placeholder(workers: &mut Vec<WorkerState>) -> std::io::Result<()> {
+    // `true` exits immediately; if even that cannot spawn, give up.
+    let mut child = Command::new("true")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()?;
+    let _ = child.wait();
+    workers.push(WorkerState {
+        child,
+        stdin: None,
+        alive: false,
+        last_beat: Instant::now(),
+        inflight: Vec::new(),
+    });
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Deterministic worker-level fault injection for grid chaos tests.
+//!
+//! `PRISM_FAULTS` (see [`prism_pipeline::FaultPlan`]) injects *stage*
+//! faults and is inherited by every worker, so it cannot model a single
+//! worker crashing. `PRISM_GRID_FAULTS` targets one shard:
+//!
+//! ```text
+//! PRISM_GRID_FAULTS=die:0@1,hang:2@0,quarantine:1@3
+//! ```
+//!
+//! Each spec is `kind:<shard>@<after>` — the fault fires on shard
+//! `<shard>` when it starts its `<after>`-th unit (0-based count of units
+//! it has begun evaluating):
+//!
+//! - `die` — exit the worker process immediately (no result, no `Bye`),
+//!   modeling a crash with units in flight.
+//! - `hang` — stop heartbeating and stall the unit forever, modeling a
+//!   wedged worker the coordinator must detect by heartbeat timeout.
+//! - `quarantine` — report the unit as quarantined (typed, injected
+//!   error) without evaluating it, modeling a shard-local failure that a
+//!   retry on a different shard recovers from.
+
+use std::fmt;
+
+/// What an injected grid fault does to the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridFaultKind {
+    /// Exit the process immediately.
+    Die,
+    /// Stop heartbeating and stall forever.
+    Hang,
+    /// Quarantine the unit without evaluating it.
+    Quarantine,
+}
+
+impl fmt::Display for GridFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GridFaultKind::Die => "die",
+            GridFaultKind::Hang => "hang",
+            GridFaultKind::Quarantine => "quarantine",
+        })
+    }
+}
+
+/// Environment variable holding the grid fault spec.
+pub const GRID_FAULTS_ENV: &str = "PRISM_GRID_FAULTS";
+
+/// A parsed `PRISM_GRID_FAULTS` plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GridFaultPlan {
+    faults: Vec<(GridFaultKind, usize, u64)>,
+}
+
+impl GridFaultPlan {
+    /// Parses a comma-separated list of `kind:<shard>@<after>` specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed spec; an empty or
+    /// all-whitespace value is an error (unset the variable instead).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad grid fault `{part}`: expected kind:<shard>@<after>"))?;
+            let kind = match kind {
+                "die" => GridFaultKind::Die,
+                "hang" => GridFaultKind::Hang,
+                "quarantine" => GridFaultKind::Quarantine,
+                other => {
+                    return Err(format!(
+                        "bad grid fault `{part}`: unknown kind `{other}` \
+                         (expected die, hang, or quarantine)"
+                    ))
+                }
+            };
+            let (shard, after) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("bad grid fault `{part}`: missing @<after>"))?;
+            let shard = shard
+                .parse::<usize>()
+                .map_err(|e| format!("bad grid fault `{part}`: shard: {e}"))?;
+            let after = after
+                .parse::<u64>()
+                .map_err(|e| format!("bad grid fault `{part}`: after: {e}"))?;
+            faults.push((kind, shard, after));
+        }
+        if faults.is_empty() {
+            return Err(format!(
+                "empty grid fault spec `{spec}` (name at least one fault, or unset {GRID_FAULTS_ENV})"
+            ));
+        }
+        Ok(GridFaultPlan { faults })
+    }
+
+    /// Reads the plan from `PRISM_GRID_FAULTS`; `None` when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — a typo must not silently disable the
+    /// chaos test.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let spec = std::env::var(GRID_FAULTS_ENV).ok()?;
+        Some(Self::parse(&spec).unwrap_or_else(|e| panic!("{GRID_FAULTS_ENV}: {e}")))
+    }
+
+    /// The fault (if any) that fires when `shard` starts its `started`-th
+    /// unit.
+    #[must_use]
+    pub fn action(&self, shard: usize, started: u64) -> Option<GridFaultKind> {
+        self.faults
+            .iter()
+            .find(|&&(_, s, after)| s == shard && after == started)
+            .map(|&(kind, _, _)| kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_fault_specs() {
+        let plan = GridFaultPlan::parse("die:0@1, hang:2@0 ,quarantine:1@3").unwrap();
+        assert_eq!(plan.action(0, 1), Some(GridFaultKind::Die));
+        assert_eq!(plan.action(2, 0), Some(GridFaultKind::Hang));
+        assert_eq!(plan.action(1, 3), Some(GridFaultKind::Quarantine));
+        assert_eq!(plan.action(0, 0), None);
+        assert_eq!(plan.action(3, 1), None);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "  ,  ",
+            "die",
+            "die:0",
+            "die:x@1",
+            "die:0@x",
+            "explode:0@1",
+            "die:0@1,hang",
+        ] {
+            assert!(GridFaultPlan::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # prism-grid
+//!
+//! Sharded multi-process execution of the design-space sweep: a
+//! coordinator partitions the (core × BSA-subset) unit space across
+//! worker subprocesses — re-invocations of the current executable in a
+//! dedicated worker mode — and merges their [`prism_pipeline::SweepReport`]s.
+//!
+//! ```text
+//!               ┌─ worker 0 (PRISM_GRID_WORKER=1, shard 0) ─┐
+//! coordinator ──┼─ worker 1 (shard 1)                        ├─ shared
+//!   run_grid    └─ worker N (shard N)                        ┘ artifact store
+//! ```
+//!
+//! The coordinator and each worker speak newline-delimited JSON over the
+//! worker's stdin/stdout (see [`proto`]): a versioned handshake, unit
+//! assignments with a small per-worker window (so a worker *prepares*
+//! the next unit while it *evaluates* the current one), heartbeats, one
+//! result-or-quarantine per unit, and a clean shutdown. Failure policy:
+//!
+//! - a **quarantined unit** is retried once (configurable) on a
+//!   *different* shard; if the retry succeeds the unit counts as
+//!   recovered, not quarantined,
+//! - a **dead worker** (crash, heartbeat silence, protocol corruption)
+//!   has its in-flight units reassigned, never lost,
+//! - when **no eligible worker** remains, units are evaluated in-process
+//!   by the coordinator.
+//!
+//! All shards share one content-addressed artifact store, so grid runs
+//! and single-process runs warm the same cache and — on a healthy fleet —
+//! produce byte-identical merged reports.
+
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod fault;
+pub mod proto;
+pub mod worker;
+
+pub use coord::{run_grid, GridConfig, GridError, GridOutcome, GridStats};
+pub use fault::{GridFaultKind, GridFaultPlan, GRID_FAULTS_ENV};
+pub use proto::{FromWorker, ToWorker, HEARTBEAT_INTERVAL, PROTO_VERSION};
+pub use worker::{run_worker, run_worker_if_env, SHARD_ENV, WORKER_ENV};
+
+/// Environment variable selecting the grid worker count for front-ends
+/// ([`workers_from_env`]).
+pub const WORKERS_ENV: &str = "PRISM_WORKERS";
+
+/// The worker count requested via `PRISM_WORKERS`, when it asks for an
+/// actual fleet (a value of 0 or 1 means "stay single-process").
+#[must_use]
+pub fn workers_from_env() -> Option<usize> {
+    let n: usize = std::env::var(WORKERS_ENV).ok()?.trim().parse().ok()?;
+    (n > 1).then_some(n)
+}

@@ -1,0 +1,451 @@
+//! The grid worker: one shard of the sweep, driven over stdin/stdout.
+//!
+//! A worker is not a separate binary — the coordinator re-invokes the
+//! *current executable* with `PRISM_GRID_WORKER=1`, and the host binary's
+//! `main` routes into [`run_worker_if_env`] before doing anything else
+//! (in particular before printing to stdout, which belongs to the
+//! protocol once the worker mode engages).
+//!
+//! Inside the worker, three threads overlap work:
+//!
+//! - the **reader** (main thread) parses assignments from stdin into a
+//!   queue,
+//! - the **prewarm** thread prepares traces/IR and oracle tables for
+//!   *queued* units while the evaluator is busy with earlier ones, so a
+//!   unit's expensive prepare phase overlaps the previous unit's
+//!   evaluate phase,
+//! - the **evaluator** pops units in order and reports one
+//!   result-or-quarantine per unit.
+//!
+//! A fourth **heartbeat** thread emits liveness beacons every
+//! [`HEARTBEAT_INTERVAL`](crate::proto::HEARTBEAT_INTERVAL).
+
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use prism_exocore::DesignPoint;
+use prism_pipeline::{PipelineError, Session, Stage};
+use prism_sim::TracerConfig;
+use prism_tdg::BsaKind;
+use prism_udg::CoreConfig;
+use prism_workloads::Workload;
+
+use crate::fault::{GridFaultKind, GridFaultPlan};
+use crate::proto::{FromWorker, ToWorker, HEARTBEAT_INTERVAL, PROTO_VERSION};
+
+/// Set (to any value) in a worker process's environment.
+pub const WORKER_ENV: &str = "PRISM_GRID_WORKER";
+
+/// The worker's shard id (decimal).
+pub const SHARD_ENV: &str = "PRISM_GRID_SHARD";
+
+/// Runs the worker protocol and exits the process when `PRISM_GRID_WORKER`
+/// is set; returns immediately otherwise. Call this first in `main` of any
+/// binary that may serve as a grid worker — before anything is written to
+/// stdout, which carries the wire protocol in worker mode.
+pub fn run_worker_if_env() {
+    if std::env::var_os(WORKER_ENV).is_some() {
+        std::process::exit(run_worker());
+    }
+}
+
+/// Looks a workload up in the main registry, then the microbenchmarks.
+fn find_workload(name: &str) -> Option<&'static Workload> {
+    prism_workloads::by_name(name)
+        .or_else(|| prism_workloads::MICRO.iter().find(|m| m.name == name))
+}
+
+fn parse_core(name: &str) -> Option<CoreConfig> {
+    match name {
+        "IO2" => Some(CoreConfig::io2()),
+        "OOO2" => Some(CoreConfig::ooo2()),
+        "OOO4" => Some(CoreConfig::ooo4()),
+        "OOO6" => Some(CoreConfig::ooo6()),
+        _ => None,
+    }
+}
+
+fn parse_bsas(codes: &str) -> Option<Vec<BsaKind>> {
+    codes
+        .chars()
+        .map(|c| BsaKind::ALL.iter().copied().find(|b| b.code() == c))
+        .collect()
+}
+
+/// One assignment queued on the worker.
+struct QueuedUnit {
+    id: u64,
+    core: String,
+    bsas: String,
+}
+
+struct UnitQueue {
+    pending: VecDeque<QueuedUnit>,
+    /// Shutdown received (or stdin closed): drain and exit.
+    closing: bool,
+}
+
+fn send(out: &Mutex<std::io::Stdout>, msg: &FromWorker) {
+    let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
+    // A broken pipe means the coordinator is gone; the reader thread will
+    // see EOF and wind the worker down, so a failed send is not fatal here.
+    let _ = writeln!(out, "{}", msg.encode());
+    let _ = out.flush();
+}
+
+/// Runs the worker protocol over this process's stdin/stdout until
+/// shutdown, returning the process exit code. The shard id comes from
+/// `PRISM_GRID_SHARD` (default 0).
+#[must_use]
+pub fn run_worker() -> i32 {
+    let shard: usize = std::env::var(SHARD_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    let faults = GridFaultPlan::from_env().unwrap_or_default();
+    let out = Mutex::new(std::io::stdout());
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+
+    // Handshake: the first line must be a compatible Hello.
+    let first = match lines.next() {
+        Some(Ok(line)) => line,
+        _ => return 2,
+    };
+    let (workload_names, max_insts, artifact_dir) = match ToWorker::decode(&first) {
+        Ok(ToWorker::Hello {
+            proto,
+            shard: hello_shard,
+            workloads,
+            max_insts,
+            artifact_dir,
+        }) => {
+            if proto != PROTO_VERSION {
+                send(
+                    &out,
+                    &FromWorker::Fatal {
+                        message: format!(
+                            "protocol version mismatch: coordinator {proto}, worker {PROTO_VERSION}"
+                        ),
+                    },
+                );
+                return 2;
+            }
+            if hello_shard != shard {
+                send(
+                    &out,
+                    &FromWorker::Fatal {
+                        message: format!(
+                            "shard mismatch: hello says {hello_shard}, {SHARD_ENV} says {shard}"
+                        ),
+                    },
+                );
+                return 2;
+            }
+            (workloads, max_insts, artifact_dir)
+        }
+        _ => {
+            send(
+                &out,
+                &FromWorker::Fatal {
+                    message: format!("expected hello, got: {first}"),
+                },
+            );
+            return 2;
+        }
+    };
+
+    let session = Session::new()
+        .with_tracer(TracerConfig {
+            max_insts,
+            ..TracerConfig::default()
+        })
+        .with_store_dir(&artifact_dir);
+
+    // Resolve the workload set; unknown names quarantine as whole-workload
+    // units (same key shape the pipeline uses for preparation failures).
+    let mut workloads: Vec<&'static Workload> = Vec::with_capacity(workload_names.len());
+    for name in &workload_names {
+        match find_workload(name) {
+            Some(w) => workloads.push(w),
+            None => send(
+                &out,
+                &FromWorker::UnitQuarantine {
+                    id: None,
+                    key: format!("workload:{name}"),
+                    error: PipelineError::new(name, Stage::Build, "unknown workload"),
+                },
+            ),
+        }
+    }
+    send(
+        &out,
+        &FromWorker::HelloAck {
+            shard,
+            proto: PROTO_VERSION,
+        },
+    );
+
+    let queue = Mutex::new(UnitQueue {
+        pending: VecDeque::new(),
+        closing: false,
+    });
+    let queue_cv = Condvar::new();
+    let inflight = AtomicU64::new(0);
+    // Set by an injected hang fault: the worker stalls *and* goes silent,
+    // so the coordinator must catch it by heartbeat timeout.
+    let hang = AtomicBool::new(false);
+    // Set by the evaluator once everything is drained; stops the
+    // heartbeat and prewarm threads so the scope can join.
+    let finished = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Heartbeat thread.
+        scope.spawn(|| {
+            while !finished.load(Ordering::Relaxed) {
+                if !hang.load(Ordering::Relaxed) {
+                    send(
+                        &out,
+                        &FromWorker::Heartbeat {
+                            shard,
+                            inflight: inflight.load(Ordering::Relaxed),
+                        },
+                    );
+                }
+                std::thread::sleep(HEARTBEAT_INTERVAL);
+            }
+        });
+
+        // Prewarm thread: prepare traces/IR and oracle tables for queued
+        // units while the evaluator works on earlier ones. Failures are
+        // ignored here — they resurface, typed, when the unit evaluates.
+        scope.spawn(|| {
+            let mut prepared = false;
+            let mut warmed: BTreeSet<String> = BTreeSet::new();
+            loop {
+                let upcoming: Vec<String> = {
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    while q.pending.is_empty() && !q.closing {
+                        q = queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                    if q.pending.is_empty() && q.closing {
+                        return;
+                    }
+                    q.pending
+                        .iter()
+                        .map(|u| u.core.clone())
+                        .filter(|c| !warmed.contains(c))
+                        .collect()
+                };
+                if upcoming.is_empty() {
+                    // Nothing new to warm; yield until the queue changes.
+                    std::thread::sleep(HEARTBEAT_INTERVAL);
+                    if finished.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    continue;
+                }
+                if !prepared {
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        let _ = session.prepare_quarantined(&workloads);
+                    }));
+                    prepared = true;
+                }
+                for core_name in upcoming {
+                    if let Some(core) = parse_core(&core_name) {
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let (data, _) = session.prepare_quarantined(&workloads);
+                            for w in &data {
+                                let _ = session.oracle_table(w, &core);
+                            }
+                        }));
+                    }
+                    warmed.insert(core_name);
+                }
+            }
+        });
+
+        // Evaluator thread: one result-or-quarantine per popped unit.
+        scope.spawn(|| {
+            let mut started: u64 = 0;
+            let mut reported_workloads: BTreeSet<String> = BTreeSet::new();
+            loop {
+                let unit = {
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if let Some(u) = q.pending.pop_front() {
+                            break Some(u);
+                        }
+                        if q.closing {
+                            break None;
+                        }
+                        q = queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                let Some(unit) = unit else {
+                    finished.store(true, Ordering::Relaxed);
+                    queue_cv.notify_all();
+                    return;
+                };
+                match faults.action(shard, started) {
+                    Some(GridFaultKind::Die) => {
+                        eprintln!(
+                            "[prism-grid] shard {shard}: injected death before unit {started}"
+                        );
+                        std::process::exit(101);
+                    }
+                    Some(GridFaultKind::Hang) => {
+                        eprintln!(
+                            "[prism-grid] shard {shard}: injected hang before unit {started}"
+                        );
+                        hang.store(true, Ordering::Relaxed);
+                        loop {
+                            std::thread::sleep(std::time::Duration::from_secs(3600));
+                        }
+                    }
+                    Some(GridFaultKind::Quarantine) => {
+                        started += 1;
+                        let label = unit_label(&unit);
+                        send(
+                            &out,
+                            &FromWorker::UnitQuarantine {
+                                id: Some(unit.id),
+                                key: label.clone(),
+                                error: PipelineError::new(
+                                    label,
+                                    Stage::Evaluate,
+                                    format!("injected grid fault: quarantined on shard {shard}"),
+                                ),
+                            },
+                        );
+                        inflight.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    None => {}
+                }
+                started += 1;
+                evaluate_unit(&session, &workloads, &unit, &mut reported_workloads, &out);
+                inflight.fetch_sub(1, Ordering::Relaxed);
+            }
+        });
+
+        // Reader (this thread): feed the queue until shutdown, EOF, or an
+        // I/O error (either way the coordinator is gone).
+        'reader: while let Some(Ok(line)) = lines.next() {
+            match ToWorker::decode(&line) {
+                Ok(ToWorker::Assign { id, core, bsas }) => {
+                    inflight.fetch_add(1, Ordering::Relaxed);
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    q.pending.push_back(QueuedUnit { id, core, bsas });
+                    queue_cv.notify_all();
+                }
+                Ok(ToWorker::Shutdown) => break 'reader,
+                Ok(ToWorker::Hello { .. }) | Err(_) => {
+                    send(
+                        &out,
+                        &FromWorker::Fatal {
+                            message: format!("unexpected message: {line}"),
+                        },
+                    );
+                }
+            }
+        }
+        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.closing = true;
+        queue_cv.notify_all();
+    });
+
+    send(&out, &FromWorker::Bye);
+    0
+}
+
+/// The unit's sweep key (Fig. 12 label), derivable without evaluating.
+fn unit_label(unit: &QueuedUnit) -> String {
+    match (parse_core(&unit.core), parse_bsas(&unit.bsas)) {
+        (Some(core), Some(bsas)) => DesignPoint::new(core, bsas).label(),
+        _ => format!("{}-{}", unit.core, unit.bsas),
+    }
+}
+
+/// Evaluates one unit and reports exactly one terminal message for it
+/// (plus at most one workload-level quarantine per workload per worker).
+fn evaluate_unit(
+    session: &Session,
+    workloads: &[&Workload],
+    unit: &QueuedUnit,
+    reported_workloads: &mut BTreeSet<String>,
+    out: &Mutex<std::io::Stdout>,
+) {
+    let label = unit_label(unit);
+    let (Some(core), Some(bsas)) = (parse_core(&unit.core), parse_bsas(&unit.bsas)) else {
+        send(
+            out,
+            &FromWorker::UnitQuarantine {
+                id: Some(unit.id),
+                key: label.clone(),
+                error: PipelineError::new(
+                    label,
+                    Stage::Evaluate,
+                    format!(
+                        "unparseable assignment: core `{}` bsas `{}`",
+                        unit.core, unit.bsas
+                    ),
+                ),
+            },
+        );
+        return;
+    };
+    let report = session.evaluate_designs(workloads, &[core], &[bsas]);
+    let mut resolved = false;
+    for result in report.results {
+        send(
+            out,
+            &FromWorker::UnitResult {
+                id: unit.id,
+                result,
+            },
+        );
+        resolved = true;
+    }
+    for (key, error) in report.quarantined {
+        if key == label {
+            send(
+                out,
+                &FromWorker::UnitQuarantine {
+                    id: Some(unit.id),
+                    key,
+                    error,
+                },
+            );
+            resolved = true;
+        } else if reported_workloads.insert(key.clone()) {
+            // Workload-level failure: not tied to this assignment, and
+            // re-derived identically by every unit — report it once.
+            send(
+                out,
+                &FromWorker::UnitQuarantine {
+                    id: None,
+                    key,
+                    error,
+                },
+            );
+        }
+    }
+    if !resolved {
+        send(
+            out,
+            &FromWorker::UnitQuarantine {
+                id: Some(unit.id),
+                key: label.clone(),
+                error: PipelineError::new(
+                    label,
+                    Stage::Evaluate,
+                    "no healthy workloads to evaluate",
+                ),
+            },
+        );
+    }
+}

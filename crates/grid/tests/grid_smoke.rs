@@ -1,0 +1,271 @@
+//! End-to-end grid smoke tests (`harness = false`: this binary doubles as
+//! the grid *worker* when the coordinator re-invokes it with
+//! `PRISM_GRID_WORKER=1`, so it must own stdout — libtest's harness
+//! chatter would corrupt the line-framed protocol).
+//!
+//! Scenarios:
+//! 1. a 2-worker grid run produces a report byte-identical to a
+//!    single-process sweep,
+//! 2. an injected worker death mid-sweep loses no units,
+//! 3. an injected shard-local quarantine is retried on the other shard
+//!    and recovered,
+//! 4. a hung (heartbeat-silent) worker is detected and its units
+//!    reassigned,
+//! 5. with every worker dead, the coordinator falls back to in-process
+//!    evaluation.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use prism_exocore::{all_bsa_subsets, DesignPoint};
+use prism_grid::{run_grid, run_worker_if_env, GridConfig, GridOutcome};
+use prism_pipeline::{Session, SweepReport};
+use prism_sim::TracerConfig;
+use prism_udg::{CoreConfig, ExecBudget};
+use prism_workloads::Workload;
+
+const MAX_INSTS: u64 = 20_000;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prism-grid-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn workload_names() -> Vec<String> {
+    prism_workloads::MICRO
+        .iter()
+        .take(3)
+        .map(|w| w.name.to_string())
+        .collect()
+}
+
+fn workload_refs() -> Vec<&'static Workload> {
+    prism_workloads::MICRO.iter().take(3).collect()
+}
+
+fn small_grid() -> (Vec<CoreConfig>, Vec<Vec<prism_tdg::BsaKind>>) {
+    let cores = vec![CoreConfig::io2(), CoreConfig::ooo2()];
+    let subsets = all_bsa_subsets().into_iter().take(4).collect();
+    (cores, subsets)
+}
+
+fn config(workers: usize, dir: &Path) -> GridConfig {
+    let (cores, subsets) = small_grid();
+    GridConfig {
+        workers,
+        shard_retries: 1,
+        workloads: workload_names(),
+        cores,
+        subsets,
+        max_insts: MAX_INSTS,
+        artifact_dir: dir.to_path_buf(),
+        worker_cmd: None, // this very binary, re-entered via main()
+        heartbeat_timeout: Duration::from_secs(10),
+        window: 2,
+        env: Vec::new(),
+        env_remove: Vec::new(),
+    }
+}
+
+fn expected_labels() -> Vec<String> {
+    let (cores, subsets) = small_grid();
+    let mut labels: Vec<String> = cores
+        .iter()
+        .flat_map(|c| {
+            subsets
+                .iter()
+                .map(|s| DesignPoint::new(c.clone(), s.clone()).label())
+        })
+        .collect();
+    labels.sort();
+    labels
+}
+
+fn labels_of(report: &SweepReport) -> Vec<String> {
+    report.results.iter().map(|r| r.label.clone()).collect()
+}
+
+fn run(config: &GridConfig) -> GridOutcome {
+    run_grid(config).expect("grid run must start")
+}
+
+fn single_process_baseline(dir: &Path) -> SweepReport {
+    let (cores, subsets) = small_grid();
+    let session = Session::new()
+        .with_tracer(TracerConfig {
+            max_insts: MAX_INSTS,
+            ..TracerConfig::default()
+        })
+        .with_store_dir(dir)
+        .with_faults(None)
+        .with_budget(ExecBudget::unlimited())
+        .with_divergence_guard(None);
+    session.evaluate_designs(&workload_refs(), &cores, &subsets)
+}
+
+fn scenario_equivalence() {
+    let dir_single = scratch_dir("single");
+    let dir_grid = scratch_dir("grid");
+    let baseline = single_process_baseline(&dir_single);
+    assert!(
+        baseline.quarantined.is_empty(),
+        "{:?}",
+        baseline.quarantined
+    );
+
+    let outcome = run(&config(2, &dir_grid));
+    assert_eq!(
+        outcome.report, baseline,
+        "grid report must be byte-identical to the single-process sweep"
+    );
+    assert_eq!(outcome.stats.workers_died, 0);
+    assert_eq!(outcome.stats.local_fallback_units, 0);
+
+    // A second grid run over the same store must serve everything from
+    // cache and still match.
+    let warm = run(&config(2, &dir_grid));
+    assert_eq!(warm.report, baseline, "warm grid run must match");
+
+    let _ = std::fs::remove_dir_all(&dir_single);
+    let _ = std::fs::remove_dir_all(&dir_grid);
+}
+
+fn scenario_worker_death() {
+    let dir = scratch_dir("death");
+    let mut cfg = config(2, &dir);
+    // Shard 0 crashes when it starts its second unit.
+    cfg.env.push(("PRISM_GRID_FAULTS".into(), "die:0@1".into()));
+    let outcome = run(&cfg);
+    assert_eq!(
+        labels_of(&outcome.report),
+        expected_labels(),
+        "no unit may be lost to a worker crash"
+    );
+    assert!(outcome.report.quarantined.is_empty());
+    assert_eq!(outcome.stats.workers_died, 1, "{:?}", outcome.stats);
+    assert!(
+        outcome.stats.units_reassigned >= 1,
+        "the dying shard's in-flight units must be reassigned: {:?}",
+        outcome.stats
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn scenario_quarantine_retry() {
+    let dir = scratch_dir("retry");
+    let mut cfg = config(2, &dir);
+    // Shard 0 quarantines its first unit without evaluating it; the
+    // retry lands on shard 1 and succeeds.
+    cfg.env
+        .push(("PRISM_GRID_FAULTS".into(), "quarantine:0@0".into()));
+    let outcome = run(&cfg);
+    assert_eq!(labels_of(&outcome.report), expected_labels());
+    assert!(
+        outcome.report.quarantined.is_empty(),
+        "retried unit must not stay quarantined: {:?}",
+        outcome.report.quarantined
+    );
+    assert_eq!(
+        outcome.report.recovered.len(),
+        1,
+        "{:?}",
+        outcome.report.recovered
+    );
+    assert_eq!(outcome.stats.units_retried, 1, "{:?}", outcome.stats);
+    let summary = outcome.report.failure_summary().expect("summary");
+    assert!(summary.contains("recovered on retry"), "{summary}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn scenario_hung_worker() {
+    let dir = scratch_dir("hang");
+    let mut cfg = config(2, &dir);
+    cfg.heartbeat_timeout = Duration::from_secs(1);
+    // Shard 1 goes silent (no heartbeats, no progress) on its first unit.
+    cfg.env
+        .push(("PRISM_GRID_FAULTS".into(), "hang:1@0".into()));
+    let outcome = run(&cfg);
+    assert_eq!(
+        labels_of(&outcome.report),
+        expected_labels(),
+        "units of a hung worker must be reassigned"
+    );
+    assert!(outcome.report.quarantined.is_empty());
+    assert_eq!(outcome.stats.workers_died, 1, "{:?}", outcome.stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn scenario_local_fallback() {
+    let dir = scratch_dir("fallback");
+    let mut cfg = config(1, &dir);
+    // The only worker dies before completing anything.
+    cfg.env.push(("PRISM_GRID_FAULTS".into(), "die:0@0".into()));
+    let outcome = run(&cfg);
+    assert_eq!(
+        labels_of(&outcome.report),
+        expected_labels(),
+        "with no workers left, every unit must still evaluate locally"
+    );
+    assert!(outcome.report.quarantined.is_empty());
+    assert_eq!(outcome.stats.workers_died, 1);
+    assert_eq!(
+        outcome.stats.local_fallback_units,
+        expected_labels().len(),
+        "{:?}",
+        outcome.stats
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() {
+    // Worker mode first: the coordinator re-invokes this binary with
+    // PRISM_GRID_WORKER=1, and nothing may touch stdout before this.
+    run_worker_if_env();
+
+    // Coordinator/test mode: insulate the scenarios (and the workers
+    // they spawn, which inherit this environment) from ambient knobs
+    // like the CI fault-injection matrix.
+    for var in [
+        "PRISM_FAULTS",
+        "PRISM_GRID_FAULTS",
+        "PRISM_WORKERS",
+        "PRISM_JOBS",
+        "PRISM_MAX_NODES",
+        "PRISM_DIVERGENCE",
+        "PRISM_ARTIFACT_DIR",
+        "PRISM_REFRESH",
+    ] {
+        std::env::remove_var(var);
+    }
+
+    let scenarios: [(&str, fn()); 5] = [
+        ("grid matches single-process sweep", scenario_equivalence),
+        ("worker death loses no units", scenario_worker_death),
+        (
+            "quarantine retries on another shard",
+            scenario_quarantine_retry,
+        ),
+        ("hung worker is detected and drained", scenario_hung_worker),
+        (
+            "local fallback with no workers left",
+            scenario_local_fallback,
+        ),
+    ];
+    let mut failed = 0;
+    for (name, scenario) in scenarios {
+        eprintln!("--- grid_smoke: {name}");
+        match std::panic::catch_unwind(scenario) {
+            Ok(()) => eprintln!("ok  - {name}"),
+            Err(_) => {
+                eprintln!("FAIL- {name}");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} grid smoke scenario(s) failed");
+        std::process::exit(1);
+    }
+    eprintln!("all grid smoke scenarios passed");
+}

@@ -32,6 +32,24 @@ impl std::fmt::Display for Stage {
     }
 }
 
+impl std::str::FromStr for Stage {
+    type Err = String;
+
+    /// Inverse of [`Display`](std::fmt::Display), for wire formats (the
+    /// grid worker protocol serializes errors as text).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "build" => Ok(Stage::Build),
+            "trace" => Ok(Stage::Trace),
+            "analyze" => Ok(Stage::Analyze),
+            "plan" => Ok(Stage::Plan),
+            "evaluate" => Ok(Stage::Evaluate),
+            "store" => Ok(Stage::Store),
+            other => Err(format!("unknown stage `{other}`")),
+        }
+    }
+}
+
 /// How a pipeline stage failed — drives retry and quarantine policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
@@ -57,6 +75,22 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::BudgetExceeded => "budget-exceeded",
             ErrorKind::Diverged => "diverged",
         })
+    }
+}
+
+impl std::str::FromStr for ErrorKind {
+    type Err = String;
+
+    /// Inverse of [`Display`](std::fmt::Display), for wire formats.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "failed" => Ok(ErrorKind::Failed),
+            "panicked" => Ok(ErrorKind::StagePanicked),
+            "store-io" => Ok(ErrorKind::StoreIo),
+            "budget-exceeded" => Ok(ErrorKind::BudgetExceeded),
+            "diverged" => Ok(ErrorKind::Diverged),
+            other => Err(format!("unknown error kind `{other}`")),
+        }
     }
 }
 
@@ -160,6 +194,31 @@ mod tests {
         assert!(text.contains("trace"), "{text}");
         assert!(text.contains("boom"), "{text}");
         assert_eq!(e.kind, ErrorKind::Failed);
+    }
+
+    #[test]
+    fn stage_and_kind_roundtrip_through_text() {
+        for stage in [
+            Stage::Build,
+            Stage::Trace,
+            Stage::Analyze,
+            Stage::Plan,
+            Stage::Evaluate,
+            Stage::Store,
+        ] {
+            assert_eq!(stage.to_string().parse::<Stage>(), Ok(stage));
+        }
+        for kind in [
+            ErrorKind::Failed,
+            ErrorKind::StagePanicked,
+            ErrorKind::StoreIo,
+            ErrorKind::BudgetExceeded,
+            ErrorKind::Diverged,
+        ] {
+            assert_eq!(kind.to_string().parse::<ErrorKind>(), Ok(kind));
+        }
+        assert!("warp".parse::<Stage>().is_err());
+        assert!("warp".parse::<ErrorKind>().is_err());
     }
 
     #[test]

@@ -38,6 +38,34 @@ pub const FAULTS_ENV: &str = "PRISM_FAULTS";
 /// attributable to the plan rather than to a real bug.
 pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
 
+/// A malformed `PRISM_FAULTS` spec: names the offending spec fragment and
+/// why it was rejected. Returned (never panicked) by [`FaultPlan::parse`]
+/// so front-ends can surface the problem with context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The spec fragment (or option) that failed to parse.
+    pub spec: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl FaultSpecError {
+    fn new(spec: impl Into<String>, reason: impl Into<String>) -> Self {
+        FaultSpecError {
+            spec: spec.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault spec `{}`: {}", self.spec, self.reason)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// A seeded, deterministic fault-injection plan.
 ///
 /// Shared across a session via `Arc` (panic counters are atomics, so the
@@ -100,8 +128,11 @@ impl FaultPlan {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed spec.
-    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+    /// Returns a typed [`FaultSpecError`] naming the first malformed spec:
+    /// out-of-range or non-numeric probabilities, unknown fault kinds,
+    /// malformed options, and specs with no faults at all are rejected
+    /// rather than silently producing an empty plan.
+    pub fn parse(text: &str) -> Result<FaultPlan, FaultSpecError> {
         let mut plan = FaultPlan::default();
         let (specs, opts) = match text.split_once('@') {
             Some((s, o)) => (s, Some(o)),
@@ -111,28 +142,37 @@ impl FaultPlan {
             for opt in opts.split('@').filter(|s| !s.trim().is_empty()) {
                 match opt.trim().split_once('=') {
                     Some(("seed", v)) => {
-                        plan.seed = v
-                            .trim()
-                            .parse::<u64>()
-                            .map_err(|e| format!("bad seed `{v}`: {e}"))?;
+                        plan.seed = v.trim().parse::<u64>().map_err(|e| {
+                            FaultSpecError::new(opt.trim(), format!("bad seed: {e}"))
+                        })?;
                     }
-                    _ => return Err(format!("unknown option `{opt}` (expected seed=N)")),
+                    _ => {
+                        return Err(FaultSpecError::new(
+                            opt.trim(),
+                            "unknown option (expected seed=N)",
+                        ))
+                    }
                 }
             }
         }
+        let mut parsed = 0usize;
         for spec in specs.split(',').filter(|s| !s.trim().is_empty()) {
             let spec = spec.trim();
+            parsed += 1;
             let mut parts = spec.split(':');
             let name = parts.next().unwrap_or_default();
             match name {
                 "store-io" | "artifact-corrupt" | "trace-truncate" => {
                     let p = parts
                         .next()
-                        .ok_or_else(|| format!("`{spec}`: missing probability"))?
+                        .ok_or_else(|| FaultSpecError::new(spec, "missing probability"))?
                         .parse::<f64>()
-                        .map_err(|e| format!("`{spec}`: bad probability: {e}"))?;
+                        .map_err(|e| FaultSpecError::new(spec, format!("bad probability: {e}")))?;
                     if !(0.0..=1.0).contains(&p) {
-                        return Err(format!("`{spec}`: probability {p} outside [0, 1]"));
+                        return Err(FaultSpecError::new(
+                            spec,
+                            format!("probability {p} outside [0, 1]"),
+                        ));
                     }
                     match name {
                         "store-io" => plan.store_io = p,
@@ -149,24 +189,33 @@ impl FaultPlan {
                         Some("evaluate") => Stage::Evaluate,
                         Some("store") => Stage::Store,
                         other => {
-                            return Err(format!("`{spec}`: bad stage `{}`", other.unwrap_or("")))
+                            return Err(FaultSpecError::new(
+                                spec,
+                                format!("bad stage `{}`", other.unwrap_or("")),
+                            ))
                         }
                     };
                     let count = parts
                         .next()
-                        .ok_or_else(|| format!("`{spec}`: missing count"))?
+                        .ok_or_else(|| FaultSpecError::new(spec, "missing count"))?
                         .parse::<u64>()
-                        .map_err(|e| format!("`{spec}`: bad count: {e}"))?;
+                        .map_err(|e| FaultSpecError::new(spec, format!("bad count: {e}")))?;
                     plan.stage_panics.push(StagePanic {
                         stage,
                         remaining: AtomicU64::new(count),
                     });
                 }
-                _ => return Err(format!("unknown fault `{name}` in `{spec}`")),
+                _ => return Err(FaultSpecError::new(spec, format!("unknown fault `{name}`"))),
             }
             if parts.next().is_some() {
-                return Err(format!("`{spec}`: trailing fields"));
+                return Err(FaultSpecError::new(spec, "trailing fields"));
             }
+        }
+        if parsed == 0 {
+            return Err(FaultSpecError::new(
+                text.trim(),
+                "empty fault spec (name at least one fault, or unset the variable)",
+            ));
         }
         Ok(plan)
     }
@@ -300,6 +349,64 @@ mod tests {
         assert!(FaultPlan::parse("flux-capacitor:0.5").is_err());
         assert!(FaultPlan::parse("store-io:0.1@velocity=88").is_err());
         assert!(FaultPlan::parse("store-io:0.1:extra").is_err());
+    }
+
+    #[test]
+    fn malformed_probabilities_return_typed_errors() {
+        // Negative, above 1, non-numeric, empty — all typed errors that
+        // name the offending spec, never a panic or a silently-empty plan.
+        for bad in [
+            "store-io:-0.1",
+            "store-io:1.5",
+            "artifact-corrupt:lots",
+            "trace-truncate:",
+            "store-io:inf",
+        ] {
+            let err = FaultPlan::parse(bad).expect_err(bad);
+            assert!(
+                bad.starts_with(&err.spec),
+                "error spec `{}` should name `{bad}`",
+                err.spec
+            );
+            assert!(err.to_string().contains("bad fault spec"), "{err}");
+        }
+        // NaN parses as a float but fails the range check.
+        assert!(FaultPlan::parse("store-io:NaN").is_err());
+    }
+
+    #[test]
+    fn unknown_fault_kinds_name_the_kind() {
+        let err = FaultPlan::parse("bitflip:0.5").unwrap_err();
+        assert!(err.reason.contains("unknown fault `bitflip`"), "{err}");
+    }
+
+    #[test]
+    fn malformed_seed_options_are_typed_errors() {
+        // `@seed` without a value, `@seed=` with an empty one, and a
+        // non-numeric seed are all rejected with the option named.
+        for bad in [
+            "store-io:0.5@seed",
+            "store-io:0.5@seed=",
+            "store-io:0.5@seed=x",
+        ] {
+            let err = FaultPlan::parse(bad).expect_err(bad);
+            assert!(err.spec.starts_with("seed"), "{bad}: {err:?}");
+        }
+        // A trailing `@` with no options at all is tolerated (nothing to
+        // misread), and the seed default is 0.
+        let plan = FaultPlan::parse("store-io:0.5@").unwrap();
+        assert_eq!(plan.seed, 0);
+    }
+
+    #[test]
+    fn empty_specs_are_rejected_not_silently_inert() {
+        // A plan that configures nothing would make a chaos run look
+        // healthy; parse refuses it (from_env treats unset/blank env as
+        // "no plan" before ever calling parse).
+        for empty in ["", "   ", ",", " , ,", "@seed=5"] {
+            let err = FaultPlan::parse(empty).expect_err(empty);
+            assert!(err.reason.contains("empty fault spec"), "{empty}: {err}");
+        }
     }
 
     #[test]

@@ -48,11 +48,11 @@ pub mod sweep;
 
 pub use codec::{decode_design_result, encode_design_result};
 pub use error::{ErrorKind, PipelineError, Stage};
-pub use fault::{FaultPlan, FAULTS_ENV, INJECTED_PANIC_PREFIX};
+pub use fault::{FaultPlan, FaultSpecError, FAULTS_ENV, INJECTED_PANIC_PREFIX};
 pub use hash::ContentHash;
 pub use json::Json;
 pub use key::{KeyBuilder, SCHEMA_VERSION};
-pub use par::{jobs_from_args, parallel_map, resolve_jobs};
+pub use par::{flag_from_args, jobs_from_args, parallel_map, resolve_jobs};
 pub use session::{DivergenceGuard, PreparedWorkload, Session, SessionStats};
 pub use store::{ArtifactStore, StoreStats};
 pub use sweep::SweepReport;

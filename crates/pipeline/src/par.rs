@@ -39,6 +39,12 @@ pub fn jobs_from_args<S: AsRef<str>>(args: &[S]) -> Option<usize> {
     None
 }
 
+/// Whether a boolean flag (e.g. `--stats`) appears in a command line.
+#[must_use]
+pub fn flag_from_args<S: AsRef<str>>(args: &[S], flag: &str) -> bool {
+    args.iter().any(|a| a.as_ref() == flag)
+}
+
 /// Maps `f` over `items` on up to `jobs` worker threads, returning results
 /// in input order. `f` receives `(index, item)`.
 ///
@@ -110,6 +116,13 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn boolean_flag_detection() {
+        assert!(flag_from_args(&["explore", "--stats"], "--stats"));
+        assert!(!flag_from_args(&["explore", "--statsy"], "--stats"));
+        assert!(!flag_from_args::<&str>(&[], "--stats"));
     }
 
     #[test]

@@ -66,6 +66,37 @@ pub struct SessionStats {
     pub memo_misses: u64,
 }
 
+impl std::ops::AddAssign for SessionStats {
+    fn add_assign(&mut self, rhs: SessionStats) {
+        self.artifacts += rhs.artifacts;
+        self.memo_hits += rhs.memo_hits;
+        self.memo_misses += rhs.memo_misses;
+    }
+}
+
+impl SessionStats {
+    /// Renders the counters as a human-readable block (for `--stats`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let a = &self.artifacts;
+        format!(
+            "-- session stats --\n\
+             artifact store : {} hits, {} misses ({} discarded)\n\
+             store I/O      : {} retries, {} errors\n\
+             recomputes     : {}\n\
+             memo           : {} hits, {} misses\n",
+            a.hits,
+            a.misses,
+            a.discarded,
+            a.io_retries,
+            a.io_errors,
+            a.recomputes,
+            self.memo_hits,
+            self.memo_misses,
+        )
+    }
+}
+
 /// Opt-in runtime guard: cross-checks the µDG timing model against the
 /// cycle-stepped reference simulator on a sampled subset of
 /// (workload, core) pairs, quarantining points whose relative IPC error
@@ -184,7 +215,6 @@ fn panic_stage(message: &str, default: Stage) -> Stage {
 pub struct Session {
     tracer: TracerConfig,
     jobs: usize,
-    refresh: bool,
     store: ArtifactStore,
     faults: Option<Arc<FaultPlan>>,
     budget: ExecBudget,
@@ -208,23 +238,22 @@ impl Session {
     /// injection from `PRISM_FAULTS`, a node budget from `PRISM_MAX_NODES`,
     /// and a divergence guard from `PRISM_DIVERGENCE=tol[:sample]`.
     ///
-    /// `PRISM_REFRESH` is honored but deprecated: artifacts are
-    /// content-addressed and invalidate themselves when any input changes.
-    ///
     /// # Panics
     ///
     /// Panics when `PRISM_MAX_NODES` is set but not a number (like the
-    /// other env knobs, a typo must not silently disable the budget).
+    /// other env knobs, a typo must not silently disable the budget), and
+    /// when the removed `PRISM_REFRESH` variable is still set: artifacts
+    /// in the content-addressed store invalidate themselves when any
+    /// input changes, so there is nothing left to refresh.
     #[must_use]
     pub fn new() -> Self {
-        let refresh = std::env::var_os("PRISM_REFRESH").is_some();
-        if refresh {
-            eprintln!(
-                "[prism-pipeline] PRISM_REFRESH is deprecated: artifacts are \
-                 content-addressed and invalidate automatically when inputs \
-                 change. Forcing recompute for this run."
-            );
-        }
+        assert!(
+            std::env::var_os("PRISM_REFRESH").is_none(),
+            "PRISM_REFRESH was removed: the content-addressed artifact store \
+             (target/prism-artifacts, or $PRISM_ARTIFACT_DIR) keys every \
+             artifact by its inputs and invalidates automatically; delete \
+             the store directory if you really want a cold run"
+        );
         let faults = FaultPlan::from_env();
         let budget = match std::env::var("PRISM_MAX_NODES") {
             Ok(v) => ExecBudget::new(
@@ -239,7 +268,6 @@ impl Session {
         Session {
             tracer: TracerConfig::default(),
             jobs: resolve_jobs(None),
-            refresh,
             store,
             faults,
             budget,
@@ -270,13 +298,6 @@ impl Session {
     pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store = ArtifactStore::new(dir);
         self.store.set_faults(self.faults.clone());
-        self
-    }
-
-    /// Forces recomputation of disk artifacts (they are still re-saved).
-    #[must_use]
-    pub fn with_refresh(mut self, refresh: bool) -> Self {
-        self.refresh = refresh;
         self
     }
 
@@ -668,7 +689,7 @@ impl Session {
     /// healthy point still produces a result. Oracle tables are measured
     /// once per (workload, base core) and shared across that core's
     /// subsets. Work is distributed over [`Session::jobs`] threads; the
-    /// report order and values are independent of the job count.
+    /// report (sorted by unit key) is independent of the job count.
     #[must_use]
     pub fn explore_grid(
         &self,
@@ -686,6 +707,7 @@ impl Session {
                     .push((Self::point_label(cores, subsets, idx), e)),
             }
         }
+        report.sort_units();
         report
     }
 
@@ -725,6 +747,7 @@ impl Session {
         let mut results = self.load_cached(&full_keys, cores, subsets);
         if results.iter().all(Option::is_some) {
             report.results = results.into_iter().flatten().collect();
+            report.sort_units();
             return report;
         }
 
@@ -734,6 +757,7 @@ impl Session {
             report.quarantined.push((format!("workload:{name}"), err));
         }
         if data.is_empty() {
+            report.sort_units();
             return report;
         }
         let healthy_keys: Vec<ContentHash> = data.iter().map(|p| p.key).collect();
@@ -767,12 +791,12 @@ impl Session {
             }
         }
         report.results = results.into_iter().flatten().collect();
+        report.sort_units();
         report
     }
 
     /// Loads every (core × subset) design point keyed over `wkeys` from the
-    /// artifact store (`None` per point on miss, or everywhere under
-    /// refresh).
+    /// artifact store (`None` per point on miss).
     fn load_cached(
         &self,
         wkeys: &[ContentHash],
@@ -783,13 +807,11 @@ impl Session {
         for core in cores {
             for bsas in subsets {
                 let key = self.design_point_key(wkeys, core, bsas);
-                out.push(if self.refresh {
-                    None
-                } else {
+                out.push(
                     self.store
                         .load(&key)
-                        .and_then(|payload| decode_design_result(&payload))
-                });
+                        .and_then(|payload| decode_design_result(&payload)),
+                );
             }
         }
         out
@@ -834,12 +856,14 @@ impl Session {
         let s = self.stats();
         eprintln!(
             "[prism-pipeline] artifact cache: {} hits, {} misses ({} discarded, \
-             {} I/O retries, {} I/O errors); memo: {} hits, {} misses; jobs={}",
+             {} I/O retries, {} I/O errors, {} recomputes); memo: {} hits, \
+             {} misses; jobs={}",
             s.artifacts.hits,
             s.artifacts.misses,
             s.artifacts.discarded,
             s.artifacts.io_retries,
             s.artifacts.io_errors,
+            s.artifacts.recomputes,
             s.memo_hits,
             s.memo_misses,
             self.jobs,

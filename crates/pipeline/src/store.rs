@@ -32,6 +32,20 @@ pub struct StoreStats {
     pub io_retries: u64,
     /// Operations that kept failing after all retries.
     pub io_errors: u64,
+    /// Artifacts computed fresh and written back (each save is one
+    /// recompute — a warm store saves nothing).
+    pub recomputes: u64,
+}
+
+impl std::ops::AddAssign for StoreStats {
+    fn add_assign(&mut self, rhs: StoreStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.discarded += rhs.discarded;
+        self.io_retries += rhs.io_retries;
+        self.io_errors += rhs.io_errors;
+        self.recomputes += rhs.recomputes;
+    }
 }
 
 /// A content-addressed artifact directory.
@@ -44,6 +58,7 @@ pub struct ArtifactStore {
     discarded: AtomicU64,
     io_retries: AtomicU64,
     io_errors: AtomicU64,
+    recomputes: AtomicU64,
 }
 
 impl ArtifactStore {
@@ -58,6 +73,7 @@ impl ArtifactStore {
             discarded: AtomicU64::new(0),
             io_retries: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
+            recomputes: AtomicU64::new(0),
         }
     }
 
@@ -209,6 +225,7 @@ impl ArtifactStore {
             ("payload".into(), payload),
         ]);
         let op = format!("save:{}", key.short());
+        self.recomputes.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = self.with_retry(&op, |site| self.try_save(key, &doc, site)) {
             eprintln!(
                 "[prism-pipeline] failed to store artifact {} after {IO_ATTEMPTS} attempts: {e}",
@@ -234,7 +251,13 @@ impl ArtifactStore {
         let path = self.path_for(key);
         std::fs::create_dir_all(&self.dir)?;
         // Write-then-rename so concurrent readers never see a torn file.
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        // The tmp name embeds (pid, sequence) so the store is safe to
+        // share between grid worker processes *and* between threads of
+        // one process racing on the same key: every writer gets a private
+        // tmp file, and the rename is atomic per key.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
         std::fs::write(&tmp, doc.to_string())?;
         std::fs::rename(&tmp, &path)
     }
@@ -248,6 +271,7 @@ impl ArtifactStore {
             discarded: self.discarded.load(Ordering::Relaxed),
             io_retries: self.io_retries.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
+            recomputes: self.recomputes.load(Ordering::Relaxed),
         }
     }
 }
@@ -280,6 +304,26 @@ mod tests {
         assert_eq!(store.load(&k), Some(payload));
         let s = store.stats();
         assert_eq!((s.hits, s.misses, s.discarded), (1, 1, 0));
+        assert_eq!(s.recomputes, 1, "each save counts as one recompute");
+    }
+
+    #[test]
+    fn stats_accumulate_with_add_assign() {
+        let mut a = StoreStats {
+            hits: 1,
+            misses: 2,
+            recomputes: 3,
+            ..StoreStats::default()
+        };
+        a += StoreStats {
+            hits: 10,
+            io_retries: 4,
+            ..StoreStats::default()
+        };
+        assert_eq!(
+            (a.hits, a.misses, a.io_retries, a.recomputes),
+            (11, 2, 4, 3)
+        );
     }
 
     #[test]

@@ -157,8 +157,8 @@ fn parallel_and_sequential_runs_are_bit_identical() {
 }
 
 #[test]
-fn refresh_recomputes_but_still_saves() {
-    let dir = temp_dir("refresh");
+fn deleting_the_store_forces_a_clean_recompute() {
+    let dir = temp_dir("cold");
     let (cores, subsets) = small_grid();
     let workloads = micro_set();
 
@@ -167,11 +167,17 @@ fn refresh_recomputes_but_still_saves() {
         .explore_grid_cached(&workloads, &cores, &subsets)
         .expect("first run");
 
-    let b = clean_session().with_store_dir(&dir).with_refresh(true);
+    // The supported way to force a cold run (PRISM_REFRESH was removed):
+    // delete the store directory.
+    std::fs::remove_dir_all(&dir).expect("remove store");
+    let b = clean_session().with_store_dir(&dir);
     let second = b
         .explore_grid_cached(&workloads, &cores, &subsets)
-        .expect("refresh run");
+        .expect("cold run");
     assert_eq!(first, second);
-    assert_eq!(b.stats().artifacts.hits, 0, "refresh must bypass the store");
-    assert!(b.stats().memo_misses > 0, "refresh must actually recompute");
+    assert_eq!(b.stats().artifacts.hits, 0, "cold run cannot hit the store");
+    assert!(
+        b.stats().memo_misses > 0,
+        "cold run must actually recompute"
+    );
 }

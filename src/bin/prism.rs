@@ -8,35 +8,50 @@
 //!     --scheduler oracle|amdahl       BSA selection      (default oracle)
 //!     -n <size>                       problem size       (default per workload)
 //! prism compare <workload>            4 cores × {bare, full ExoCore}
-//! prism explore                       full 64-point design space (cached)
+//! prism explore [--stats]             full 64-point design space (cached)
+//! prism grid [options]                the same sweep on worker processes
+//!     --workers N                     worker fleet size  (default PRISM_WORKERS, else 2)
+//!     --shard-retries K               cross-shard retries per unit (default 1)
+//!     --stats                         print grid + session counters
 //!
 //! Global options: --jobs N            worker threads (default: PRISM_JOBS
 //!                                     or hardware parallelism)
 //! ```
 //!
 //! All preparation runs through the `prism-pipeline` session, so repeated
-//! invocations reuse the content-addressed artifact store.
+//! invocations reuse the content-addressed artifact store; `prism grid`
+//! shares that store across its worker fleet and produces output
+//! byte-identical to `prism explore`.
 
-use prism::exocore::{amdahl_schedule, oracle_schedule};
-use prism::pipeline::{jobs_from_args, PreparedWorkload, Session};
+use prism::exocore::{amdahl_schedule, oracle_schedule, DesignResult};
+use prism::grid::{run_grid, workers_from_env, GridConfig};
+use prism::pipeline::{flag_from_args, jobs_from_args, PreparedWorkload, Session, SweepReport};
 use prism::tdg::{run_exocore, BsaKind, ExecUnit};
 use prism::udg::{simulate_trace, CoreConfig};
 
 fn main() {
+    // Worker mode: the grid coordinator re-invokes this binary with
+    // PRISM_GRID_WORKER=1; stdout then carries the wire protocol, so
+    // nothing may print before this check.
+    prism::grid::run_worker_if_env();
+
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let session = match jobs_from_args(&args) {
         Some(jobs) => Session::new().with_jobs(jobs),
         None => Session::new(),
     };
     strip_jobs_flag(&mut args);
+    let stats = flag_from_args(&args, "--stats");
+    args.retain(|a| a != "--stats");
     let code = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&session, &args[1..]),
         Some("compare") => cmd_compare(&session, &args[1..]),
-        Some("explore") => cmd_explore(&session),
+        Some("explore") => cmd_explore(&session, stats),
+        Some("grid") => cmd_grid(&args[1..], stats),
         _ => {
             eprintln!(
-                "usage: prism <list|run|compare|explore> [args]   (see --help in the source header)"
+                "usage: prism <list|run|compare|explore|grid> [args]   (see --help in the source header)"
             );
             2
         }
@@ -53,10 +68,10 @@ fn strip_jobs_flag(args: &mut Vec<String>) {
     }
 }
 
-fn cmd_explore(session: &Session) -> i32 {
-    let report = session.full_design_space();
+/// The `explore`/`grid` result table (stdout; identical for both paths).
+fn print_results_table(results: &[DesignResult]) {
     println!("{:<12} {:>8} {:>12}", "label", "area", "workloads");
-    for r in &report.results {
+    for r in results {
         println!(
             "{:<12} {:>8.2} {:>12}",
             r.label,
@@ -64,11 +79,72 @@ fn cmd_explore(session: &Session) -> i32 {
             r.per_workload.len()
         );
     }
+}
+
+fn finish_sweep(report: &SweepReport) -> i32 {
+    print_results_table(&report.results);
     if let Some(summary) = report.failure_summary() {
         eprint!("{summary}");
     }
-    session.log_stats();
     report.exit_code()
+}
+
+fn cmd_explore(session: &Session, stats: bool) -> i32 {
+    let report = session.full_design_space();
+    let code = finish_sweep(&report);
+    session.log_stats();
+    if stats {
+        eprint!("{}", session.stats().render());
+    }
+    code
+}
+
+fn cmd_grid(args: &[String], stats: bool) -> i32 {
+    let mut workers = workers_from_env().unwrap_or(2);
+    let mut shard_retries = 1usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |v: Option<&String>| {
+            v.cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .and_then(|v| v.parse::<usize>().map_err(|e| format!("bad {flag}: {e}")))
+        };
+        match flag.as_str() {
+            "--workers" => match value(it.next()) {
+                Ok(v) => workers = v.max(1),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            },
+            "--shard-retries" => match value(it.next()) {
+                Ok(v) => shard_retries = v,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other} (usage: prism grid [--workers N] [--shard-retries K] [--stats])");
+                return 2;
+            }
+        }
+    }
+    let mut config = GridConfig::full_space(workers);
+    config.shard_retries = shard_retries;
+    match run_grid(&config) {
+        Ok(outcome) => {
+            let code = finish_sweep(&outcome.report);
+            if stats {
+                eprint!("{}", outcome.stats.render());
+            }
+            code
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_list() -> i32 {

@@ -15,7 +15,9 @@
 //! * [`exocore`] — schedulers and the design-space exploration,
 //! * [`workloads`] — the 49-kernel benchmark registry,
 //! * [`pipeline`] — the content-addressed, parallel evaluation pipeline
-//!   ([`pipeline::Session`]).
+//!   ([`pipeline::Session`]),
+//! * [`grid`] — the sharded multi-process sweep coordinator
+//!   ([`grid::run_grid`]).
 //!
 //! See the repository's `README.md` for a tour and `DESIGN.md` for the
 //! system inventory.
@@ -34,6 +36,7 @@
 
 pub use prism_energy as energy;
 pub use prism_exocore as exocore;
+pub use prism_grid as grid;
 pub use prism_ir as ir;
 pub use prism_isa as isa;
 pub use prism_pipeline as pipeline;
