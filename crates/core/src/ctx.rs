@@ -1,28 +1,34 @@
 //! Shared execution context threaded through core and accelerator region
 //! models during a combined (core + accelerator) TDG evaluation.
 
+use std::collections::HashMap;
+
 use prism_energy::EnergyEvents;
-use prism_isa::StaticId;
-use prism_sim::{DynInst, RegDepTracker, Trace};
+use prism_isa::{Inst, Program, StaticId};
+use prism_sim::{DynInst, RegDepTracker};
 
 pub use crate::unit::ExecUnit;
 
-/// Sentinel for "completion time not yet assigned".
-pub const UNSET: u64 = u64::MAX;
-
 /// Streaming state shared by every region model of a combined TDG run.
 ///
-/// Holds the per-dynamic-instruction completion times (`p_times`), the
+/// Holds the *windowed* per-dynamic-instruction completion times, the
 /// register/memory dependence trackers, accumulated energy events, and the
 /// per-unit cycle/instruction attribution used for the paper's Figure 13
 /// breakdowns.
+///
+/// Completion times live in a map keyed by `seq`, not an O(trace) vector:
+/// callers resolve dependences only against *current* last writers, so the
+/// runner may call [`ExecCtx::trim_times`] at region boundaries to drop
+/// everything outside the live register frontier. Region models that
+/// capture producer seqs early (e.g. the DP-CGRA pre-pass) must not trim
+/// between capture and resolution — the runner never does.
 #[derive(Debug)]
 pub struct ExecCtx<'t> {
-    /// The trace being modeled.
-    pub trace: &'t Trace,
-    /// Completion time of each dynamic instruction ([`UNSET`] until its
-    /// region model assigns it).
-    pub p_times: Vec<u64>,
+    /// The static program the trace stream was recorded from.
+    pub program: &'t Program,
+    /// Completion time of each dynamic instruction, present once its
+    /// region model assigns it and until trimmed.
+    p_times: HashMap<u64, u64>,
     /// Register last-writer tracking over the *original* stream.
     pub regs: RegDepTracker,
     /// Store→load dependence tracking over the original stream.
@@ -49,12 +55,12 @@ pub struct TimelineSample {
 }
 
 impl<'t> ExecCtx<'t> {
-    /// Creates a context for `trace`.
+    /// Creates a context for a dynamic stream of `program`.
     #[must_use]
-    pub fn new(trace: &'t Trace) -> Self {
+    pub fn new(program: &'t Program) -> Self {
         ExecCtx {
-            trace,
-            p_times: vec![UNSET; trace.len()],
+            program,
+            p_times: HashMap::new(),
             regs: RegDepTracker::new(),
             mems: prism_udg::MemDepTracker::new(),
             events: EnergyEvents::new(),
@@ -64,19 +70,56 @@ impl<'t> ExecCtx<'t> {
         }
     }
 
+    /// The static instruction behind dynamic record `d`.
+    #[must_use]
+    pub fn static_inst(&self, d: &DynInst) -> &'t Inst {
+        self.program.inst(d.sid)
+    }
+
     /// The completion time of dynamic instruction `seq`, if assigned.
     #[must_use]
     pub fn p_time(&self, seq: u64) -> Option<u64> {
-        let t = self.p_times[seq as usize];
-        (t != UNSET).then_some(t)
+        self.p_times.get(&seq).copied()
+    }
+
+    /// Assigns the completion time of dynamic instruction `seq` without
+    /// retiring it (used by region models that defer retirement).
+    pub fn set_time(&mut self, seq: u64, complete: u64) {
+        self.p_times.insert(seq, complete);
+    }
+
+    /// Number of completion times currently held (the live window).
+    #[must_use]
+    pub fn times_len(&self) -> usize {
+        self.p_times.len()
+    }
+
+    /// Drops completion times outside the live register frontier.
+    ///
+    /// Safe only when no region model holds previously captured producer
+    /// seqs: after this call, only current last-writer seqs resolve.
+    pub fn trim_times(&mut self) {
+        let keep: std::collections::HashSet<u64> = self.regs.writers().collect();
+        self.p_times.retain(|seq, _| keep.contains(seq));
+    }
+
+    /// [`trim_times`](Self::trim_times) once the window exceeds a fixed
+    /// floor — the cheap form region models call at group/iteration
+    /// boundaries (where every future dependence resolves through current
+    /// last writers), keeping a region's window O(group), not O(region).
+    pub fn trim_times_bounded(&mut self) {
+        const REGION_TRIM_FLOOR: usize = 4096;
+        if self.p_times.len() >= REGION_TRIM_FLOOR {
+            self.trim_times();
+        }
     }
 
     /// Records that dynamic instruction `d` completed at `complete`:
     /// assigns its `p_time`, retires it in the register tracker, and
     /// records stores in the memory tracker.
     pub fn retire(&mut self, d: &DynInst, complete: u64) {
-        self.p_times[d.seq as usize] = complete;
-        let inst = self.trace.static_inst(d);
+        self.p_times.insert(d.seq, complete);
+        let inst = self.program.inst(d.sid);
         self.regs.retire(inst, d.seq);
         if let Some(m) = &d.mem {
             if m.is_store {
@@ -101,17 +144,17 @@ impl<'t> ExecCtx<'t> {
     /// current tracker state (callers must not yet have retired `d`).
     #[must_use]
     pub fn producer_seqs(&self, sid: StaticId) -> Vec<u64> {
-        self.regs.sources(self.trace.program.inst(sid))
+        self.regs.sources(self.program.inst(sid))
     }
 
     /// Builds the [`ModelInst`](prism_udg::ModelInst) for `d` as the plain
     /// core would execute it, resolving register dependences through the
-    /// context's `p_times` (unassigned producers contribute no edge) and
-    /// memory dependences through the store tracker.
+    /// windowed completion times (unassigned producers contribute no edge)
+    /// and memory dependences through the store tracker.
     #[must_use]
     pub fn model_inst(&self, d: &DynInst) -> prism_udg::ModelInst {
         use prism_udg::ModelDep;
-        let inst = self.trace.static_inst(d);
+        let inst = self.program.inst(d.sid);
         let mut deps: Vec<ModelDep> = self
             .regs
             .sources(inst)

@@ -325,7 +325,7 @@ pub fn execute_dp_cgra(
         // Producer seqs with in-order register retirement.
         let mut dep_seqs: Vec<Vec<u64>> = Vec::with_capacity(g_end - g_start);
         for d in &region[g_start..g_end] {
-            let inst = ctx.trace.static_inst(d);
+            let inst = ctx.static_inst(d);
             dep_seqs.push(ctx.regs.sources(inst));
             ctx.regs.retire(inst, d.seq);
         }
@@ -373,7 +373,7 @@ pub fn execute_dp_cgra(
                 deferred.push(sid);
                 continue;
             }
-            let inst = *ctx.trace.program.inst(sid);
+            let inst = *ctx.program.inst(sid);
             let mut deps: Vec<ModelDep> = Vec::new();
             let mut load_dep: Option<u64> = None;
             for &li in lanes {
@@ -442,7 +442,8 @@ pub fn execute_dp_cgra(
                 for &li in lanes {
                     let d = &region[li];
                     let mut mi = ctx.model_inst(d);
-                    mi.deps = deps.clone();
+                    mi.deps.clear();
+                    mi.deps.extend_from_slice(&deps);
                     if let Some(m) = &d.mem {
                         if !m.is_store {
                             if let Some(r) = ctx.mems.load_dependence(m.addr, m.width) {
@@ -457,7 +458,7 @@ pub fn execute_dp_cgra(
 
             for &li in lanes {
                 let d = &region[li];
-                ctx.p_times[d.seq as usize] = complete;
+                ctx.set_time(d.seq, complete);
                 core_value.insert(d.seq, complete);
                 cgra_input_ready = cgra_input_ready.max(complete);
                 if let Some(m) = &d.mem {
@@ -497,7 +498,7 @@ pub fn execute_dp_cgra(
             }
             ctx.events.accel.cgra_ops += lanes.len() as u64;
             for &li in lanes {
-                ctx.p_times[region[li].seq as usize] = complete;
+                ctx.set_time(region[li].seq, complete);
             }
         }
 
@@ -520,7 +521,7 @@ pub fn execute_dp_cgra(
         // result stores), now that offloaded values have times.
         for sid in deferred {
             let lanes = &by_sid[&sid];
-            let inst = *ctx.trace.program.inst(sid);
+            let inst = *ctx.program.inst(sid);
             let mut deps: Vec<ModelDep> = vec![ModelDep::data(recv_done)];
             for &li in lanes {
                 for &s in &dep_seqs[li - g_start] {
@@ -533,38 +534,36 @@ pub fn execute_dp_cgra(
                 }
             }
             let collapse = plan.vectorized && inst.op.is_mem();
-            let issue_one =
-                |deps: Vec<ModelDep>, m: Option<&prism_sim::MemRecord>, core: &mut CoreModel| {
-                    let (latency, mem_level, is_store) = match m {
-                        Some(m) if m.is_store => (1, Some(m.level), true),
-                        Some(m) => (u64::from(m.latency), Some(m.level), false),
-                        None => (u64::from(inst.op.latency()), None, false),
-                    };
-                    let mi = ModelInst {
-                        fu: inst.fu_class(),
-                        latency,
-                        deps,
-                        mem_level,
-                        is_store,
-                        reads: inst.sources().count() as u8,
-                        writes: u8::from(inst.dest().is_some()),
-                        ..ModelInst::default()
-                    };
-                    core.issue(&mi).complete
+            // One ModelInst reused across lanes: only the memory-dependent
+            // fields change per lane, so the dep list is never cloned.
+            let mut mi = ModelInst {
+                fu: inst.fu_class(),
+                deps,
+                reads: inst.sources().count() as u8,
+                writes: u8::from(inst.dest().is_some()),
+                ..ModelInst::default()
+            };
+            let lane_mem = |mi: &mut ModelInst, m: Option<&prism_sim::MemRecord>| {
+                (mi.latency, mi.mem_level, mi.is_store) = match m {
+                    Some(m) if m.is_store => (1, Some(m.level), true),
+                    Some(m) => (u64::from(m.latency), Some(m.level), false),
+                    None => (u64::from(inst.op.latency()), None, false),
                 };
+            };
             let complete = if collapse {
-                let m = region[lanes[0]].mem;
-                issue_one(deps, m.as_ref(), core)
+                lane_mem(&mut mi, region[lanes[0]].mem.as_ref());
+                core.issue(&mi).complete
             } else {
                 let mut last = 0;
                 for &li in lanes {
-                    last = issue_one(deps.clone(), region[li].mem.as_ref(), core);
+                    lane_mem(&mut mi, region[li].mem.as_ref());
+                    last = core.issue(&mi).complete;
                 }
                 last
             };
             for &li in lanes {
                 let d = &region[li];
-                ctx.p_times[d.seq as usize] = complete;
+                ctx.set_time(d.seq, complete);
                 if let Some(m) = &d.mem {
                     if m.is_store {
                         ctx.mems.record_store(m.addr, m.width, complete);
@@ -572,6 +571,10 @@ pub fn execute_dp_cgra(
                 }
             }
         }
+
+        // Between groups every future dependence resolves through a
+        // current last writer, so the window can be trimmed.
+        ctx.trim_times_bounded();
     }
 }
 

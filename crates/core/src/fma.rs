@@ -89,7 +89,7 @@ pub fn analyze_fma(ir: &prism_ir::ProgramIr, trace: &Trace) -> FmaPlan {
 #[must_use]
 pub fn simulate_with_fma(trace: &Trace, config: &CoreConfig, plan: &FmaPlan) -> CoreRun {
     let mut core = CoreModel::new(config);
-    let mut ctx = ExecCtx::new(trace);
+    let mut ctx = ExecCtx::new(&trace.program);
     // Deferred fmul deps, keyed by the fmul's dyn seq.
     let mut pending_mul: HashMap<u64, Vec<ModelDep>> = HashMap::new();
     let fused_muls: std::collections::HashSet<StaticId> = plan.fused.values().copied().collect();

@@ -34,7 +34,7 @@ pub mod simd;
 pub mod trace_p;
 mod unit;
 
-pub use ctx::{ExecCtx, TimelineSample, UNSET};
+pub use ctx::{ExecCtx, TimelineSample};
 pub use plan::{AccelPlans, Assignment};
 pub use runner::{run_exocore, ExoRunResult};
 pub use unit::{BsaKind, ExecUnit};

@@ -184,7 +184,7 @@ impl DataflowEngine {
         bypass_mem: bool,
         ctx: &mut ExecCtx<'_>,
     ) -> u64 {
-        let inst = *ctx.trace.static_inst(d);
+        let inst = *ctx.static_inst(d);
         let mut ready = self.start;
         for dep in deps {
             ready = ready.max(dep.ready);
@@ -260,10 +260,13 @@ pub fn execute_ns_df(
     let header_start = ir.cfg.blocks[l.header as usize].start;
 
     for d in region {
-        let inst = *ctx.trace.static_inst(d);
+        let inst = *ctx.static_inst(d);
         if d.sid == header_start {
             // New iteration: permitted once the previous latch resolved.
             engine.begin_iteration(engine.last_ctrl);
+            // Dependences resolve per instruction against current last
+            // writers, so the window can be trimmed between iterations.
+            ctx.trim_times_bounded();
         }
         let mut deps: Vec<ModelDep> = ctx
             .producer_seqs(d.sid)
@@ -370,7 +373,7 @@ mod tests {
             b.halt();
             prism_sim::trace(&b.build().unwrap()).unwrap()
         };
-        let mut ctx = crate::ExecCtx::new(&t);
+        let mut ctx = crate::ExecCtx::new(&t.program);
         let mut e = DataflowEngine::new(100);
         // A branch resolves late…
         let branch = &t.insts[1]; // the bne
@@ -405,7 +408,7 @@ mod tests {
             b.halt();
             prism_sim::trace(&b.build().unwrap()).unwrap()
         };
-        let mut ctx = crate::ExecCtx::new(&t);
+        let mut ctx = crate::ExecCtx::new(&t.program);
         let mut e = DataflowEngine::new(0);
         let op = &t.insts[0];
         // 4×BUS_WIDTH independent 1-cycle ops cannot all complete in one

@@ -13,6 +13,11 @@ use crate::{AccelPlans, Assignment, BsaKind, ExecCtx, ExecUnit, TimelineSample};
 /// BSA (in addition to live-value transfer inside the BSA models).
 const SWITCH_PENALTY: u64 = 4;
 
+/// GPP instructions between completion-time window trims. Trimming is only
+/// legal where no region model holds captured producer seqs, i.e. in the
+/// plain-core stream and at region boundaries.
+const GPP_TRIM_INTERVAL: u64 = 4096;
+
 /// Result of a combined core+accelerator run.
 #[derive(Debug, Clone)]
 pub struct ExoRunResult {
@@ -117,7 +122,7 @@ pub fn run_exocore(
     };
 
     let mut core = CoreModel::new(core_cfg);
-    let mut ctx = ExecCtx::new(trace);
+    let mut ctx = ExecCtx::new(&trace.program);
     let mut cgra_state = CgraState::new();
     let mut trace_replays = 0u64;
     let mut last_accel_end = 0u64;
@@ -203,12 +208,16 @@ pub fn run_exocore(
                 end_cycle,
             );
             gpp_seg_start_cycle = end_cycle;
+            ctx.trim_times();
             i = end_idx;
         } else {
             let mi = ctx.model_inst(d);
             let t = core.issue(&mi);
             ctx.retire(d, t.complete);
             gpp_seg_insts += 1;
+            if gpp_seg_insts.is_multiple_of(GPP_TRIM_INTERVAL) {
+                ctx.trim_times();
+            }
             i += 1;
         }
     }

@@ -171,6 +171,9 @@ pub fn execute_simd(
         if remaining >= plan.vl {
             let group = &iters[idx..idx + plan.vl];
             execute_group(region, group, plan, ctx, core);
+            // Between groups every future dependence resolves through a
+            // current last writer, so the window can be trimmed.
+            ctx.trim_times_bounded();
             idx += plan.vl;
         } else {
             // Scalar epilogue: fewer than VL iterations remain.
@@ -216,7 +219,7 @@ fn execute_group(
     // registers as we go so in-group dataflow resolves to in-group seqs.
     let mut dep_seqs: Vec<Vec<u64>> = Vec::with_capacity(g_end - g_start);
     for d in &region[g_start..g_end] {
-        let inst = ctx.trace.static_inst(d);
+        let inst = ctx.static_inst(d);
         dep_seqs.push(ctx.regs.sources(inst));
         ctx.regs.retire(inst, d.seq);
     }
@@ -246,7 +249,7 @@ fn execute_group(
     };
 
     for (&sid, lanes) in &by_sid {
-        let inst = *ctx.trace.program.inst(sid);
+        let inst = *ctx.program.inst(sid);
         let lane_count = lanes.len();
 
         // Merge (and dedup) the lanes' resolvable dependences.
@@ -306,21 +309,22 @@ fn execute_group(
             };
             complete = core.issue(&mi).complete;
         } else if inst.op.is_mem() && !plan.contiguous.contains(&sid) {
-            // Scalarized access: one op per lane plus a shuffle.
+            // Scalarized access: one op per lane plus a shuffle. One
+            // ModelInst is reused across lanes so the dep list is never
+            // cloned; only the memory-dependent fields change per lane.
+            let mut mi = ModelInst {
+                fu: FuClass::Mem,
+                deps,
+                reads: 2,
+                ..ModelInst::default()
+            };
             let mut last = 0;
             for &li in lanes {
-                let d = &region[li];
-                let m = d.mem.expect("memory op");
-                let mi = ModelInst {
-                    fu: FuClass::Mem,
-                    latency: if m.is_store { 1 } else { u64::from(m.latency) },
-                    deps: deps.clone(),
-                    mem_level: Some(m.level),
-                    is_store: m.is_store,
-                    reads: 2,
-                    writes: u8::from(!m.is_store),
-                    ..ModelInst::default()
-                };
+                let m = region[li].mem.expect("memory op");
+                mi.latency = if m.is_store { 1 } else { u64::from(m.latency) };
+                mi.mem_level = Some(m.level);
+                mi.is_store = m.is_store;
+                mi.writes = u8::from(!m.is_store);
                 last = core.issue(&mi).complete;
             }
             let shuffle = ModelInst {
@@ -375,7 +379,7 @@ fn execute_group(
         // All lanes' values become available at the vector op's completion.
         for &li in lanes {
             let d = &region[li];
-            ctx.p_times[d.seq as usize] = complete;
+            ctx.set_time(d.seq, complete);
             if let Some(m) = &d.mem {
                 if m.is_store {
                     ctx.mems.record_store(m.addr, m.width, complete);

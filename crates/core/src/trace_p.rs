@@ -136,6 +136,9 @@ pub fn execute_trace_p(
 
     for (s, e) in iters {
         let iter_insts = &region[s..e];
+        // Dependences resolve per instruction against current last
+        // writers, so the window can be trimmed between iterations.
+        ctx.trim_times_bounded();
         let on_trace = iter_insts
             .iter()
             .map(|d| d.sid)
@@ -149,7 +152,7 @@ pub fn execute_trace_p(
         if on_trace {
             // Speculative dataflow over the hot trace.
             for d in iter_insts {
-                let inst = *ctx.trace.static_inst(d);
+                let inst = *ctx.static_inst(d);
                 let mut deps: Vec<ModelDep> = ctx
                     .producer_seqs(d.sid)
                     .into_iter()

@@ -39,14 +39,26 @@ impl WorkloadData {
         program: &prism_isa::Program,
         config: &TracerConfig,
     ) -> Result<Self, TraceError> {
-        let trace = prism_sim::trace_with(program, config)?;
+        Ok(WorkloadData::from_trace(prism_sim::trace_with(
+            program, config,
+        )?))
+    }
+
+    /// Runs the analysis stack over an already-recorded `trace` (e.g. one
+    /// accumulated chunk-by-chunk from a [`prism_sim::TraceSource`]).
+    ///
+    /// The IR reconstruction (Ball–Larus path profiling) genuinely needs
+    /// random access over the whole stream, so this is the one place the
+    /// pipeline materializes a trace.
+    #[must_use]
+    pub fn from_trace(trace: Trace) -> Self {
         let ir = ProgramIr::analyze(&trace);
         let plans = AccelPlans::analyze(&ir);
-        Ok(WorkloadData {
-            name: program.name.clone(),
+        WorkloadData {
+            name: trace.program.name.clone(),
             trace,
             ir,
             plans,
-        })
+        }
     }
 }

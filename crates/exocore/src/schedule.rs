@@ -64,6 +64,11 @@ fn charge_run(meter: &mut FuelMeter, trace_len: usize) -> Result<(), BudgetExcee
 /// candidate loops cost proportionally more, which is exactly what a fuel
 /// cap should capture.
 ///
+/// Every run here goes through the windowed µDG engine
+/// ([`try_simulate_trace`] / `run_exocore`), so auxiliary timing state is
+/// O(window), not O(trace) — the table walks the trace, it never copies
+/// it.
+///
 /// # Errors
 ///
 /// Returns [`BudgetExceeded`] as soon as the next run would not fit.

@@ -2,9 +2,8 @@
 //! an ExoCore over its plain core, annotated with the unit that dominated
 //! each window.
 
-use prism_sim::RegDepTracker;
 use prism_tdg::{run_exocore, Assignment, BsaKind, ExecUnit};
-use prism_udg::{CoreConfig, CoreModel, MemDepTracker};
+use prism_udg::{CoreConfig, CoreModel, MemDepTracker, RegTimes};
 
 use crate::WorkloadData;
 
@@ -29,15 +28,13 @@ pub struct WindowPoint {
 fn baseline_window_cycles(data: &WorkloadData, core: &CoreConfig, window: u64) -> Vec<u64> {
     let trace = &data.trace;
     let mut model = CoreModel::new(core);
-    let mut regs = RegDepTracker::new();
+    let mut regs = RegTimes::new();
     let mut mems = MemDepTracker::new();
-    let mut p_times: Vec<u64> = Vec::with_capacity(trace.len());
     let mut samples = Vec::new();
     for d in &trace.insts {
-        let mi = prism_udg::model_inst_for(trace, d, &regs, &p_times, &mems);
+        let mi = prism_udg::model_inst_for(&trace.program, d, &regs, &mems);
         let t = model.issue(&mi);
-        p_times.push(t.complete);
-        regs.retire(trace.static_inst(d), d.seq);
+        regs.retire(trace.static_inst(d), d.seq, t.complete);
         if let Some(m) = &d.mem {
             if m.is_store {
                 mems.record_store(m.addr, m.width, t.complete);

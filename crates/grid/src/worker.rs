@@ -10,9 +10,10 @@
 //!
 //! - the **reader** (main thread) parses assignments from stdin into a
 //!   queue,
-//! - the **prewarm** thread prepares traces/IR and oracle tables for
-//!   *queued* units while the evaluator is busy with earlier ones, so a
-//!   unit's expensive prepare phase overlaps the previous unit's
+//! - the **prewarm** thread first pulls chunk 0 of each workload's trace
+//!   stream (cheap, bounded), then prepares traces/IR and oracle tables
+//!   for *queued* units while the evaluator is busy with earlier ones, so
+//!   a unit's expensive prepare phase overlaps the previous unit's
 //!   evaluate phase,
 //! - the **evaluator** pops units in order and reports one
 //!   result-or-quarantine per unit.
@@ -249,9 +250,16 @@ pub fn run_worker() -> i32 {
                     continue;
                 }
                 if !prepared {
-                    let _ = catch_unwind(AssertUnwindSafe(|| {
-                        let _ = session.prepare_quarantined(&workloads);
-                    }));
+                    // First touch: pull only chunk 0 of each workload's
+                    // trace stream, overlapping the simulator's warm-up
+                    // with other shards' evaluation without materializing
+                    // any full trace. Full preparation happens (and is
+                    // memoized) under the per-core warms below.
+                    for w in &workloads {
+                        let _ = catch_unwind(AssertUnwindSafe(|| {
+                            let _ = session.prewarm_chunk0(w);
+                        }));
+                    }
                     prepared = true;
                 }
                 for core_name in upcoming {

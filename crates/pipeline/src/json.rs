@@ -57,6 +57,15 @@ impl Json {
         }
     }
 
+    /// Value as `bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Value as string slice.
     #[must_use]
     pub fn as_str(&self) -> Option<&str> {

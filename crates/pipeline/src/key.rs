@@ -4,8 +4,11 @@
 //! version — into a SHA-256 digest, field by labeled field.
 //!
 //! Any representational change (new field, changed default, new schema)
-//! must bump [`SCHEMA_VERSION`]; old artifacts then miss instead of being
-//! silently reused.
+//! must bump [`KEY_SCHEMA_VERSION`]; old artifacts then miss instead of
+//! being silently reused. The on-disk *file* envelope carries its own
+//! [`SCHEMA_VERSION`] — see the store — so the envelope can evolve (v2
+//! added chunked trace artifacts) without invalidating warm caches whose
+//! key derivation is unchanged.
 
 use std::fmt::Display;
 
@@ -15,8 +18,18 @@ use prism_udg::CoreConfig;
 
 use crate::hash::{ContentHash, Sha256};
 
-/// Bumped whenever the artifact layout or key derivation changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Bumped whenever the *key derivation* changes (new field, changed
+/// default, changed semantics of an existing artifact payload). Folded
+/// into every key; bumping it orphans all previously stored artifacts.
+pub const KEY_SCHEMA_VERSION: u32 = 1;
+
+/// The on-disk artifact *envelope* version. v1: single-document payloads.
+/// v2: adds length-prefixed chunked trace artifacts; v1 files remain
+/// readable (the envelope shape is unchanged for non-chunk payloads).
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The oldest envelope version the store still reads.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// Incrementally builds a content hash from labeled fields.
 #[derive(Debug, Clone)]
@@ -31,7 +44,7 @@ impl KeyBuilder {
     pub fn new(domain: &str) -> Self {
         let mut kb = KeyBuilder { h: Sha256::new() };
         kb.field("domain", domain);
-        kb.field("schema", SCHEMA_VERSION);
+        kb.field("schema", KEY_SCHEMA_VERSION);
         kb.field("crate", env!("CARGO_PKG_VERSION"));
         kb
     }

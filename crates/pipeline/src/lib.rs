@@ -46,13 +46,15 @@ pub mod session;
 pub mod store;
 pub mod sweep;
 
-pub use codec::{decode_design_result, encode_design_result};
+pub use codec::{
+    decode_design_result, decode_trace_chunk, encode_design_result, encode_trace_chunk,
+};
 pub use error::{ErrorKind, PipelineError, Stage};
 pub use fault::{FaultPlan, FaultSpecError, FAULTS_ENV, INJECTED_PANIC_PREFIX};
 pub use hash::ContentHash;
 pub use json::Json;
-pub use key::{KeyBuilder, SCHEMA_VERSION};
+pub use key::{KeyBuilder, KEY_SCHEMA_VERSION, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use par::{flag_from_args, jobs_from_args, parallel_map, resolve_jobs};
-pub use session::{DivergenceGuard, PreparedWorkload, Session, SessionStats};
+pub use session::{DivergenceGuard, PreparedWorkload, Session, SessionStats, STREAM_ENV};
 pub use store::{ArtifactStore, StoreStats};
 pub use sweep::SweepReport;

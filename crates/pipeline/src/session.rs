@@ -23,12 +23,14 @@ use prism_exocore::{
     all_bsa_subsets, all_cores, oracle_pick, oracle_table_budgeted, DesignPoint, DesignResult,
     OracleTable, WorkloadData, WorkloadMetrics,
 };
-use prism_sim::TracerConfig;
+use prism_sim::{SimSource, Trace, TraceSource, TracerConfig};
 use prism_tdg::{run_exocore, BsaKind};
 use prism_udg::{simulate_reference, simulate_trace, CoreConfig, ExecBudget, NODES_PER_INST};
 use prism_workloads::{Suite, Workload};
 
-use crate::codec::{decode_design_result, encode_design_result};
+use crate::codec::{
+    decode_design_result, decode_trace_chunk, encode_design_result, encode_trace_chunk,
+};
 use crate::error::{PipelineError, Stage};
 use crate::fault::FaultPlan;
 use crate::hash::{ContentHash, Sha256};
@@ -64,6 +66,13 @@ pub struct SessionStats {
     pub memo_hits: u64,
     /// In-memory memo misses.
     pub memo_misses: u64,
+    /// Dynamic instructions produced by the functional simulator.
+    pub sim_insts: u64,
+    /// Wall-clock nanoseconds spent producing them.
+    pub sim_nanos: u64,
+    /// Largest single in-flight trace chunk, in bytes — the streaming
+    /// architecture's memory high-water mark for trace storage.
+    pub peak_chunk_bytes: u64,
 }
 
 impl std::ops::AddAssign for SessionStats {
@@ -71,10 +80,23 @@ impl std::ops::AddAssign for SessionStats {
         self.artifacts += rhs.artifacts;
         self.memo_hits += rhs.memo_hits;
         self.memo_misses += rhs.memo_misses;
+        self.sim_insts += rhs.sim_insts;
+        self.sim_nanos += rhs.sim_nanos;
+        self.peak_chunk_bytes = self.peak_chunk_bytes.max(rhs.peak_chunk_bytes);
     }
 }
 
 impl SessionStats {
+    /// Simulator throughput in instructions per second (0 when nothing
+    /// was simulated).
+    #[must_use]
+    pub fn insts_per_sec(&self) -> f64 {
+        if self.sim_nanos == 0 {
+            return 0.0;
+        }
+        self.sim_insts as f64 / (self.sim_nanos as f64 / 1e9)
+    }
+
     /// Renders the counters as a human-readable block (for `--stats`).
     #[must_use]
     pub fn render(&self) -> String {
@@ -84,7 +106,9 @@ impl SessionStats {
              artifact store : {} hits, {} misses ({} discarded)\n\
              store I/O      : {} retries, {} errors\n\
              recomputes     : {}\n\
-             memo           : {} hits, {} misses\n",
+             memo           : {} hits, {} misses\n\
+             sim throughput : {} insts in {} ms ({:.0} insts/sec)\n\
+             peak chunk     : {} bytes\n",
             a.hits,
             a.misses,
             a.discarded,
@@ -93,6 +117,10 @@ impl SessionStats {
             a.recomputes,
             self.memo_hits,
             self.memo_misses,
+            self.sim_insts,
+            self.sim_nanos / 1_000_000,
+            self.insts_per_sec(),
+            self.peak_chunk_bytes,
         )
     }
 }
@@ -209,6 +237,11 @@ fn panic_stage(message: &str, default: Stage) -> Stage {
     default
 }
 
+/// Opt-in streaming mode: set (non-empty, non-`"0"`) to persist traces as
+/// length-prefixed chunk artifacts in the store, enabling per-chunk
+/// hashing, fault injection, prewarm, and chunk-level reuse across runs.
+pub const STREAM_ENV: &str = "PRISM_STREAM";
+
 /// The pipeline session: memoized stages + content-addressed artifacts +
 /// deterministic parallelism.
 #[derive(Debug)]
@@ -219,10 +252,13 @@ pub struct Session {
     faults: Option<Arc<FaultPlan>>,
     budget: ExecBudget,
     guard: Option<DivergenceGuard>,
+    streaming: bool,
     workloads: Mutex<HashMap<ContentHash, Arc<WorkloadData>>>,
     tables: Mutex<HashMap<ContentHash, Arc<OracleTable>>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    sim_insts: AtomicU64,
+    sim_nanos: AtomicU64,
 }
 
 impl Default for Session {
@@ -272,10 +308,14 @@ impl Session {
             faults,
             budget,
             guard: DivergenceGuard::from_env(),
+            streaming: std::env::var(STREAM_ENV)
+                .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0"),
             workloads: Mutex::new(HashMap::new()),
             tables: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            sim_insts: AtomicU64::new(0),
+            sim_nanos: AtomicU64::new(0),
         }
     }
 
@@ -326,6 +366,17 @@ impl Session {
         self
     }
 
+    /// Enables (or disables) streaming mode: traces are persisted as
+    /// length-prefixed chunk artifacts and reloaded chunk-by-chunk on
+    /// later runs. Overrides `PRISM_STREAM`. Both modes record the trace
+    /// through the same chunked simulator loop — only persistence
+    /// differs, so reports are identical either way.
+    #[must_use]
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
     /// The session's worker count.
     #[must_use]
     pub fn jobs(&self) -> usize {
@@ -346,6 +397,18 @@ impl Session {
         kb.field("name", name);
         kb.field("n", n);
         kb.tracer(&self.tracer);
+        kb.finish()
+    }
+
+    /// The content key of trace chunk `index` of a prepared workload.
+    /// The chunk size is part of the key, so runs with different
+    /// `PRISM_CHUNK` settings never mix chunk boundaries.
+    #[must_use]
+    pub fn trace_chunk_key(&self, workload_key: &ContentHash, index: u64) -> ContentHash {
+        let mut kb = KeyBuilder::new("trace-chunk");
+        kb.hash_field("workload", workload_key);
+        kb.field("chunk_insts", prism_sim::chunk_size_from_env());
+        kb.field("index", index);
         kb.finish()
     }
 
@@ -406,9 +469,8 @@ impl Session {
                 ));
             }
         }
-        let data = WorkloadData::prepare_with(&program, &self.tracer)
-            .map_err(|e| PipelineError::trace(name, &e))?;
-        let data = Arc::new(data);
+        let trace = self.record_trace(&key, &program, name)?;
+        let data = Arc::new(WorkloadData::from_trace(trace));
         self.workloads
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -416,13 +478,145 @@ impl Session {
         Ok(PreparedWorkload { key, data })
     }
 
-    /// Prepares a registered workload at its default size.
+    /// Records `program`'s trace chunk-by-chunk from the streaming
+    /// simulator, applying per-chunk fault injection (`{name}:chunk{i}`
+    /// sites) and, in streaming mode, persisting each chunk to the store
+    /// (after first trying to replay a previously stored chunk sequence).
+    ///
+    /// Both modes run the same chunked loop — the materialized `Trace` is
+    /// assembled from the chunks either way, so downstream results do not
+    /// depend on the mode.
+    fn record_trace(
+        &self,
+        workload_key: &ContentHash,
+        program: &prism_isa::Program,
+        name: &str,
+    ) -> Result<Trace, PipelineError> {
+        if self.streaming {
+            if let Some(trace) = self.load_chunked_trace(workload_key, program) {
+                return Ok(trace);
+            }
+        }
+        let mut source =
+            SimSource::new(program, &self.tracer).map_err(|e| PipelineError::trace(name, &e))?;
+        let started = std::time::Instant::now();
+        let mut insts = Vec::new();
+        let mut stats = prism_sim::TraceStats::default();
+        loop {
+            let chunk = match source.next_chunk() {
+                Ok(Some(c)) => c,
+                Ok(None) => break,
+                Err(e) => return Err(PipelineError::trace(name, &e)),
+            };
+            if let Some(f) = &self.faults {
+                if f.truncate_trace(&format!("{name}:chunk{}", chunk.index)) {
+                    return Err(PipelineError::new(
+                        name,
+                        Stage::Trace,
+                        format!("injected fault: trace truncated at chunk {}", chunk.index),
+                    ));
+                }
+            }
+            if self.streaming {
+                let ck = self.trace_chunk_key(workload_key, chunk.index);
+                self.store.save(&ck, encode_trace_chunk(&chunk));
+            }
+            stats = chunk.stats;
+            let last = chunk.last;
+            insts.extend(chunk.insts);
+            if last {
+                break;
+            }
+        }
+        self.sim_insts.fetch_add(stats.insts, Ordering::Relaxed);
+        self.sim_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(Trace {
+            program: program.clone(),
+            insts,
+            stats,
+        })
+    }
+
+    /// Replays a previously persisted chunk sequence from the store, or
+    /// `None` when any chunk is missing, fails to decode, or breaks seq
+    /// contiguity (the caller then re-simulates from scratch).
+    fn load_chunked_trace(
+        &self,
+        workload_key: &ContentHash,
+        program: &prism_isa::Program,
+    ) -> Option<Trace> {
+        let mut insts = Vec::new();
+        let mut stats = prism_sim::TraceStats::default();
+        for index in 0.. {
+            let ck = self.trace_chunk_key(workload_key, index);
+            let chunk = decode_trace_chunk(&self.store.load(&ck)?)?;
+            if chunk.index != index || chunk.first_seq != insts.len() as u64 {
+                return None;
+            }
+            stats = chunk.stats;
+            let last = chunk.last;
+            insts.extend(chunk.insts);
+            if last {
+                break;
+            }
+        }
+        Some(Trace {
+            program: program.clone(),
+            insts,
+            stats,
+        })
+    }
+
+    /// Produces (and, in streaming mode, persists) only the *first* chunk
+    /// of `workload`'s trace — enough for a grid worker to overlap
+    /// simulation with another shard's evaluation without materializing
+    /// the stream. A no-op when the workload is already memoized.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when the program fails validation or
+    /// execution.
+    pub fn prewarm_chunk0(&self, workload: &Workload) -> Result<(), PipelineError> {
+        let n = workload.scaled_n();
+        let key = self.workload_key(workload.name, n);
+        if self
+            .workloads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&key)
+        {
+            return Ok(());
+        }
+        let program = (workload.build)(n);
+        let mut source = SimSource::new(&program, &self.tracer)
+            .map_err(|e| PipelineError::trace(workload.name, &e))?;
+        let started = std::time::Instant::now();
+        match source.next_chunk() {
+            Ok(Some(chunk)) => {
+                self.sim_insts
+                    .fetch_add(chunk.insts.len() as u64, Ordering::Relaxed);
+                self.sim_nanos
+                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if self.streaming {
+                    let ck = self.trace_chunk_key(&key, chunk.index);
+                    self.store.save(&ck, encode_trace_chunk(&chunk));
+                }
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(e) => Err(PipelineError::trace(workload.name, &e)),
+        }
+    }
+
+    /// Prepares a registered workload at its default size, multiplied by
+    /// the `PRISM_SCALE` knob ([`prism_workloads::scale`]).
     ///
     /// # Errors
     ///
     /// Returns a [`PipelineError`] naming the workload and failing stage.
     pub fn prepare(&self, workload: &Workload) -> Result<PreparedWorkload, PipelineError> {
-        self.prepare_sized(workload, workload.default_n)
+        self.prepare_sized(workload, workload.scaled_n())
     }
 
     /// Prepares a registered workload at an explicit size.
@@ -742,7 +936,7 @@ impl Session {
         // Fast path: everything cached under the full workload set.
         let full_keys: Vec<ContentHash> = workloads
             .iter()
-            .map(|w| self.workload_key(w.name, w.default_n))
+            .map(|w| self.workload_key(w.name, w.scaled_n()))
             .collect();
         let mut results = self.load_cached(&full_keys, cores, subsets);
         if results.iter().all(Option::is_some) {
@@ -848,6 +1042,9 @@ impl Session {
             artifacts: self.store.stats(),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            sim_insts: self.sim_insts.load(Ordering::Relaxed),
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            peak_chunk_bytes: prism_sim::peak_chunk_bytes(),
         }
     }
 
@@ -857,7 +1054,8 @@ impl Session {
         eprintln!(
             "[prism-pipeline] artifact cache: {} hits, {} misses ({} discarded, \
              {} I/O retries, {} I/O errors, {} recomputes); memo: {} hits, \
-             {} misses; jobs={}",
+             {} misses; sim: {} insts at {:.0} insts/sec, peak chunk {} bytes; \
+             jobs={}",
             s.artifacts.hits,
             s.artifacts.misses,
             s.artifacts.discarded,
@@ -866,6 +1064,9 @@ impl Session {
             s.artifacts.recomputes,
             s.memo_hits,
             s.memo_misses,
+            s.sim_insts,
+            s.insts_per_sec(),
+            s.peak_chunk_bytes,
             self.jobs,
         );
     }
@@ -891,6 +1092,7 @@ mod tests {
             .with_faults(None)
             .with_budget(ExecBudget::unlimited())
             .with_divergence_guard(None)
+            .with_streaming(false)
     }
 
     #[test]
@@ -980,6 +1182,40 @@ mod tests {
         assert!(g.selects(&key, "OOO2"));
         let sparse = DivergenceGuard::new(0.1, 1_000_000_007);
         assert!(!sparse.selects(&key, "OOO2") || !sparse.selects(&key, "OOO4"));
+    }
+
+    #[test]
+    fn prewarm_chunk0_is_cheap_and_idempotent() {
+        let session = clean_session();
+        let w = &prism_workloads::MICRO[0];
+        session.prewarm_chunk0(w).expect("prewarm");
+        let after_prewarm = session.stats().sim_insts;
+        assert!(after_prewarm > 0, "prewarm must simulate something");
+        let prepared = session.prepare(w).expect("prepare");
+        let after_prepare = session.stats().sim_insts;
+        assert!(after_prepare >= prepared.trace.len() as u64);
+        // Memoized now: prewarm is a no-op.
+        session.prewarm_chunk0(w).expect("prewarm");
+        assert_eq!(session.stats().sim_insts, after_prepare);
+    }
+
+    #[test]
+    fn trace_chunk_keys_are_distinct_per_index() {
+        let session = clean_session();
+        let wk = session.workload_key("x", 100);
+        assert_ne!(
+            session.trace_chunk_key(&wk, 0),
+            session.trace_chunk_key(&wk, 1)
+        );
+        assert_eq!(
+            session.trace_chunk_key(&wk, 0),
+            session.trace_chunk_key(&wk, 0)
+        );
+        let other = session.workload_key("y", 100);
+        assert_ne!(
+            session.trace_chunk_key(&wk, 0),
+            session.trace_chunk_key(&other, 0)
+        );
     }
 
     #[test]

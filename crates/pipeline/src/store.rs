@@ -9,7 +9,7 @@ use std::sync::Arc;
 use crate::fault::FaultPlan;
 use crate::hash::ContentHash;
 use crate::json::Json;
-use crate::key::SCHEMA_VERSION;
+use crate::key::{MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 
 /// Transient-I/O retry attempts per store operation.
 const IO_ATTEMPTS: u32 = 3;
@@ -200,8 +200,13 @@ impl ArtifactStore {
             .get("schema")
             .and_then(Json::as_u64)
             .ok_or("missing schema field")?;
-        if schema != u64::from(SCHEMA_VERSION) {
-            return Err(format!("schema {schema} != current {SCHEMA_VERSION}"));
+        // Read-compat window: v1 envelopes (pre-chunking) are identical in
+        // shape for every payload kind that existed then, so they stay
+        // readable. Anything outside the window is discarded.
+        if schema < u64::from(MIN_SCHEMA_VERSION) || schema > u64::from(SCHEMA_VERSION) {
+            return Err(format!(
+                "schema {schema} outside supported range {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
+            ));
         }
         let stored = doc
             .get("key")
@@ -352,6 +357,22 @@ mod tests {
         std::fs::write(store.path_for(&k), doc.to_string()).unwrap();
         assert_eq!(store.load(&k), None);
         assert_eq!(store.stats().discarded, 1);
+    }
+
+    #[test]
+    fn v1_envelope_stays_readable() {
+        let store = temp_store("v1compat");
+        let k = key("v1");
+        // Hand-write a v1 envelope (the pre-chunking file format).
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::U64(u64::from(MIN_SCHEMA_VERSION))),
+            ("key".into(), Json::Str(k.hex())),
+            ("payload".into(), Json::U64(42)),
+        ]);
+        std::fs::create_dir_all(store.dir()).unwrap();
+        std::fs::write(store.path_for(&k), doc.to_string()).unwrap();
+        assert_eq!(store.load(&k), Some(Json::U64(42)));
+        assert_eq!(store.stats().discarded, 0);
     }
 
     #[test]

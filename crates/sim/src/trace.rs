@@ -155,6 +155,15 @@ impl RegDepTracker {
         self.last_writer[reg.index()]
     }
 
+    /// Every current last-writer `seq`, across all registers.
+    ///
+    /// This is the live register-dependence frontier: any `seq` not in it
+    /// (and not referenced elsewhere) can never be named as a register
+    /// producer again, so windowed consumers may retire its state.
+    pub fn writers(&self) -> impl Iterator<Item = u64> + '_ {
+        self.last_writer.iter().filter_map(|w| *w)
+    }
+
     /// Records that `inst` retired as dynamic instruction `seq`.
     pub fn retire(&mut self, inst: &Inst, seq: u64) {
         if let Some(d) = inst.dest() {

@@ -50,4 +50,7 @@ pub use graph::{DepGraph, EdgeKind, NodeId, Provenance};
 pub use model::{BindingCounts, CoreModel, InstTimes, MemDepTracker, ModelDep, ModelInst};
 pub use reference::{simulate_reference, try_simulate_reference, ReferenceRun, Watchdog};
 pub use resource::ResourceTable;
-pub use run::{finish_run, model_inst_for, simulate_trace, try_simulate_trace, CoreRun};
+pub use run::{
+    finish_run, model_inst_for, simulate_source, simulate_trace, try_simulate_source,
+    try_simulate_trace, CoreRun, RegTimes, SourceSimError, StreamSim,
+};

@@ -294,6 +294,12 @@ impl CoreModel {
         &self.binding
     }
 
+    /// Consumes the model, yielding its binding counts without a copy.
+    #[must_use]
+    pub fn into_binding_counts(self) -> BindingCounts {
+        self.binding
+    }
+
     /// Completion cycle of the latest commit (the region's length so far).
     #[must_use]
     pub fn now(&self) -> u64 {

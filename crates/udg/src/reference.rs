@@ -60,8 +60,12 @@ struct RobEntry {
     mispredicted: bool,
 }
 
-/// Sentinel: "not yet completed".
-const PENDING: u64 = u64::MAX;
+/// Completion times are kept in a pruned map: an absent `seq` means "not
+/// yet completed" for in-flight entries. The map is trimmed back to the
+/// live dependence frontier (ROB producers, register last-writers, and
+/// store-buffer producers) whenever it crosses this floor, so its size
+/// tracks the machine's window — not the trace length.
+const PRUNE_FLOOR: usize = 4096;
 
 /// Simulates `trace` on `config` cycle by cycle.
 ///
@@ -138,7 +142,8 @@ pub fn try_simulate_reference(
         width
     };
 
-    let mut complete_at: Vec<u64> = vec![PENDING; trace.len()];
+    let mut complete_at: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut prune_watermark = PRUNE_FLOOR;
     let mut regs = RegDepTracker::new();
     // Last store seq per 8-byte word (for store→load links).
     let mut last_store: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
@@ -160,7 +165,7 @@ pub fn try_simulate_reference(
             if let Stage::Executing { done_at } = e.stage {
                 if done_at <= cycle {
                     e.stage = Stage::Done;
-                    complete_at[e.seq as usize] = done_at;
+                    complete_at.insert(e.seq, done_at);
                     if e.mispredicted && fetch_blocked_on == Some(e.seq) {
                         fetch_blocked_on = None;
                         fetch_stall_until =
@@ -182,6 +187,21 @@ pub fn try_simulate_reference(
                 }
                 _ => break,
             }
+        }
+
+        // ---- Prune completion times to the live frontier -----------------
+        if complete_at.len() >= prune_watermark {
+            let mut keep: std::collections::HashSet<u64> =
+                std::collections::HashSet::with_capacity(complete_at.len());
+            for e in &rob {
+                keep.extend(e.producers.iter().copied());
+            }
+            keep.extend(regs.writers());
+            keep.extend(last_store.values().copied());
+            complete_at.retain(|seq, _| keep.contains(seq));
+            // Re-arm well above the irreducible live set so pruning stays
+            // amortized O(1) per instruction.
+            prune_watermark = (complete_at.len() * 2).max(PRUNE_FLOOR);
         }
 
         // ---- Issue (oldest-first select) ---------------------------------
@@ -213,7 +233,7 @@ pub fn try_simulate_reference(
             let ready = e
                 .producers
                 .iter()
-                .all(|&p| complete_at[p as usize] != PENDING && complete_at[p as usize] <= cycle);
+                .all(|&p| complete_at.get(&p).is_some_and(|&t| t <= cycle));
             let unit = match e.fu {
                 prism_isa::FuClass::Alu => &mut alu,
                 prism_isa::FuClass::MulDiv => &mut muldiv,

@@ -1,12 +1,20 @@
 //! Whole-trace evaluation: builds the original µDG (the paper's
-//! `TDG_GPP,∅`) from a recorded trace and reports cycles, energy, and IPC.
+//! `TDG_GPP,∅`) from a recorded trace — or, chunk by chunk, from a
+//! streaming [`TraceSource`] — and reports cycles, energy, and IPC.
+//!
+//! The evaluation state is O(window), not O(trace): node times are
+//! finalized at insertion, and the only cross-instruction state is the
+//! per-register last-writer completion time ([`RegTimes`]) plus the
+//! memory-dependence footprint ([`MemDepTracker`]). Chunks can therefore
+//! be dropped as soon as they are consumed.
 
 use prism_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
-use prism_sim::{RegDepTracker, Trace};
+use prism_isa::{Inst, Program, NUM_REGS};
+use prism_sim::{DynInst, RegDepTracker, Trace, TraceChunk, TraceError, TraceSource};
 
 use crate::{
-    BudgetExceeded, CoreConfig, CoreModel, ExecBudget, MemDepTracker, ModelDep, ModelInst,
-    NODES_PER_INST,
+    BudgetExceeded, CoreConfig, CoreModel, ExecBudget, FuelMeter, MemDepTracker, ModelDep,
+    ModelInst, NODES_PER_INST,
 };
 
 /// Result of evaluating a trace on a core configuration.
@@ -50,24 +58,72 @@ impl CoreRun {
     }
 }
 
-/// Builds the [`ModelInst`] for one dynamic instruction of a trace.
+/// Streaming register-time tracker: the completion time of every
+/// architectural register's last writer.
 ///
-/// Resolves register dependences through `regs` (producer completion
-/// times in `p_times`) and memory dependences through `mems`.
+/// This is the windowed replacement for an O(trace) `p_times` vector:
+/// dependences are only ever resolved against the *current* last writer
+/// of each source register, so one `u64` per register suffices — exactly
+/// the paper's "times are finalized at insertion" property.
+#[derive(Debug, Clone)]
+pub struct RegTimes {
+    regs: RegDepTracker,
+    times: [u64; NUM_REGS as usize],
+}
+
+impl Default for RegTimes {
+    fn default() -> Self {
+        RegTimes {
+            regs: RegDepTracker::new(),
+            times: [0; NUM_REGS as usize],
+        }
+    }
+}
+
+impl RegTimes {
+    /// Creates a tracker with no known producers.
+    #[must_use]
+    pub fn new() -> Self {
+        RegTimes::default()
+    }
+
+    /// Data dependences of `inst`: one [`ModelDep::data`] per source
+    /// register with a known producer, in source order (identical to
+    /// resolving [`RegDepTracker::sources`] against producer times).
+    #[must_use]
+    pub fn data_deps(&self, inst: &Inst) -> Vec<ModelDep> {
+        inst.sources()
+            .filter_map(|r| {
+                self.regs
+                    .writer_of(r)
+                    .map(|_| ModelDep::data(self.times[r.index()]))
+            })
+            .collect()
+    }
+
+    /// Records that `inst` retired as dynamic instruction `seq`,
+    /// completing at `complete`.
+    pub fn retire(&mut self, inst: &Inst, seq: u64, complete: u64) {
+        if let Some(d) = inst.dest() {
+            self.times[d.index()] = complete;
+        }
+        self.regs.retire(inst, seq);
+    }
+}
+
+/// Builds the [`ModelInst`] for one dynamic instruction.
+///
+/// Resolves register dependences through the streaming `regs` tracker and
+/// memory dependences through `mems`.
 #[must_use]
 pub fn model_inst_for(
-    trace: &Trace,
+    program: &Program,
     d: &prism_sim::DynInst,
-    regs: &RegDepTracker,
-    p_times: &[u64],
+    regs: &RegTimes,
     mems: &MemDepTracker,
 ) -> ModelInst {
-    let inst = trace.static_inst(d);
-    let mut deps: Vec<ModelDep> = regs
-        .sources(inst)
-        .into_iter()
-        .map(|seq| ModelDep::data(p_times[seq as usize]))
-        .collect();
+    let inst = program.inst(d.sid);
+    let mut deps: Vec<ModelDep> = regs.data_deps(inst);
     let mut latency = u64::from(inst.op.latency());
     let mut mem_level = None;
     let mut is_store = false;
@@ -141,27 +197,157 @@ pub fn try_simulate_trace(
     config: &CoreConfig,
     budget: &ExecBudget,
 ) -> Result<CoreRun, BudgetExceeded> {
-    let mut meter = budget.meter();
-    let mut core = CoreModel::new(config);
-    let mut regs = RegDepTracker::new();
-    let mut mems = MemDepTracker::new();
-    let mut p_times: Vec<u64> = Vec::with_capacity(trace.len());
-
+    let mut sim = StreamSim::new(config, budget);
     for d in &trace.insts {
-        meter.charge(NODES_PER_INST)?;
-        let mi = model_inst_for(trace, d, &regs, &p_times, &mems);
-        let times = core.issue(&mi);
-        p_times.push(times.complete);
-        let inst = trace.static_inst(d);
-        regs.retire(inst, d.seq);
-        if let Some(m) = &d.mem {
-            if m.is_store {
-                mems.record_store(m.addr, m.width, times.complete);
-            }
+        sim.step(&trace.program, d)?;
+    }
+    Ok(sim.finish(config))
+}
+
+/// Incremental µDG evaluation engine: feed dynamic instructions (or whole
+/// [`TraceChunk`]s) as they are produced; state stays O(window).
+#[derive(Debug)]
+pub struct StreamSim {
+    core: CoreModel,
+    regs: RegTimes,
+    mems: MemDepTracker,
+    meter: FuelMeter,
+    insts: u64,
+}
+
+impl StreamSim {
+    /// Creates an engine for `config` under `budget`.
+    #[must_use]
+    pub fn new(config: &CoreConfig, budget: &ExecBudget) -> Self {
+        StreamSim {
+            core: CoreModel::new(config),
+            regs: RegTimes::new(),
+            mems: MemDepTracker::new(),
+            meter: budget.meter(),
+            insts: 0,
         }
     }
 
-    Ok(finish_run(core, config, trace.len() as u64))
+    /// Issues one dynamic instruction into the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] if charging [`NODES_PER_INST`] fuel trips
+    /// the budget.
+    pub fn step(&mut self, program: &Program, d: &DynInst) -> Result<(), BudgetExceeded> {
+        self.meter.charge(NODES_PER_INST)?;
+        let mi = model_inst_for(program, d, &self.regs, &self.mems);
+        let times = self.core.issue(&mi);
+        let inst = program.inst(d.sid);
+        self.regs.retire(inst, d.seq, times.complete);
+        if let Some(m) = &d.mem {
+            if m.is_store {
+                self.mems.record_store(m.addr, m.width, times.complete);
+            }
+        }
+        self.insts += 1;
+        Ok(())
+    }
+
+    /// Issues every instruction of `chunk`.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamSim::step`].
+    pub fn feed_chunk(
+        &mut self,
+        program: &Program,
+        chunk: &TraceChunk,
+    ) -> Result<(), BudgetExceeded> {
+        for d in &chunk.insts {
+            self.step(program, d)?;
+        }
+        Ok(())
+    }
+
+    /// Instructions issued so far.
+    #[must_use]
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+
+    /// Finalizes the run into a [`CoreRun`].
+    #[must_use]
+    pub fn finish(self, config: &CoreConfig) -> CoreRun {
+        finish_run(self.core, config, self.insts)
+    }
+}
+
+/// Error from a source-driven evaluation: either the evaluation budget
+/// tripped or the underlying simulator faulted while producing the trace.
+#[derive(Debug)]
+pub enum SourceSimError {
+    /// The µDG node budget was exhausted.
+    Budget(BudgetExceeded),
+    /// The functional simulator failed to produce the next chunk.
+    Trace(TraceError),
+}
+
+impl std::fmt::Display for SourceSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceSimError::Budget(e) => write!(f, "{e}"),
+            SourceSimError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceSimError {}
+
+impl From<BudgetExceeded> for SourceSimError {
+    fn from(e: BudgetExceeded) -> Self {
+        SourceSimError::Budget(e)
+    }
+}
+
+impl From<TraceError> for SourceSimError {
+    fn from(e: TraceError) -> Self {
+        SourceSimError::Trace(e)
+    }
+}
+
+/// Evaluates `config` over the chunks of `source`, overlapping simulation
+/// with evaluation and never holding more than one chunk in memory.
+///
+/// # Errors
+///
+/// Returns [`SourceSimError::Budget`] when the node budget trips, or
+/// [`SourceSimError::Trace`] when the simulator faults.
+pub fn try_simulate_source<S: TraceSource>(
+    source: &mut S,
+    config: &CoreConfig,
+    budget: &ExecBudget,
+) -> Result<CoreRun, SourceSimError> {
+    let mut sim = StreamSim::new(config, budget);
+    while let Some(chunk) = source.next_chunk()? {
+        sim.feed_chunk(source.program(), &chunk)?;
+        if chunk.last {
+            break;
+        }
+    }
+    Ok(sim.finish(config))
+}
+
+/// [`try_simulate_source`] with an unlimited budget; still surfaces
+/// simulator faults.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] when the simulator faults mid-stream.
+pub fn simulate_source<S: TraceSource>(
+    source: &mut S,
+    config: &CoreConfig,
+) -> Result<CoreRun, TraceError> {
+    match try_simulate_source(source, config, &ExecBudget::unlimited()) {
+        Ok(run) => Ok(run),
+        Err(SourceSimError::Trace(e)) => Err(e),
+        Err(SourceSimError::Budget(_)) => unreachable!("unlimited budget cannot trip"),
+    }
 }
 
 /// Packages a finished [`CoreModel`] into a [`CoreRun`], pricing its events
@@ -179,7 +365,7 @@ pub fn finish_run(core: CoreModel, config: &CoreConfig, insts: u64) -> CoreRun {
         insts,
         events,
         energy,
-        binding: core.binding_counts().clone(),
+        binding: core.into_binding_counts(),
     }
 }
 
@@ -348,5 +534,33 @@ mod tests {
         let t = prism_sim::trace(&dp_kernel(50)).unwrap();
         let run = simulate_trace(&t, &CoreConfig::ooo2());
         assert!(run.ipe() > 0.0);
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_trace() {
+        let p = dp_kernel(300);
+        let t = prism_sim::trace(&p).unwrap();
+        let whole = simulate_trace(&t, &CoreConfig::ooo2());
+        // Drive the same evaluation straight off the simulator with a tiny
+        // chunk size so several chunk boundaries land mid-loop.
+        let mut src = prism_sim::SimSource::new(&p, &prism_sim::TracerConfig::default())
+            .unwrap()
+            .with_chunk_size(257);
+        let streamed = simulate_source(&mut src, &CoreConfig::ooo2()).unwrap();
+        assert_eq!(streamed.cycles, whole.cycles);
+        assert_eq!(streamed.insts, whole.insts);
+        assert_eq!(streamed.energy.total(), whole.energy.total());
+        assert_eq!(streamed.binding, whole.binding);
+    }
+
+    #[test]
+    fn source_budget_trips_mid_stream() {
+        let p = dp_kernel(500);
+        let mut src = prism_sim::SimSource::new(&p, &prism_sim::TracerConfig::default()).unwrap();
+        let budget = ExecBudget::new(10 * NODES_PER_INST);
+        match try_simulate_source(&mut src, &CoreConfig::ooo2(), &budget) {
+            Err(SourceSimError::Budget(e)) => assert_eq!(e.max_nodes, 10 * NODES_PER_INST),
+            other => panic!("expected budget trip, got {other:?}"),
+        }
     }
 }

@@ -109,10 +109,45 @@ impl Workload {
         (self.build)(self.default_n)
     }
 
+    /// The default problem size multiplied by [`scale`] (`PRISM_SCALE`).
+    /// This is the size the pipeline actually prepares.
+    #[must_use]
+    pub fn scaled_n(&self) -> u32 {
+        self.default_n.saturating_mul(scale())
+    }
+
     /// The regularity class of the owning suite.
     #[must_use]
     pub fn class(&self) -> RegularityClass {
         self.suite.class()
+    }
+}
+
+/// Environment knob: a problem-size multiplier applied to every
+/// workload's `default_n` (see [`scale`]).
+pub const SCALE_ENV: &str = "PRISM_SCALE";
+
+/// The `PRISM_SCALE` problem-size multiplier (default 1): `PRISM_SCALE=16`
+/// runs every kernel at 16× its default iteration count, so long-trace
+/// behavior (streaming, bounded memory) is exercisable without editing
+/// kernels.
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a positive integer — like the
+/// other env knobs, a typo must not silently run at the default size.
+#[must_use]
+pub fn scale() -> u32 {
+    match std::env::var(SCALE_ENV) {
+        Ok(v) => {
+            let k = v
+                .trim()
+                .parse::<u32>()
+                .unwrap_or_else(|e| panic!("bad {SCALE_ENV} value `{v}`: {e}"));
+            assert!(k >= 1, "bad {SCALE_ENV} value `{v}`: must be >= 1");
+            k
+        }
+        Err(_) => 1,
     }
 }
 
