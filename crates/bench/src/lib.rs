@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod perf;
 pub mod published;
 
 use std::sync::OnceLock;

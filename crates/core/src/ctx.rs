@@ -1,11 +1,10 @@
 //! Shared execution context threaded through core and accelerator region
 //! models during a combined (core + accelerator) TDG evaluation.
 
-use std::collections::HashMap;
-
 use prism_energy::EnergyEvents;
 use prism_isa::{Inst, Program, StaticId};
 use prism_sim::{DynInst, RegDepTracker};
+use prism_udg::SeqTable;
 
 pub use crate::unit::ExecUnit;
 
@@ -16,19 +15,20 @@ pub use crate::unit::ExecUnit;
 /// per-unit cycle/instruction attribution used for the paper's Figure 13
 /// breakdowns.
 ///
-/// Completion times live in a map keyed by `seq`, not an O(trace) vector:
-/// callers resolve dependences only against *current* last writers, so the
-/// runner may call [`ExecCtx::trim_times`] at region boundaries to drop
-/// everything outside the live register frontier. Region models that
-/// capture producer seqs early (e.g. the DP-CGRA pre-pass) must not trim
-/// between capture and resolution — the runner never does.
+/// Completion times live in a windowed, seq-indexed [`SeqTable`], not an
+/// O(trace) vector: callers resolve dependences only against *current*
+/// last writers, so the runner may call [`ExecCtx::trim_times`] at region
+/// boundaries to drop everything outside the live register frontier.
+/// Region models that capture producer seqs early (e.g. the DP-CGRA
+/// pre-pass) must not trim between capture and resolution — the runner
+/// never does.
 #[derive(Debug)]
 pub struct ExecCtx<'t> {
     /// The static program the trace stream was recorded from.
     pub program: &'t Program,
     /// Completion time of each dynamic instruction, present once its
     /// region model assigns it and until trimmed.
-    p_times: HashMap<u64, u64>,
+    p_times: SeqTable,
     /// Register last-writer tracking over the *original* stream.
     pub regs: RegDepTracker,
     /// Store→load dependence tracking over the original stream.
@@ -60,7 +60,7 @@ impl<'t> ExecCtx<'t> {
     pub fn new(program: &'t Program) -> Self {
         ExecCtx {
             program,
-            p_times: HashMap::new(),
+            p_times: SeqTable::new(),
             regs: RegDepTracker::new(),
             mems: prism_udg::MemDepTracker::new(),
             events: EnergyEvents::new(),
@@ -79,7 +79,7 @@ impl<'t> ExecCtx<'t> {
     /// The completion time of dynamic instruction `seq`, if assigned.
     #[must_use]
     pub fn p_time(&self, seq: u64) -> Option<u64> {
-        self.p_times.get(&seq).copied()
+        self.p_times.get(seq)
     }
 
     /// Assigns the completion time of dynamic instruction `seq` without
@@ -99,8 +99,7 @@ impl<'t> ExecCtx<'t> {
     /// Safe only when no region model holds previously captured producer
     /// seqs: after this call, only current last-writer seqs resolve.
     pub fn trim_times(&mut self) {
-        let keep: std::collections::HashSet<u64> = self.regs.writers().collect();
-        self.p_times.retain(|seq, _| keep.contains(seq));
+        self.p_times.trim(self.regs.writers());
     }
 
     /// [`trim_times`](Self::trim_times) once the window exceeds a fixed
@@ -153,14 +152,25 @@ impl<'t> ExecCtx<'t> {
     /// and memory dependences through the store tracker.
     #[must_use]
     pub fn model_inst(&self, d: &DynInst) -> prism_udg::ModelInst {
+        let mut mi = prism_udg::ModelInst::default();
+        self.model_inst_into(d, &mut mi);
+        mi
+    }
+
+    /// [`ExecCtx::model_inst`] into a caller-owned scratch buffer: every
+    /// field is overwritten and the dependence vector is reused, so the
+    /// plain-core hot loop allocates nothing per instruction.
+    pub fn model_inst_into(&self, d: &DynInst, mi: &mut prism_udg::ModelInst) {
         use prism_udg::ModelDep;
         let inst = self.program.inst(d.sid);
-        let mut deps: Vec<ModelDep> = self
-            .regs
-            .sources(inst)
-            .into_iter()
-            .filter_map(|s| self.p_time(s).map(ModelDep::data))
-            .collect();
+        mi.deps.clear();
+        for r in inst.sources() {
+            if let Some(s) = self.regs.writer_of(r) {
+                if let Some(t) = self.p_time(s) {
+                    mi.deps.push(ModelDep::data(t));
+                }
+            }
+        }
         let mut latency = u64::from(inst.op.latency());
         let mut mem_level = None;
         let mut is_store = false;
@@ -172,22 +182,19 @@ impl<'t> ExecCtx<'t> {
             } else {
                 latency = u64::from(m.latency);
                 if let Some(ready) = self.mems.load_dependence(m.addr, m.width) {
-                    deps.push(ModelDep::memory(ready));
+                    mi.deps.push(ModelDep::memory(ready));
                 }
             }
         }
-        prism_udg::ModelInst {
-            fu: inst.fu_class(),
-            latency,
-            deps,
-            mem_level,
-            is_store,
-            is_cond_branch: inst.op.is_cond_branch(),
-            mispredicted: d.branch.is_some_and(|b| b.mispredicted),
-            branch_taken: d.branch.is_some_and(|b| b.taken),
-            vector: false,
-            reads: inst.sources().count() as u8,
-            writes: u8::from(inst.dest().is_some()),
-        }
+        mi.fu = inst.fu_class();
+        mi.latency = latency;
+        mi.mem_level = mem_level;
+        mi.is_store = is_store;
+        mi.is_cond_branch = inst.op.is_cond_branch();
+        mi.mispredicted = d.branch.is_some_and(|b| b.mispredicted);
+        mi.branch_taken = d.branch.is_some_and(|b| b.taken);
+        mi.vector = false;
+        mi.reads = inst.sources().count() as u8;
+        mi.writes = u8::from(inst.dest().is_some());
     }
 }

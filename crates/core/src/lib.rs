@@ -36,5 +36,5 @@ mod unit;
 
 pub use ctx::{ExecCtx, TimelineSample};
 pub use plan::{AccelPlans, Assignment};
-pub use runner::{run_exocore, ExoRunResult};
+pub use runner::{price_exocore, run_exocore, run_exocore_timing, ExoRunResult, ExoTiming};
 pub use unit::{BsaKind, ExecUnit};

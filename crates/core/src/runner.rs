@@ -71,8 +71,43 @@ impl ExoRunResult {
     }
 }
 
+/// The accelerator-independent half of an ExoCore evaluation: everything
+/// [`run_exocore`] computes that depends only on the (workload, core,
+/// assignment) triple — node times, cycle/instruction attribution, energy
+/// *events*, and the switching timeline — but not on which BSAs are
+/// physically present. Pricing (area, leakage, energy) is layered on by
+/// [`price_exocore`].
+///
+/// Because Oracle scheduling picks the same assignment for many of the 16
+/// BSA subsets of a core, a DSE can compute one `ExoTiming` per distinct
+/// assignment and re-price it per subset instead of re-walking the trace.
+#[derive(Debug, Clone)]
+pub struct ExoTiming {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Original-trace instructions covered.
+    pub insts: u64,
+    /// Accumulated energy events (core + accelerators).
+    pub events: EnergyEvents,
+    /// Cycles attributed per unit (GPP already holds the remainder).
+    pub unit_cycles: [u64; ExecUnit::COUNT],
+    /// Original instructions attributed per unit.
+    pub unit_insts: [u64; ExecUnit::COUNT],
+    /// Per-unit accelerator events.
+    pub unit_accel: [prism_energy::AccelEvents; ExecUnit::COUNT],
+    /// Per-unit core-pipeline events (GPP holds total minus claimed).
+    pub unit_core: [prism_energy::CoreEvents; ExecUnit::COUNT],
+    /// Region-end samples (Fig. 14 switching timeline).
+    pub timeline: Vec<TimelineSample>,
+    /// Trace-P iterations replayed on the host.
+    pub trace_replays: u64,
+}
+
 /// Evaluates `trace` on an ExoCore: `core_cfg` plus the BSAs in
 /// `accels_present`, with regions assigned per `assignment`.
+///
+/// Equivalent to [`run_exocore_timing`] followed by [`price_exocore`]
+/// (bit-identical, including float-operation order).
 ///
 /// # Panics
 ///
@@ -87,15 +122,37 @@ pub fn run_exocore(
     assignment: &Assignment,
     accels_present: &[BsaKind],
 ) -> ExoRunResult {
+    for &kind in assignment.map.values() {
+        assert!(
+            accels_present.contains(&kind),
+            "assignment to absent accelerator {kind}"
+        );
+    }
+    let timing = run_exocore_timing(trace, ir, core_cfg, plans, assignment);
+    price_exocore(&timing, core_cfg, accels_present)
+}
+
+/// The trace-walking half of [`run_exocore`]: computes every
+/// accelerator-presence-independent quantity for one
+/// (trace, core, assignment) triple.
+///
+/// # Panics
+///
+/// Panics if the assignment is not well-formed (overlapping loops) or
+/// assigns a BSA without a plan.
+#[must_use]
+pub fn run_exocore_timing(
+    trace: &Trace,
+    ir: &ProgramIr,
+    core_cfg: &CoreConfig,
+    plans: &AccelPlans,
+    assignment: &Assignment,
+) -> ExoTiming {
     assert!(assignment.is_well_formed(ir), "overlapping loop assignment");
     for (&lid, &kind) in &assignment.map {
         assert!(
             plans.has(kind, lid),
             "assignment without plan: {kind} @ loop {lid}"
-        );
-        assert!(
-            accels_present.contains(&kind),
-            "assignment to absent accelerator {kind}"
         );
     }
 
@@ -123,6 +180,7 @@ pub fn run_exocore(
 
     let mut core = CoreModel::new(core_cfg);
     let mut ctx = ExecCtx::new(&trace.program);
+    let mut scratch = prism_udg::ModelInst::default();
     let mut cgra_state = CgraState::new();
     let mut trace_replays = 0u64;
     let mut last_accel_end = 0u64;
@@ -211,8 +269,8 @@ pub fn run_exocore(
             ctx.trim_times();
             i = end_idx;
         } else {
-            let mi = ctx.model_inst(d);
-            let t = core.issue(&mi);
+            ctx.model_inst_into(d, &mut scratch);
+            let t = core.issue(&scratch);
             ctx.retire(d, t.complete);
             gpp_seg_insts += 1;
             if gpp_seg_insts.is_multiple_of(GPP_TRIM_INTERVAL) {
@@ -236,8 +294,8 @@ pub fn run_exocore(
     let accel_cycles: u64 = ctx.unit_cycles[1..].iter().sum();
     ctx.unit_cycles[ExecUnit::Gpp as usize] = cycles.saturating_sub(accel_cycles);
 
-    // Energy: core pipeline events from the model, accelerator + shared-
-    // cache events from the context.
+    // Energy events: core pipeline events from the model, accelerator +
+    // shared-cache events from the context.
     let mut events = ctx.events;
     events.core.merge(core.events());
     // GPP's core events = total minus what regions claimed.
@@ -248,6 +306,35 @@ pub fn run_exocore(
         }
         unit_core[ExecUnit::Gpp as usize] = events.core.since(&claimed);
     }
+
+    ExoTiming {
+        cycles,
+        insts: trace.len() as u64,
+        events,
+        unit_cycles: ctx.unit_cycles,
+        unit_insts: ctx.unit_insts,
+        unit_accel,
+        unit_core,
+        timeline: ctx.timeline,
+        trace_replays,
+    }
+}
+
+/// Prices an [`ExoTiming`] for a design where `accels_present` are
+/// physically present: area, leakage with dark-silicon gating, the energy
+/// breakdown, and the per-unit energy attribution. Pure arithmetic — no
+/// trace walk — and bit-identical to the corresponding [`run_exocore`]
+/// tail (same float operations in the same order).
+#[must_use]
+pub fn price_exocore(
+    timing: &ExoTiming,
+    core_cfg: &CoreConfig,
+    accels_present: &[BsaKind],
+) -> ExoRunResult {
+    let cycles = timing.cycles;
+    let events = timing.events;
+    let unit_core = &timing.unit_core;
+    let unit_accel = &timing.unit_accel;
     let model = EnergyModel::new();
     let areas = AccelAreas::new();
     let core_area = core_cfg.area_mm2();
@@ -263,8 +350,8 @@ pub fn run_exocore(
     // Leakage with dark-silicon power gating: the core is partially gated
     // while NS-DF / Trace-P regions run; each accelerator leaks fully only
     // while active and retains 10% sleep leakage otherwise.
-    let offload_cycles = (ctx.unit_cycles[ExecUnit::NsDf as usize]
-        + ctx.unit_cycles[ExecUnit::TraceP as usize])
+    let offload_cycles = (timing.unit_cycles[ExecUnit::NsDf as usize]
+        + timing.unit_cycles[ExecUnit::TraceP as usize])
         .min(cycles);
     let mut leakage =
         model.leakage(core_area, cycles) - model.leakage(core_area * 0.65, offload_cycles);
@@ -275,7 +362,7 @@ pub fn run_exocore(
         BsaKind::TraceP => areas.trace_p,
     };
     for k in accels_present {
-        let active = ctx.unit_cycles[k.unit() as usize].min(cycles);
+        let active = timing.unit_cycles[k.unit() as usize].min(cycles);
         leakage +=
             model.leakage(areas_of(k), active) + 0.1 * model.leakage(areas_of(k), cycles - active);
     }
@@ -293,7 +380,7 @@ pub fn run_exocore(
         let share = if cycles == 0 {
             0.0
         } else {
-            ctx.unit_cycles[u] as f64 / cycles as f64
+            timing.unit_cycles[u] as f64 / cycles as f64
         };
         unit_energy[u] = model.core_dynamic(&unit_core[u], &ecfg)
             + model.accel_dynamic(&unit_accel[u])
@@ -304,15 +391,15 @@ pub fn run_exocore(
         config_name: core_cfg.name.clone(),
         accels_present: accels_present.to_vec(),
         cycles,
-        insts: trace.len() as u64,
+        insts: timing.insts,
         events,
         energy,
         area_mm2: core_area + accel_area,
-        unit_cycles: ctx.unit_cycles,
-        unit_insts: ctx.unit_insts,
+        unit_cycles: timing.unit_cycles,
+        unit_insts: timing.unit_insts,
         unit_energy,
-        timeline: ctx.timeline,
-        trace_replays,
+        timeline: timing.timeline.clone(),
+        trace_replays: timing.trace_replays,
     }
 }
 

@@ -42,8 +42,9 @@ mod timeline;
 
 pub use data::WorkloadData;
 pub use dse::{
-    all_bsa_subsets, all_cores, all_design_points, evaluate_point, explore, geomean,
-    pareto_frontier, DesignPoint, DesignResult, FrontierPoint, WorkloadMetrics,
+    all_bsa_subsets, all_cores, all_design_points, evaluate_point, evaluate_point_composed,
+    explore, explore_direct, geomean, pareto_frontier, DesignPoint, DesignResult, FrontierPoint,
+    WorkloadMetrics,
 };
 pub use schedule::{
     amdahl_schedule, oracle_pick, oracle_schedule, oracle_table, oracle_table_budgeted,

@@ -24,7 +24,7 @@ use prism_exocore::{
     OracleTable, WorkloadData, WorkloadMetrics,
 };
 use prism_sim::{SimSource, Trace, TraceSource, TracerConfig};
-use prism_tdg::{run_exocore, BsaKind};
+use prism_tdg::{price_exocore, run_exocore, run_exocore_timing, Assignment, BsaKind, ExoTiming};
 use prism_udg::{simulate_reference, simulate_trace, CoreConfig, ExecBudget, NODES_PER_INST};
 use prism_workloads::{Suite, Workload};
 
@@ -70,6 +70,14 @@ pub struct SessionStats {
     pub sim_insts: u64,
     /// Wall-clock nanoseconds spent producing them.
     pub sim_nanos: u64,
+    /// Wall-clock nanoseconds spent in combined-TDG trace walks (µDG
+    /// timing model, [`run_exocore`] / [`run_exocore_timing`]).
+    pub udg_nanos: u64,
+    /// Wall-clock nanoseconds spent in IR reconstruction + accelerator
+    /// analysis ([`WorkloadData::from_trace`]).
+    pub transform_nanos: u64,
+    /// Wall-clock nanoseconds spent measuring oracle tables (scheduling).
+    pub schedule_nanos: u64,
     /// Largest single in-flight trace chunk, in bytes — the streaming
     /// architecture's memory high-water mark for trace storage.
     pub peak_chunk_bytes: u64,
@@ -82,6 +90,9 @@ impl std::ops::AddAssign for SessionStats {
         self.memo_misses += rhs.memo_misses;
         self.sim_insts += rhs.sim_insts;
         self.sim_nanos += rhs.sim_nanos;
+        self.udg_nanos += rhs.udg_nanos;
+        self.transform_nanos += rhs.transform_nanos;
+        self.schedule_nanos += rhs.schedule_nanos;
         self.peak_chunk_bytes = self.peak_chunk_bytes.max(rhs.peak_chunk_bytes);
     }
 }
@@ -108,6 +119,8 @@ impl SessionStats {
              recomputes     : {}\n\
              memo           : {} hits, {} misses\n\
              sim throughput : {} insts in {} ms ({:.0} insts/sec)\n\
+             stage wall     : sim {} ms, uDG {} ms, transforms {} ms, \
+             schedule {} ms\n\
              peak chunk     : {} bytes\n",
             a.hits,
             a.misses,
@@ -120,6 +133,10 @@ impl SessionStats {
             self.sim_insts,
             self.sim_nanos / 1_000_000,
             self.insts_per_sec(),
+            self.sim_nanos / 1_000_000,
+            self.udg_nanos / 1_000_000,
+            self.transform_nanos / 1_000_000,
+            self.schedule_nanos / 1_000_000,
             self.peak_chunk_bytes,
         )
     }
@@ -242,6 +259,12 @@ fn panic_stage(message: &str, default: Stage) -> Stage {
 /// hashing, fault injection, prewarm, and chunk-level reuse across runs.
 pub const STREAM_ENV: &str = "PRISM_STREAM";
 
+/// Opt-out escape hatch: set (non-empty, non-`"0"`) to disable the
+/// trace-walk timing memo and evaluate every design point with a full
+/// [`run_exocore`] — the reference behavior for debugging the composed
+/// path. Results are byte-identical either way.
+pub const NO_COMPOSE_ENV: &str = "PRISM_NO_COMPOSE";
+
 /// The pipeline session: memoized stages + content-addressed artifacts +
 /// deterministic parallelism.
 #[derive(Debug)]
@@ -253,12 +276,17 @@ pub struct Session {
     budget: ExecBudget,
     guard: Option<DivergenceGuard>,
     streaming: bool,
+    composition: bool,
     workloads: Mutex<HashMap<ContentHash, Arc<WorkloadData>>>,
     tables: Mutex<HashMap<ContentHash, Arc<OracleTable>>>,
+    timings: Mutex<HashMap<ContentHash, Arc<ExoTiming>>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
     sim_insts: AtomicU64,
     sim_nanos: AtomicU64,
+    udg_nanos: AtomicU64,
+    transform_nanos: AtomicU64,
+    schedule_nanos: AtomicU64,
 }
 
 impl Default for Session {
@@ -310,12 +338,18 @@ impl Session {
             guard: DivergenceGuard::from_env(),
             streaming: std::env::var(STREAM_ENV)
                 .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0"),
+            composition: !std::env::var(NO_COMPOSE_ENV)
+                .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0"),
             workloads: Mutex::new(HashMap::new()),
             tables: Mutex::new(HashMap::new()),
+            timings: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
             sim_insts: AtomicU64::new(0),
             sim_nanos: AtomicU64::new(0),
+            udg_nanos: AtomicU64::new(0),
+            transform_nanos: AtomicU64::new(0),
+            schedule_nanos: AtomicU64::new(0),
         }
     }
 
@@ -374,6 +408,17 @@ impl Session {
     #[must_use]
     pub fn with_streaming(mut self, streaming: bool) -> Self {
         self.streaming = streaming;
+        self
+    }
+
+    /// Enables (or disables) the trace-walk timing memo: with composition
+    /// on, each distinct (workload, core variant, assignment) triple walks
+    /// the trace once ([`run_exocore_timing`]) and every design point
+    /// sharing it only re-prices the result ([`price_exocore`]).
+    /// Byte-identical to the direct path. Overrides `PRISM_NO_COMPOSE`.
+    #[must_use]
+    pub fn with_composition(mut self, composition: bool) -> Self {
+        self.composition = composition;
         self
     }
 
@@ -470,7 +515,10 @@ impl Session {
             }
         }
         let trace = self.record_trace(&key, &program, name)?;
+        let started = std::time::Instant::now();
         let data = Arc::new(WorkloadData::from_trace(trace));
+        self.transform_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.workloads
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -720,14 +768,76 @@ impl Session {
             return Ok(Arc::clone(table));
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
         let table = oracle_table_budgeted(&workload.data, core, &self.budget)
             .map_err(|e| PipelineError::budget(&workload.name, &e))?;
+        self.schedule_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let table = Arc::new(table);
         self.tables
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, Arc::clone(&table));
         Ok(table)
+    }
+
+    /// The memo key of one trace-walk timing: workload, core variant
+    /// (including the SIMD datapath flag), and the (sorted) assignment —
+    /// everything [`run_exocore_timing`] depends on.
+    fn timing_key(
+        &self,
+        workload: &PreparedWorkload,
+        core: &CoreConfig,
+        assignment: &Assignment,
+    ) -> ContentHash {
+        let mut kb = KeyBuilder::new("exo-timing");
+        kb.hash_field("workload", &workload.key);
+        kb.core(core);
+        let mut pairs: Vec<_> = assignment.map.iter().map(|(&l, &k)| (l, k)).collect();
+        pairs.sort_unstable();
+        let assigned: String = pairs
+            .iter()
+            .map(|(l, k)| format!("{l}={};", k.code()))
+            .collect();
+        kb.field("assigned", assigned);
+        kb.finish()
+    }
+
+    /// The trace-walk timing for (workload, core variant, assignment),
+    /// memoized for the session's lifetime. Counts against the session's
+    /// memo hit/miss stats and the µDG stage wall-time.
+    fn exo_timing(
+        &self,
+        workload: &PreparedWorkload,
+        core: &CoreConfig,
+        assignment: &Assignment,
+    ) -> Arc<ExoTiming> {
+        let key = self.timing_key(workload, core, assignment);
+        if let Some(t) = self
+            .timings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let started = std::time::Instant::now();
+        let timing = Arc::new(run_exocore_timing(
+            &workload.trace,
+            &workload.ir,
+            core,
+            &workload.plans,
+            assignment,
+        ));
+        self.udg_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.timings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, Arc::clone(&timing));
+        timing
     }
 
     fn evaluate_point(
@@ -741,7 +851,8 @@ impl Session {
             f.maybe_panic(Stage::Evaluate, &point.label());
         }
         // One fuel meter per design point: every combined-TDG run charges
-        // the µDG nodes it will place.
+        // the µDG nodes it will place — also with composition on, where a
+        // memo hit skips the walk but the budget semantics must not change.
         let mut meter = self.budget.meter();
         let mut per_workload = Vec::with_capacity(data.len());
         for w in data {
@@ -750,14 +861,29 @@ impl Session {
             meter
                 .charge((w.trace.len() as u64).saturating_mul(NODES_PER_INST))
                 .map_err(|e| PipelineError::budget(&w.name, &e))?;
-            let run = run_exocore(
-                &w.trace,
-                &w.ir,
-                &point.core,
-                &w.plans,
-                &assignment,
-                &point.bsas,
-            );
+            let run = if self.composition {
+                for &kind in assignment.map.values() {
+                    assert!(
+                        point.bsas.contains(&kind),
+                        "assignment to absent accelerator {kind}"
+                    );
+                }
+                let timing = self.exo_timing(w, &point.core, &assignment);
+                price_exocore(&timing, &point.core, &point.bsas)
+            } else {
+                let started = std::time::Instant::now();
+                let run = run_exocore(
+                    &w.trace,
+                    &w.ir,
+                    &point.core,
+                    &w.plans,
+                    &assignment,
+                    &point.bsas,
+                );
+                self.udg_nanos
+                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                run
+            };
             per_workload.push(WorkloadMetrics::from_run(&run, &w.name));
         }
         Ok(DesignResult {
@@ -864,6 +990,37 @@ impl Session {
         parallel_map(&pairs, self.jobs, |_, &(c, w)| {
             let _ = catch_unwind(AssertUnwindSafe(|| self.oracle_table(&data[w], &cores[c])));
         });
+
+        // With composition on, prefill the trace-walk timing memo over the
+        // *distinct* (workload, core variant, assignment) triples of the
+        // missing points, so parallel point evaluation hits the memo
+        // instead of racing to redo identical walks. Errors are ignored
+        // here; they resurface (typed) when the point is evaluated.
+        if self.composition {
+            let mut seen = std::collections::HashSet::new();
+            let mut walks: Vec<(usize, CoreConfig, Assignment)> = Vec::new();
+            for &idx in missing {
+                let (c, s) = (idx / subsets.len(), idx % subsets.len());
+                if core_block[c].is_some() {
+                    continue;
+                }
+                let point = DesignPoint::new(cores[c].clone(), subsets[s].clone());
+                for (wi, w) in data.iter().enumerate() {
+                    let Ok(table) = self.oracle_table(w, &cores[c]) else {
+                        continue;
+                    };
+                    let assignment = oracle_pick(&table, &w.data, &point.bsas);
+                    if seen.insert(self.timing_key(w, &point.core, &assignment)) {
+                        walks.push((wi, point.core.clone(), assignment));
+                    }
+                }
+            }
+            parallel_map(&walks, self.jobs, |_, (wi, core, assignment)| {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    self.exo_timing(&data[*wi], core, assignment)
+                }));
+            });
+        }
 
         // Evaluate every missing point; tables now come from the memo.
         parallel_map(missing, self.jobs, |_, &idx| {
@@ -1044,6 +1201,9 @@ impl Session {
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
             sim_insts: self.sim_insts.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            udg_nanos: self.udg_nanos.load(Ordering::Relaxed),
+            transform_nanos: self.transform_nanos.load(Ordering::Relaxed),
+            schedule_nanos: self.schedule_nanos.load(Ordering::Relaxed),
             peak_chunk_bytes: prism_sim::peak_chunk_bytes(),
         }
     }
@@ -1055,7 +1215,8 @@ impl Session {
             "[prism-pipeline] artifact cache: {} hits, {} misses ({} discarded, \
              {} I/O retries, {} I/O errors, {} recomputes); memo: {} hits, \
              {} misses; sim: {} insts at {:.0} insts/sec, peak chunk {} bytes; \
-             jobs={}",
+             stage wall: sim {} ms, uDG {} ms, transforms {} ms, schedule \
+             {} ms; jobs={}",
             s.artifacts.hits,
             s.artifacts.misses,
             s.artifacts.discarded,
@@ -1067,6 +1228,10 @@ impl Session {
             s.sim_insts,
             s.insts_per_sec(),
             s.peak_chunk_bytes,
+            s.sim_nanos / 1_000_000,
+            s.udg_nanos / 1_000_000,
+            s.transform_nanos / 1_000_000,
+            s.schedule_nanos / 1_000_000,
             self.jobs,
         );
     }

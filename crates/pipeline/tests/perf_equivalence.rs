@@ -1,0 +1,122 @@
+//! Equivalence proof for the performance layer: a full-registry sweep
+//! must be **byte-identical** with the trace-walk timing memo on
+//! (composed, the default) and off (`PRISM_NO_COMPOSE` / direct) — under
+//! plain runs, under fault injection, and under streaming mode. The memo
+//! re-prices a shared `ExoTiming` per BSA subset instead of re-walking
+//! the trace, and pricing preserves float-operation order, so not even a
+//! ULP may differ.
+
+use prism_pipeline::{FaultPlan, Session, SweepReport};
+use prism_sim::TracerConfig;
+use prism_tdg::BsaKind;
+use prism_udg::{CoreConfig, ExecBudget};
+use prism_workloads::Workload;
+
+fn quick_tracer() -> TracerConfig {
+    TracerConfig {
+        max_insts: 4_000,
+        ..TracerConfig::default()
+    }
+}
+
+/// A session insulated from ambient env knobs, composed or direct,
+/// writing artifacts under a fresh per-test store.
+fn session(tag: &str, composition: bool) -> Session {
+    let dir = std::env::temp_dir().join(format!(
+        "prism-perf-equiv-{}-{tag}-{composition}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    Session::new()
+        .with_tracer(quick_tracer())
+        .with_jobs(2)
+        .with_faults(None)
+        .with_budget(ExecBudget::unlimited())
+        .with_divergence_guard(None)
+        .with_streaming(false)
+        .with_composition(composition)
+        .with_store_dir(dir)
+}
+
+/// The full registry (every workload, quick-traced).
+fn full_registry() -> Vec<&'static Workload> {
+    prism_workloads::ALL.iter().collect()
+}
+
+/// The full 64-point grid.
+fn grid() -> (Vec<CoreConfig>, Vec<Vec<BsaKind>>) {
+    (prism_exocore::all_cores(), prism_exocore::all_bsa_subsets())
+}
+
+/// A reduced grid for the fault/streaming variants (the orthogonality
+/// they exercise does not depend on grid size, and this test binary
+/// must stay fast on single-core CI hosts).
+fn small_grid() -> (Vec<CoreConfig>, Vec<Vec<BsaKind>>) {
+    (
+        vec![CoreConfig::io2(), CoreConfig::ooo4()],
+        vec![
+            vec![],
+            vec![BsaKind::Simd],
+            vec![BsaKind::NsDf, BsaKind::TraceP],
+            BsaKind::ALL.to_vec(),
+        ],
+    )
+}
+
+/// Renders a report to the byte-exact form we compare: the Debug
+/// formatting covers every result field (cycles, energy floats, unit
+/// attributions) and the quarantine labels/errors.
+fn fingerprint(report: &SweepReport) -> String {
+    format!("{report:?}")
+}
+
+#[test]
+fn full_registry_sweep_is_byte_identical_composed_vs_direct() {
+    let workloads = full_registry();
+    let (cores, subsets) = grid();
+    let composed = session("plain", true).evaluate_designs(&workloads, &cores, &subsets);
+    let direct = session("plain", false).evaluate_designs(&workloads, &cores, &subsets);
+    assert!(composed.quarantined.is_empty(), "healthy sweep expected");
+    assert_eq!(fingerprint(&composed), fingerprint(&direct));
+}
+
+#[test]
+fn faulted_sweep_is_byte_identical_composed_vs_direct() {
+    // Deterministic fault plan (as if via PRISM_FAULTS): evaluate-stage
+    // panics and trace truncation quarantine the same units either way.
+    let plan = || {
+        std::sync::Arc::new(
+            FaultPlan::parse("trace-truncate:0.05,stage-panic:evaluate:2@seed=7")
+                .expect("valid spec"),
+        )
+    };
+    let workloads = full_registry();
+    let (cores, subsets) = small_grid();
+    let composed = session("faults", true)
+        .with_faults(Some(plan()))
+        .evaluate_designs(&workloads, &cores, &subsets);
+    let direct = session("faults", false)
+        .with_faults(Some(plan()))
+        .evaluate_designs(&workloads, &cores, &subsets);
+    assert!(
+        !composed.quarantined.is_empty(),
+        "fault plan must actually fire for this test to mean anything"
+    );
+    assert_eq!(fingerprint(&composed), fingerprint(&direct));
+}
+
+#[test]
+fn streaming_sweep_is_byte_identical_composed_vs_direct() {
+    // As if via PRISM_STREAM=1: chunked trace persistence must not
+    // disturb the composed path (and vice versa).
+    let workloads = full_registry();
+    let (cores, subsets) = small_grid();
+    let composed = session("stream", true)
+        .with_streaming(true)
+        .evaluate_designs(&workloads, &cores, &subsets);
+    let direct = session("stream", false)
+        .with_streaming(true)
+        .evaluate_designs(&workloads, &cores, &subsets);
+    assert!(composed.quarantined.is_empty(), "healthy sweep expected");
+    assert_eq!(fingerprint(&composed), fingerprint(&direct));
+}

@@ -60,6 +60,36 @@ pub enum EdgeKind {
     AccelReplay,
 }
 
+impl EdgeKind {
+    /// Number of edge kinds, for dense per-kind tables
+    /// (e.g. [`BindingCounts`](crate::BindingCounts)).
+    pub const COUNT: usize = 20;
+
+    /// Every edge kind, in discriminant order.
+    pub const ALL: [EdgeKind; EdgeKind::COUNT] = [
+        EdgeKind::FetchBw,
+        EdgeKind::FrontEnd,
+        EdgeKind::DispatchBw,
+        EdgeKind::RobFull,
+        EdgeKind::WindowFull,
+        EdgeKind::DispatchExec,
+        EdgeKind::DataDep,
+        EdgeKind::MemDep,
+        EdgeKind::Exec,
+        EdgeKind::Complete,
+        EdgeKind::CommitBw,
+        EdgeKind::InOrderIssue,
+        EdgeKind::Mispredict,
+        EdgeKind::Resource,
+        EdgeKind::AccelPipe,
+        EdgeKind::AccelComm,
+        EdgeKind::AccelConfig,
+        EdgeKind::AccelCfu,
+        EdgeKind::AccelBus,
+        EdgeKind::AccelReplay,
+    ];
+}
+
 /// Per-node provenance when tracking is enabled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Provenance {

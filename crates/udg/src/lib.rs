@@ -43,6 +43,7 @@ mod model;
 mod reference;
 mod resource;
 mod run;
+mod seqtable;
 
 pub use budget::{BudgetExceeded, ExecBudget, FuelMeter, NODES_PER_INST};
 pub use config::CoreConfig;
@@ -51,6 +52,7 @@ pub use model::{BindingCounts, CoreModel, InstTimes, MemDepTracker, ModelDep, Mo
 pub use reference::{simulate_reference, try_simulate_reference, ReferenceRun, Watchdog};
 pub use resource::ResourceTable;
 pub use run::{
-    finish_run, model_inst_for, simulate_source, simulate_trace, try_simulate_source,
-    try_simulate_trace, CoreRun, RegTimes, SourceSimError, StreamSim,
+    finish_run, model_inst_for, model_inst_for_into, simulate_source, simulate_trace,
+    try_simulate_source, try_simulate_trace, CoreRun, RegTimes, SourceSimError, StreamSim,
 };
+pub use seqtable::{FastBuildHasher, FastHasher, FastMap, FastSet, SeqTable};

@@ -19,12 +19,10 @@
 //! giving the critical-path attribution the paper's Appendix A uses for
 //! validation.
 
-use std::collections::HashMap;
-
 use prism_isa::FuClass;
 use prism_sim::MemLevel;
 
-use crate::{CoreConfig, EdgeKind, ResourceTable};
+use crate::{CoreConfig, EdgeKind, FastMap, ResourceTable};
 
 /// A dependence of a [`ModelInst`] on an earlier value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,7 +152,50 @@ impl TimeRing {
 }
 
 /// Binding-constraint tally: how many node times each edge kind determined.
-pub type BindingCounts = HashMap<EdgeKind, u64>;
+///
+/// A fixed-size per-[`EdgeKind`] array rather than a map — incrementing a
+/// tally is one indexed add on the hot path, and equality/iteration treat
+/// a zero count as "absent" (matching the former map semantics, where a
+/// kind only appeared once it had bound at least one node).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BindingCounts {
+    counts: [u64; EdgeKind::COUNT],
+}
+
+impl BindingCounts {
+    /// Creates an all-zero tally.
+    #[must_use]
+    pub fn new() -> Self {
+        BindingCounts::default()
+    }
+
+    /// Adds one binding of `kind`.
+    #[inline]
+    pub fn add(&mut self, kind: EdgeKind) {
+        self.counts[kind as usize] += 1;
+    }
+
+    /// The tally for `kind`, if it ever bound a node (map-style API).
+    #[must_use]
+    pub fn get(&self, kind: &EdgeKind) -> Option<&u64> {
+        let c = &self.counts[*kind as usize];
+        (*c != 0).then_some(c)
+    }
+
+    /// The nonzero tallies, in [`EdgeKind`] discriminant order.
+    pub fn values(&self) -> impl Iterator<Item = &u64> {
+        self.counts.iter().filter(|&&c| c != 0)
+    }
+
+    /// `(kind, count)` pairs for every kind that bound at least one node.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeKind, u64)> + '_ {
+        EdgeKind::ALL
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, &c)| c != 0)
+            .map(|(&k, &c)| (k, c))
+    }
+}
 
 /// Tracks the issue-window occupancy constraint precisely: dispatching
 /// instruction `i` requires fewer than `W` older instructions to still be
@@ -315,7 +356,7 @@ impl CoreModel {
     }
 
     fn bind(&mut self, kind: EdgeKind) {
-        *self.binding.entry(kind).or_insert(0) += 1;
+        self.binding.add(kind);
     }
 
     fn resource_for(&mut self, fu: FuClass) -> Option<&mut ResourceTable> {
@@ -499,7 +540,7 @@ impl CoreModel {
 /// edges.
 #[derive(Debug, Clone, Default)]
 pub struct MemDepTracker {
-    last_store_complete: HashMap<u64, u64>,
+    last_store_complete: FastMap<u64, u64>,
 }
 
 impl MemDepTracker {
@@ -528,6 +569,30 @@ impl MemDepTracker {
         for w in Self::words(addr, width) {
             self.last_store_complete.insert(w, complete);
         }
+    }
+
+    /// Words currently tracked (the store footprint).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.last_store_complete.len()
+    }
+
+    /// `true` when no store is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.last_store_complete.is_empty()
+    }
+
+    /// Drops entries whose store completed at or before `cutoff`.
+    ///
+    /// Timing-exact when every *future* load's execute time is at least
+    /// `cutoff`: such a dependence edge can never bind (the value is ready
+    /// before the load could possibly issue), so removing it changes
+    /// neither node times nor binding attribution. [`CoreModel`] dispatch
+    /// times are non-decreasing, so the current instruction's dispatch
+    /// time is always a valid cutoff for a plain-core stream.
+    pub fn prune_completed_by(&mut self, cutoff: u64) {
+        self.last_store_complete.retain(|_, &mut t| t > cutoff);
     }
 }
 

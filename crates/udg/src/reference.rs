@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 
 use prism_sim::{RegDepTracker, Trace};
 
-use crate::{BudgetExceeded, CoreConfig, ExecBudget, NODES_PER_INST};
+use crate::{BudgetExceeded, CoreConfig, ExecBudget, FastMap, FastSet, SeqTable, NODES_PER_INST};
 
 /// Result of a reference simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,11 +60,15 @@ struct RobEntry {
     mispredicted: bool,
 }
 
-/// Completion times are kept in a pruned map: an absent `seq` means "not
-/// yet completed" for in-flight entries. The map is trimmed back to the
-/// live dependence frontier (ROB producers, register last-writers, and
-/// store-buffer producers) whenever it crosses this floor, so its size
-/// tracks the machine's window — not the trace length.
+/// Completion times are kept in a windowed [`SeqTable`]: an absent `seq`
+/// means "not yet completed" for in-flight entries. The table is trimmed
+/// back to the live dependence frontier (ROB producers, register
+/// last-writers, and store-buffer producers) whenever it crosses this
+/// floor, so its size tracks the machine's window — not the trace length.
+/// The store-to-word map is pruned in the same pass: entries whose store
+/// has already completed are vacuous dependences (any later load issues at
+/// a cycle at or past the completion), so both structures stay bounded on
+/// arbitrarily long traces.
 const PRUNE_FLOOR: usize = 4096;
 
 /// Simulates `trace` on `config` cycle by cycle.
@@ -142,11 +146,13 @@ pub fn try_simulate_reference(
         width
     };
 
-    let mut complete_at: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut complete_at = SeqTable::with_capacity(PRUNE_FLOOR);
     let mut prune_watermark = PRUNE_FLOOR;
     let mut regs = RegDepTracker::new();
     // Last store seq per 8-byte word (for store→load links).
-    let mut last_store: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut last_store: FastMap<u64, u64> = FastMap::default();
+    // Reused keep-set buffer for the prune pass.
+    let mut keep: FastSet<u64> = FastSet::default();
 
     let mut rob: VecDeque<RobEntry> = VecDeque::new();
     let mut next_fetch: usize = 0;
@@ -191,14 +197,19 @@ pub fn try_simulate_reference(
 
         // ---- Prune completion times to the live frontier -----------------
         if complete_at.len() >= prune_watermark {
-            let mut keep: std::collections::HashSet<u64> =
-                std::collections::HashSet::with_capacity(complete_at.len());
+            // A word whose last store has already completed can never delay
+            // a later load (it issues at a cycle at or past the store's
+            // completion), so the store→word link is vacuous: drop it, and
+            // with it the only thing keeping that seq's completion time
+            // alive. This bounds `last_store` on long traces.
+            last_store.retain(|_, s| !complete_at.contains(*s));
+            keep.clear();
             for e in &rob {
                 keep.extend(e.producers.iter().copied());
             }
             keep.extend(regs.writers());
             keep.extend(last_store.values().copied());
-            complete_at.retain(|seq, _| keep.contains(seq));
+            complete_at.trim(keep.iter().copied());
             // Re-arm well above the irreducible live set so pruning stays
             // amortized O(1) per instruction.
             prune_watermark = (complete_at.len() * 2).max(PRUNE_FLOOR);
@@ -233,7 +244,7 @@ pub fn try_simulate_reference(
             let ready = e
                 .producers
                 .iter()
-                .all(|&p| complete_at.get(&p).is_some_and(|&t| t <= cycle));
+                .all(|&p| complete_at.get(p).is_some_and(|t| t <= cycle));
             let unit = match e.fu {
                 prism_isa::FuClass::Alu => &mut alu,
                 prism_isa::FuClass::MulDiv => &mut muldiv,

@@ -92,13 +92,20 @@ impl RegTimes {
     /// resolving [`RegDepTracker::sources`] against producer times).
     #[must_use]
     pub fn data_deps(&self, inst: &Inst) -> Vec<ModelDep> {
-        inst.sources()
-            .filter_map(|r| {
-                self.regs
-                    .writer_of(r)
-                    .map(|_| ModelDep::data(self.times[r.index()]))
-            })
-            .collect()
+        let mut deps = Vec::new();
+        self.data_deps_into(inst, &mut deps);
+        deps
+    }
+
+    /// [`RegTimes::data_deps`] into a caller-owned buffer (cleared first),
+    /// so the per-instruction hot path reuses one allocation.
+    pub fn data_deps_into(&self, inst: &Inst, deps: &mut Vec<ModelDep>) {
+        deps.clear();
+        for r in inst.sources() {
+            if self.regs.writer_of(r).is_some() {
+                deps.push(ModelDep::data(self.times[r.index()]));
+            }
+        }
     }
 
     /// Records that `inst` retired as dynamic instruction `seq`,
@@ -122,8 +129,23 @@ pub fn model_inst_for(
     regs: &RegTimes,
     mems: &MemDepTracker,
 ) -> ModelInst {
+    let mut mi = ModelInst::default();
+    model_inst_for_into(program, d, regs, mems, &mut mi);
+    mi
+}
+
+/// [`model_inst_for`] into a caller-owned scratch [`ModelInst`]: every
+/// field is overwritten and the dependence buffer is reused, so a streaming
+/// evaluation allocates nothing per instruction.
+pub fn model_inst_for_into(
+    program: &Program,
+    d: &prism_sim::DynInst,
+    regs: &RegTimes,
+    mems: &MemDepTracker,
+    mi: &mut ModelInst,
+) {
     let inst = program.inst(d.sid);
-    let mut deps: Vec<ModelDep> = regs.data_deps(inst);
+    regs.data_deps_into(inst, &mut mi.deps);
     let mut latency = u64::from(inst.op.latency());
     let mut mem_level = None;
     let mut is_store = false;
@@ -135,25 +157,20 @@ pub fn model_inst_for(
         } else {
             latency = u64::from(m.latency);
             if let Some(ready) = mems.load_dependence(m.addr, m.width) {
-                deps.push(ModelDep::memory(ready));
+                mi.deps.push(ModelDep::memory(ready));
             }
         }
     }
-    let reads = inst.sources().count() as u8;
-    let writes = u8::from(inst.dest().is_some());
-    ModelInst {
-        fu: inst.fu_class(),
-        latency,
-        deps,
-        mem_level,
-        is_store,
-        is_cond_branch: inst.op.is_cond_branch(),
-        mispredicted: d.branch.is_some_and(|b| b.mispredicted),
-        branch_taken: d.branch.is_some_and(|b| b.taken),
-        vector: false,
-        reads,
-        writes,
-    }
+    mi.fu = inst.fu_class();
+    mi.latency = latency;
+    mi.mem_level = mem_level;
+    mi.is_store = is_store;
+    mi.is_cond_branch = inst.op.is_cond_branch();
+    mi.mispredicted = d.branch.is_some_and(|b| b.mispredicted);
+    mi.branch_taken = d.branch.is_some_and(|b| b.taken);
+    mi.vector = false;
+    mi.reads = inst.sources().count() as u8;
+    mi.writes = u8::from(inst.dest().is_some());
 }
 
 /// Evaluates `trace` on `config`, producing the baseline (no-accelerator)
@@ -204,6 +221,11 @@ pub fn try_simulate_trace(
     Ok(sim.finish(config))
 }
 
+/// Store-footprint entries between prune passes of a [`StreamSim`]. Pruning
+/// rescans the footprint, so the watermark re-arms at twice the surviving
+/// size (amortized O(1) per instruction), never below this floor.
+const MEM_PRUNE_FLOOR: usize = 4096;
+
 /// Incremental µDG evaluation engine: feed dynamic instructions (or whole
 /// [`TraceChunk`]s) as they are produced; state stays O(window).
 #[derive(Debug)]
@@ -213,6 +235,9 @@ pub struct StreamSim {
     mems: MemDepTracker,
     meter: FuelMeter,
     insts: u64,
+    /// Reused per-instruction model buffer (no per-inst allocation).
+    scratch: ModelInst,
+    mem_prune_watermark: usize,
 }
 
 impl StreamSim {
@@ -225,6 +250,8 @@ impl StreamSim {
             mems: MemDepTracker::new(),
             meter: budget.meter(),
             insts: 0,
+            scratch: ModelInst::default(),
+            mem_prune_watermark: MEM_PRUNE_FLOOR,
         }
     }
 
@@ -236,14 +263,21 @@ impl StreamSim {
     /// the budget.
     pub fn step(&mut self, program: &Program, d: &DynInst) -> Result<(), BudgetExceeded> {
         self.meter.charge(NODES_PER_INST)?;
-        let mi = model_inst_for(program, d, &self.regs, &self.mems);
-        let times = self.core.issue(&mi);
+        model_inst_for_into(program, d, &self.regs, &self.mems, &mut self.scratch);
+        let times = self.core.issue(&self.scratch);
         let inst = program.inst(d.sid);
         self.regs.retire(inst, d.seq, times.complete);
         if let Some(m) = &d.mem {
             if m.is_store {
                 self.mems.record_store(m.addr, m.width, times.complete);
             }
+        }
+        // Keep the store footprint O(live): dispatch times are
+        // non-decreasing, so any store that completed by this dispatch can
+        // never delay a later load — dropping it is timing-exact.
+        if self.mems.len() >= self.mem_prune_watermark {
+            self.mems.prune_completed_by(times.dispatch);
+            self.mem_prune_watermark = (self.mems.len() * 2).max(MEM_PRUNE_FLOOR);
         }
         self.insts += 1;
         Ok(())

@@ -13,6 +13,11 @@
 //!     --workers N                     worker fleet size  (default PRISM_WORKERS, else 2)
 //!     --shard-retries K               cross-shard retries per unit (default 1)
 //!     --stats                         print grid + session counters
+//! prism bench [options]               perf microbench suite (BENCH_<rev>.json)
+//!     --quick                         microbenches + MICRO-registry explore only
+//!     --iters N                       iterations per microbench (default 10)
+//!     --out PATH                      report path (default BENCH_<rev>.json)
+//!     --compare PATH                  fail (exit 1) on >40% regression vs PATH
 //!
 //! Global options: --jobs N            worker threads (default: PRISM_JOBS
 //!                                     or hardware parallelism)
@@ -49,9 +54,10 @@ fn main() {
         Some("compare") => cmd_compare(&session, &args[1..]),
         Some("explore") => cmd_explore(&session, stats),
         Some("grid") => cmd_grid(&args[1..], stats),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: prism <list|run|compare|explore|grid> [args]   (see --help in the source header)"
+                "usage: prism <list|run|compare|explore|grid|bench> [args]   (see --help in the source header)"
             );
             2
         }
@@ -97,6 +103,91 @@ fn cmd_explore(session: &Session, stats: bool) -> i32 {
         eprint!("{}", session.stats().render());
     }
     code
+}
+
+fn cmd_bench(args: &[String]) -> i32 {
+    use prism::bench::perf::{regressions, run, PerfOptions, PerfReport};
+
+    let mut opts = PerfOptions::default();
+    let mut out: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--iters" => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(v) => opts.iters = v.max(1),
+                None => {
+                    eprintln!("error: --iters needs a number");
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("error: --out needs a path");
+                    return 2;
+                }
+            },
+            "--compare" => match it.next() {
+                Some(v) => compare = Some(v.clone()),
+                None => {
+                    eprintln!("error: --compare needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown flag {other} (usage: prism bench [--quick] [--iters N] [--out PATH] [--compare PATH])"
+                );
+                return 2;
+            }
+        }
+    }
+
+    let report = run(&opts);
+    println!("{:<32} {:>16}", "metric", "value");
+    println!(
+        "{:<32} {:>16.1}",
+        "calibration_mops", report.calibration_mops
+    );
+    for (name, value) in &report.metrics {
+        println!("{name:<32} {value:>16.3}");
+    }
+
+    let path = out.unwrap_or_else(|| format!("BENCH_{}.json", report.rev));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("error: cannot write {path}: {e}");
+        return 1;
+    }
+    eprintln!("[prism-bench] wrote {path}");
+
+    if let Some(baseline_path) = compare {
+        let Ok(text) = std::fs::read_to_string(&baseline_path) else {
+            eprintln!("error: cannot read baseline {baseline_path}");
+            return 1;
+        };
+        let Some(baseline) = PerfReport::from_json(&text) else {
+            eprintln!("error: baseline {baseline_path} is not a perf report");
+            return 1;
+        };
+        // 40 %: wide enough that best-of sampling plus calibration
+        // absorbs shared-runner noise, far below the 2×+ a real
+        // composition/hot-loop regression would show.
+        let regs = regressions(&baseline, &report, 0.40);
+        if regs.is_empty() {
+            eprintln!(
+                "[prism-bench] no regressions vs {baseline_path} (rev {})",
+                baseline.rev
+            );
+        } else {
+            for r in &regs {
+                eprintln!("[prism-bench] REGRESSION {r}");
+            }
+            return 1;
+        }
+    }
+    0
 }
 
 fn cmd_grid(args: &[String], stats: bool) -> i32 {

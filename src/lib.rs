@@ -17,7 +17,9 @@
 //! * [`pipeline`] — the content-addressed, parallel evaluation pipeline
 //!   ([`pipeline::Session`]),
 //! * [`grid`] — the sharded multi-process sweep coordinator
-//!   ([`grid::run_grid`]).
+//!   ([`grid::run_grid`]),
+//! * [`bench`] — the figure/table harness and the perf microbench suite
+//!   behind `prism bench` ([`bench::perf`]).
 //!
 //! See the repository's `README.md` for a tour and `DESIGN.md` for the
 //! system inventory.
@@ -34,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub use prism_bench as bench;
 pub use prism_energy as energy;
 pub use prism_exocore as exocore;
 pub use prism_grid as grid;
