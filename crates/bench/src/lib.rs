@@ -47,6 +47,14 @@ pub fn stats_requested() -> bool {
     flag_from_args(&args, "--stats")
 }
 
+/// Whether `--resume` was passed to this binary: replay the sweep
+/// journal of a killed run and skip every unit it records as settled.
+#[must_use]
+pub fn resume_requested() -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    flag_from_args(&args, "--resume")
+}
+
 /// Prints the shared session's counters to stderr when `--stats` was
 /// passed. Figure binaries call this after their sweep.
 pub fn log_stats_if_requested() {
@@ -115,6 +123,10 @@ pub fn prepare_named(names: &[&str]) -> Result<Vec<PreparedWorkload>, PipelineEr
 /// processes by the [`prism_grid`] coordinator instead; the merged report
 /// is identical to the in-process one (both draw from the same
 /// content-addressed store).
+///
+/// The sweep writes an append-only journal of settled units; `--resume`
+/// replays it after a kill and recomputes only what is missing, producing
+/// the same report as an uninterrupted run.
 #[must_use]
 pub fn full_design_space() -> SweepReport {
     // Worker mode: under the grid coordinator this binary's stdout is the
@@ -122,7 +134,9 @@ pub fn full_design_space() -> SweepReport {
     prism_grid::run_worker_if_env();
 
     if let Some(workers) = workers_from_env() {
-        match run_grid(&GridConfig::full_space(workers)) {
+        let mut config = GridConfig::full_space(workers);
+        config.resume = resume_requested();
+        match run_grid(&config) {
             Ok(outcome) => {
                 eprintln!(
                     "[grid] {} workers, {} units ({} retried, {} reassigned)",
@@ -140,7 +154,7 @@ pub fn full_design_space() -> SweepReport {
         }
     }
     let s = session();
-    let report = s.full_design_space();
+    let report = s.full_design_space_resumable(resume_requested());
     s.log_stats();
     log_stats_if_requested();
     report

@@ -19,7 +19,10 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use prism_exocore::{all_bsa_subsets, all_cores, DesignPoint};
-use prism_pipeline::{ArtifactStore, PipelineError, Session, Stage, SweepReport};
+use prism_pipeline::{
+    crash_point, sweep_key, ArtifactStore, PipelineError, Session, Stage, SweepJournal,
+    SweepReport, GC_SAFETY_WINDOW, SITE_GRID_FRAME,
+};
 use prism_sim::TracerConfig;
 use prism_tdg::BsaKind;
 use prism_udg::CoreConfig;
@@ -28,6 +31,40 @@ use prism_workloads::Workload;
 use crate::proto::{FromWorker, ToWorker, PROTO_VERSION};
 use crate::worker::{SHARD_ENV, WORKER_ENV};
 use crate::WORKERS_ENV;
+
+/// Environment variable overriding the heartbeat timeout, in integer
+/// milliseconds (e.g. `PRISM_GRID_TIMEOUT_MS=2000`). Useful on loaded CI
+/// machines where a healthy worker can stall past the default 10 s.
+pub const GRID_TIMEOUT_ENV: &str = "PRISM_GRID_TIMEOUT_MS";
+
+/// Parses a heartbeat-timeout override (integer milliseconds, ≥ 1).
+///
+/// # Errors
+///
+/// Describes the malformed value; front-ends treat that as fatal
+/// misconfiguration rather than silently falling back to the default.
+pub fn parse_grid_timeout(raw: &str) -> Result<Duration, String> {
+    let ms: u64 = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("{GRID_TIMEOUT_ENV} must be integer milliseconds, got `{raw}`"))?;
+    if ms == 0 {
+        return Err(format!("{GRID_TIMEOUT_ENV} must be at least 1 ms"));
+    }
+    Ok(Duration::from_millis(ms))
+}
+
+/// The heartbeat timeout from `PRISM_GRID_TIMEOUT_MS`, defaulting to 10 s
+/// when unset or empty. Panics on a malformed value (matching the other
+/// `PRISM_*` knobs: fail loudly rather than run with a surprise default).
+fn grid_timeout_from_env() -> Duration {
+    match std::env::var(GRID_TIMEOUT_ENV) {
+        Ok(raw) if !raw.trim().is_empty() => {
+            parse_grid_timeout(&raw).unwrap_or_else(|e| panic!("{e}"))
+        }
+        _ => Duration::from_secs(10),
+    }
+}
 
 /// Configuration for one grid run.
 #[derive(Debug, Clone)]
@@ -59,6 +96,9 @@ pub struct GridConfig {
     pub env: Vec<(String, String)>,
     /// Environment variables removed from workers (test hook).
     pub env_remove: Vec<String>,
+    /// Replay this sweep's journal and skip units it records as settled
+    /// (the `--resume` flag). A fresh run truncates any prior journal.
+    pub resume: bool,
 }
 
 impl GridConfig {
@@ -79,10 +119,11 @@ impl GridConfig {
             max_insts: TracerConfig::default().max_insts,
             artifact_dir: ArtifactStore::default_dir(),
             worker_cmd: None,
-            heartbeat_timeout: Duration::from_secs(10),
+            heartbeat_timeout: grid_timeout_from_env(),
             window: 2,
             env: Vec::new(),
             env_remove: Vec::new(),
+            resume: false,
         }
     }
 }
@@ -102,6 +143,14 @@ pub struct GridStats {
     pub units_reassigned: usize,
     /// Units evaluated in-process because no eligible worker remained.
     pub local_fallback_units: usize,
+    /// Units settled from the sweep journal instead of being re-evaluated
+    /// (`--resume`).
+    pub resumed: usize,
+    /// Valid journal records replayed (≥ `resumed`: a record may cover a
+    /// unit superseded by a later one).
+    pub replayed: usize,
+    /// Bytes reclaimed by the opportunistic orphaned-tmp-file GC.
+    pub gc_reclaimed_bytes: u64,
 }
 
 impl GridStats {
@@ -111,13 +160,18 @@ impl GridStats {
         format!(
             "-- grid stats --\n\
              workers : {} spawned, {} died\n\
-             units   : {} total, {} retried, {} reassigned, {} local\n",
+             units   : {} total, {} retried, {} reassigned, {} local\n\
+             journal : {} units resumed, {} records replayed\n\
+             gc      : {} bytes reclaimed\n",
             self.workers_spawned,
             self.workers_died,
             self.units_total,
             self.units_retried,
             self.units_reassigned,
             self.local_fallback_units,
+            self.resumed,
+            self.replayed,
+            self.gc_reclaimed_bytes,
         )
     }
 }
@@ -291,6 +345,60 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
         units_total: units.len(),
         ..GridStats::default()
     };
+
+    // Opportunistic repair: reclaim tmp files orphaned by killed runs
+    // (never a live process's, never younger than the safety window).
+    let (_, gc_bytes) = ArtifactStore::new(&config.artifact_dir).gc_tmp_files(GC_SAFETY_WINDOW);
+    stats.gc_reclaimed_bytes = gc_bytes;
+
+    // Sweep journal: derived from the exact same inputs a single-process
+    // `Session` sweep uses, so `prism explore` and `prism grid` over the
+    // same space share one journal file. Units the journal records as
+    // settled are resolved up front and never assigned to a worker.
+    let tracer = TracerConfig {
+        max_insts: config.max_insts,
+        ..TracerConfig::default()
+    };
+    let wl_sizes: Vec<(String, u32)> = config
+        .workloads
+        .iter()
+        .filter_map(|name| {
+            prism_workloads::by_name(name)
+                .or_else(|| prism_workloads::MICRO.iter().find(|m| m.name == name))
+                .map(|w| (w.name.to_string(), w.scaled_n()))
+        })
+        .collect();
+    let sweep = sweep_key(&wl_sizes, &tracer, &config.cores, &config.subsets);
+    let mut replay_report = SweepReport::default();
+    let journal = match SweepJournal::open(&config.artifact_dir, &sweep, config.resume) {
+        Ok((journal, replay)) => {
+            for unit in &mut units {
+                if let Some(result) = replay.done.get(&unit.label) {
+                    replay_report.results.push(result.clone());
+                } else if let Some(error) = replay.quarantined.get(&unit.label) {
+                    replay_report
+                        .quarantined
+                        .push((unit.label.clone(), error.clone()));
+                } else {
+                    continue;
+                }
+                unit.resolved = true;
+                stats.resumed += 1;
+            }
+            stats.replayed = replay.records as usize;
+            if replay.dropped > 0 {
+                eprintln!(
+                    "[prism-grid] journal: dropped {} torn/corrupt trailing record(s)",
+                    replay.dropped
+                );
+            }
+            Some(journal)
+        }
+        Err(e) => {
+            eprintln!("[prism-grid] journal unavailable ({e}); sweep will not be resumable");
+            None
+        }
+    };
     for shard in 0..config.workers {
         match spawn_worker(&worker_cmd, shard, config, &tx) {
             Ok((state, reader)) => {
@@ -315,7 +423,7 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
         (0..workers.len()).map(|_| SweepReport::default()).collect();
     let mut pending: VecDeque<usize> = (0..units.len()).collect();
     let mut local_queue: Vec<usize> = Vec::new();
-    let mut resolved = 0usize;
+    let mut resolved = units.iter().filter(|u| u.resolved).count();
 
     let kill = |w: &mut WorkerState| {
         w.alive = false;
@@ -391,16 +499,26 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                     | FromWorker::Heartbeat { .. }
                     | FromWorker::Bye => {}
                     FromWorker::UnitResult { id, result } => {
+                        // Kill point: the unit's artifact is durable (the
+                        // worker stored it before reporting) but nothing is
+                        // journaled yet — a resume must recompute cheaply
+                        // from the store, not lose the unit.
+                        crash_point(SITE_GRID_FRAME);
                         let uid = id as usize;
                         workers[shard].inflight.retain(|&u| u != uid);
-                        shard_reports[shard].results.push(result);
                         if uid < units.len() && !units[uid].resolved {
                             units[uid].resolved = true;
                             resolved += 1;
+                            if let Some(j) = &journal {
+                                if let Err(e) = j.append_done(&units[uid].label, &result) {
+                                    eprintln!("[prism-grid] journal append failed: {e}");
+                                }
+                            }
                         }
+                        shard_reports[shard].results.push(result);
                     }
                     FromWorker::UnitQuarantine { id, key, error } => {
-                        shard_reports[shard].quarantined.push((key, error));
+                        crash_point(SITE_GRID_FRAME);
                         if let Some(uid) = id.map(|id| id as usize) {
                             workers[shard].inflight.retain(|&u| u != uid);
                             if uid < units.len() && !units[uid].resolved {
@@ -412,9 +530,20 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                                 } else {
                                     units[uid].resolved = true;
                                     resolved += 1;
+                                    // Only a *permanent* quarantine is
+                                    // journaled: a retry may still succeed,
+                                    // and a later `done` must win on replay.
+                                    if let Some(j) = &journal {
+                                        if let Err(e) =
+                                            j.append_quarantined(&units[uid].label, &error)
+                                        {
+                                            eprintln!("[prism-grid] journal append failed: {e}");
+                                        }
+                                    }
                                 }
                             }
                         }
+                        shard_reports[shard].quarantined.push((key, error));
                     }
                     FromWorker::Fatal { message } => {
                         eprintln!("[prism-grid] shard {shard}: fatal: {message}");
@@ -548,15 +677,41 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                     ),
                 ));
             }
+            if let Some(j) = &journal {
+                let outcome = if let Some(r) = report.results.iter().find(|r| r.label == unit.label)
+                {
+                    j.append_done(&unit.label, r)
+                } else if let Some((_, e)) =
+                    report.quarantined.iter().find(|(k, _)| *k == unit.label)
+                {
+                    j.append_quarantined(&unit.label, e)
+                } else {
+                    Ok(())
+                };
+                if let Err(e) = outcome {
+                    eprintln!("[prism-grid] journal append failed: {e}");
+                }
+            }
             local.merge(report);
             stats.local_fallback_units += 1;
         }
         shard_reports.push(local);
     }
 
-    let mut merged = SweepReport::default();
+    let mut merged = replay_report;
     for report in shard_reports {
         merged.merge(report);
+    }
+    merged.normalize();
+    // A finished sweep with no permanent quarantines has nothing left to
+    // resume; one *with* quarantines keeps its journal so a `--resume`
+    // replays the identical errors instead of re-running known-bad units.
+    if let Some(j) = journal {
+        if merged.quarantined.is_empty() {
+            if let Err(e) = j.remove() {
+                eprintln!("[prism-grid] could not remove finished journal: {e}");
+            }
+        }
     }
     Ok(GridOutcome {
         report: merged,
@@ -596,4 +751,46 @@ fn spawn_dead_placeholder(workers: &mut Vec<WorkerState>) -> std::io::Result<()>
         inflight: Vec::new(),
     });
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_timeout_parses_integer_milliseconds() {
+        assert_eq!(parse_grid_timeout("2500"), Ok(Duration::from_millis(2500)));
+        assert_eq!(parse_grid_timeout(" 1 "), Ok(Duration::from_millis(1)));
+        assert_eq!(
+            parse_grid_timeout("60000"),
+            Ok(Duration::from_millis(60_000))
+        );
+    }
+
+    #[test]
+    fn grid_timeout_rejects_zero_and_garbage() {
+        for bad in ["0", "-5", "1.5", "10s", "", "fast"] {
+            let err = parse_grid_timeout(bad).unwrap_err();
+            assert!(err.contains(GRID_TIMEOUT_ENV), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn grid_stats_render_names_every_counter() {
+        let stats = GridStats {
+            workers_spawned: 2,
+            workers_died: 1,
+            units_total: 64,
+            units_retried: 3,
+            units_reassigned: 4,
+            local_fallback_units: 5,
+            resumed: 6,
+            replayed: 7,
+            gc_reclaimed_bytes: 8,
+        };
+        let text = stats.render();
+        assert!(text.contains("6 units resumed"), "{text}");
+        assert!(text.contains("7 records replayed"), "{text}");
+        assert!(text.contains("8 bytes reclaimed"), "{text}");
+    }
 }

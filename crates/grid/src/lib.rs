@@ -36,7 +36,9 @@ pub mod fault;
 pub mod proto;
 pub mod worker;
 
-pub use coord::{run_grid, GridConfig, GridError, GridOutcome, GridStats};
+pub use coord::{
+    parse_grid_timeout, run_grid, GridConfig, GridError, GridOutcome, GridStats, GRID_TIMEOUT_ENV,
+};
 pub use fault::{GridFaultKind, GridFaultPlan, GRID_FAULTS_ENV};
 pub use proto::{FromWorker, ToWorker, HEARTBEAT_INTERVAL, PROTO_VERSION};
 pub use worker::{run_worker, run_worker_if_env, SHARD_ENV, WORKER_ENV};

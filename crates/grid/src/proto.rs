@@ -18,7 +18,8 @@ use std::time::Duration;
 
 use prism_exocore::DesignResult;
 use prism_pipeline::{
-    decode_design_result, encode_design_result, ErrorKind, Json, PipelineError, Stage,
+    decode_design_result, decode_pipeline_error, encode_design_result, encode_pipeline_error, Json,
+    PipelineError,
 };
 
 /// Version of this wire protocol. The coordinator sends it in
@@ -106,24 +107,6 @@ fn obj(kind: &str, mut fields: Vec<(String, Json)>) -> Json {
     let mut all = vec![("type".to_string(), Json::Str(kind.to_string()))];
     all.append(&mut fields);
     Json::Obj(all)
-}
-
-fn encode_error(e: &PipelineError) -> Json {
-    Json::Obj(vec![
-        ("workload".into(), Json::Str(e.workload.clone())),
-        ("stage".into(), Json::Str(e.stage.to_string())),
-        ("kind".into(), Json::Str(e.kind.to_string())),
-        ("message".into(), Json::Str(e.message.clone())),
-    ])
-}
-
-fn decode_error(json: &Json) -> Option<PipelineError> {
-    Some(PipelineError {
-        workload: json.get("workload")?.as_str()?.to_string(),
-        stage: json.get("stage")?.as_str()?.parse::<Stage>().ok()?,
-        kind: json.get("kind")?.as_str()?.parse::<ErrorKind>().ok()?,
-        message: json.get("message")?.as_str()?.to_string(),
-    })
 }
 
 impl ToWorker {
@@ -233,7 +216,7 @@ impl FromWorker {
                 vec![
                     ("id".into(), id.map_or(Json::Null, Json::U64)),
                     ("key".into(), Json::Str(key.clone())),
-                    ("error".into(), encode_error(error)),
+                    ("error".into(), encode_pipeline_error(error)),
                 ],
             ),
             FromWorker::Bye => obj("bye", vec![]),
@@ -284,7 +267,7 @@ impl FromWorker {
                 Some(FromWorker::UnitQuarantine {
                     id,
                     key: json.get("key")?.as_str()?.to_string(),
-                    error: decode_error(json.get("error")?)?,
+                    error: decode_pipeline_error(json.get("error")?)?,
                 })
             })()
             .ok_or_else(shape),
@@ -304,6 +287,7 @@ impl FromWorker {
 mod tests {
     use super::*;
     use prism_exocore::WorkloadMetrics;
+    use prism_pipeline::Stage;
 
     #[test]
     fn coordinator_messages_roundtrip() {

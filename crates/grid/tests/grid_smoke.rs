@@ -65,6 +65,7 @@ fn config(workers: usize, dir: &Path) -> GridConfig {
         window: 2,
         env: Vec::new(),
         env_remove: Vec::new(),
+        resume: false,
     }
 }
 
@@ -235,6 +236,9 @@ fn main() {
         "PRISM_DIVERGENCE",
         "PRISM_ARTIFACT_DIR",
         "PRISM_REFRESH",
+        "PRISM_CRASH",
+        "PRISM_GRID_TIMEOUT_MS",
+        "PRISM_NO_FSYNC",
     ] {
         std::env::remove_var(var);
     }

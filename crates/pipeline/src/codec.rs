@@ -10,6 +10,7 @@
 use prism_exocore::{DesignResult, WorkloadMetrics};
 use prism_sim::{BranchRecord, DynInst, MemLevel, MemRecord, TraceChunk, TraceStats};
 
+use crate::error::PipelineError;
 use crate::json::Json;
 
 /// Encodes one design result as a JSON payload.
@@ -82,6 +83,31 @@ fn decode_metrics(json: &Json) -> Option<WorkloadMetrics> {
         unaccelerated: json.get("unaccelerated")?.as_f64()?,
         unit_cycles: unit_cycles.try_into().ok()?,
         unit_energy: unit_energy.try_into().ok()?,
+    })
+}
+
+/// Encodes a pipeline error for wire formats and the sweep journal.
+/// Stage and kind use their stable [`Display`](std::fmt::Display) text,
+/// which [`FromStr`](std::str::FromStr) inverts exactly.
+#[must_use]
+pub fn encode_pipeline_error(e: &PipelineError) -> Json {
+    Json::Obj(vec![
+        ("workload".into(), Json::Str(e.workload.clone())),
+        ("stage".into(), Json::Str(e.stage.to_string())),
+        ("kind".into(), Json::Str(e.kind.to_string())),
+        ("message".into(), Json::Str(e.message.clone())),
+    ])
+}
+
+/// Decodes a pipeline error; `None` on any shape mismatch or an unknown
+/// stage/kind name (e.g. a record written by a newer build).
+#[must_use]
+pub fn decode_pipeline_error(json: &Json) -> Option<PipelineError> {
+    Some(PipelineError {
+        workload: json.get("workload")?.as_str()?.to_string(),
+        stage: json.get("stage")?.as_str()?.parse().ok()?,
+        kind: json.get("kind")?.as_str()?.parse().ok()?,
+        message: json.get("message")?.as_str()?.to_string(),
     })
 }
 
@@ -328,6 +354,28 @@ mod tests {
         assert_eq!(back.last, c.last);
         assert_eq!(back.stats, c.stats);
         assert_eq!(back.insts, c.insts);
+    }
+
+    #[test]
+    fn pipeline_error_roundtrip_is_exact() {
+        let e = PipelineError::store_io("stencil", "disk on fire\nline two");
+        let text = encode_pipeline_error(&e).to_string();
+        let back = decode_pipeline_error(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn pipeline_error_rejects_unknown_stage() {
+        let mut json = encode_pipeline_error(&PipelineError::store_io("x", "y"));
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "stage" {
+                    *v = Json::Str("warp".into());
+                }
+            }
+        }
+        assert_eq!(decode_pipeline_error(&json), None);
+        assert_eq!(decode_pipeline_error(&Json::Null), None);
     }
 
     #[test]

@@ -32,13 +32,26 @@
 //! recompute. A seeded [`FaultPlan`] (from the `PRISM_FAULTS` environment
 //! variable) injects store I/O errors, artifact corruption, trace
 //! truncation, and stage panics deterministically for chaos testing.
+//!
+//! ## Crash consistency
+//!
+//! Store puts are fsync-then-rename durable (opt out with
+//! `PRISM_NO_FSYNC=1`), every sweep writes an append-only
+//! [`SweepJournal`] of settled units, and `--resume` replays it to skip
+//! completed work after a kill — producing byte-identical output. A
+//! deterministic kill harness ([`crash_point`] / `PRISM_CRASH=<site>@<n>`)
+//! proves the property at every kill site, and [`run_fsck`] checks and
+//! repairs a store offline.
 
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod crash;
 pub mod error;
 pub mod fault;
+pub mod fsck;
 pub mod hash;
+pub mod journal;
 pub mod json;
 pub mod key;
 pub mod par;
@@ -47,14 +60,21 @@ pub mod store;
 pub mod sweep;
 
 pub use codec::{
-    decode_design_result, decode_trace_chunk, encode_design_result, encode_trace_chunk,
+    decode_design_result, decode_pipeline_error, decode_trace_chunk, encode_design_result,
+    encode_pipeline_error, encode_trace_chunk,
+};
+pub use crash::{
+    crash_point, CrashSpec, CRASH_ENV, CRASH_EXIT_CODE, SITE_GRID_FRAME, SITE_JOURNAL_APPEND,
+    SITE_STORE_PUT, SITE_UNIT_COMPLETE,
 };
 pub use error::{ErrorKind, PipelineError, Stage};
 pub use fault::{FaultPlan, FaultSpecError, FAULTS_ENV, INJECTED_PANIC_PREFIX};
+pub use fsck::{run_fsck, FsckReport, QUARANTINE_SUBDIR};
 pub use hash::ContentHash;
+pub use journal::{journal_path, sweep_key, JournalReplay, SweepJournal, JOURNAL_SUBDIR};
 pub use json::Json;
 pub use key::{KeyBuilder, KEY_SCHEMA_VERSION, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use par::{flag_from_args, jobs_from_args, parallel_map, resolve_jobs};
 pub use session::{DivergenceGuard, PreparedWorkload, Session, SessionStats, STREAM_ENV};
-pub use store::{ArtifactStore, StoreStats};
+pub use store::{fsync_enabled, ArtifactStore, StoreStats, GC_SAFETY_WINDOW, NO_FSYNC_ENV};
 pub use sweep::SweepReport;

@@ -31,12 +31,14 @@ use prism_workloads::{Suite, Workload};
 use crate::codec::{
     decode_design_result, decode_trace_chunk, encode_design_result, encode_trace_chunk,
 };
+use crate::crash::{crash_point, SITE_UNIT_COMPLETE};
 use crate::error::{PipelineError, Stage};
 use crate::fault::FaultPlan;
 use crate::hash::{ContentHash, Sha256};
+use crate::journal::{sweep_key, JournalReplay, SweepJournal};
 use crate::key::KeyBuilder;
 use crate::par::{parallel_map, resolve_jobs};
-use crate::store::{ArtifactStore, StoreStats};
+use crate::store::{ArtifactStore, StoreStats, GC_SAFETY_WINDOW};
 use crate::sweep::SweepReport;
 
 /// A workload prepared by a [`Session`]: its content key plus the shared
@@ -81,6 +83,11 @@ pub struct SessionStats {
     /// Largest single in-flight trace chunk, in bytes — the streaming
     /// architecture's memory high-water mark for trace storage.
     pub peak_chunk_bytes: u64,
+    /// Units settled from a sweep-journal replay instead of recomputed
+    /// (completed *and* quarantined units both count).
+    pub resumed: u64,
+    /// Journal records read during resume replays.
+    pub replayed: u64,
 }
 
 impl std::ops::AddAssign for SessionStats {
@@ -94,6 +101,8 @@ impl std::ops::AddAssign for SessionStats {
         self.transform_nanos += rhs.transform_nanos;
         self.schedule_nanos += rhs.schedule_nanos;
         self.peak_chunk_bytes = self.peak_chunk_bytes.max(rhs.peak_chunk_bytes);
+        self.resumed += rhs.resumed;
+        self.replayed += rhs.replayed;
     }
 }
 
@@ -121,7 +130,9 @@ impl SessionStats {
              sim throughput : {} insts in {} ms ({:.0} insts/sec)\n\
              stage wall     : sim {} ms, uDG {} ms, transforms {} ms, \
              schedule {} ms\n\
-             peak chunk     : {} bytes\n",
+             peak chunk     : {} bytes\n\
+             journal        : {} units resumed, {} records replayed\n\
+             tmp-file GC    : {} bytes reclaimed\n",
             a.hits,
             a.misses,
             a.discarded,
@@ -138,6 +149,9 @@ impl SessionStats {
             self.transform_nanos / 1_000_000,
             self.schedule_nanos / 1_000_000,
             self.peak_chunk_bytes,
+            self.resumed,
+            self.replayed,
+            a.gc_reclaimed_bytes,
         )
     }
 }
@@ -287,6 +301,8 @@ pub struct Session {
     udg_nanos: AtomicU64,
     transform_nanos: AtomicU64,
     schedule_nanos: AtomicU64,
+    resumed: AtomicU64,
+    replayed: AtomicU64,
 }
 
 impl Default for Session {
@@ -329,6 +345,10 @@ impl Session {
         };
         let mut store = ArtifactStore::new(ArtifactStore::default_dir());
         store.set_faults(faults.clone());
+        // Opportunistic repair: sweep out tmp files leaked by long-dead
+        // writers. The safety window plus live-pid check make this safe
+        // against concurrent sessions sharing the store.
+        store.gc_tmp_files(GC_SAFETY_WINDOW);
         Session {
             tracer: TracerConfig::default(),
             jobs: resolve_jobs(None),
@@ -350,6 +370,8 @@ impl Session {
             udg_nanos: AtomicU64::new(0),
             transform_nanos: AtomicU64::new(0),
             schedule_nanos: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
+            replayed: AtomicU64::new(0),
         }
     }
 
@@ -372,6 +394,7 @@ impl Session {
     pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store = ArtifactStore::new(dir);
         self.store.set_faults(self.faults.clone());
+        self.store.gc_tmp_files(GC_SAFETY_WINDOW);
         self
     }
 
@@ -948,13 +971,16 @@ impl Session {
     /// Evaluates the grid points named by `missing` (indices in core-major
     /// order) with failure isolation, returning `(index, outcome)` pairs in
     /// input order. Applies the divergence guard, prefills oracle tables,
-    /// and quarantines per point.
+    /// and quarantines per point. `on_unit` runs inside the evaluation
+    /// fan-out as each unit settles — the durability hook (store save +
+    /// journal append) for callers that persist incrementally.
     fn run_points(
         &self,
         data: &[PreparedWorkload],
         cores: &[CoreConfig],
         subsets: &[Vec<BsaKind>],
         missing: &[usize],
+        on_unit: &(dyn Fn(usize, &Result<DesignResult, PipelineError>) + Sync),
     ) -> Vec<(usize, Result<DesignResult, PipelineError>)> {
         // Cores that still have work (missing is sorted, so dedup works).
         let mut core_ids: Vec<usize> = missing.iter().map(|&i| i / subsets.len()).collect();
@@ -1029,6 +1055,7 @@ impl Session {
                 Some(e) => Err(e.clone()),
                 None => self.evaluate_point_guarded(data, &cores[c], &subsets[s]),
             };
+            on_unit(idx, &res);
             (idx, res)
         })
     }
@@ -1050,7 +1077,7 @@ impl Session {
     ) -> SweepReport {
         let all: Vec<usize> = (0..cores.len() * subsets.len()).collect();
         let mut report = SweepReport::default();
-        for (idx, res) in self.run_points(data, cores, subsets, &all) {
+        for (idx, res) in self.run_points(data, cores, subsets, &all, &|_, _| {}) {
             match res {
                 Ok(r) => report.results.push(r),
                 Err(e) => report
@@ -1088,17 +1115,105 @@ impl Session {
         cores: &[CoreConfig],
         subsets: &[Vec<BsaKind>],
     ) -> SweepReport {
-        let mut report = SweepReport::default();
+        self.evaluate_designs_inner(workloads, cores, subsets, None)
+    }
 
-        // Fast path: everything cached under the full workload set.
+    /// [`Session::evaluate_designs`] with a sweep journal: every settled
+    /// unit is appended to an on-disk WAL, and with `resume` the existing
+    /// journal is replayed first — journaled units are never recomputed,
+    /// and the report is identical to an uninterrupted run. Journal I/O
+    /// failures degrade to an unjournaled sweep with a warning; they never
+    /// fail the sweep itself.
+    #[must_use]
+    pub fn evaluate_designs_resumable(
+        &self,
+        workloads: &[&Workload],
+        cores: &[CoreConfig],
+        subsets: &[Vec<BsaKind>],
+        resume: bool,
+    ) -> SweepReport {
+        let wl: Vec<(String, u32)> = workloads
+            .iter()
+            .map(|w| (w.name.to_string(), w.scaled_n()))
+            .collect();
+        let sweep = sweep_key(&wl, &self.tracer, cores, subsets);
+        match SweepJournal::open(self.store.dir(), &sweep, resume) {
+            Ok(journal) => self.evaluate_designs_inner(workloads, cores, subsets, Some(journal)),
+            Err(e) => {
+                eprintln!(
+                    "[prism-pipeline] sweep journal unavailable ({e}); \
+                     running unjournaled"
+                );
+                self.evaluate_designs_inner(workloads, cores, subsets, None)
+            }
+        }
+    }
+
+    fn evaluate_designs_inner(
+        &self,
+        workloads: &[&Workload],
+        cores: &[CoreConfig],
+        subsets: &[Vec<BsaKind>],
+        journal: Option<(SweepJournal, JournalReplay)>,
+    ) -> SweepReport {
+        let mut report = SweepReport::default();
+        let total = cores.len() * subsets.len();
+        let mut results: Vec<Option<DesignResult>> = vec![None; total];
+        // `settled[i]`: the journal already decided unit i (done or
+        // quarantined) — never recompute it, never re-journal it.
+        let mut settled = vec![false; total];
+        let mut from_replay = vec![false; total];
+        let (journal, replay) = match journal {
+            Some((j, r)) => (Some(j), r),
+            None => (None, JournalReplay::default()),
+        };
+        if replay.records > 0 {
+            let label_to_idx: HashMap<String, usize> = (0..total)
+                .map(|i| (Self::point_label(cores, subsets, i), i))
+                .collect();
+            for (unit, result) in &replay.done {
+                // Units the current space doesn't contain (journal from a
+                // colliding-but-different sweep cannot happen — the sweep
+                // key covers the space — so this is purely defensive).
+                let Some(&idx) = label_to_idx.get(unit) else {
+                    continue;
+                };
+                results[idx] = Some(result.clone());
+                settled[idx] = true;
+                from_replay[idx] = true;
+                self.resumed.fetch_add(1, Ordering::Relaxed);
+            }
+            for (unit, error) in &replay.quarantined {
+                let Some(&idx) = label_to_idx.get(unit) else {
+                    continue;
+                };
+                report.quarantined.push((unit.clone(), error.clone()));
+                settled[idx] = true;
+                from_replay[idx] = true;
+                self.resumed.fetch_add(1, Ordering::Relaxed);
+            }
+            self.replayed.fetch_add(replay.records, Ordering::Relaxed);
+        }
+
+        // Fast path: everything cached under the full workload set (or
+        // settled by the journal) — no preparation needed at all.
         let full_keys: Vec<ContentHash> = workloads
             .iter()
             .map(|w| self.workload_key(w.name, w.scaled_n()))
             .collect();
-        let mut results = self.load_cached(&full_keys, cores, subsets);
-        if results.iter().all(Option::is_some) {
+        for (i, cached) in self
+            .load_cached_except(&full_keys, cores, subsets, &settled)
+            .into_iter()
+            .enumerate()
+        {
+            if !settled[i] {
+                results[i] = cached;
+            }
+        }
+        if (0..total).all(|i| settled[i] || results[i].is_some()) {
             report.results = results.into_iter().flatten().collect();
             report.sort_units();
+            Self::finish_journal(journal, &report);
             return report;
         }
 
@@ -1109,16 +1224,25 @@ impl Session {
         }
         if data.is_empty() {
             report.sort_units();
+            Self::finish_journal(journal, &report);
             return report;
         }
         let healthy_keys: Vec<ContentHash> = data.iter().map(|p| p.key).collect();
         if data.len() != workloads.len() {
             // The cache above was keyed over the full set; re-key over the
-            // healthy subset.
-            results = self.load_cached(&healthy_keys, cores, subsets);
+            // healthy subset. Journal-replayed units stay settled — under
+            // the deterministic fault plans the same workloads fail on
+            // every run, so replayed results match what this run would
+            // compute.
+            let rekeyed = self.load_cached_except(&healthy_keys, cores, subsets, &settled);
+            for (i, cached) in rekeyed.into_iter().enumerate() {
+                if !from_replay[i] {
+                    results[i] = cached;
+                }
+            }
         }
         let point_keys: Vec<ContentHash> = {
-            let mut keys = Vec::with_capacity(cores.len() * subsets.len());
+            let mut keys = Vec::with_capacity(total);
             for core in cores {
                 for bsas in subsets {
                     keys.push(self.design_point_key(&healthy_keys, core, bsas));
@@ -1127,15 +1251,38 @@ impl Session {
             keys
         };
 
-        let missing: Vec<usize> = (0..results.len())
-            .filter(|&i| results[i].is_none())
+        let missing: Vec<usize> = (0..total)
+            .filter(|&i| !settled[i] && results[i].is_none())
             .collect();
-        for (idx, res) in self.run_points(&data, cores, subsets, &missing) {
+        // Durability hook, run as each unit settles: persist the result
+        // artifact first, then journal the unit. Ordering matters — a
+        // `done` record must always refer to an artifact that is already
+        // on disk, so a resume never recomputes a journaled-done unit.
+        let on_unit = |idx: usize, res: &Result<DesignResult, PipelineError>| {
             match res {
                 Ok(r) => {
-                    self.store.save(&point_keys[idx], encode_design_result(&r));
-                    results[idx] = Some(r);
+                    self.store.save(&point_keys[idx], encode_design_result(r));
+                    if let Some(j) = &journal {
+                        if let Err(e) = j.append_done(&Self::point_label(cores, subsets, idx), r) {
+                            eprintln!("[prism-pipeline] journal append failed: {e}");
+                        }
+                    }
                 }
+                Err(e) => {
+                    if let Some(j) = &journal {
+                        if let Err(we) =
+                            j.append_quarantined(&Self::point_label(cores, subsets, idx), e)
+                        {
+                            eprintln!("[prism-pipeline] journal append failed: {we}");
+                        }
+                    }
+                }
+            }
+            crash_point(SITE_UNIT_COMPLETE);
+        };
+        for (idx, res) in self.run_points(&data, cores, subsets, &missing, &on_unit) {
+            match res {
+                Ok(r) => results[idx] = Some(r),
                 Err(e) => report
                     .quarantined
                     .push((Self::point_label(cores, subsets, idx), e)),
@@ -1143,20 +1290,40 @@ impl Session {
         }
         report.results = results.into_iter().flatten().collect();
         report.sort_units();
+        Self::finish_journal(journal, &report);
         report
     }
 
+    /// Removes a finished sweep's journal when nothing remains to resume.
+    /// A journal with quarantined units is kept: `--resume` then replays
+    /// the identical errors instead of re-running known-bad units.
+    fn finish_journal(journal: Option<SweepJournal>, report: &SweepReport) {
+        if let Some(j) = journal {
+            if report.quarantined.is_empty() {
+                if let Err(e) = j.remove() {
+                    eprintln!("[prism-pipeline] could not remove finished journal: {e}");
+                }
+            }
+        }
+    }
+
     /// Loads every (core × subset) design point keyed over `wkeys` from the
-    /// artifact store (`None` per point on miss).
-    fn load_cached(
+    /// artifact store (`None` per point on miss), skipping indices where
+    /// `skip` is set (journal-settled units never touch the store).
+    fn load_cached_except(
         &self,
         wkeys: &[ContentHash],
         cores: &[CoreConfig],
         subsets: &[Vec<BsaKind>],
+        skip: &[bool],
     ) -> Vec<Option<DesignResult>> {
         let mut out = Vec::with_capacity(cores.len() * subsets.len());
         for core in cores {
             for bsas in subsets {
+                if skip[out.len()] {
+                    out.push(None);
+                    continue;
+                }
                 let key = self.design_point_key(wkeys, core, bsas);
                 out.push(
                     self.store
@@ -1192,6 +1359,14 @@ impl Session {
         self.evaluate_designs(&workloads, &all_cores(), &all_bsa_subsets())
     }
 
+    /// [`Session::full_design_space`] with a sweep journal; with `resume`,
+    /// a previous interrupted run's journal is replayed first.
+    #[must_use]
+    pub fn full_design_space_resumable(&self, resume: bool) -> SweepReport {
+        let workloads: Vec<&Workload> = prism_workloads::ALL.iter().collect();
+        self.evaluate_designs_resumable(&workloads, &all_cores(), &all_bsa_subsets(), resume)
+    }
+
     /// Current cache counters.
     #[must_use]
     pub fn stats(&self) -> SessionStats {
@@ -1205,6 +1380,8 @@ impl Session {
             transform_nanos: self.transform_nanos.load(Ordering::Relaxed),
             schedule_nanos: self.schedule_nanos.load(Ordering::Relaxed),
             peak_chunk_bytes: prism_sim::peak_chunk_bytes(),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
         }
     }
 

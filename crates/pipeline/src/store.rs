@@ -1,18 +1,52 @@
 //! The on-disk artifact store: one JSON file per content hash, with the
-//! key and schema version embedded so stale or corrupt files are *detected*
-//! and discarded with a warning — never silently reused and never a panic.
+//! key, schema version, and a payload checksum embedded so stale or corrupt
+//! files are *detected* and discarded with a warning — never silently
+//! reused and never a panic.
+//!
+//! Durability: puts are write-then-rename with the tmp file fsynced before
+//! the rename and the parent directory fsynced after it, so a crash (or
+//! power loss) can lose at most the artifact being written — never surface
+//! a torn or empty file under a final name. `PRISM_NO_FSYNC=1` opts out
+//! for speed in tests on throwaway stores.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use crate::crash::{crash_point, SITE_STORE_PUT};
 use crate::fault::FaultPlan;
-use crate::hash::ContentHash;
+use crate::hash::{ContentHash, Sha256};
+use crate::journal::sync_dir;
 use crate::json::Json;
 use crate::key::{MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 
 /// Transient-I/O retry attempts per store operation.
 const IO_ATTEMPTS: u32 = 3;
+
+/// Environment variable that disables fsync on store puts and journal
+/// appends (`PRISM_NO_FSYNC=1`). Durability is the default; the opt-out
+/// exists for test suites hammering throwaway tmpfs stores.
+pub const NO_FSYNC_ENV: &str = "PRISM_NO_FSYNC";
+
+/// Minimum age of an orphaned `*.tmp.*` file before opportunistic GC on
+/// session open removes it. A live writer holds its tmp file for
+/// milliseconds; anything this old with a dead (or unknown) pid is a
+/// crash leftover. `fsck` uses a zero window instead — it runs offline.
+pub const GC_SAFETY_WINDOW: Duration = Duration::from_secs(15 * 60);
+
+/// Whether durability fsyncs are enabled (they are unless
+/// [`NO_FSYNC_ENV`] is set to a non-empty value other than `0`).
+#[must_use]
+pub fn fsync_enabled() -> bool {
+    match std::env::var(NO_FSYNC_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            v.is_empty() || v == "0"
+        }
+        Err(_) => true,
+    }
+}
 
 /// Backoff before retry `n` (n = 1, 2): 1ms, then 4ms.
 fn backoff(attempt: u32) -> std::time::Duration {
@@ -35,6 +69,8 @@ pub struct StoreStats {
     /// Artifacts computed fresh and written back (each save is one
     /// recompute — a warm store saves nothing).
     pub recomputes: u64,
+    /// Bytes reclaimed by garbage-collecting orphaned tmp files.
+    pub gc_reclaimed_bytes: u64,
 }
 
 impl std::ops::AddAssign for StoreStats {
@@ -45,6 +81,7 @@ impl std::ops::AddAssign for StoreStats {
         self.io_retries += rhs.io_retries;
         self.io_errors += rhs.io_errors;
         self.recomputes += rhs.recomputes;
+        self.gc_reclaimed_bytes += rhs.gc_reclaimed_bytes;
     }
 }
 
@@ -53,28 +90,40 @@ impl std::ops::AddAssign for StoreStats {
 pub struct ArtifactStore {
     dir: PathBuf,
     faults: Option<Arc<FaultPlan>>,
+    fsync: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     discarded: AtomicU64,
     io_retries: AtomicU64,
     io_errors: AtomicU64,
     recomputes: AtomicU64,
+    gc_reclaimed: AtomicU64,
 }
 
 impl ArtifactStore {
-    /// Opens (and lazily creates) a store under `dir`.
+    /// Opens (and lazily creates) a store under `dir`. Durability fsyncs
+    /// follow [`fsync_enabled`]; override with [`with_fsync`](Self::with_fsync).
     #[must_use]
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         ArtifactStore {
             dir: dir.into(),
             faults: None,
+            fsync: fsync_enabled(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             discarded: AtomicU64::new(0),
             io_retries: AtomicU64::new(0),
             io_errors: AtomicU64::new(0),
             recomputes: AtomicU64::new(0),
+            gc_reclaimed: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the fsync policy for this store.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
+        self
     }
 
     /// Installs (or clears) the fault-injection plan for this store.
@@ -215,18 +264,27 @@ impl ArtifactStore {
         if stored != key.hex() {
             return Err("content key mismatch (hash prefix collision or stale file)".into());
         }
-        doc.get("payload")
-            .cloned()
-            .ok_or_else(|| "missing payload field".into())
+        let payload = doc.get("payload").cloned().ok_or("missing payload field")?;
+        // Integrity checksum: present since the durability rework. Files
+        // written without one (older builds) stay valid — the envelope
+        // shape didn't change, so warm caches survive.
+        if let Some(sum) = doc.get("sum").and_then(Json::as_str) {
+            if payload_sum(&payload.to_string()) != sum {
+                return Err("payload checksum mismatch (bit rot or torn write)".into());
+            }
+        }
+        Ok(payload)
     }
 
     /// Stores `payload` under `key`. Transient I/O failures are retried
     /// with bounded backoff; persistent failures are reported as warnings,
     /// not errors: a read-only cache degrades to recompute-every-time.
     pub fn save(&self, key: &ContentHash, payload: Json) {
+        let sum = payload_sum(&payload.to_string());
         let doc = Json::Obj(vec![
             ("schema".into(), Json::U64(u64::from(SCHEMA_VERSION))),
             ("key".into(), Json::Str(key.hex())),
+            ("sum".into(), Json::Str(sum)),
             ("payload".into(), payload),
         ]);
         let op = format!("save:{}", key.short());
@@ -263,8 +321,65 @@ impl ArtifactStore {
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
         let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-        std::fs::write(&tmp, doc.to_string())?;
-        std::fs::rename(&tmp, &path)
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(doc.to_string().as_bytes())?;
+            // fsync *before* the rename: once the final name exists, its
+            // content must already be on stable storage — otherwise a
+            // crash can surface an empty/torn file under the final name.
+            if self.fsync {
+                f.sync_all()?;
+            }
+        }
+        crash_point(SITE_STORE_PUT);
+        std::fs::rename(&tmp, &path)?;
+        // And fsync the directory *after* the rename so the new entry
+        // itself survives power loss.
+        if self.fsync {
+            sync_dir(&self.dir);
+        }
+        Ok(())
+    }
+
+    /// Removes orphaned `*.tmp.<pid>.<seq>` files left behind by killed
+    /// writer processes. Skips the calling process's own tmp files, any
+    /// whose writing pid is still alive, and (as a belt-and-braces against
+    /// pid reuse and clock skew) any younger than `window`. Returns
+    /// `(files_removed, bytes_reclaimed)` and folds the bytes into
+    /// [`StoreStats::gc_reclaimed_bytes`].
+    pub fn gc_tmp_files(&self, window: Duration) -> (u64, u64) {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return (0, 0);
+        };
+        let mut files = 0u64;
+        let mut bytes = 0u64;
+        let now = std::time::SystemTime::now();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(pid) = tmp_file_pid(name) else {
+                continue;
+            };
+            if pid == std::process::id() || pid_alive(pid) {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let old_enough = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .is_some_and(|age| age >= window);
+            if !(old_enough || window.is_zero()) {
+                continue;
+            }
+            if std::fs::remove_file(entry.path()).is_ok() {
+                files += 1;
+                bytes += meta.len();
+            }
+        }
+        self.gc_reclaimed.fetch_add(bytes, Ordering::Relaxed);
+        (files, bytes)
     }
 
     /// Current counters.
@@ -277,7 +392,41 @@ impl ArtifactStore {
             io_retries: self.io_retries.load(Ordering::Relaxed),
             io_errors: self.io_errors.load(Ordering::Relaxed),
             recomputes: self.recomputes.load(Ordering::Relaxed),
+            gc_reclaimed_bytes: self.gc_reclaimed.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// SHA-256 hex of a serialized payload — the `sum` envelope field.
+pub(crate) fn payload_sum(payload_text: &str) -> String {
+    let mut h = Sha256::new();
+    h.update_str(payload_text);
+    h.finish().hex()
+}
+
+/// Extracts the writing pid from a store tmp-file name
+/// (`<short>.tmp.<pid>.<seq>`); `None` for anything else.
+pub(crate) fn tmp_file_pid(name: &str) -> Option<u32> {
+    let (_, rest) = name.split_once(".tmp.")?;
+    let (pid, seq) = rest.split_once('.')?;
+    // Both components must be pure integers — refuse to match files that
+    // merely contain ".tmp." somewhere in an unrelated name.
+    seq.parse::<u64>().ok()?;
+    pid.parse().ok()
+}
+
+/// Whether a process with this pid is currently running. On Linux this
+/// checks `/proc`; elsewhere it conservatively answers `true`, so GC
+/// falls back to the age window alone.
+fn pid_alive(pid: u32) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        true
     }
 }
 
@@ -429,6 +578,81 @@ mod tests {
             }
         }
         assert!(hit_retry_path, "no seed in 0..64 exercised the retry path");
+    }
+
+    #[test]
+    fn saved_files_carry_a_payload_checksum() {
+        let store = temp_store("sum");
+        let k = key("sum");
+        store.save(&k, Json::Obj(vec![("x".into(), Json::F64(1.0 / 3.0))]));
+        let text = std::fs::read_to_string(store.path_for(&k)).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        let sum = doc.get("sum").and_then(Json::as_str).unwrap();
+        assert_eq!(sum.len(), 64);
+        assert_eq!(sum, payload_sum(&doc.get("payload").unwrap().to_string()));
+    }
+
+    #[test]
+    fn bit_flipped_payload_is_discarded_by_checksum() {
+        let store = temp_store("bitflip");
+        let k = key("bitflip");
+        store.save(&k, Json::Obj(vec![("cycles".into(), Json::U64(12345))]));
+        let path = store.path_for(&k);
+        // Flip one digit inside the payload: still valid JSON, same shape,
+        // same embedded key — only the checksum can catch it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let flipped = text.replace("12345", "12346");
+        assert_ne!(text, flipped, "payload digit must appear in the file");
+        std::fs::write(&path, flipped).unwrap();
+        assert_eq!(store.load(&k), None);
+        assert_eq!(store.stats().discarded, 1);
+        assert!(!path.exists(), "corrupt artifact should be deleted");
+    }
+
+    #[test]
+    fn fsync_opt_out_still_roundtrips() {
+        let store = temp_store("nofsync").with_fsync(false);
+        let k = key("nofsync");
+        store.save(&k, Json::U64(11));
+        assert_eq!(store.load(&k), Some(Json::U64(11)));
+    }
+
+    #[test]
+    fn tmp_file_pid_parses_only_store_tmp_names() {
+        assert_eq!(tmp_file_pid("0123456789abcdef.tmp.4242.7"), Some(4242));
+        assert_eq!(tmp_file_pid("0123456789abcdef.json"), None);
+        assert_eq!(tmp_file_pid("x.tmp.notapid.7"), None);
+        assert_eq!(tmp_file_pid("x.tmp.42.notaseq"), None);
+        assert_eq!(tmp_file_pid("x.tmp.42"), None);
+    }
+
+    #[test]
+    fn gc_removes_dead_pid_tmp_files_and_keeps_own() {
+        let store = temp_store("gc");
+        std::fs::create_dir_all(store.dir()).unwrap();
+        // A pid beyond linux's pid_max can never be alive.
+        let dead = store.dir().join("aaaabbbbccccdddd.tmp.999999999.0");
+        std::fs::write(&dead, "orphan").unwrap();
+        let own = store
+            .dir()
+            .join(format!("aaaabbbbccccdddd.tmp.{}.1", std::process::id()));
+        std::fs::write(&own, "live").unwrap();
+        let plain = store.dir().join("aaaabbbbccccdddd.json");
+        std::fs::write(&plain, "artifact").unwrap();
+
+        let (files, bytes) = store.gc_tmp_files(Duration::ZERO);
+        assert_eq!(files, 1);
+        assert_eq!(bytes, "orphan".len() as u64);
+        assert!(!dead.exists());
+        assert!(own.exists(), "own pid's tmp file must survive");
+        assert!(plain.exists(), "final artifacts must survive");
+        assert_eq!(store.stats().gc_reclaimed_bytes, bytes);
+
+        // With a safety window, a *fresh* dead-pid file is left alone.
+        std::fs::write(&dead, "orphan").unwrap();
+        let (files, _) = store.gc_tmp_files(Duration::from_secs(3600));
+        assert_eq!(files, 0);
+        assert!(dead.exists());
     }
 
     #[test]

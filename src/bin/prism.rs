@@ -8,11 +8,16 @@
 //!     --scheduler oracle|amdahl       BSA selection      (default oracle)
 //!     -n <size>                       problem size       (default per workload)
 //! prism compare <workload>            4 cores × {bare, full ExoCore}
-//! prism explore [--stats]             full 64-point design space (cached)
+//! prism explore [--stats] [--resume]  full 64-point design space (cached)
 //! prism grid [options]                the same sweep on worker processes
 //!     --workers N                     worker fleet size  (default PRISM_WORKERS, else 2)
 //!     --shard-retries K               cross-shard retries per unit (default 1)
 //!     --stats                         print grid + session counters
+//!     --resume                        replay the sweep journal, skip settled units
+//! prism fsck [--dir PATH]             check/repair an artifact store
+//!                                     (quarantines corrupt artifacts, GCs orphan
+//!                                     tmp files and stale journals; exit 1 on
+//!                                     corruption)
 //! prism bench [options]               perf microbench suite (BENCH_<rev>.json)
 //!     --quick                         microbenches + MICRO-registry explore only
 //!     --iters N                       iterations per microbench (default 10)
@@ -48,16 +53,19 @@ fn main() {
     strip_jobs_flag(&mut args);
     let stats = flag_from_args(&args, "--stats");
     args.retain(|a| a != "--stats");
+    let resume = flag_from_args(&args, "--resume");
+    args.retain(|a| a != "--resume");
     let code = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&session, &args[1..]),
         Some("compare") => cmd_compare(&session, &args[1..]),
-        Some("explore") => cmd_explore(&session, stats),
-        Some("grid") => cmd_grid(&args[1..], stats),
+        Some("explore") => cmd_explore(&session, stats, resume),
+        Some("grid") => cmd_grid(&args[1..], stats, resume),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("fsck") => cmd_fsck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: prism <list|run|compare|explore|grid|bench> [args]   (see --help in the source header)"
+                "usage: prism <list|run|compare|explore|grid|bench|fsck> [args]   (see --help in the source header)"
             );
             2
         }
@@ -95,14 +103,48 @@ fn finish_sweep(report: &SweepReport) -> i32 {
     report.exit_code()
 }
 
-fn cmd_explore(session: &Session, stats: bool) -> i32 {
-    let report = session.full_design_space();
+fn cmd_explore(session: &Session, stats: bool, resume: bool) -> i32 {
+    // The CLI sweep always journals, so a killed `prism explore` can be
+    // finished with `prism explore --resume`.
+    let report = session.full_design_space_resumable(resume);
     let code = finish_sweep(&report);
     session.log_stats();
     if stats {
         eprint!("{}", session.stats().render());
     }
     code
+}
+
+fn cmd_fsck(args: &[String]) -> i32 {
+    use prism::pipeline::{run_fsck, ArtifactStore};
+
+    let mut dir = ArtifactStore::default_dir();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" => match it.next() {
+                Some(v) => dir = v.into(),
+                None => {
+                    eprintln!("error: --dir needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other} (usage: prism fsck [--dir PATH])");
+                return 2;
+            }
+        }
+    }
+    match run_fsck(&dir) {
+        Ok(report) => {
+            print!("{}", report.render(&dir));
+            i32::from(!report.is_clean())
+        }
+        Err(e) => {
+            eprintln!("error: fsck {}: {e}", dir.display());
+            1
+        }
+    }
 }
 
 fn cmd_bench(args: &[String]) -> i32 {
@@ -190,7 +232,7 @@ fn cmd_bench(args: &[String]) -> i32 {
     0
 }
 
-fn cmd_grid(args: &[String], stats: bool) -> i32 {
+fn cmd_grid(args: &[String], stats: bool, resume: bool) -> i32 {
     let mut workers = workers_from_env().unwrap_or(2);
     let mut shard_retries = 1usize;
     let mut it = args.iter();
@@ -216,13 +258,14 @@ fn cmd_grid(args: &[String], stats: bool) -> i32 {
                 }
             },
             other => {
-                eprintln!("error: unknown flag {other} (usage: prism grid [--workers N] [--shard-retries K] [--stats])");
+                eprintln!("error: unknown flag {other} (usage: prism grid [--workers N] [--shard-retries K] [--stats] [--resume])");
                 return 2;
             }
         }
     }
     let mut config = GridConfig::full_space(workers);
     config.shard_retries = shard_retries;
+    config.resume = resume;
     match run_grid(&config) {
         Ok(outcome) => {
             let code = finish_sweep(&outcome.report);
