@@ -1,27 +1,40 @@
 //! The grid coordinator: partitions the design-point unit space across a
-//! fleet of worker subprocesses, supervises them by heartbeat, retries
-//! quarantined units on a different shard, reassigns the in-flight units
-//! of dead workers, and merges every shard's [`SweepReport`] into one.
+//! fleet of workers — local subprocesses and/or remote TCP daemons —
+//! supervises them by heartbeat, retries quarantined units on a
+//! different shard, reassigns the in-flight units of dead workers, and
+//! merges every shard's [`SweepReport`] into one.
 //!
-//! Workers are re-invocations of the current executable with
+//! Local workers are re-invocations of the current executable with
 //! `PRISM_GRID_WORKER=1` (see [`crate::worker`]); they share one
 //! content-addressed artifact store, whose write-then-rename protocol
-//! with per-process temp names makes concurrent writers safe. Because
-//! every unit is keyed identically in every process, a grid run and a
-//! single-process run produce byte-identical merged reports (after
-//! [`SweepReport::normalize`]) on a healthy fleet.
+//! with per-process temp names makes concurrent writers safe. Remote
+//! workers (`prism worker --listen`, reached via
+//! [`GridConfig::hosts`]) have their *own* store; the v2 protocol ships
+//! result artifacts back by content hash, and anything not shipped is
+//! simply recomputed from the journal on resume. Because every unit is
+//! keyed identically in every process, a grid run and a single-process
+//! run produce byte-identical merged reports (after
+//! [`SweepReport::normalize`]) on a healthy fleet — wherever the shards
+//! ran.
+//!
+//! A worker that dies or disconnects mid-unit leaves a synthetic
+//! quarantine entry behind; when the reassigned unit later succeeds,
+//! normalization promotes it to [`SweepReport::recovered`], so fleet
+//! trouble is visible in the merged report without changing its results.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, Command, Stdio};
+use std::process::Command;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use prism_exocore::{all_bsa_subsets, all_cores, DesignPoint};
+use prism_net::{
+    DeadLink, HostSpec, LinkEvent, NetFaultPlan, ShardLink, StdioLink, TcpLink, NET_TOKEN_ENV,
+};
 use prism_pipeline::{
-    crash_point, sweep_key, ArtifactStore, PipelineError, Session, Stage, SweepJournal,
-    SweepReport, GC_SAFETY_WINDOW, SITE_GRID_FRAME,
+    crash_point, sweep_key, ArtifactStore, ContentHash, PipelineError, Session, Stage,
+    SweepJournal, SweepReport, GC_SAFETY_WINDOW, SITE_GRID_FRAME,
 };
 use prism_sim::TracerConfig;
 use prism_tdg::BsaKind;
@@ -36,6 +49,11 @@ use crate::WORKERS_ENV;
 /// milliseconds (e.g. `PRISM_GRID_TIMEOUT_MS=2000`). Useful on loaded CI
 /// machines where a healthy worker can stall past the default 10 s.
 pub const GRID_TIMEOUT_ENV: &str = "PRISM_GRID_TIMEOUT_MS";
+
+/// How many times one remote link is redialed over a run before its
+/// shard slot is given up for dead. Each attempt is itself a bounded
+/// backoff dial sequence (see [`prism_net::RECONNECT_ATTEMPTS`]).
+const LINK_RECONNECTS: u32 = 3;
 
 /// Parses a heartbeat-timeout override (integer milliseconds, ≥ 1).
 ///
@@ -69,8 +87,11 @@ fn grid_timeout_from_env() -> Duration {
 /// Configuration for one grid run.
 #[derive(Debug, Clone)]
 pub struct GridConfig {
-    /// Worker processes to spawn (shards).
+    /// Local worker processes to spawn (shards `0..workers`).
     pub workers: usize,
+    /// Remote worker daemons to connect to; each occupies one shard slot
+    /// after the local ones (shards `workers..workers + hosts.len()`).
+    pub hosts: Vec<HostSpec>,
     /// How many times a quarantined unit is retried on a *different*
     /// shard before its quarantine becomes permanent.
     pub shard_retries: usize,
@@ -83,7 +104,8 @@ pub struct GridConfig {
     pub subsets: Vec<Vec<BsaKind>>,
     /// Tracer instruction limit shared by every shard.
     pub max_insts: u64,
-    /// Content-addressed artifact store shared by every shard.
+    /// Content-addressed artifact store shared by every *local* shard
+    /// (remote daemons use their own).
     pub artifact_dir: PathBuf,
     /// Worker executable; defaults to the current executable.
     pub worker_cmd: Option<PathBuf>,
@@ -96,6 +118,8 @@ pub struct GridConfig {
     pub env: Vec<(String, String)>,
     /// Environment variables removed from workers (test hook).
     pub env_remove: Vec<String>,
+    /// Injected network fault plan applied to remote links.
+    pub net_faults: NetFaultPlan,
     /// Replay this sweep's journal and skip units it records as settled
     /// (the `--resume` flag). A fresh run truncates any prior journal.
     pub resume: bool,
@@ -109,6 +133,7 @@ impl GridConfig {
     pub fn full_space(workers: usize) -> Self {
         GridConfig {
             workers,
+            hosts: Vec::new(),
             shard_retries: 1,
             workloads: prism_workloads::ALL
                 .iter()
@@ -123,15 +148,31 @@ impl GridConfig {
             window: 2,
             env: Vec::new(),
             env_remove: Vec::new(),
+            net_faults: NetFaultPlan::from_env(),
             resume: false,
         }
     }
 }
 
+/// Per-remote-host counters (one entry per [`GridConfig::hosts`] slot).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// The host as given (`host:port`).
+    pub addr: String,
+    /// Units this host settled (result or quarantine).
+    pub units: usize,
+    /// In-flight units recovered from this host's deaths/disconnects.
+    pub recoveries: usize,
+    /// Successful link reconnects.
+    pub reconnects: usize,
+    /// Artifact bytes shipped over this link (both directions).
+    pub bytes_shipped: u64,
+}
+
 /// Counters describing how a grid run went.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GridStats {
-    /// Worker processes spawned.
+    /// Worker processes spawned (plus remote links established).
     pub workers_spawned: usize,
     /// Workers that died (crash, heartbeat timeout, protocol error).
     pub workers_died: usize,
@@ -151,13 +192,15 @@ pub struct GridStats {
     pub replayed: usize,
     /// Bytes reclaimed by the opportunistic orphaned-tmp-file GC.
     pub gc_reclaimed_bytes: u64,
+    /// Per-remote-host counters, in [`GridConfig::hosts`] order.
+    pub hosts: Vec<HostStats>,
 }
 
 impl GridStats {
     /// Renders the counters as a human-readable block (for `--stats`).
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut text = format!(
             "-- grid stats --\n\
              workers : {} spawned, {} died\n\
              units   : {} total, {} retried, {} reassigned, {} local\n\
@@ -172,7 +215,14 @@ impl GridStats {
             self.resumed,
             self.replayed,
             self.gc_reclaimed_bytes,
-        )
+        );
+        for host in &self.hosts {
+            text.push_str(&format!(
+                "host {} : {} units, {} recovered, {} reconnects, {} bytes shipped\n",
+                host.addr, host.units, host.recoveries, host.reconnects, host.bytes_shipped,
+            ));
+        }
+        text
     }
 }
 
@@ -218,108 +268,157 @@ struct Unit {
     attempts: usize,
     failed_on: Vec<usize>,
     resolved: bool,
+    /// Shard this unit was journaled as assigned to (advisory): a
+    /// resumed coordinator prefers the recorded placement so a re-run
+    /// repeats the prior plan instead of re-planning from scratch.
+    planned: Option<usize>,
+    /// Shard the last `assigned` journal record names, to avoid
+    /// re-journaling an unchanged placement.
+    assign_logged: Option<usize>,
 }
 
-/// Coordinator-side view of one worker process.
+/// Coordinator-side view of one worker (local subprocess or remote link).
 struct WorkerState {
-    child: Child,
-    stdin: Option<ChildStdin>,
+    link: Box<dyn ShardLink>,
     alive: bool,
     last_beat: Instant,
     inflight: Vec<usize>,
+    /// Link generation current events must carry (see [`LinkEvent`]).
+    gen: u64,
+    /// Index into [`GridStats::hosts`] for remote shards.
+    host: Option<usize>,
+    /// Remaining reconnect attempts for this link.
+    reconnects_left: u32,
 }
 
-enum Event {
-    Msg(usize, FromWorker),
-    Garbled(usize, String),
-    Eof(usize),
-}
-
-fn spawn_worker(
-    cmd: &PathBuf,
-    shard: usize,
-    config: &GridConfig,
-    tx: &mpsc::Sender<Event>,
-) -> std::io::Result<(WorkerState, std::thread::JoinHandle<()>)> {
+/// The worker subprocess command for one local shard (the link layer
+/// pipes its stdin/stdout; stderr stays inherited).
+fn worker_command(cmd: &PathBuf, shard: usize, config: &GridConfig) -> Command {
     let mut builder = Command::new(cmd);
     builder
         .env(WORKER_ENV, "1")
         .env(SHARD_ENV, shard.to_string())
         .env("PRISM_ARTIFACT_DIR", &config.artifact_dir)
         // A worker must never recurse into coordinating its own fleet.
-        .env_remove(WORKERS_ENV)
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit());
+        .env_remove(WORKERS_ENV);
     for key in &config.env_remove {
         builder.env_remove(key);
     }
     for (key, value) in &config.env {
         builder.env(key, value);
     }
-    let mut child = builder.spawn()?;
-    let mut stdin = child.stdin.take().expect("piped stdin");
-    let stdout = child.stdout.take().expect("piped stdout");
-    let hello = ToWorker::Hello {
+    builder
+}
+
+/// The Hello line opening (or re-opening) one shard's session.
+fn hello_line(config: &GridConfig, shard: usize) -> String {
+    ToWorker::Hello {
         proto: PROTO_VERSION,
         shard,
         workloads: config.workloads.clone(),
         max_insts: config.max_insts,
         artifact_dir: config.artifact_dir.display().to_string(),
-    };
-    writeln!(stdin, "{}", hello.encode())?;
-    stdin.flush()?;
-    let tx = tx.clone();
-    let reader = std::thread::spawn(move || {
-        for line in BufReader::new(stdout).lines() {
-            let Ok(line) = line else { break };
-            match FromWorker::decode(&line) {
-                Ok(msg) => {
-                    if tx.send(Event::Msg(shard, msg)).is_err() {
-                        return;
-                    }
-                }
-                Err(e) => {
-                    let _ = tx.send(Event::Garbled(shard, e));
-                    return;
-                }
-            }
-        }
-        let _ = tx.send(Event::Eof(shard));
-    });
-    Ok((
-        WorkerState {
-            child,
-            stdin: Some(stdin),
-            alive: true,
-            last_beat: Instant::now(),
-            inflight: Vec::new(),
-        },
-        reader,
-    ))
+    }
+    .encode()
 }
 
-/// Runs the sharded sweep: spawns workers, streams assignments with a
-/// small per-worker window (so prepare overlaps evaluate), supervises by
-/// heartbeat, retries quarantined units on a different shard, reassigns
-/// the in-flight units of dead workers, falls back to in-process
-/// evaluation when no eligible worker remains, and merges every shard's
-/// report.
+/// Marks a shard dead, reassigns its unresolved in-flight units (leaving
+/// a synthetic quarantine entry each, so a later success surfaces as
+/// `recovered`), and — for remote links with attempts left — tries to
+/// reconnect and open a fresh session.
+#[allow(clippy::too_many_arguments)]
+fn mark_dead_and_reassign(
+    shard: usize,
+    reason: &str,
+    hello: &str,
+    workers: &mut [WorkerState],
+    units: &[Unit],
+    pending: &mut VecDeque<usize>,
+    shard_reports: &mut [SweepReport],
+    fetch_pending: &mut [usize],
+    stats: &mut GridStats,
+) {
+    let w = &mut workers[shard];
+    if !w.alive {
+        return;
+    }
+    eprintln!("[prism-grid] shard {shard}: {reason}");
+    w.alive = false;
+    w.link.kill();
+    stats.workers_died += 1;
+    // Outstanding artifact fetches died with the session.
+    fetch_pending[shard] = 0;
+    for uid in std::mem::take(&mut w.inflight) {
+        if units[uid].resolved {
+            continue;
+        }
+        stats.units_reassigned += 1;
+        if let Some(h) = w.host {
+            stats.hosts[h].recoveries += 1;
+        }
+        let label = &units[uid].label;
+        shard_reports[shard].quarantined.push((
+            label.clone(),
+            PipelineError::new(
+                label,
+                Stage::Evaluate,
+                "worker died with unit in flight; reassigned",
+            ),
+        ));
+        pending.push_back(uid);
+    }
+    if w.link.is_remote() && w.reconnects_left > 0 {
+        w.reconnects_left -= 1;
+        match w.link.reconnect() {
+            Ok(gen) => {
+                w.gen = gen;
+                if w.link.send_line(hello).is_ok() {
+                    w.alive = true;
+                    w.last_beat = Instant::now();
+                    if let Some(h) = w.host {
+                        stats.hosts[h].reconnects += 1;
+                    }
+                    eprintln!(
+                        "[prism-grid] shard {shard}: reconnected ({})",
+                        w.link.describe()
+                    );
+                }
+            }
+            Err(e) => eprintln!("[prism-grid] shard {shard}: reconnect failed: {e}"),
+        }
+    }
+}
+
+/// Runs the sharded sweep: spawns local workers and connects remote
+/// daemons, streams assignments with a small per-worker window (so
+/// prepare overlaps evaluate), supervises by heartbeat, retries
+/// quarantined units on a different shard, reassigns the in-flight units
+/// of dead workers (reconnecting remote links), pulls missing result
+/// artifacts from remote stores, falls back to in-process evaluation
+/// when no eligible worker remains, and merges every shard's report.
 ///
 /// # Errors
 ///
 /// Returns a [`GridError`] only when the run cannot start (zero workers
-/// configured, no worker executable); anything that fails *during* the
-/// run quarantines units instead.
+/// and zero hosts configured, no worker executable); anything that fails
+/// *during* the run quarantines units instead.
+#[allow(clippy::too_many_lines)]
 pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
-    if config.workers == 0 {
-        return Err(err("at least one worker is required"));
+    if config.workers == 0 && config.hosts.is_empty() {
+        return Err(err("at least one worker or host is required"));
     }
-    let worker_cmd = match &config.worker_cmd {
-        Some(cmd) => cmd.clone(),
-        None => std::env::current_exe()
-            .map_err(|e| err(format!("cannot resolve current executable: {e}")))?,
+    let worker_cmd = if config.workers == 0 {
+        None
+    } else {
+        match &config.worker_cmd {
+            Some(cmd) => Some(cmd.clone()),
+            None => Some(
+                std::env::current_exe()
+                    .map_err(|e| err(format!("cannot resolve current executable: {e}")))?,
+            ),
+        }
     };
+    let token = std::env::var(NET_TOKEN_ENV).unwrap_or_default();
 
     // The unit space, in the same core-major order as `explore_grid`.
     let mut units: Vec<Unit> = Vec::with_capacity(config.cores.len() * config.subsets.len());
@@ -334,13 +433,15 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                 attempts: 0,
                 failed_on: Vec::new(),
                 resolved: false,
+                planned: None,
+                assign_logged: None,
             });
         }
     }
 
     let (tx, rx) = mpsc::channel();
-    let mut workers: Vec<WorkerState> = Vec::with_capacity(config.workers);
-    let mut readers = Vec::with_capacity(config.workers);
+    let total_shards = config.workers + config.hosts.len();
+    let mut workers: Vec<WorkerState> = Vec::with_capacity(total_shards);
     let mut stats = GridStats {
         units_total: units.len(),
         ..GridStats::default()
@@ -348,7 +449,8 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
 
     // Opportunistic repair: reclaim tmp files orphaned by killed runs
     // (never a live process's, never younger than the safety window).
-    let (_, gc_bytes) = ArtifactStore::new(&config.artifact_dir).gc_tmp_files(GC_SAFETY_WINDOW);
+    let store = ArtifactStore::new(&config.artifact_dir);
+    let (_, gc_bytes) = store.gc_tmp_files(GC_SAFETY_WINDOW);
     stats.gc_reclaimed_bytes = gc_bytes;
 
     // Sweep journal: derived from the exact same inputs a single-process
@@ -373,6 +475,9 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
     let journal = match SweepJournal::open(&config.artifact_dir, &sweep, config.resume) {
         Ok((journal, replay)) => {
             for unit in &mut units {
+                if let Some(&shard) = replay.assigned.get(&unit.label) {
+                    unit.planned = Some(shard as usize);
+                }
                 if let Some(result) = replay.done.get(&unit.label) {
                     replay_report.results.push(result.clone());
                 } else if let Some(error) = replay.quarantined.get(&unit.label) {
@@ -399,71 +504,180 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
             None
         }
     };
+
+    // Local shards first (0..workers), then one slot per remote host; a
+    // failed spawn or connect leaves a dead placeholder so shard ids keep
+    // matching vector indices.
     for shard in 0..config.workers {
-        match spawn_worker(&worker_cmd, shard, config, &tx) {
-            Ok((state, reader)) => {
-                workers.push(state);
-                readers.push(reader);
+        let cmd = worker_cmd.as_ref().expect("workers > 0 resolves a command");
+        match StdioLink::spawn(worker_command(cmd, shard, config), shard, &tx) {
+            Ok(link) => {
                 stats.workers_spawned += 1;
+                workers.push(WorkerState {
+                    link: Box::new(link),
+                    alive: true,
+                    last_beat: Instant::now(),
+                    inflight: Vec::new(),
+                    gen: 0,
+                    host: None,
+                    reconnects_left: 0,
+                });
             }
             Err(e) => {
                 eprintln!("[prism-grid] shard {shard}: spawn failed: {e}");
-                // A placeholder dead slot keeps shard == index; its units
-                // simply never get assigned here.
-                match spawn_dead_placeholder(&mut workers) {
-                    Ok(()) => {}
-                    Err(e) => return Err(err(format!("cannot spawn workers: {e}"))),
-                }
+                workers.push(WorkerState {
+                    link: Box::new(DeadLink::new(&format!("local shard {shard}"))),
+                    alive: false,
+                    last_beat: Instant::now(),
+                    inflight: Vec::new(),
+                    gen: 0,
+                    host: None,
+                    reconnects_left: 0,
+                });
+            }
+        }
+    }
+    for (hidx, host) in config.hosts.iter().enumerate() {
+        let shard = config.workers + hidx;
+        stats.hosts.push(HostStats {
+            addr: host.to_string(),
+            ..HostStats::default()
+        });
+        match TcpLink::connect(
+            &host.addr(),
+            shard,
+            &token,
+            config.net_faults.clone(),
+            tx.clone(),
+        ) {
+            Ok(link) => {
+                stats.workers_spawned += 1;
+                let gen = link.generation();
+                workers.push(WorkerState {
+                    link: Box::new(link),
+                    alive: true,
+                    last_beat: Instant::now(),
+                    inflight: Vec::new(),
+                    gen,
+                    host: Some(hidx),
+                    reconnects_left: LINK_RECONNECTS,
+                });
+            }
+            Err(e) => {
+                eprintln!("[prism-grid] shard {shard}: connect to {host} failed: {e}");
+                workers.push(WorkerState {
+                    link: Box::new(DeadLink::new(&format!("host {host}"))),
+                    alive: false,
+                    last_beat: Instant::now(),
+                    inflight: Vec::new(),
+                    gen: 0,
+                    host: Some(hidx),
+                    reconnects_left: 0,
+                });
             }
         }
     }
     drop(tx);
+    // Open every live session.
+    for (shard, worker) in workers.iter_mut().enumerate() {
+        if worker.alive {
+            let hello = hello_line(config, shard);
+            if let Err(e) = worker.link.send_line(&hello) {
+                eprintln!("[prism-grid] shard {shard}: hello failed: {e}");
+            }
+        }
+    }
+
+    // Push-side artifact warming for remote shards: the design-point key
+    // each unit will settle into, assuming every workload is healthy. A
+    // mismatch (some workload quarantined) just makes the push useless —
+    // correctness never depends on shipped artifacts.
+    let key_session = if config.hosts.is_empty() {
+        None
+    } else {
+        Some(
+            Session::new()
+                .with_tracer(tracer)
+                .with_store_dir(&config.artifact_dir),
+        )
+    };
+    let push_keys: Option<Vec<ContentHash>> = key_session.as_ref().map(|session| {
+        wl_sizes
+            .iter()
+            .map(|(name, n)| session.workload_key(name, *n))
+            .collect()
+    });
 
     let mut shard_reports: Vec<SweepReport> =
         (0..workers.len()).map(|_| SweepReport::default()).collect();
+    let mut fetch_pending: Vec<usize> = vec![0; workers.len()];
     let mut pending: VecDeque<usize> = (0..units.len()).collect();
     let mut local_queue: Vec<usize> = Vec::new();
     let mut resolved = units.iter().filter(|u| u.resolved).count();
 
-    let kill = |w: &mut WorkerState| {
-        w.alive = false;
-        w.stdin = None;
-        let _ = w.child.kill();
-    };
-
     while resolved + local_queue.len() < units.len() {
-        // Dispatch: fill every live worker's window, routing retries away
-        // from shards they already failed on; units with no eligible
-        // shard left fall back to local evaluation.
+        // Dispatch: fill every live worker's window, preferring the
+        // journaled placement on resume, routing retries away from
+        // shards they already failed on; units with no eligible shard
+        // left fall back to local evaluation.
         let mut still_pending = VecDeque::new();
         while let Some(uid) = pending.pop_front() {
             if units[uid].resolved {
                 continue;
             }
-            let pick = workers
-                .iter()
-                .enumerate()
-                .filter(|(shard, w)| {
-                    w.alive
-                        && w.inflight.len() < config.window
-                        && !units[uid].failed_on.contains(shard)
-                })
-                .min_by_key(|(_, w)| w.inflight.len())
-                .map(|(shard, _)| shard);
+            let eligible = |shard: usize, w: &WorkerState| {
+                w.alive
+                    && w.inflight.len() < config.window
+                    && !units[uid].failed_on.contains(&shard)
+            };
+            let pick = units[uid]
+                .planned
+                .filter(|&s| s < workers.len() && eligible(s, &workers[s]))
+                .or_else(|| {
+                    workers
+                        .iter()
+                        .enumerate()
+                        .filter(|&(shard, w)| eligible(shard, w))
+                        .min_by_key(|(_, w)| w.inflight.len())
+                        .map(|(shard, _)| shard)
+                });
             match pick {
                 Some(shard) => {
+                    // Warm a remote shard's store with the artifact this
+                    // unit would settle into, if we already have it.
+                    if let (Some(session), Some(wkeys), Some(h)) =
+                        (&key_session, &push_keys, workers[shard].host)
+                    {
+                        let akey = session.design_point_key(
+                            wkeys,
+                            &config.cores[units[uid].core_idx],
+                            &config.subsets[units[uid].subset_idx],
+                        );
+                        if let Some(doc) = store.export(&akey) {
+                            stats.hosts[h].bytes_shipped += doc.len() as u64;
+                            let push = ToWorker::Artifact {
+                                key: akey.hex(),
+                                doc,
+                            };
+                            let _ = workers[shard].link.send_line(&push.encode());
+                        }
+                    }
                     let msg = ToWorker::Assign {
                         id: uid as u64,
                         core: units[uid].core_name.clone(),
                         bsas: units[uid].bsa_codes.clone(),
                     }
                     .encode();
-                    let sent = workers[shard]
-                        .stdin
-                        .as_mut()
-                        .is_some_and(|s| writeln!(s, "{msg}").and_then(|()| s.flush()).is_ok());
-                    if sent {
+                    if workers[shard].link.send_line(&msg).is_ok() {
                         workers[shard].inflight.push(uid);
+                        if units[uid].assign_logged != Some(shard) {
+                            units[uid].assign_logged = Some(shard);
+                            if let Some(j) = &journal {
+                                if let Err(e) = j.append_assigned(&units[uid].label, shard as u64) {
+                                    eprintln!("[prism-grid] journal append failed: {e}");
+                                }
+                            }
+                        }
                     } else {
                         // Write failure: the worker is dying; its Eof event
                         // will handle the cleanup. Try again next round.
@@ -489,16 +703,38 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
         }
 
         match rx.recv_timeout(Duration::from_millis(100)) {
-            Ok(Event::Msg(shard, msg)) => {
-                if shard >= workers.len() {
-                    continue;
+            Ok((shard, LinkEvent::Line(gen, line))) => {
+                if shard >= workers.len() || gen != workers[shard].gen {
+                    continue; // stale connection generation
                 }
                 workers[shard].last_beat = Instant::now();
+                let msg = match FromWorker::decode(&line) {
+                    Ok(msg) => msg,
+                    Err(e) => {
+                        let hello = hello_line(config, shard);
+                        mark_dead_and_reassign(
+                            shard,
+                            &format!("garbled output: {e}"),
+                            &hello,
+                            &mut workers,
+                            &units,
+                            &mut pending,
+                            &mut shard_reports,
+                            &mut fetch_pending,
+                            &mut stats,
+                        );
+                        continue;
+                    }
+                };
                 match msg {
                     FromWorker::HelloAck { .. }
                     | FromWorker::Heartbeat { .. }
                     | FromWorker::Bye => {}
-                    FromWorker::UnitResult { id, result } => {
+                    FromWorker::UnitResult {
+                        id,
+                        result,
+                        artifacts,
+                    } => {
                         // Kill point: the unit's artifact is durable (the
                         // worker stored it before reporting) but nothing is
                         // journaled yet — a resume must recompute cheaply
@@ -509,6 +745,9 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                         if uid < units.len() && !units[uid].resolved {
                             units[uid].resolved = true;
                             resolved += 1;
+                            if let Some(h) = workers[shard].host {
+                                stats.hosts[h].units += 1;
+                            }
                             if let Some(j) = &journal {
                                 if let Err(e) = j.append_done(&units[uid].label, &result) {
                                     eprintln!("[prism-grid] journal append failed: {e}");
@@ -516,6 +755,25 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                             }
                         }
                         shard_reports[shard].results.push(result);
+                        // Pull any result artifacts a remote store has
+                        // that ours is missing (pure cache warmth: resume
+                        // and correctness never depend on the shipment).
+                        if workers[shard].link.is_remote() {
+                            let missing: Vec<String> = artifacts
+                                .into_iter()
+                                .filter(|k| {
+                                    ContentHash::from_hex(k)
+                                        .is_some_and(|hash| !store.contains(&hash))
+                                })
+                                .collect();
+                            if !missing.is_empty() {
+                                let n = missing.len();
+                                let fetch = ToWorker::Fetch { keys: missing }.encode();
+                                if workers[shard].link.send_line(&fetch).is_ok() {
+                                    fetch_pending[shard] += n;
+                                }
+                            }
+                        }
                     }
                     FromWorker::UnitQuarantine { id, key, error } => {
                         crash_point(SITE_GRID_FRAME);
@@ -530,6 +788,9 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                                 } else {
                                     units[uid].resolved = true;
                                     resolved += 1;
+                                    if let Some(h) = workers[shard].host {
+                                        stats.hosts[h].units += 1;
+                                    }
                                     // Only a *permanent* quarantine is
                                     // journaled: a retry may still succeed,
                                     // and a later `done` must win on replay.
@@ -545,98 +806,158 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                         }
                         shard_reports[shard].quarantined.push((key, error));
                     }
-                    FromWorker::Fatal { message } => {
-                        eprintln!("[prism-grid] shard {shard}: fatal: {message}");
-                        if workers[shard].alive {
-                            kill(&mut workers[shard]);
-                            stats.workers_died += 1;
-                            reassign(&mut workers[shard], &units, &mut pending, &mut stats);
+                    FromWorker::Artifact { key, doc } => {
+                        fetch_pending[shard] = fetch_pending[shard].saturating_sub(1);
+                        if let Some(h) = workers[shard].host {
+                            stats.hosts[h].bytes_shipped += doc.len() as u64;
                         }
+                        // Empty doc = "worker doesn't have it"; nothing to do.
+                        if !doc.is_empty() {
+                            match ContentHash::from_hex(&key) {
+                                Some(hash) => {
+                                    if let Err(e) = store.import(&hash, &doc) {
+                                        eprintln!(
+                                            "[prism-grid] shard {shard}: artifact import failed: {e}"
+                                        );
+                                    }
+                                }
+                                None => eprintln!(
+                                    "[prism-grid] shard {shard}: artifact with bad key {key}"
+                                ),
+                            }
+                        }
+                    }
+                    FromWorker::Fatal { message } => {
+                        let hello = hello_line(config, shard);
+                        mark_dead_and_reassign(
+                            shard,
+                            &format!("fatal: {message}"),
+                            &hello,
+                            &mut workers,
+                            &units,
+                            &mut pending,
+                            &mut shard_reports,
+                            &mut fetch_pending,
+                            &mut stats,
+                        );
                     }
                 }
             }
-            Ok(Event::Garbled(shard, e)) => {
-                eprintln!("[prism-grid] shard {shard}: garbled output: {e}");
-                if shard < workers.len() && workers[shard].alive {
-                    kill(&mut workers[shard]);
-                    stats.workers_died += 1;
-                    reassign(&mut workers[shard], &units, &mut pending, &mut stats);
-                }
-            }
-            Ok(Event::Eof(shard)) => {
-                if shard < workers.len() && workers[shard].alive {
-                    eprintln!("[prism-grid] shard {shard}: exited unexpectedly");
-                    kill(&mut workers[shard]);
-                    stats.workers_died += 1;
-                    reassign(&mut workers[shard], &units, &mut pending, &mut stats);
+            Ok((shard, LinkEvent::Eof(gen))) => {
+                if shard < workers.len() && gen == workers[shard].gen && workers[shard].alive {
+                    let hello = hello_line(config, shard);
+                    mark_dead_and_reassign(
+                        shard,
+                        "link closed unexpectedly",
+                        &hello,
+                        &mut workers,
+                        &units,
+                        &mut pending,
+                        &mut shard_reports,
+                        &mut fetch_pending,
+                        &mut stats,
+                    );
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                // Every reader thread is gone: mark all workers dead.
-                for w in workers.iter_mut().filter(|w| w.alive) {
-                    kill(w);
-                    stats.workers_died += 1;
-                    reassign(w, &units, &mut pending, &mut stats);
+                // Every link's reader is gone: mark all workers dead.
+                for shard in 0..workers.len() {
+                    let hello = hello_line(config, shard);
+                    mark_dead_and_reassign(
+                        shard,
+                        "event channel disconnected",
+                        &hello,
+                        &mut workers,
+                        &units,
+                        &mut pending,
+                        &mut shard_reports,
+                        &mut fetch_pending,
+                        &mut stats,
+                    );
                 }
             }
         }
 
         // Heartbeat supervision: a silent worker is dead, and its
         // in-flight units must not be lost.
-        for (shard, w) in workers.iter_mut().enumerate() {
-            if w.alive && w.last_beat.elapsed() > config.heartbeat_timeout {
-                eprintln!(
-                    "[prism-grid] shard {shard}: no heartbeat for {:?}, killing",
-                    config.heartbeat_timeout
+        for shard in 0..workers.len() {
+            if workers[shard].alive && workers[shard].last_beat.elapsed() > config.heartbeat_timeout
+            {
+                let hello = hello_line(config, shard);
+                mark_dead_and_reassign(
+                    shard,
+                    &format!("no heartbeat for {:?}", config.heartbeat_timeout),
+                    &hello,
+                    &mut workers,
+                    &units,
+                    &mut pending,
+                    &mut shard_reports,
+                    &mut fetch_pending,
+                    &mut stats,
                 );
-                kill(w);
-                stats.workers_died += 1;
-                reassign(w, &units, &mut pending, &mut stats);
             }
+        }
+    }
+
+    // Grace drain: give outstanding artifact fetches a bounded window to
+    // land before the links close (late unit frames still count too).
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while fetch_pending.iter().sum::<usize>() > 0 && Instant::now() < drain_deadline {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok((shard, LinkEvent::Line(gen, line)))
+                if shard < workers.len() && gen == workers[shard].gen =>
+            {
+                if let Ok(msg) = FromWorker::decode(&line) {
+                    absorb_late_frame(
+                        shard,
+                        msg,
+                        &workers,
+                        &store,
+                        &mut shard_reports,
+                        &mut fetch_pending,
+                        &mut stats,
+                    );
+                }
+            }
+            Ok((shard, LinkEvent::Eof(gen))) => {
+                if shard < workers.len() && gen == workers[shard].gen {
+                    workers[shard].alive = false;
+                    fetch_pending[shard] = 0;
+                }
+            }
+            Ok(_) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
     }
 
     // Clean shutdown: ask politely, then reap (with a kill deadline).
     for w in workers.iter_mut().filter(|w| w.alive) {
-        if let Some(stdin) = w.stdin.as_mut() {
-            let _ = writeln!(stdin, "{}", ToWorker::Shutdown.encode());
-            let _ = stdin.flush();
-        }
-        w.stdin = None;
+        let _ = w.link.send_line(&ToWorker::Shutdown.encode());
+        w.link.shutdown_input();
     }
     let deadline = Instant::now() + Duration::from_secs(5);
     for w in &mut workers {
-        loop {
-            match w.child.try_wait() {
-                Ok(Some(_)) => break,
-                Ok(None) if Instant::now() < deadline => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                _ => {
-                    let _ = w.child.kill();
-                    let _ = w.child.wait();
-                    break;
-                }
-            }
-        }
+        w.link.reap(deadline);
     }
     // Late events (results that raced the shutdown) still count.
-    while let Ok(event) = rx.try_recv() {
-        if let Event::Msg(shard, msg) = event {
-            match msg {
-                FromWorker::UnitResult { result, .. } if shard < shard_reports.len() => {
-                    shard_reports[shard].results.push(result);
+    while let Ok((shard, event)) = rx.try_recv() {
+        if let LinkEvent::Line(gen, line) = event {
+            if shard < workers.len() && gen == workers[shard].gen {
+                if let Ok(msg) = FromWorker::decode(&line) {
+                    absorb_late_frame(
+                        shard,
+                        msg,
+                        &workers,
+                        &store,
+                        &mut shard_reports,
+                        &mut fetch_pending,
+                        &mut stats,
+                    );
                 }
-                FromWorker::UnitQuarantine { key, error, .. } if shard < shard_reports.len() => {
-                    shard_reports[shard].quarantined.push((key, error));
-                }
-                _ => {}
             }
         }
-    }
-    for reader in readers {
-        let _ = reader.join();
     }
 
     // Local fallback: evaluate in-process whatever no worker could take.
@@ -719,38 +1040,40 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
     })
 }
 
-/// Reassigns a dead worker's in-flight units back to the pending queue.
-fn reassign(
-    worker: &mut WorkerState,
-    units: &[Unit],
-    pending: &mut VecDeque<usize>,
+/// Absorbs a frame arriving after the main loop settled every unit:
+/// results and quarantines still count toward the merged report, and
+/// artifact replies still land in the store.
+fn absorb_late_frame(
+    shard: usize,
+    msg: FromWorker,
+    workers: &[WorkerState],
+    store: &ArtifactStore,
+    shard_reports: &mut [SweepReport],
+    fetch_pending: &mut [usize],
     stats: &mut GridStats,
 ) {
-    for uid in std::mem::take(&mut worker.inflight) {
-        if !units[uid].resolved {
-            stats.units_reassigned += 1;
-            pending.push_back(uid);
+    match msg {
+        FromWorker::UnitResult { result, .. } if shard < shard_reports.len() => {
+            shard_reports[shard].results.push(result);
         }
+        FromWorker::UnitQuarantine { key, error, .. } if shard < shard_reports.len() => {
+            shard_reports[shard].quarantined.push((key, error));
+        }
+        FromWorker::Artifact { key, doc } => {
+            fetch_pending[shard] = fetch_pending[shard].saturating_sub(1);
+            if let Some(h) = workers[shard].host {
+                stats.hosts[h].bytes_shipped += doc.len() as u64;
+            }
+            if !doc.is_empty() {
+                if let Some(hash) = ContentHash::from_hex(&key) {
+                    if let Err(e) = store.import(&hash, &doc) {
+                        eprintln!("[prism-grid] shard {shard}: artifact import failed: {e}");
+                    }
+                }
+            }
+        }
+        _ => {}
     }
-}
-
-/// Fills a shard slot whose spawn failed with an already-dead process, so
-/// shard ids keep matching vector indices.
-fn spawn_dead_placeholder(workers: &mut Vec<WorkerState>) -> std::io::Result<()> {
-    // `true` exits immediately; if even that cannot spawn, give up.
-    let mut child = Command::new("true")
-        .stdin(Stdio::null())
-        .stdout(Stdio::null())
-        .spawn()?;
-    let _ = child.wait();
-    workers.push(WorkerState {
-        child,
-        stdin: None,
-        alive: false,
-        last_beat: Instant::now(),
-        inflight: Vec::new(),
-    });
-    Ok(())
 }
 
 #[cfg(test)]
@@ -787,10 +1110,23 @@ mod tests {
             resumed: 6,
             replayed: 7,
             gc_reclaimed_bytes: 8,
+            hosts: vec![HostStats {
+                addr: "10.0.0.9:7761".into(),
+                units: 9,
+                recoveries: 10,
+                reconnects: 11,
+                bytes_shipped: 12,
+            }],
         };
         let text = stats.render();
         assert!(text.contains("6 units resumed"), "{text}");
         assert!(text.contains("7 records replayed"), "{text}");
         assert!(text.contains("8 bytes reclaimed"), "{text}");
+        assert!(
+            text.contains(
+                "host 10.0.0.9:7761 : 9 units, 10 recovered, 11 reconnects, 12 bytes shipped"
+            ),
+            "{text}"
+        );
     }
 }

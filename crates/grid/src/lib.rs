@@ -25,9 +25,16 @@
 //! - when **no eligible worker** remains, units are evaluated in-process
 //!   by the coordinator.
 //!
-//! All shards share one content-addressed artifact store, so grid runs
-//! and single-process runs warm the same cache and — on a healthy fleet —
-//! produce byte-identical merged reports.
+//! All local shards share one content-addressed artifact store, so grid
+//! runs and single-process runs warm the same cache and — on a healthy
+//! fleet — produce byte-identical merged reports.
+//!
+//! The same protocol also runs over TCP (see [`prism_net`]): remote
+//! daemons started with `prism worker --listen` occupy shard slots after
+//! the local ones ([`GridConfig::hosts`]), authenticate with a shared
+//! secret, ship result artifacts back by content hash, and reconnect
+//! with bounded backoff when the link drops — in-flight units are
+//! reassigned exactly like a local worker death.
 
 #![warn(missing_docs)]
 
@@ -37,11 +44,14 @@ pub mod proto;
 pub mod worker;
 
 pub use coord::{
-    parse_grid_timeout, run_grid, GridConfig, GridError, GridOutcome, GridStats, GRID_TIMEOUT_ENV,
+    parse_grid_timeout, run_grid, GridConfig, GridError, GridOutcome, GridStats, HostStats,
+    GRID_TIMEOUT_ENV,
 };
 pub use fault::{GridFaultKind, GridFaultPlan, GRID_FAULTS_ENV};
 pub use proto::{FromWorker, ToWorker, HEARTBEAT_INTERVAL, PROTO_VERSION};
-pub use worker::{run_worker, run_worker_if_env, SHARD_ENV, WORKER_ENV};
+pub use worker::{
+    run_worker, run_worker_if_env, run_worker_io, serve_tcp, WorkerOptions, SHARD_ENV, WORKER_ENV,
+};
 
 /// Environment variable selecting the grid worker count for front-ends
 /// ([`workers_from_env`]).

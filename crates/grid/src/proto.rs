@@ -13,6 +13,14 @@
 //! protocol version; the worker answers [`FromWorker::HelloAck`] (or
 //! [`FromWorker::Fatal`] on a version mismatch) and then heartbeats every
 //! [`HEARTBEAT_INTERVAL`] until shutdown.
+//!
+//! v2 added artifact shipping for remote shards that do not share the
+//! coordinator's store: [`FromWorker::UnitResult`] names the artifacts
+//! backing the unit, the coordinator pulls missing ones with
+//! [`ToWorker::Fetch`], and both directions ship validated envelopes in
+//! `Artifact` frames keyed by hex `ContentHash`. Shipping is pure cache
+//! warmth: the journal embeds full results, so resume and correctness
+//! never depend on a shipped artifact arriving.
 
 use std::time::Duration;
 
@@ -24,8 +32,10 @@ use prism_pipeline::{
 
 /// Version of this wire protocol. The coordinator sends it in
 /// [`ToWorker::Hello`]; a worker built from different sources refuses the
-/// handshake instead of silently misinterpreting messages.
-pub const PROTO_VERSION: u64 = 1;
+/// handshake instead of silently misinterpreting messages. v2 added the
+/// artifact push/pull frames (`fetch`/`artifact`) and the `artifacts`
+/// list on `result` — a v1 worker refuses a v2 Hello outright.
+pub const PROTO_VERSION: u64 = 2;
 
 /// How often a healthy worker emits [`FromWorker::Heartbeat`].
 pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(250);
@@ -56,6 +66,22 @@ pub enum ToWorker {
         /// BSA subset as Fig. 12 code letters (e.g. `"SDN"`, `""`).
         bsas: String,
     },
+    /// Pull request: ship back each named artifact (hex `ContentHash`)
+    /// from the worker's store. The worker answers one
+    /// [`FromWorker::Artifact`] per key — with an empty `doc` for keys it
+    /// cannot export — so the coordinator can account for every request.
+    Fetch {
+        /// Hex content-hash keys to ship.
+        keys: Vec<String>,
+    },
+    /// Push: a validated store envelope for `key`, seeding the worker's
+    /// cache with an artifact the coordinator already has.
+    Artifact {
+        /// Hex content-hash key.
+        key: String,
+        /// The raw envelope text (empty = unavailable).
+        doc: String,
+    },
     /// Clean shutdown: finish in-flight units, say `Bye`, exit 0.
     Shutdown,
 }
@@ -83,6 +109,10 @@ pub enum FromWorker {
         id: u64,
         /// The evaluated design point.
         result: DesignResult,
+        /// Hex content-hash keys of the store artifacts backing this
+        /// result, so a coordinator on another host can pull what its
+        /// own store is missing. Empty from pre-v2 or local workers.
+        artifacts: Vec<String>,
     },
     /// A unit (or a whole workload) was quarantined on this shard.
     UnitQuarantine {
@@ -93,6 +123,14 @@ pub enum FromWorker {
         key: String,
         /// The typed failure.
         error: PipelineError,
+    },
+    /// Answer to [`ToWorker::Fetch`]: one shipped store envelope.
+    Artifact {
+        /// Hex content-hash key.
+        key: String,
+        /// The raw envelope text (empty = the worker could not export
+        /// this key; the coordinator just stops waiting for it).
+        doc: String,
     },
     /// Clean shutdown acknowledgement (last message).
     Bye,
@@ -141,6 +179,20 @@ impl ToWorker {
                     ("bsas".into(), Json::Str(bsas.clone())),
                 ],
             ),
+            ToWorker::Fetch { keys } => obj(
+                "fetch",
+                vec![(
+                    "keys".into(),
+                    Json::Arr(keys.iter().map(|k| Json::Str(k.clone())).collect()),
+                )],
+            ),
+            ToWorker::Artifact { key, doc } => obj(
+                "artifact",
+                vec![
+                    ("key".into(), Json::Str(key.clone())),
+                    ("doc".into(), Json::Str(doc.clone())),
+                ],
+            ),
             ToWorker::Shutdown => obj("shutdown", vec![]),
         }
         .to_string()
@@ -179,6 +231,24 @@ impl ToWorker {
                 })
             })()
             .ok_or_else(shape),
+            "fetch" => (|| {
+                Some(ToWorker::Fetch {
+                    keys: json
+                        .get("keys")?
+                        .as_arr()?
+                        .iter()
+                        .map(|k| Some(k.as_str()?.to_string()))
+                        .collect::<Option<_>>()?,
+                })
+            })()
+            .ok_or_else(shape),
+            "artifact" => (|| {
+                Some(ToWorker::Artifact {
+                    key: json.get("key")?.as_str()?.to_string(),
+                    doc: json.get("doc")?.as_str()?.to_string(),
+                })
+            })()
+            .ok_or_else(shape),
             "shutdown" => Ok(ToWorker::Shutdown),
             other => Err(format!("unknown coordinator message type `{other}`")),
         }
@@ -204,11 +274,19 @@ impl FromWorker {
                     ("inflight".into(), Json::U64(*inflight)),
                 ],
             ),
-            FromWorker::UnitResult { id, result } => obj(
+            FromWorker::UnitResult {
+                id,
+                result,
+                artifacts,
+            } => obj(
                 "result",
                 vec![
                     ("id".into(), Json::U64(*id)),
                     ("result".into(), encode_design_result(result)),
+                    (
+                        "artifacts".into(),
+                        Json::Arr(artifacts.iter().map(|k| Json::Str(k.clone())).collect()),
+                    ),
                 ],
             ),
             FromWorker::UnitQuarantine { id, key, error } => obj(
@@ -217,6 +295,13 @@ impl FromWorker {
                     ("id".into(), id.map_or(Json::Null, Json::U64)),
                     ("key".into(), Json::Str(key.clone())),
                     ("error".into(), encode_pipeline_error(error)),
+                ],
+            ),
+            FromWorker::Artifact { key, doc } => obj(
+                "artifact",
+                vec![
+                    ("key".into(), Json::Str(key.clone())),
+                    ("doc".into(), Json::Str(doc.clone())),
                 ],
             ),
             FromWorker::Bye => obj("bye", vec![]),
@@ -253,9 +338,20 @@ impl FromWorker {
             })()
             .ok_or_else(shape),
             "result" => (|| {
+                // `artifacts` is optional on decode for v1 tolerance;
+                // v2 encoders always write it.
+                let artifacts = match json.get("artifacts") {
+                    Some(arr) => arr
+                        .as_arr()?
+                        .iter()
+                        .map(|k| Some(k.as_str()?.to_string()))
+                        .collect::<Option<_>>()?,
+                    None => Vec::new(),
+                };
                 Some(FromWorker::UnitResult {
                     id: json.get("id")?.as_u64()?,
                     result: decode_design_result(json.get("result")?)?,
+                    artifacts,
                 })
             })()
             .ok_or_else(shape),
@@ -268,6 +364,13 @@ impl FromWorker {
                     id,
                     key: json.get("key")?.as_str()?.to_string(),
                     error: decode_pipeline_error(json.get("error")?)?,
+                })
+            })()
+            .ok_or_else(shape),
+            "artifact" => (|| {
+                Some(FromWorker::Artifact {
+                    key: json.get("key")?.as_str()?.to_string(),
+                    doc: json.get("doc")?.as_str()?.to_string(),
                 })
             })()
             .ok_or_else(shape),
@@ -304,6 +407,13 @@ mod tests {
                 core: "OOO2".into(),
                 bsas: "SDN".into(),
             },
+            ToWorker::Fetch {
+                keys: vec!["ab".repeat(32), "cd".repeat(32)],
+            },
+            ToWorker::Artifact {
+                key: "ef".repeat(32),
+                doc: "{\"schema\":2,\"payload\":\"with \\\"quotes\\\" and \\n newline\"}".into(),
+            },
             ToWorker::Shutdown,
         ];
         for m in msgs {
@@ -330,12 +440,20 @@ mod tests {
             }],
         };
         let msgs = [
-            FromWorker::HelloAck { shard: 1, proto: 1 },
+            FromWorker::HelloAck { shard: 1, proto: 2 },
             FromWorker::Heartbeat {
                 shard: 1,
                 inflight: 2,
             },
-            FromWorker::UnitResult { id: 5, result },
+            FromWorker::UnitResult {
+                id: 5,
+                result,
+                artifacts: vec!["12".repeat(32)],
+            },
+            FromWorker::Artifact {
+                key: "34".repeat(32),
+                doc: String::new(),
+            },
             FromWorker::UnitQuarantine {
                 id: Some(6),
                 key: "OOO4-T".into(),
@@ -360,9 +478,44 @@ mod tests {
 
     #[test]
     fn garbled_lines_are_typed_errors() {
-        for bad in ["", "{", "{\"type\":\"warp\"}", "{\"type\":\"assign\"}"] {
+        for bad in [
+            "",
+            "{",
+            "{\"type\":\"warp\"}",
+            "{\"type\":\"assign\"}",
+            "{\"type\":\"fetch\"}",
+            "{\"type\":\"artifact\",\"key\":7}",
+        ] {
             assert!(FromWorker::decode(bad).is_err(), "{bad:?}");
             assert!(ToWorker::decode(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn v1_result_without_artifacts_still_decodes() {
+        // A v1 `result` frame has no `artifacts` field; tolerate it so a
+        // coordinator can drain a worker mid-upgrade instead of treating
+        // the frame as garbled (and killing the shard).
+        let full = FromWorker::UnitResult {
+            id: 3,
+            result: DesignResult {
+                label: "IO2-".into(),
+                core: "IO2".into(),
+                bsas: String::new(),
+                area_mm2: 1.0,
+                per_workload: vec![],
+            },
+            artifacts: vec![],
+        }
+        .encode();
+        let stripped = full.replace(",\"artifacts\":[]", "");
+        assert_ne!(full, stripped, "artifacts field must be present in v2");
+        match FromWorker::decode(&stripped).unwrap() {
+            FromWorker::UnitResult { id, artifacts, .. } => {
+                assert_eq!(id, 3);
+                assert!(artifacts.is_empty());
+            }
+            other => panic!("wrong decode: {other:?}"),
         }
     }
 }

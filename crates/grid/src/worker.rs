@@ -1,15 +1,17 @@
-//! The grid worker: one shard of the sweep, driven over stdin/stdout.
+//! The grid worker: one shard of the sweep, driven over a line link.
 //!
 //! A worker is not a separate binary — the coordinator re-invokes the
 //! *current executable* with `PRISM_GRID_WORKER=1`, and the host binary's
 //! `main` routes into [`run_worker_if_env`] before doing anything else
 //! (in particular before printing to stdout, which belongs to the
-//! protocol once the worker mode engages).
+//! protocol once the worker mode engages). The same evaluation loop also
+//! serves TCP connections via [`serve_tcp`]: the transport differs, the
+//! protocol does not — [`run_worker_io`] is generic over the byte streams.
 //!
 //! Inside the worker, three threads overlap work:
 //!
-//! - the **reader** (main thread) parses assignments from stdin into a
-//!   queue,
+//! - the **reader** (main thread) parses assignments from the input into a
+//!   queue, and answers artifact fetch/push frames from its local store,
 //! - the **prewarm** thread first pulls chunk 0 of each workload's trace
 //!   stream (cheap, bounded), then prepares traces/IR and oracle tables
 //!   for *queued* units while the evaluator is busy with earlier ones, so
@@ -24,11 +26,12 @@
 use std::collections::{BTreeSet, VecDeque};
 use std::io::{BufRead, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use prism_exocore::DesignPoint;
-use prism_pipeline::{PipelineError, Session, Stage};
+use prism_pipeline::{ArtifactStore, ContentHash, PipelineError, Session, Stage};
 use prism_sim::TracerConfig;
 use prism_tdg::BsaKind;
 use prism_udg::CoreConfig;
@@ -51,6 +54,21 @@ pub fn run_worker_if_env() {
     if std::env::var_os(WORKER_ENV).is_some() {
         std::process::exit(run_worker());
     }
+}
+
+/// How [`run_worker_io`] binds the protocol loop to its surroundings.
+#[derive(Debug, Default)]
+pub struct WorkerOptions {
+    /// Shard id this link is supposed to carry; the Hello's shard must
+    /// match or the worker refuses the session. `None` trusts the Hello.
+    pub expected_shard: Option<usize>,
+    /// Artifact store directory override. `None` uses the Hello's
+    /// `artifact_dir` (the stdio case, where coordinator and worker share
+    /// a filesystem); TCP daemons pass their own local store here and the
+    /// Hello's path — meaningless on another host — is ignored.
+    pub store_dir: Option<PathBuf>,
+    /// Injected fault plan (`PRISM_GRID_FAULTS`).
+    pub faults: GridFaultPlan,
 }
 
 /// Looks a workload up in the main registry, then the microbenchmarks.
@@ -85,11 +103,11 @@ struct QueuedUnit {
 
 struct UnitQueue {
     pending: VecDeque<QueuedUnit>,
-    /// Shutdown received (or stdin closed): drain and exit.
+    /// Shutdown received (or input closed): drain and exit.
     closing: bool,
 }
 
-fn send(out: &Mutex<std::io::Stdout>, msg: &FromWorker) {
+fn send<W: Write>(out: &Mutex<W>, msg: &FromWorker) {
     let mut out = out.lock().unwrap_or_else(|e| e.into_inner());
     // A broken pipe means the coordinator is gone; the reader thread will
     // see EOF and wind the worker down, so a failed send is not fatal here.
@@ -106,17 +124,58 @@ pub fn run_worker() -> i32 {
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(0);
-    let faults = GridFaultPlan::from_env().unwrap_or_default();
-    let out = Mutex::new(std::io::stdout());
+    let opts = WorkerOptions {
+        expected_shard: Some(shard),
+        store_dir: None,
+        faults: GridFaultPlan::from_env().unwrap_or_default(),
+    };
     let stdin = std::io::stdin();
-    let mut lines = stdin.lock().lines();
+    run_worker_io(stdin.lock(), std::io::stdout(), &opts)
+}
+
+/// Serves grid worker sessions over TCP forever: each accepted (and
+/// token-authenticated) connection runs one full worker protocol session
+/// on its own thread, against this daemon's local artifact store. A
+/// coordinator that reconnects after a network fault simply starts a
+/// fresh session; the store's memoized artifacts make the re-run cheap.
+pub fn serve_tcp(listener: std::net::TcpListener, token: String, store_dir: PathBuf) -> ! {
+    prism_net::serve(listener, token, move |stream, shard| {
+        let opts = WorkerOptions {
+            expected_shard: Some(shard),
+            store_dir: Some(store_dir.clone()),
+            faults: GridFaultPlan::from_env().unwrap_or_default(),
+        };
+        let reader = match stream.try_clone() {
+            Ok(clone) => std::io::BufReader::new(clone),
+            Err(e) => {
+                eprintln!("[prism-net] shard {shard}: clone failed: {e}");
+                return;
+            }
+        };
+        let code = run_worker_io(reader, stream, &opts);
+        eprintln!("[prism-net] shard {shard}: worker session ended (exit {code})");
+    })
+}
+
+/// Runs one worker protocol session over the given byte streams until
+/// shutdown or EOF, returning what would be the process exit code. This
+/// is the transport-agnostic core behind [`run_worker`] (stdin/stdout)
+/// and [`serve_tcp`] (one TCP connection per call).
+#[must_use]
+pub fn run_worker_io<R: BufRead, W: Write + Send>(
+    input: R,
+    output: W,
+    opts: &WorkerOptions,
+) -> i32 {
+    let out = Mutex::new(output);
+    let mut lines = input.lines();
 
     // Handshake: the first line must be a compatible Hello.
     let first = match lines.next() {
         Some(Ok(line)) => line,
         _ => return 2,
     };
-    let (workload_names, max_insts, artifact_dir) = match ToWorker::decode(&first) {
+    let (shard, workload_names, max_insts, artifact_dir) = match ToWorker::decode(&first) {
         Ok(ToWorker::Hello {
             proto,
             shard: hello_shard,
@@ -135,18 +194,20 @@ pub fn run_worker() -> i32 {
                 );
                 return 2;
             }
-            if hello_shard != shard {
-                send(
-                    &out,
-                    &FromWorker::Fatal {
-                        message: format!(
-                            "shard mismatch: hello says {hello_shard}, {SHARD_ENV} says {shard}"
-                        ),
-                    },
-                );
-                return 2;
+            if let Some(expected) = opts.expected_shard {
+                if hello_shard != expected {
+                    send(
+                        &out,
+                        &FromWorker::Fatal {
+                            message: format!(
+                                "shard mismatch: hello says {hello_shard}, link says {expected}"
+                            ),
+                        },
+                    );
+                    return 2;
+                }
             }
-            (workloads, max_insts, artifact_dir)
+            (hello_shard, workloads, max_insts, artifact_dir)
         }
         _ => {
             send(
@@ -159,12 +220,20 @@ pub fn run_worker() -> i32 {
         }
     };
 
+    let store_dir = opts
+        .store_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(&artifact_dir));
     let session = Session::new()
         .with_tracer(TracerConfig {
             max_insts,
             ..TracerConfig::default()
         })
-        .with_store_dir(&artifact_dir);
+        .with_store_dir(&store_dir);
+    // A second handle on the same store for artifact fetch/push frames:
+    // the reader thread serves those concurrently with evaluation, and
+    // the store's durability is file-level, not handle-level.
+    let store = ArtifactStore::new(&store_dir);
 
     // Resolve the workload set; unknown names quarantine as whole-workload
     // units (same key shape the pipeline uses for preparation failures).
@@ -298,7 +367,7 @@ pub fn run_worker() -> i32 {
                     queue_cv.notify_all();
                     return;
                 };
-                match faults.action(shard, started) {
+                match opts.faults.action(shard, started) {
                     Some(GridFaultKind::Die) => {
                         eprintln!(
                             "[prism-grid] shard {shard}: injected death before unit {started}"
@@ -341,7 +410,9 @@ pub fn run_worker() -> i32 {
         });
 
         // Reader (this thread): feed the queue until shutdown, EOF, or an
-        // I/O error (either way the coordinator is gone).
+        // I/O error (either way the coordinator is gone). Artifact frames
+        // are served inline — store export/import is cheap I/O and must
+        // not queue behind a long evaluation.
         'reader: while let Some(Ok(line)) = lines.next() {
             match ToWorker::decode(&line) {
                 Ok(ToWorker::Assign { id, core, bsas }) => {
@@ -350,6 +421,26 @@ pub fn run_worker() -> i32 {
                     q.pending.push_back(QueuedUnit { id, core, bsas });
                     queue_cv.notify_all();
                 }
+                Ok(ToWorker::Fetch { keys }) => {
+                    for key in keys {
+                        // Empty doc = "don't have it" so the coordinator
+                        // can account for every requested key.
+                        let doc = ContentHash::from_hex(&key)
+                            .and_then(|k| store.export(&k))
+                            .unwrap_or_default();
+                        send(&out, &FromWorker::Artifact { key, doc });
+                    }
+                }
+                Ok(ToWorker::Artifact { key, doc }) => match ContentHash::from_hex(&key) {
+                    Some(k) => {
+                        if let Err(e) = store.import(&k, &doc) {
+                            eprintln!("[prism-grid] shard {shard}: artifact import failed: {e}");
+                        }
+                    }
+                    None => {
+                        eprintln!("[prism-grid] shard {shard}: artifact push with bad key {key}");
+                    }
+                },
                 Ok(ToWorker::Shutdown) => break 'reader,
                 Ok(ToWorker::Hello { .. }) | Err(_) => {
                     send(
@@ -380,12 +471,12 @@ fn unit_label(unit: &QueuedUnit) -> String {
 
 /// Evaluates one unit and reports exactly one terminal message for it
 /// (plus at most one workload-level quarantine per workload per worker).
-fn evaluate_unit(
+fn evaluate_unit<W: Write>(
     session: &Session,
     workloads: &[&Workload],
     unit: &QueuedUnit,
     reported_workloads: &mut BTreeSet<String>,
-    out: &Mutex<std::io::Stdout>,
+    out: &Mutex<W>,
 ) {
     let label = unit_label(unit);
     let (Some(core), Some(bsas)) = (parse_core(&unit.core), parse_bsas(&unit.bsas)) else {
@@ -406,7 +497,19 @@ fn evaluate_unit(
         );
         return;
     };
-    let report = session.evaluate_designs(workloads, &[core], &[bsas]);
+    let report = session.evaluate_designs(
+        workloads,
+        std::slice::from_ref(&core),
+        std::slice::from_ref(&bsas),
+    );
+    // Name the store artifact this unit settled into, so a remote
+    // coordinator knows what to pull. Preparation is memoized, so
+    // recomputing the healthy workload keys here is cheap.
+    let artifacts = {
+        let (data, _) = session.prepare_quarantined(workloads);
+        let wkeys: Vec<ContentHash> = data.iter().map(|p| p.key).collect();
+        vec![session.design_point_key(&wkeys, &core, &bsas).hex()]
+    };
     let mut resolved = false;
     for result in report.results {
         send(
@@ -414,6 +517,7 @@ fn evaluate_unit(
             &FromWorker::UnitResult {
                 id: unit.id,
                 result,
+                artifacts: artifacts.clone(),
             },
         );
         resolved = true;

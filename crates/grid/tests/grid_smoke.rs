@@ -12,14 +12,21 @@
 //! 4. a hung (heartbeat-silent) worker is detected and its units
 //!    reassigned,
 //! 5. with every worker dead, the coordinator falls back to in-process
-//!    evaluation.
+//!    evaluation,
+//! 6. a `--resume` over a fully-journaled sweep assigns zero units (and
+//!    spawns no workers at all),
+//! 7. the same sweep over two localhost TCP daemons — under streaming
+//!    evaluation and an injected mid-sweep disconnect — matches the
+//!    single-process report, with the cut surfacing as `recovered`.
 
+use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use prism_exocore::{all_bsa_subsets, DesignPoint};
-use prism_grid::{run_grid, run_worker_if_env, GridConfig, GridOutcome};
-use prism_pipeline::{Session, SweepReport};
+use prism_grid::{run_grid, run_worker_if_env, serve_tcp, GridConfig, GridOutcome};
+use prism_net::{parse_hosts, NetFaultPlan, NET_TOKEN_ENV};
+use prism_pipeline::{run_fsck, sweep_key, Session, SweepJournal, SweepReport};
 use prism_sim::TracerConfig;
 use prism_udg::{CoreConfig, ExecBudget};
 use prism_workloads::Workload;
@@ -54,6 +61,7 @@ fn config(workers: usize, dir: &Path) -> GridConfig {
     let (cores, subsets) = small_grid();
     GridConfig {
         workers,
+        hosts: Vec::new(),
         shard_retries: 1,
         workloads: workload_names(),
         cores,
@@ -65,6 +73,7 @@ fn config(workers: usize, dir: &Path) -> GridConfig {
         window: 2,
         env: Vec::new(),
         env_remove: Vec::new(),
+        net_faults: NetFaultPlan::default(),
         resume: false,
     }
 }
@@ -219,6 +228,125 @@ fn scenario_local_fallback() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite of the net layer: a resumed coordinator whose journal
+/// already settles every unit must assign (and spawn) nothing.
+fn scenario_resume_assigns_nothing() {
+    let dir = scratch_dir("resume");
+    let baseline = single_process_baseline(&dir);
+    assert!(baseline.quarantined.is_empty());
+
+    // Journal every baseline result as done, exactly as a completed (but
+    // quarantine-interrupted) grid run would have left it.
+    let (cores, subsets) = small_grid();
+    let tracer = TracerConfig {
+        max_insts: MAX_INSTS,
+        ..TracerConfig::default()
+    };
+    let wl_sizes: Vec<(String, u32)> = workload_refs()
+        .iter()
+        .map(|w| (w.name.to_string(), w.scaled_n()))
+        .collect();
+    let sweep = sweep_key(&wl_sizes, &tracer, &cores, &subsets);
+    let (journal, _) = SweepJournal::open(&dir, &sweep, false).expect("journal");
+    for result in &baseline.results {
+        journal.append_done(&result.label, result).expect("append");
+    }
+    drop(journal);
+
+    let mut cfg = config(2, &dir);
+    cfg.resume = true;
+    // Poison the worker path: if the resumed coordinator tried to spawn
+    // (or assign to) anything, the run would visibly degrade.
+    cfg.worker_cmd = Some("/nonexistent/prism-no-such-worker".into());
+    let outcome = run(&cfg);
+    assert_eq!(
+        outcome.report, baseline,
+        "resume must replay byte-identically"
+    );
+    assert_eq!(outcome.stats.resumed, expected_labels().len());
+    assert_eq!(outcome.stats.workers_spawned, 0, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.units_reassigned, 0, "{:?}", outcome.stats);
+    assert_eq!(outcome.stats.local_fallback_units, 0, "{:?}", outcome.stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tentpole equivalence property: the sweep over two localhost TCP
+/// daemons — with streaming evaluation on and a mid-sweep disconnect
+/// injected — produces the same report as a single-process run, with the
+/// disconnect surfacing as `recovered`, and leaves every store clean.
+fn scenario_tcp_equivalence() {
+    let token = "smoke-secret";
+    std::env::set_var("PRISM_STREAM", "1");
+    std::env::set_var(NET_TOKEN_ENV, token);
+    let dir_single = scratch_dir("tcp-single");
+    let dir_coord = scratch_dir("tcp-coord");
+    let daemon_dirs = [scratch_dir("tcp-daemon0"), scratch_dir("tcp-daemon1")];
+    let baseline = single_process_baseline(&dir_single);
+    assert!(baseline.quarantined.is_empty());
+
+    // Two in-process daemons on ephemeral ports, each with its own
+    // artifact store (their listener threads outlive the scenario).
+    let mut ports = Vec::new();
+    for dir in &daemon_dirs {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        ports.push(listener.local_addr().expect("addr").port());
+        let dir = dir.clone();
+        std::thread::spawn(move || serve_tcp(listener, token.to_string(), dir));
+    }
+
+    let mut cfg = config(0, &dir_coord);
+    cfg.hosts =
+        parse_hosts(&format!("127.0.0.1:{},127.0.0.1:{}", ports[0], ports[1])).expect("host specs");
+    // Cut shard 1's connection after its 3rd inbound frame: in-flight
+    // units get synthetic quarantines, the link reconnects, and the
+    // re-evaluated units surface as recovered.
+    cfg.net_faults = NetFaultPlan::parse("disconnect:1@2").expect("fault spec");
+    let outcome = run(&cfg);
+
+    assert_eq!(
+        outcome.report.results, baseline.results,
+        "TCP grid results must be byte-identical to the single-process sweep"
+    );
+    assert!(
+        outcome.report.quarantined.is_empty(),
+        "{:?}",
+        outcome.report.quarantined
+    );
+    assert!(
+        !outcome.report.recovered.is_empty(),
+        "the injected disconnect must surface as recovered units"
+    );
+    assert_eq!(outcome.stats.hosts.len(), 2, "{:?}", outcome.stats);
+    assert!(
+        outcome.stats.hosts[1].reconnects >= 1,
+        "shard 1 must have reconnected: {:?}",
+        outcome.stats.hosts
+    );
+    assert!(
+        outcome
+            .stats
+            .hosts
+            .iter()
+            .map(|h| h.bytes_shipped)
+            .sum::<u64>()
+            > 0,
+        "remote results must ship artifacts back: {:?}",
+        outcome.stats.hosts
+    );
+    for dir in [&dir_coord, &daemon_dirs[0], &daemon_dirs[1]] {
+        let report = run_fsck(dir).expect("fsck");
+        assert!(report.is_clean(), "{dir:?}: {report:?}");
+    }
+
+    std::env::remove_var("PRISM_STREAM");
+    std::env::remove_var(NET_TOKEN_ENV);
+    let _ = std::fs::remove_dir_all(&dir_single);
+    let _ = std::fs::remove_dir_all(&dir_coord);
+    for dir in &daemon_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
 fn main() {
     // Worker mode first: the coordinator re-invokes this binary with
     // PRISM_GRID_WORKER=1, and nothing may touch stdout before this.
@@ -239,11 +367,15 @@ fn main() {
         "PRISM_CRASH",
         "PRISM_GRID_TIMEOUT_MS",
         "PRISM_NO_FSYNC",
+        "PRISM_NET_FAULTS",
+        "PRISM_NET_TOKEN",
+        "PRISM_HOSTS",
+        "PRISM_STREAM",
     ] {
         std::env::remove_var(var);
     }
 
-    let scenarios: [(&str, fn()); 5] = [
+    let scenarios: [(&str, fn()); 7] = [
         ("grid matches single-process sweep", scenario_equivalence),
         ("worker death loses no units", scenario_worker_death),
         (
@@ -254,6 +386,14 @@ fn main() {
         (
             "local fallback with no workers left",
             scenario_local_fallback,
+        ),
+        (
+            "resume assigns zero settled units",
+            scenario_resume_assigns_nothing,
+        ),
+        (
+            "TCP daemons match single-process sweep",
+            scenario_tcp_equivalence,
         ),
     ];
     let mut failed = 0;

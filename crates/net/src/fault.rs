@@ -1,0 +1,202 @@
+//! Deterministic network fault injection for multi-host chaos tests.
+//!
+//! `PRISM_GRID_FAULTS` models a *worker* misbehaving (crash, hang,
+//! quarantine). `PRISM_NET_FAULTS` models the *wire* misbehaving, in the
+//! same spec style:
+//!
+//! ```text
+//! PRISM_NET_FAULTS=drop:0@3,delay:1@2,disconnect:1@5
+//! ```
+//!
+//! Each spec is `kind:<shard>@<n>` — the fault fires on the coordinator's
+//! link to shard `<shard>` at its `<n>`-th inbound protocol frame
+//! (0-based, counted across reconnects so a plan fires exactly once):
+//!
+//! - `drop` — discard that frame and cut the connection, modeling a lost
+//!   packet followed by a broken link.
+//! - `delay` — deliver that frame 750 ms late, modeling a stall long
+//!   enough to trip heartbeat supervision.
+//! - `disconnect` — deliver that frame, then cut the connection cleanly,
+//!   modeling a network partition mid-sweep.
+
+use std::fmt;
+
+/// Environment variable holding the network fault spec.
+pub const NET_FAULTS_ENV: &str = "PRISM_NET_FAULTS";
+
+/// How long a `delay` fault holds a frame before delivering it — long
+/// enough to trip any realistic heartbeat timeout in tests.
+pub(crate) const DELAY_FAULT: std::time::Duration = std::time::Duration::from_millis(750);
+
+/// What an injected network fault does to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Discard the frame, then cut the connection.
+    Drop,
+    /// Deliver the frame late.
+    Delay,
+    /// Deliver the frame, then cut the connection.
+    Disconnect,
+}
+
+impl fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NetFaultKind::Drop => "drop",
+            NetFaultKind::Delay => "delay",
+            NetFaultKind::Disconnect => "disconnect",
+        })
+    }
+}
+
+/// Why a [`NET_FAULTS_ENV`] value failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFaultSpecError {
+    /// The whole spec was empty (unset the variable instead).
+    Empty,
+    /// An entry was not `kind:<shard>@<n>`.
+    Malformed(String),
+    /// An entry named an unknown fault kind.
+    UnknownKind(String),
+}
+
+impl fmt::Display for NetFaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetFaultSpecError::Empty => write!(
+                f,
+                "empty net fault spec (name at least one fault, or unset {NET_FAULTS_ENV})"
+            ),
+            NetFaultSpecError::Malformed(part) => {
+                write!(f, "bad net fault `{part}`: expected kind:<shard>@<n>")
+            }
+            NetFaultSpecError::UnknownKind(part) => write!(
+                f,
+                "bad net fault `{part}`: unknown kind (expected drop, delay, or disconnect)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetFaultSpecError {}
+
+/// A parsed `PRISM_NET_FAULTS` plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    faults: Vec<(NetFaultKind, usize, u64)>,
+}
+
+impl NetFaultPlan {
+    /// Parses a comma-separated list of `kind:<shard>@<n>` specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error for the first malformed spec; an empty or
+    /// all-whitespace value is an error (unset the variable instead).
+    pub fn parse(spec: &str) -> Result<Self, NetFaultSpecError> {
+        let mut faults = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, rest) = part
+                .split_once(':')
+                .ok_or_else(|| NetFaultSpecError::Malformed(part.to_string()))?;
+            let kind = match kind {
+                "drop" => NetFaultKind::Drop,
+                "delay" => NetFaultKind::Delay,
+                "disconnect" => NetFaultKind::Disconnect,
+                _ => return Err(NetFaultSpecError::UnknownKind(part.to_string())),
+            };
+            let (shard, frame) = rest
+                .split_once('@')
+                .ok_or_else(|| NetFaultSpecError::Malformed(part.to_string()))?;
+            let shard = shard
+                .parse::<usize>()
+                .map_err(|_| NetFaultSpecError::Malformed(part.to_string()))?;
+            let frame = frame
+                .parse::<u64>()
+                .map_err(|_| NetFaultSpecError::Malformed(part.to_string()))?;
+            faults.push((kind, shard, frame));
+        }
+        if faults.is_empty() {
+            return Err(NetFaultSpecError::Empty);
+        }
+        Ok(NetFaultPlan { faults })
+    }
+
+    /// Reads the plan from [`NET_FAULTS_ENV`]; an empty plan when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec — a typo must not silently disable the
+    /// chaos test.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(NET_FAULTS_ENV) {
+            Ok(spec) => Self::parse(&spec).unwrap_or_else(|e| panic!("{NET_FAULTS_ENV}: {e}")),
+            Err(_) => NetFaultPlan::default(),
+        }
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault (if any) that fires on `shard`'s `frame`-th inbound
+    /// protocol frame (0-based).
+    #[must_use]
+    pub fn action(&self, shard: usize, frame: u64) -> Option<NetFaultKind> {
+        self.faults
+            .iter()
+            .find(|&&(_, s, n)| s == shard && n == frame)
+            .map(|&(kind, _, _)| kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_fault_specs() {
+        let plan = NetFaultPlan::parse("drop:0@3, delay:1@2 ,disconnect:1@5").unwrap();
+        assert_eq!(plan.action(0, 3), Some(NetFaultKind::Drop));
+        assert_eq!(plan.action(1, 2), Some(NetFaultKind::Delay));
+        assert_eq!(plan.action(1, 5), Some(NetFaultKind::Disconnect));
+        assert_eq!(plan.action(0, 0), None);
+        assert_eq!(plan.action(2, 3), None);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        assert_eq!(NetFaultPlan::parse(""), Err(NetFaultSpecError::Empty));
+        assert_eq!(NetFaultPlan::parse(" , "), Err(NetFaultSpecError::Empty));
+        assert_eq!(
+            NetFaultPlan::parse("drop"),
+            Err(NetFaultSpecError::Malformed("drop".into()))
+        );
+        assert_eq!(
+            NetFaultPlan::parse("drop:0"),
+            Err(NetFaultSpecError::Malformed("drop:0".into()))
+        );
+        assert_eq!(
+            NetFaultPlan::parse("drop:x@1"),
+            Err(NetFaultSpecError::Malformed("drop:x@1".into()))
+        );
+        assert_eq!(
+            NetFaultPlan::parse("sever:0@1"),
+            Err(NetFaultSpecError::UnknownKind("sever:0@1".into()))
+        );
+    }
+
+    #[test]
+    fn default_plan_is_empty() {
+        assert!(NetFaultPlan::default().is_empty());
+        assert_eq!(NetFaultPlan::default().action(0, 0), None);
+    }
+}

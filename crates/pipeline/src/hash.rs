@@ -26,6 +26,25 @@ impl ContentHash {
     pub fn short(&self) -> String {
         self.hex()[..16].to_string()
     }
+
+    /// Parses a full 64-char hex digest (the inverse of
+    /// [`ContentHash::hex`]); `None` on any other input. Wire frames
+    /// ship keys as hex, so the parser must reject rather than panic on
+    /// hostile input.
+    #[must_use]
+    pub fn from_hex(text: &str) -> Option<ContentHash> {
+        let bytes = text.as_bytes();
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Some(ContentHash(out))
+    }
 }
 
 impl std::fmt::Display for ContentHash {
@@ -205,6 +224,25 @@ mod tests {
             h.update(chunk);
         }
         assert_eq!(h.finish().hex(), whole);
+    }
+
+    #[test]
+    fn from_hex_round_trips() {
+        let mut h = Sha256::new();
+        h.update(b"round trip");
+        let key = h.finish();
+        assert_eq!(ContentHash::from_hex(&key.hex()), Some(key));
+        // Uppercase digits parse too (to_digit is case-insensitive).
+        assert_eq!(ContentHash::from_hex(&key.hex().to_uppercase()), Some(key));
+    }
+
+    #[test]
+    fn from_hex_rejects_malformed_input() {
+        assert_eq!(ContentHash::from_hex(""), None);
+        assert_eq!(ContentHash::from_hex("abc"), None);
+        assert_eq!(ContentHash::from_hex(&"g".repeat(64)), None);
+        assert_eq!(ContentHash::from_hex(&"a".repeat(63)), None);
+        assert_eq!(ContentHash::from_hex(&"a".repeat(65)), None);
     }
 
     #[test]

@@ -10,10 +10,14 @@
 //! prism compare <workload>            4 cores × {bare, full ExoCore}
 //! prism explore [--stats] [--resume]  full 64-point design space (cached)
 //! prism grid [options]                the same sweep on worker processes
-//!     --workers N                     worker fleet size  (default PRISM_WORKERS, else 2)
+//!     --workers N                     local worker fleet size (default
+//!                                     PRISM_WORKERS; else 2, or 0 with --hosts)
+//!     --hosts host:port,...           remote worker daemons (default PRISM_HOSTS)
 //!     --shard-retries K               cross-shard retries per unit (default 1)
 //!     --stats                         print grid + session counters
 //!     --resume                        replay the sweep journal, skip settled units
+//! prism worker --listen <host:port>   serve grid workers over TCP (daemon);
+//!     [--store PATH]                  shared secret via PRISM_NET_TOKEN
 //! prism fsck [--dir PATH]             check/repair an artifact store
 //!                                     (quarantines corrupt artifacts, GCs orphan
 //!                                     tmp files and stale journals; exit 1 on
@@ -61,11 +65,12 @@ fn main() {
         Some("compare") => cmd_compare(&session, &args[1..]),
         Some("explore") => cmd_explore(&session, stats, resume),
         Some("grid") => cmd_grid(&args[1..], stats, resume),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("fsck") => cmd_fsck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: prism <list|run|compare|explore|grid|bench|fsck> [args]   (see --help in the source header)"
+                "usage: prism <list|run|compare|explore|grid|worker|bench|fsck> [args]   (see --help in the source header)"
             );
             2
         }
@@ -233,8 +238,11 @@ fn cmd_bench(args: &[String]) -> i32 {
 }
 
 fn cmd_grid(args: &[String], stats: bool, resume: bool) -> i32 {
-    let mut workers = workers_from_env().unwrap_or(2);
+    use prism::net::{hosts_from_env, parse_hosts};
+
+    let mut workers: Option<usize> = None;
     let mut shard_retries = 1usize;
+    let mut hosts_arg: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let value = |v: Option<&String>| {
@@ -244,7 +252,7 @@ fn cmd_grid(args: &[String], stats: bool, resume: bool) -> i32 {
         };
         match flag.as_str() {
             "--workers" => match value(it.next()) {
-                Ok(v) => workers = v.max(1),
+                Ok(v) => workers = Some(v),
                 Err(e) => {
                     eprintln!("error: {e}");
                     return 2;
@@ -257,13 +265,42 @@ fn cmd_grid(args: &[String], stats: bool, resume: bool) -> i32 {
                     return 2;
                 }
             },
+            "--hosts" => match it.next() {
+                Some(v) => hosts_arg = Some(v.clone()),
+                None => {
+                    eprintln!("error: --hosts needs a host:port list");
+                    return 2;
+                }
+            },
             other => {
-                eprintln!("error: unknown flag {other} (usage: prism grid [--workers N] [--shard-retries K] [--stats] [--resume])");
+                eprintln!("error: unknown flag {other} (usage: prism grid [--workers N] [--hosts host:port,...] [--shard-retries K] [--stats] [--resume])");
                 return 2;
             }
         }
     }
+    let hosts = match &hosts_arg {
+        Some(text) => match parse_hosts(text) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: --hosts: {e}");
+                return 2;
+            }
+        },
+        None => match hosts_from_env() {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: {}: {e}", prism::net::HOSTS_ENV);
+                return 2;
+            }
+        },
+    };
+    // With remote hosts configured, an unstated worker count means "all
+    // remote": spawning local shards must be asked for explicitly.
+    let workers = workers
+        .or_else(workers_from_env)
+        .unwrap_or(if hosts.is_empty() { 2 } else { 0 });
     let mut config = GridConfig::full_space(workers);
+    config.hosts = hosts;
     config.shard_retries = shard_retries;
     config.resume = resume;
     match run_grid(&config) {
@@ -279,6 +316,61 @@ fn cmd_grid(args: &[String], stats: bool, resume: bool) -> i32 {
             1
         }
     }
+}
+
+fn cmd_worker(args: &[String]) -> i32 {
+    use prism::net::NET_TOKEN_ENV;
+    use prism::pipeline::ArtifactStore;
+
+    let mut listen: Option<String> = None;
+    let mut store_dir = ArtifactStore::default_dir();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => match it.next() {
+                Some(v) => listen = Some(v.clone()),
+                None => {
+                    eprintln!("error: --listen needs a host:port address");
+                    return 2;
+                }
+            },
+            "--store" => match it.next() {
+                Some(v) => store_dir = v.into(),
+                None => {
+                    eprintln!("error: --store needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!(
+                    "error: unknown flag {other} (usage: prism worker --listen <host:port> [--store PATH])"
+                );
+                return 2;
+            }
+        }
+    }
+    let Some(addr) = listen else {
+        eprintln!("usage: prism worker --listen <host:port> [--store PATH]");
+        return 2;
+    };
+    let listener = match std::net::TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            return 1;
+        }
+    };
+    let bound = listener
+        .local_addr()
+        .map_or_else(|_| addr.clone(), |a| a.to_string());
+    // The listening line goes to stderr: stdout stays free in case the
+    // daemon is ever composed into a pipeline.
+    eprintln!("[prism-net] listening on {bound}");
+    let token = std::env::var(NET_TOKEN_ENV).unwrap_or_default();
+    if token.is_empty() {
+        eprintln!("[prism-net] warning: {NET_TOKEN_ENV} unset — accepting unauthenticated peers");
+    }
+    prism::grid::serve_tcp(listener, token, store_dir)
 }
 
 fn cmd_list() -> i32 {

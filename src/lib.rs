@@ -18,6 +18,8 @@
 //!   ([`pipeline::Session`]),
 //! * [`grid`] — the sharded multi-process sweep coordinator
 //!   ([`grid::run_grid`]),
+//! * [`net`] — the multi-host sweep fabric: shard links, the TCP worker
+//!   daemon handshake, and network fault injection ([`net::ShardLink`]),
 //! * [`bench`] — the figure/table harness and the perf microbench suite
 //!   behind `prism bench` ([`bench::perf`]).
 //!
@@ -42,6 +44,7 @@ pub use prism_exocore as exocore;
 pub use prism_grid as grid;
 pub use prism_ir as ir;
 pub use prism_isa as isa;
+pub use prism_net as net;
 pub use prism_pipeline as pipeline;
 pub use prism_sim as sim;
 pub use prism_tdg as tdg;

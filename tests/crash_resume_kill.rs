@@ -114,6 +114,7 @@ fn child_grid() -> ! {
     let (cores, subsets) = small_grid();
     let config = GridConfig {
         workers: 2,
+        hosts: Vec::new(),
         shard_retries: 1,
         workloads: micro_set().iter().map(|w| w.name.to_string()).collect(),
         cores,
@@ -127,6 +128,7 @@ fn child_grid() -> ! {
         // Workers must not inherit the kill spec: the property under test
         // is a *coordinator* kill (worker deaths are grid_smoke's domain).
         env_remove: vec!["PRISM_CRASH".into(), CHILD_ENV.into()],
+        net_faults: prism::net::NetFaultPlan::default(),
         resume,
     };
     match run_grid(&config) {
@@ -326,6 +328,9 @@ fn main() {
         "PRISM_GRID_TIMEOUT_MS",
         "PRISM_NO_FSYNC",
         "PRISM_REFRESH",
+        "PRISM_NET_FAULTS",
+        "PRISM_NET_TOKEN",
+        "PRISM_HOSTS",
         STORE_ENV,
         RESUME_ENV,
         STATS_ENV,
