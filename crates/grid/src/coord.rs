@@ -22,7 +22,7 @@
 //! normalization promotes it to [`SweepReport::recovered`], so fleet
 //! trouble is visible in the merged report without changing its results.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::process::Command;
 use std::sync::mpsc;
@@ -167,6 +167,14 @@ pub struct HostStats {
     pub reconnects: usize,
     /// Artifact bytes shipped over this link (both directions).
     pub bytes_shipped: u64,
+    /// Trace walks this host performed (from its `Bye` counters).
+    pub walks: u64,
+    /// Walks this host skipped via the timing-reuse layer.
+    pub walks_skipped: u64,
+    /// In-memory shape-keyed timing memo hits on this host.
+    pub shape_memo_hits: u64,
+    /// Timing summaries this host loaded from its artifact store.
+    pub timing_artifacts_loaded: u64,
 }
 
 /// Counters describing how a grid run went.
@@ -192,6 +200,15 @@ pub struct GridStats {
     pub replayed: usize,
     /// Bytes reclaimed by the opportunistic orphaned-tmp-file GC.
     pub gc_reclaimed_bytes: u64,
+    /// Trace walks performed across every shard that reported counters
+    /// (worker `Bye` frames plus the local fallback session).
+    pub walks: u64,
+    /// Walks skipped run-wide via the timing-reuse layer.
+    pub walks_skipped: u64,
+    /// Shape-keyed timing memo hits run-wide.
+    pub shape_memo_hits: u64,
+    /// Timing summaries loaded from artifact stores run-wide.
+    pub timing_artifacts_loaded: u64,
     /// Per-remote-host counters, in [`GridConfig::hosts`] order.
     pub hosts: Vec<HostStats>,
 }
@@ -205,7 +222,8 @@ impl GridStats {
              workers : {} spawned, {} died\n\
              units   : {} total, {} retried, {} reassigned, {} local\n\
              journal : {} units resumed, {} records replayed\n\
-             gc      : {} bytes reclaimed\n",
+             gc      : {} bytes reclaimed\n\
+             walks   : {} performed, {} skipped ({} shape-memo hits, {} timing artifacts loaded)\n",
             self.workers_spawned,
             self.workers_died,
             self.units_total,
@@ -215,11 +233,24 @@ impl GridStats {
             self.resumed,
             self.replayed,
             self.gc_reclaimed_bytes,
+            self.walks,
+            self.walks_skipped,
+            self.shape_memo_hits,
+            self.timing_artifacts_loaded,
         );
         for host in &self.hosts {
             text.push_str(&format!(
-                "host {} : {} units, {} recovered, {} reconnects, {} bytes shipped\n",
-                host.addr, host.units, host.recoveries, host.reconnects, host.bytes_shipped,
+                "host {} : {} units, {} recovered, {} reconnects, {} bytes shipped, \
+                 {} walks, {} skipped ({} shape-memo, {} artifacts)\n",
+                host.addr,
+                host.units,
+                host.recoveries,
+                host.reconnects,
+                host.bytes_shipped,
+                host.walks,
+                host.walks_skipped,
+                host.shape_memo_hits,
+                host.timing_artifacts_loaded,
             ));
         }
         text
@@ -607,6 +638,14 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
             .map(|(name, n)| session.workload_key(name, *n))
             .collect()
     });
+    // Timing artifacts learned from settled units, grouped by core index:
+    // cores that differ only in priced parameters share a timing shape
+    // key, so a walk shipped back by one shard warms every later assign
+    // of a shape-sharing core on any other shard. Per-shard sent-sets
+    // keep the push one-shot per (artifact, shard).
+    let mut learned_timing: HashMap<usize, Vec<ContentHash>> = HashMap::new();
+    let mut timing_sent: Vec<HashSet<ContentHash>> =
+        (0..workers.len()).map(|_| HashSet::new()).collect();
 
     let mut shard_reports: Vec<SweepReport> =
         (0..workers.len()).map(|_| SweepReport::default()).collect();
@@ -660,6 +699,26 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                                 doc,
                             };
                             let _ = workers[shard].link.send_line(&push.encode());
+                        }
+                        // Ship any timing walks already learned for this
+                        // unit's core, so the shard prices instead of
+                        // re-walking. Missing or stale docs just mean the
+                        // worker recomputes — never a correctness risk.
+                        if let Some(keys) = learned_timing.get(&units[uid].core_idx) {
+                            for tkey in keys {
+                                if timing_sent[shard].contains(tkey) {
+                                    continue;
+                                }
+                                if let Some(doc) = store.export(tkey) {
+                                    stats.hosts[h].bytes_shipped += doc.len() as u64;
+                                    let push = ToWorker::Artifact {
+                                        key: tkey.hex(),
+                                        doc,
+                                    };
+                                    let _ = workers[shard].link.send_line(&push.encode());
+                                    timing_sent[shard].insert(*tkey);
+                                }
+                            }
                         }
                     }
                     let msg = ToWorker::Assign {
@@ -727,9 +786,22 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                     }
                 };
                 match msg {
-                    FromWorker::HelloAck { .. }
-                    | FromWorker::Heartbeat { .. }
-                    | FromWorker::Bye => {}
+                    FromWorker::HelloAck { .. } | FromWorker::Heartbeat { .. } => {}
+                    FromWorker::Bye {
+                        walks,
+                        walks_skipped,
+                        shape_memo_hits,
+                        timing_artifacts_loaded,
+                    } => {
+                        fold_walk_stats(
+                            &mut stats,
+                            workers[shard].host,
+                            walks,
+                            walks_skipped,
+                            shape_memo_hits,
+                            timing_artifacts_loaded,
+                        );
+                    }
                     FromWorker::UnitResult {
                         id,
                         result,
@@ -755,6 +827,28 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
                             }
                         }
                         shard_reports[shard].results.push(result);
+                        // Learn the unit's timing shape keys — every
+                        // reported artifact beyond the design-point
+                        // result — so later assigns of shape-sharing
+                        // cores are warmed push-side.
+                        if let (Some(session), Some(wkeys)) = (&key_session, &push_keys) {
+                            if uid < units.len() {
+                                let akey = session.design_point_key(
+                                    wkeys,
+                                    &config.cores[units[uid].core_idx],
+                                    &config.subsets[units[uid].subset_idx],
+                                );
+                                let learned =
+                                    learned_timing.entry(units[uid].core_idx).or_default();
+                                for k in &artifacts {
+                                    if let Some(hash) = ContentHash::from_hex(k) {
+                                        if hash != akey && !learned.contains(&hash) {
+                                            learned.push(hash);
+                                        }
+                                    }
+                                }
+                            }
+                        }
                         // Pull any result artifacts a remote store has
                         // that ours is missing (pure cache warmth: resume
                         // and correctness never depend on the shipment).
@@ -1016,6 +1110,15 @@ pub fn run_grid(config: &GridConfig) -> Result<GridOutcome, GridError> {
             local.merge(report);
             stats.local_fallback_units += 1;
         }
+        let local_stats = session.stats();
+        fold_walk_stats(
+            &mut stats,
+            None,
+            local_stats.trace_walks,
+            local_stats.walks_skipped,
+            local_stats.shape_memo_hits,
+            local_stats.timing_artifacts_loaded,
+        );
         shard_reports.push(local);
     }
 
@@ -1072,7 +1175,46 @@ fn absorb_late_frame(
                 }
             }
         }
+        // The usual arrival path for Bye counters: workers acknowledge
+        // the post-sweep Shutdown, so their frames land in this drain.
+        FromWorker::Bye {
+            walks,
+            walks_skipped,
+            shape_memo_hits,
+            timing_artifacts_loaded,
+        } => {
+            fold_walk_stats(
+                stats,
+                workers[shard].host,
+                walks,
+                walks_skipped,
+                shape_memo_hits,
+                timing_artifacts_loaded,
+            );
+        }
         _ => {}
+    }
+}
+
+/// Adds one session's timing-reuse counters to the run totals and, for a
+/// remote shard, to its per-host breakdown.
+fn fold_walk_stats(
+    stats: &mut GridStats,
+    host: Option<usize>,
+    walks: u64,
+    walks_skipped: u64,
+    shape_memo_hits: u64,
+    timing_artifacts_loaded: u64,
+) {
+    stats.walks += walks;
+    stats.walks_skipped += walks_skipped;
+    stats.shape_memo_hits += shape_memo_hits;
+    stats.timing_artifacts_loaded += timing_artifacts_loaded;
+    if let Some(h) = host {
+        stats.hosts[h].walks += walks;
+        stats.hosts[h].walks_skipped += walks_skipped;
+        stats.hosts[h].shape_memo_hits += shape_memo_hits;
+        stats.hosts[h].timing_artifacts_loaded += timing_artifacts_loaded;
     }
 }
 
@@ -1110,12 +1252,20 @@ mod tests {
             resumed: 6,
             replayed: 7,
             gc_reclaimed_bytes: 8,
+            walks: 13,
+            walks_skipped: 14,
+            shape_memo_hits: 15,
+            timing_artifacts_loaded: 16,
             hosts: vec![HostStats {
                 addr: "10.0.0.9:7761".into(),
                 units: 9,
                 recoveries: 10,
                 reconnects: 11,
                 bytes_shipped: 12,
+                walks: 17,
+                walks_skipped: 18,
+                shape_memo_hits: 19,
+                timing_artifacts_loaded: 20,
             }],
         };
         let text = stats.render();
@@ -1124,7 +1274,14 @@ mod tests {
         assert!(text.contains("8 bytes reclaimed"), "{text}");
         assert!(
             text.contains(
-                "host 10.0.0.9:7761 : 9 units, 10 recovered, 11 reconnects, 12 bytes shipped"
+                "13 performed, 14 skipped (15 shape-memo hits, 16 timing artifacts loaded)"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "host 10.0.0.9:7761 : 9 units, 10 recovered, 11 reconnects, 12 bytes shipped, \
+                 17 walks, 18 skipped (19 shape-memo, 20 artifacts)"
             ),
             "{text}"
         );

@@ -132,8 +132,19 @@ pub enum FromWorker {
         /// this key; the coordinator just stops waiting for it).
         doc: String,
     },
-    /// Clean shutdown acknowledgement (last message).
-    Bye,
+    /// Clean shutdown acknowledgement (last message), carrying the
+    /// session's timing-reuse counters so the coordinator can surface
+    /// per-host walk savings in `--stats`.
+    Bye {
+        /// Trace walks this session actually performed.
+        walks: u64,
+        /// Walks skipped (shape-memo hits + timing artifacts loaded).
+        walks_skipped: u64,
+        /// In-memory shape-keyed timing memo hits.
+        shape_memo_hits: u64,
+        /// Timing summaries loaded from the artifact store.
+        timing_artifacts_loaded: u64,
+    },
     /// The worker cannot continue (handshake mismatch, bad assignment).
     Fatal {
         /// Human-readable cause.
@@ -304,7 +315,23 @@ impl FromWorker {
                     ("doc".into(), Json::Str(doc.clone())),
                 ],
             ),
-            FromWorker::Bye => obj("bye", vec![]),
+            FromWorker::Bye {
+                walks,
+                walks_skipped,
+                shape_memo_hits,
+                timing_artifacts_loaded,
+            } => obj(
+                "bye",
+                vec![
+                    ("walks".into(), Json::U64(*walks)),
+                    ("walks_skipped".into(), Json::U64(*walks_skipped)),
+                    ("shape_memo_hits".into(), Json::U64(*shape_memo_hits)),
+                    (
+                        "timing_artifacts_loaded".into(),
+                        Json::U64(*timing_artifacts_loaded),
+                    ),
+                ],
+            ),
             FromWorker::Fatal { message } => obj(
                 "fatal",
                 vec![("message".into(), Json::Str(message.clone()))],
@@ -374,7 +401,23 @@ impl FromWorker {
                 })
             })()
             .ok_or_else(shape),
-            "bye" => Ok(FromWorker::Bye),
+            // Counters default to zero so a bare `bye` (pre-counter
+            // workers) still decodes.
+            "bye" => Ok(FromWorker::Bye {
+                walks: json.get("walks").and_then(Json::as_u64).unwrap_or(0),
+                walks_skipped: json
+                    .get("walks_skipped")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                shape_memo_hits: json
+                    .get("shape_memo_hits")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                timing_artifacts_loaded: json
+                    .get("timing_artifacts_loaded")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            }),
             "fatal" => (|| {
                 Some(FromWorker::Fatal {
                     message: json.get("message")?.as_str()?.to_string(),
@@ -464,7 +507,12 @@ mod tests {
                 key: "workload:fft".into(),
                 error: PipelineError::new("fft", Stage::Trace, "truncated"),
             },
-            FromWorker::Bye,
+            FromWorker::Bye {
+                walks: 3,
+                walks_skipped: 61,
+                shape_memo_hits: 40,
+                timing_artifacts_loaded: 21,
+            },
             FromWorker::Fatal {
                 message: "version mismatch".into(),
             },

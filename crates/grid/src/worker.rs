@@ -67,6 +67,9 @@ pub struct WorkerOptions {
     /// a filesystem); TCP daemons pass their own local store here and the
     /// Hello's path — meaningless on another host — is ignored.
     pub store_dir: Option<PathBuf>,
+    /// LRU byte cap on the worker's store (`prism worker --store-cap` /
+    /// `PRISM_STORE_CAP`); `None` leaves growth unbounded.
+    pub store_cap: Option<u64>,
     /// Injected fault plan (`PRISM_GRID_FAULTS`).
     pub faults: GridFaultPlan,
 }
@@ -127,6 +130,7 @@ pub fn run_worker() -> i32 {
     let opts = WorkerOptions {
         expected_shard: Some(shard),
         store_dir: None,
+        store_cap: prism_pipeline::store_cap_from_env(),
         faults: GridFaultPlan::from_env().unwrap_or_default(),
     };
     let stdin = std::io::stdin();
@@ -138,11 +142,19 @@ pub fn run_worker() -> i32 {
 /// on its own thread, against this daemon's local artifact store. A
 /// coordinator that reconnects after a network fault simply starts a
 /// fresh session; the store's memoized artifacts make the re-run cheap.
-pub fn serve_tcp(listener: std::net::TcpListener, token: String, store_dir: PathBuf) -> ! {
+/// With `store_cap`, the daemon's store evicts least-recently-used
+/// artifacts after every put so per-host disk growth stays bounded.
+pub fn serve_tcp(
+    listener: std::net::TcpListener,
+    token: String,
+    store_dir: PathBuf,
+    store_cap: Option<u64>,
+) -> ! {
     prism_net::serve(listener, token, move |stream, shard| {
         let opts = WorkerOptions {
             expected_shard: Some(shard),
             store_dir: Some(store_dir.clone()),
+            store_cap,
             faults: GridFaultPlan::from_env().unwrap_or_default(),
         };
         let reader = match stream.try_clone() {
@@ -229,11 +241,12 @@ pub fn run_worker_io<R: BufRead, W: Write + Send>(
             max_insts,
             ..TracerConfig::default()
         })
+        .with_store_cap(opts.store_cap)
         .with_store_dir(&store_dir);
     // A second handle on the same store for artifact fetch/push frames:
     // the reader thread serves those concurrently with evaluation, and
     // the store's durability is file-level, not handle-level.
-    let store = ArtifactStore::new(&store_dir);
+    let store = ArtifactStore::new(&store_dir).with_cap(opts.store_cap);
 
     // Resolve the workload set; unknown names quarantine as whole-workload
     // units (same key shape the pipeline uses for preparation failures).
@@ -457,7 +470,16 @@ pub fn run_worker_io<R: BufRead, W: Write + Send>(
         queue_cv.notify_all();
     });
 
-    send(&out, &FromWorker::Bye);
+    let session_stats = session.stats();
+    send(
+        &out,
+        &FromWorker::Bye {
+            walks: session_stats.trace_walks,
+            walks_skipped: session_stats.walks_skipped,
+            shape_memo_hits: session_stats.shape_memo_hits,
+            timing_artifacts_loaded: session_stats.timing_artifacts_loaded,
+        },
+    );
     0
 }
 
@@ -508,7 +530,12 @@ fn evaluate_unit<W: Write>(
     let artifacts = {
         let (data, _) = session.prepare_quarantined(workloads);
         let wkeys: Vec<ContentHash> = data.iter().map(|p| p.key).collect();
-        vec![session.design_point_key(&wkeys, &core, &bsas).hex()]
+        let mut keys = vec![session.design_point_key(&wkeys, &core, &bsas)];
+        // Timing artifacts settled by this unit's walks ride along, so
+        // the coordinator can pull them and reuse the walks on cores
+        // that share a timing shape with this one.
+        keys.extend(session.timing_shape_keys(&data, &core, &bsas));
+        keys.iter().map(ContentHash::hex).collect::<Vec<_>>()
     };
     let mut resolved = false;
     for result in report.results {

@@ -291,7 +291,7 @@ fn scenario_tcp_equivalence() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         ports.push(listener.local_addr().expect("addr").port());
         let dir = dir.clone();
-        std::thread::spawn(move || serve_tcp(listener, token.to_string(), dir));
+        std::thread::spawn(move || serve_tcp(listener, token.to_string(), dir, None));
     }
 
     let mut cfg = config(0, &dir_coord);

@@ -96,6 +96,13 @@ impl KeyBuilder {
         self.field("core.has_simd", core.has_simd);
     }
 
+    /// Feeds only the core parameters that shape a timing walk — the
+    /// µDG *timing class* — omitting the display name so core variants
+    /// that differ only in priced parameters share one key.
+    pub fn core_timing(&mut self, core: &CoreConfig) {
+        self.field("core.timing_class", core.timing_class());
+    }
+
     /// Feeds a BSA subset (order-sensitive; callers pass canonical order).
     pub fn bsas(&mut self, bsas: &[BsaKind]) {
         let codes: String = bsas.iter().map(|b| b.code()).collect();
@@ -160,6 +167,21 @@ mod tests {
         assert_ne!(a, mk(&CoreConfig::ooo4(), &[BsaKind::Simd]));
         assert_ne!(a, mk(&CoreConfig::ooo2(), &[BsaKind::Simd, BsaKind::NsDf]));
         assert_eq!(a, mk(&CoreConfig::ooo2(), &[BsaKind::Simd]));
+    }
+
+    #[test]
+    fn core_timing_ignores_display_name() {
+        let mk = |core: &CoreConfig| {
+            let mut kb = KeyBuilder::new("exo-timing-shape");
+            kb.core_timing(core);
+            kb.finish()
+        };
+        let base = CoreConfig::ooo2();
+        let mut renamed = base.clone();
+        renamed.name = "OOO2-relabeled".into();
+        assert_eq!(mk(&base), mk(&renamed));
+        assert_ne!(mk(&base), mk(&CoreConfig::ooo4()));
+        assert_ne!(mk(&base), mk(&base.clone().with_simd()));
     }
 
     #[test]

@@ -29,7 +29,8 @@ use prism_udg::{simulate_reference, simulate_trace, CoreConfig, ExecBudget, NODE
 use prism_workloads::{Suite, Workload};
 
 use crate::codec::{
-    decode_design_result, decode_trace_chunk, encode_design_result, encode_trace_chunk,
+    decode_design_result, decode_exo_timing, decode_trace_chunk, encode_design_result,
+    encode_exo_timing, encode_trace_chunk,
 };
 use crate::crash::{crash_point, SITE_UNIT_COMPLETE};
 use crate::error::{PipelineError, Stage};
@@ -38,7 +39,7 @@ use crate::hash::{ContentHash, Sha256};
 use crate::journal::{sweep_key, JournalReplay, SweepJournal};
 use crate::key::KeyBuilder;
 use crate::par::{parallel_map, resolve_jobs};
-use crate::store::{ArtifactStore, StoreStats, GC_SAFETY_WINDOW};
+use crate::store::{store_cap_from_env, ArtifactStore, StoreStats, GC_SAFETY_WINDOW};
 use crate::sweep::SweepReport;
 
 /// A workload prepared by a [`Session`]: its content key plus the shared
@@ -68,6 +69,15 @@ pub struct SessionStats {
     pub memo_hits: u64,
     /// In-memory memo misses.
     pub memo_misses: u64,
+    /// Timing requests satisfied by the in-process µDG shape memo.
+    pub shape_memo_hits: u64,
+    /// Timing summaries loaded from the persistent artifact store
+    /// instead of recomputed.
+    pub timing_artifacts_loaded: u64,
+    /// Trace walks avoided (shape-memo hits + timing artifacts loaded).
+    pub walks_skipped: u64,
+    /// Trace walks actually performed ([`run_exocore_timing`]).
+    pub trace_walks: u64,
     /// Dynamic instructions produced by the functional simulator.
     pub sim_insts: u64,
     /// Wall-clock nanoseconds spent producing them.
@@ -95,6 +105,10 @@ impl std::ops::AddAssign for SessionStats {
         self.artifacts += rhs.artifacts;
         self.memo_hits += rhs.memo_hits;
         self.memo_misses += rhs.memo_misses;
+        self.shape_memo_hits += rhs.shape_memo_hits;
+        self.timing_artifacts_loaded += rhs.timing_artifacts_loaded;
+        self.walks_skipped += rhs.walks_skipped;
+        self.trace_walks += rhs.trace_walks;
         self.sim_insts += rhs.sim_insts;
         self.sim_nanos += rhs.sim_nanos;
         self.udg_nanos += rhs.udg_nanos;
@@ -127,6 +141,8 @@ impl SessionStats {
              store I/O      : {} retries, {} errors\n\
              recomputes     : {}\n\
              memo           : {} hits, {} misses\n\
+             trace walks    : {} performed, {} skipped \
+             ({} shape-memo hits, {} timing artifacts loaded)\n\
              sim throughput : {} insts in {} ms ({:.0} insts/sec)\n\
              stage wall     : sim {} ms, uDG {} ms, transforms {} ms, \
              schedule {} ms\n\
@@ -141,6 +157,10 @@ impl SessionStats {
             a.recomputes,
             self.memo_hits,
             self.memo_misses,
+            self.trace_walks,
+            self.walks_skipped,
+            self.shape_memo_hits,
+            self.timing_artifacts_loaded,
             self.sim_insts,
             self.sim_nanos / 1_000_000,
             self.insts_per_sec(),
@@ -279,6 +299,12 @@ pub const STREAM_ENV: &str = "PRISM_STREAM";
 /// path. Results are byte-identical either way.
 pub const NO_COMPOSE_ENV: &str = "PRISM_NO_COMPOSE";
 
+/// Opt-out escape hatch: set (non-empty, non-`"0"`) to disable the
+/// persistent timing-artifact cache — trace-walk timings are then only
+/// memoized in-process and never loaded from or saved to the artifact
+/// store. Results are byte-identical either way.
+pub const NO_TIMING_CACHE_ENV: &str = "PRISM_NO_TIMING_CACHE";
+
 /// The pipeline session: memoized stages + content-addressed artifacts +
 /// deterministic parallelism.
 #[derive(Debug)]
@@ -286,16 +312,22 @@ pub struct Session {
     tracer: TracerConfig,
     jobs: usize,
     store: ArtifactStore,
+    store_cap: Option<u64>,
     faults: Option<Arc<FaultPlan>>,
     budget: ExecBudget,
     guard: Option<DivergenceGuard>,
     streaming: bool,
     composition: bool,
+    timing_cache: bool,
     workloads: Mutex<HashMap<ContentHash, Arc<WorkloadData>>>,
     tables: Mutex<HashMap<ContentHash, Arc<OracleTable>>>,
     timings: Mutex<HashMap<ContentHash, Arc<ExoTiming>>>,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    shape_memo_hits: AtomicU64,
+    timing_artifacts_loaded: AtomicU64,
+    walks_skipped: AtomicU64,
+    trace_walks: AtomicU64,
     sim_insts: AtomicU64,
     sim_nanos: AtomicU64,
     udg_nanos: AtomicU64,
@@ -343,8 +375,10 @@ impl Session {
             ),
             Err(_) => ExecBudget::unlimited(),
         };
+        let store_cap = store_cap_from_env();
         let mut store = ArtifactStore::new(ArtifactStore::default_dir());
         store.set_faults(faults.clone());
+        store.set_cap(store_cap);
         // Opportunistic repair: sweep out tmp files leaked by long-dead
         // writers. The safety window plus live-pid check make this safe
         // against concurrent sessions sharing the store.
@@ -353,6 +387,7 @@ impl Session {
             tracer: TracerConfig::default(),
             jobs: resolve_jobs(None),
             store,
+            store_cap,
             faults,
             budget,
             guard: DivergenceGuard::from_env(),
@@ -360,11 +395,17 @@ impl Session {
                 .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0"),
             composition: !std::env::var(NO_COMPOSE_ENV)
                 .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0"),
+            timing_cache: !std::env::var(NO_TIMING_CACHE_ENV)
+                .is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0"),
             workloads: Mutex::new(HashMap::new()),
             tables: Mutex::new(HashMap::new()),
             timings: Mutex::new(HashMap::new()),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            shape_memo_hits: AtomicU64::new(0),
+            timing_artifacts_loaded: AtomicU64::new(0),
+            walks_skipped: AtomicU64::new(0),
+            trace_walks: AtomicU64::new(0),
             sim_insts: AtomicU64::new(0),
             sim_nanos: AtomicU64::new(0),
             udg_nanos: AtomicU64::new(0),
@@ -394,7 +435,19 @@ impl Session {
     pub fn with_store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store = ArtifactStore::new(dir);
         self.store.set_faults(self.faults.clone());
+        self.store.set_cap(self.store_cap);
         self.store.gc_tmp_files(GC_SAFETY_WINDOW);
+        self
+    }
+
+    /// Caps the artifact store at a byte budget with LRU eviction
+    /// ([`ArtifactStore::enforce_cap`]); `None` uncaps. Overrides
+    /// `PRISM_STORE_CAP`. Survives a later
+    /// [`with_store_dir`](Session::with_store_dir).
+    #[must_use]
+    pub fn with_store_cap(mut self, cap_bytes: Option<u64>) -> Self {
+        self.store_cap = cap_bytes;
+        self.store.set_cap(cap_bytes);
         self
     }
 
@@ -442,6 +495,17 @@ impl Session {
     #[must_use]
     pub fn with_composition(mut self, composition: bool) -> Self {
         self.composition = composition;
+        self
+    }
+
+    /// Enables (or disables) the persistent timing-artifact cache: with it
+    /// on, each trace-walk timing summary is saved to the artifact store
+    /// keyed by its [µDG shape key](Session::shape_key) and loaded instead
+    /// of recomputed on warm runs. Byte-identical either way. Overrides
+    /// `PRISM_NO_TIMING_CACHE`.
+    #[must_use]
+    pub fn with_timing_cache(mut self, timing_cache: bool) -> Self {
+        self.timing_cache = timing_cache;
         self
     }
 
@@ -804,18 +868,24 @@ impl Session {
         Ok(table)
     }
 
-    /// The memo key of one trace-walk timing: workload, core variant
-    /// (including the SIMD datapath flag), and the (sorted) assignment —
-    /// everything [`run_exocore_timing`] depends on.
-    fn timing_key(
+    /// The canonical **µDG shape key** of one trace-walk timing: a
+    /// [`ContentHash`] over every structural feature that determines the
+    /// walk — workload trace identity, the core's
+    /// [timing class](CoreConfig::timing_class) (display name excluded,
+    /// so variants differing only in priced parameters share one walk),
+    /// the sorted transform assignment, and the execution-budget knob.
+    /// Both the in-process timing memo and the persistent timing
+    /// artifacts are keyed by it.
+    #[must_use]
+    pub fn shape_key(
         &self,
         workload: &PreparedWorkload,
         core: &CoreConfig,
         assignment: &Assignment,
     ) -> ContentHash {
-        let mut kb = KeyBuilder::new("exo-timing");
+        let mut kb = KeyBuilder::new("exo-timing-shape");
         kb.hash_field("workload", &workload.key);
-        kb.core(core);
+        kb.core_timing(core);
         let mut pairs: Vec<_> = assignment.map.iter().map(|(&l, &k)| (l, k)).collect();
         pairs.sort_unstable();
         let assigned: String = pairs
@@ -823,19 +893,25 @@ impl Session {
             .map(|(l, k)| format!("{l}={};", k.code()))
             .collect();
         kb.field("assigned", assigned);
+        kb.field("budget.max_nodes", self.budget.max_nodes);
         kb.finish()
     }
 
     /// The trace-walk timing for (workload, core variant, assignment),
-    /// memoized for the session's lifetime. Counts against the session's
-    /// memo hit/miss stats and the µDG stage wall-time.
+    /// memoized for the session's lifetime under the [µDG shape
+    /// key](Session::shape_key) and — unless the timing cache is off —
+    /// persisted to the artifact store, so a warm run loads the summary
+    /// instead of walking the trace. A corrupt or stale stored timing
+    /// degrades to a recompute (the store validates on load, the decoder
+    /// is strict). Counts against the session's memo and walk stats and
+    /// the µDG stage wall-time.
     fn exo_timing(
         &self,
         workload: &PreparedWorkload,
         core: &CoreConfig,
         assignment: &Assignment,
     ) -> Arc<ExoTiming> {
-        let key = self.timing_key(workload, core, assignment);
+        let key = self.shape_key(workload, core, assignment);
         if let Some(t) = self
             .timings
             .lock()
@@ -843,9 +919,27 @@ impl Session {
             .get(&key)
         {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.shape_memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.walks_skipped.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(t);
         }
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        if self.timing_cache {
+            if let Some(timing) = self
+                .store
+                .load(&key)
+                .and_then(|payload| decode_exo_timing(&payload))
+            {
+                self.timing_artifacts_loaded.fetch_add(1, Ordering::Relaxed);
+                self.walks_skipped.fetch_add(1, Ordering::Relaxed);
+                let timing = Arc::new(timing);
+                self.timings
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(key, Arc::clone(&timing));
+                return timing;
+            }
+        }
         let started = std::time::Instant::now();
         let timing = Arc::new(run_exocore_timing(
             &workload.trace,
@@ -856,11 +950,39 @@ impl Session {
         ));
         self.udg_nanos
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.trace_walks.fetch_add(1, Ordering::Relaxed);
+        if self.timing_cache {
+            self.store.save(&key, encode_exo_timing(&timing));
+        }
         self.timings
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, Arc::clone(&timing));
         timing
+    }
+
+    /// The [µDG shape keys](Session::shape_key) of the trace-walk timings
+    /// one design point needs — one per workload whose oracle table is
+    /// measurable (errors are skipped; they surface when the point is
+    /// evaluated). Grid workers report these alongside the design-result
+    /// key so coordinators can pull timing artifacts over the wire, and
+    /// coordinators push them ahead of assignments — the multi-host
+    /// fabric becomes a distributed timing cache.
+    #[must_use]
+    pub fn timing_shape_keys(
+        &self,
+        data: &[PreparedWorkload],
+        core: &CoreConfig,
+        bsas: &[BsaKind],
+    ) -> Vec<ContentHash> {
+        let point = DesignPoint::new(core.clone(), bsas.to_vec());
+        data.iter()
+            .filter_map(|w| {
+                let table = self.oracle_table(w, core).ok()?;
+                let assignment = oracle_pick(&table, &w.data, &point.bsas);
+                Some(self.shape_key(w, &point.core, &assignment))
+            })
+            .collect()
     }
 
     fn evaluate_point(
@@ -1036,7 +1158,7 @@ impl Session {
                         continue;
                     };
                     let assignment = oracle_pick(&table, &w.data, &point.bsas);
-                    if seen.insert(self.timing_key(w, &point.core, &assignment)) {
+                    if seen.insert(self.shape_key(w, &point.core, &assignment)) {
                         walks.push((wi, point.core.clone(), assignment));
                     }
                 }
@@ -1374,6 +1496,10 @@ impl Session {
             artifacts: self.store.stats(),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            shape_memo_hits: self.shape_memo_hits.load(Ordering::Relaxed),
+            timing_artifacts_loaded: self.timing_artifacts_loaded.load(Ordering::Relaxed),
+            walks_skipped: self.walks_skipped.load(Ordering::Relaxed),
+            trace_walks: self.trace_walks.load(Ordering::Relaxed),
             sim_insts: self.sim_insts.load(Ordering::Relaxed),
             sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
             udg_nanos: self.udg_nanos.load(Ordering::Relaxed),
@@ -1391,7 +1517,8 @@ impl Session {
         eprintln!(
             "[prism-pipeline] artifact cache: {} hits, {} misses ({} discarded, \
              {} I/O retries, {} I/O errors, {} recomputes); memo: {} hits, \
-             {} misses; sim: {} insts at {:.0} insts/sec, peak chunk {} bytes; \
+             {} misses; walks: {} performed, {} skipped ({} shape-memo, \
+             {} artifacts); sim: {} insts at {:.0} insts/sec, peak chunk {} bytes; \
              stage wall: sim {} ms, uDG {} ms, transforms {} ms, schedule \
              {} ms; jobs={}",
             s.artifacts.hits,
@@ -1402,6 +1529,10 @@ impl Session {
             s.artifacts.recomputes,
             s.memo_hits,
             s.memo_misses,
+            s.trace_walks,
+            s.walks_skipped,
+            s.shape_memo_hits,
+            s.timing_artifacts_loaded,
             s.sim_insts,
             s.insts_per_sec(),
             s.peak_chunk_bytes,

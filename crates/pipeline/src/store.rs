@@ -35,6 +35,32 @@ pub const NO_FSYNC_ENV: &str = "PRISM_NO_FSYNC";
 /// crash leftover. `fsck` uses a zero window instead — it runs offline.
 pub const GC_SAFETY_WINDOW: Duration = Duration::from_secs(15 * 60);
 
+/// Environment variable holding a byte cap on store growth
+/// (`PRISM_STORE_CAP=<bytes>`, also `prism worker --store-cap`). When
+/// set, the store evicts least-recently-used artifacts after every put
+/// until it fits — the knob long-running worker daemons use to bound
+/// per-host disk growth.
+pub const STORE_CAP_ENV: &str = "PRISM_STORE_CAP";
+
+/// Parses [`STORE_CAP_ENV`]; `None` when unset, empty, or `0` (uncapped).
+///
+/// # Panics
+///
+/// Panics when the variable is set but not a number — like the other env
+/// knobs, a typo must not silently disable the cap.
+#[must_use]
+pub fn store_cap_from_env() -> Option<u64> {
+    let v = std::env::var(STORE_CAP_ENV).ok()?;
+    let v = v.trim();
+    if v.is_empty() || v == "0" {
+        return None;
+    }
+    Some(
+        v.parse::<u64>()
+            .unwrap_or_else(|e| panic!("bad {STORE_CAP_ENV} value `{v}`: {e}")),
+    )
+}
+
 /// Whether durability fsyncs are enabled (they are unless
 /// [`NO_FSYNC_ENV`] is set to a non-empty value other than `0`).
 #[must_use]
@@ -91,6 +117,7 @@ pub struct ArtifactStore {
     dir: PathBuf,
     faults: Option<Arc<FaultPlan>>,
     fsync: bool,
+    cap_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     discarded: AtomicU64,
@@ -109,6 +136,7 @@ impl ArtifactStore {
             dir: dir.into(),
             faults: None,
             fsync: fsync_enabled(),
+            cap_bytes: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             discarded: AtomicU64::new(0),
@@ -129,6 +157,20 @@ impl ArtifactStore {
     /// Installs (or clears) the fault-injection plan for this store.
     pub fn set_faults(&mut self, faults: Option<Arc<FaultPlan>>) {
         self.faults = faults;
+    }
+
+    /// Caps the store's artifact bytes: after every put, least-recently-
+    /// used artifacts are evicted until the store fits
+    /// ([`enforce_cap`](Self::enforce_cap)). `None` removes the cap.
+    pub fn set_cap(&mut self, cap_bytes: Option<u64>) {
+        self.cap_bytes = cap_bytes;
+    }
+
+    /// Builder form of [`set_cap`](Self::set_cap).
+    #[must_use]
+    pub fn with_cap(mut self, cap_bytes: Option<u64>) -> Self {
+        self.cap_bytes = cap_bytes;
+        self
     }
 
     /// The default location: `$PRISM_ARTIFACT_DIR` if set, else
@@ -203,6 +245,7 @@ impl ArtifactStore {
         match Self::validate(&text, key) {
             Ok(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(&path);
                 Ok(Some(payload))
             }
             Err(why) => {
@@ -294,7 +337,75 @@ impl ArtifactStore {
                 "[prism-pipeline] failed to store artifact {} after {IO_ATTEMPTS} attempts: {e}",
                 self.path_for(key).display()
             );
+        } else {
+            self.enforce_cap();
         }
+    }
+
+    /// Bumps an artifact's mtime — the LRU recency signal — on a load
+    /// hit. Only capped stores pay the extra syscall; failures are
+    /// ignored (recency then degrades toward FIFO, never to an error).
+    fn touch(&self, path: &Path) {
+        if self.cap_bytes.is_none() {
+            return;
+        }
+        if let Ok(f) = std::fs::File::options().append(true).open(path) {
+            let _ =
+                f.set_times(std::fs::FileTimes::new().set_modified(std::time::SystemTime::now()));
+        }
+    }
+
+    /// Evicts least-recently-used artifacts until the store's `.json`
+    /// bytes fit under the cap; a no-op without one. Mtime is the recency
+    /// signal (capped stores [`touch`](Self::touch) artifacts on every
+    /// load hit). Journals and quarantined files live in subdirectories,
+    /// so only top-level artifacts are ever evicted. Returns
+    /// `(files_evicted, bytes_reclaimed)` and folds the bytes into
+    /// [`StoreStats::gc_reclaimed_bytes`].
+    pub fn enforce_cap(&self) -> (u64, u64) {
+        let Some(cap) = self.cap_bytes else {
+            return (0, 0);
+        };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return (0, 0);
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        let mut total = 0u64;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".json") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            total += meta.len();
+            files.push((mtime, entry.path(), meta.len()));
+        }
+        if total <= cap {
+            return (0, 0);
+        }
+        // Path is the tiebreak, so eviction order is deterministic even
+        // when a burst of puts lands within the filesystem's mtime
+        // granularity.
+        files.sort();
+        let mut evicted = 0u64;
+        let mut bytes = 0u64;
+        for (_, path, len) in files {
+            if total <= cap {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total -= len;
+                evicted += 1;
+                bytes += len;
+            }
+        }
+        self.gc_reclaimed.fetch_add(bytes, Ordering::Relaxed);
+        (evicted, bytes)
     }
 
     /// One save attempt. `site` names this attempt for deterministic fault
@@ -386,7 +497,9 @@ impl ArtifactStore {
             }
             self.write_durable(&self.path_for(key), text.as_bytes())
         })
-        .map_err(|e| format!("write failed after {IO_ATTEMPTS} attempts: {e}"))
+        .map_err(|e| format!("write failed after {IO_ATTEMPTS} attempts: {e}"))?;
+        self.enforce_cap();
+        Ok(())
     }
 
     /// Removes orphaned `*.tmp.<pid>.<seq>` files left behind by killed
@@ -700,6 +813,73 @@ mod tests {
         let (files, _) = store.gc_tmp_files(Duration::from_secs(3600));
         assert_eq!(files, 0);
         assert!(dead.exists());
+    }
+
+    /// Pins an artifact's mtime to a known instant so LRU ordering is
+    /// independent of filesystem timestamp granularity.
+    fn pin_mtime(store: &ArtifactStore, k: &ContentHash, secs: u64) {
+        let f = std::fs::File::options()
+            .append(true)
+            .open(store.path_for(k))
+            .unwrap();
+        let t = std::time::UNIX_EPOCH + Duration::from_secs(secs);
+        f.set_times(std::fs::FileTimes::new().set_modified(t))
+            .unwrap();
+    }
+
+    #[test]
+    fn lru_cap_evicts_oldest_artifacts_first() {
+        let mut store = temp_store("lrucap");
+        let (ka, kb, kc) = (key("lru-a"), key("lru-b"), key("lru-c"));
+        store.save(&ka, Json::U64(1));
+        store.save(&kb, Json::U64(2));
+        store.save(&kc, Json::U64(3));
+        pin_mtime(&store, &ka, 1_000_000);
+        pin_mtime(&store, &kb, 1_000_100);
+        pin_mtime(&store, &kc, 1_000_200);
+        let size = std::fs::metadata(store.path_for(&ka)).unwrap().len();
+        // Uncapped: enforce_cap is a no-op.
+        assert_eq!(store.enforce_cap(), (0, 0));
+        // Cap at two artifacts' bytes: only the oldest (a) must go.
+        store.set_cap(Some(2 * size));
+        let (files, bytes) = store.enforce_cap();
+        assert_eq!((files, bytes), (1, size));
+        assert!(!store.contains(&ka));
+        assert!(store.contains(&kb) && store.contains(&kc));
+        assert_eq!(store.stats().gc_reclaimed_bytes, bytes);
+        // The next save re-enforces automatically: four minus cap leaves
+        // two (the cap is checked after every put).
+        store.save(&ka, Json::U64(1));
+        pin_mtime(&store, &ka, 1_000_300);
+        store.save(&key("lru-d"), Json::U64(4));
+        let remaining = std::fs::read_dir(store.dir())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".json"))
+            .count();
+        assert_eq!(remaining, 2);
+    }
+
+    #[test]
+    fn capped_load_refreshes_lru_recency() {
+        let mut store = temp_store("lrutouch");
+        let (ka, kb, kc) = (key("touch-a"), key("touch-b"), key("touch-c"));
+        store.save(&ka, Json::U64(1));
+        store.save(&kb, Json::U64(2));
+        store.save(&kc, Json::U64(3));
+        pin_mtime(&store, &ka, 1_000_000);
+        pin_mtime(&store, &kb, 1_000_100);
+        pin_mtime(&store, &kc, 1_000_200);
+        let size = std::fs::metadata(store.path_for(&ka)).unwrap().len();
+        store.set_cap(Some(2 * size));
+        // A hit on the oldest artifact bumps its mtime past the others,
+        // so the *second*-oldest (b) is evicted instead.
+        assert_eq!(store.load(&ka), Some(Json::U64(1)));
+        let (files, _) = store.enforce_cap();
+        assert_eq!(files, 1);
+        assert!(store.contains(&ka), "recently read artifact must survive");
+        assert!(!store.contains(&kb));
+        assert!(store.contains(&kc));
     }
 
     #[test]

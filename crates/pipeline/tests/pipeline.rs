@@ -24,6 +24,8 @@ fn clean_session() -> Session {
         .with_faults(None)
         .with_budget(ExecBudget::unlimited())
         .with_divergence_guard(None)
+        .with_timing_cache(true)
+        .with_store_cap(None)
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -62,7 +64,13 @@ fn artifact_cache_roundtrip_hits_on_second_run() {
         .expect("cold run");
     let s = cold.stats();
     assert_eq!(s.artifacts.hits, 0);
-    assert_eq!(s.artifacts.misses, (cores.len() * subsets.len()) as u64);
+    // Every design point misses once, and each distinct timing shape
+    // attempts (and misses) a timing-artifact load before its walk.
+    assert_eq!(
+        s.artifacts.misses,
+        (cores.len() * subsets.len()) as u64 + s.trace_walks,
+        "{s:?}"
+    );
 
     // Warm run in a fresh session: every point loads from disk — no
     // tracing happens at all (the workload memo stays empty).
@@ -102,7 +110,13 @@ fn tracer_config_change_invalidates_artifacts() {
         s.artifacts.hits, 0,
         "changed tracer config must miss every artifact"
     );
-    assert_eq!(s.artifacts.misses, (cores.len() * subsets.len()) as u64);
+    // Changed trace identity changes timing shapes too, so each walk's
+    // load-before-walk also misses.
+    assert_eq!(
+        s.artifacts.misses,
+        (cores.len() * subsets.len()) as u64 + s.trace_walks,
+        "{s:?}"
+    );
 }
 
 #[test]
@@ -116,11 +130,20 @@ fn corrupt_artifact_recomputes_instead_of_failing() {
         .explore_grid_cached(&workloads, &cores, &subsets)
         .expect("first run");
 
-    // Truncate one artifact and swap valid JSON of the wrong shape into
-    // another; both must be treated as misses and recomputed.
+    // Truncate one *design* artifact and swap valid JSON of the wrong
+    // shape into another; both must be treated as misses and recomputed.
+    // (Timing artifacts — payloads carrying `timeline_len` — share the
+    // store; skip them so exactly two design points are hit.)
     let mut files: Vec<_> = std::fs::read_dir(&dir)
         .expect("store dir")
         .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            let text = std::fs::read_to_string(p).expect("read artifact");
+            let doc = Json::parse(&text).expect("parse artifact");
+            doc.get("payload")
+                .map(|pl| pl.get("timeline_len").is_none())
+                .unwrap_or(true)
+        })
         .collect();
     files.sort();
     std::fs::write(&files[0], "{ truncated").expect("corrupt file");
@@ -132,8 +155,15 @@ fn corrupt_artifact_recomputes_instead_of_failing() {
         .expect("recovery run");
     assert_eq!(first, second);
     let s = b.stats();
-    assert_eq!(s.artifacts.misses, 2);
-    assert_eq!(s.artifacts.hits, (cores.len() * subsets.len()) as u64 - 2);
+    assert_eq!(s.artifacts.misses, 2, "{s:?}");
+    // The 6 intact design points hit, and the 2 recomputed points reuse
+    // the first run's (uncorrupted) timing artifacts instead of walking.
+    assert_eq!(
+        s.artifacts.hits,
+        (cores.len() * subsets.len()) as u64 - 2 + s.timing_artifacts_loaded,
+        "{s:?}"
+    );
+    assert_eq!(s.trace_walks, 0, "timing artifacts must cover the walks");
 }
 
 #[test]

@@ -145,6 +145,32 @@ impl CoreConfig {
         self
     }
 
+    /// Canonical encoding of every parameter that shapes a timing walk.
+    ///
+    /// Two cores with equal timing classes produce bit-identical
+    /// `run_exocore_timing` output for the same trace/IR/plans/schedule;
+    /// only priced quantities (energy constants, area) may differ. The
+    /// display [`name`](CoreConfig::name) is deliberately excluded, so a
+    /// renamed or relabeled variant of the same microarchitecture shares
+    /// one walk.
+    #[must_use]
+    pub fn timing_class(&self) -> String {
+        format!(
+            "w{};rob{};win{};dcp{};alu{};md{};fp{};ooo{};fe{};mp{};simd{}",
+            self.width,
+            self.rob_size,
+            self.window_size,
+            self.dcache_ports,
+            self.alus,
+            self.muldivs,
+            self.fpus,
+            u8::from(self.out_of_order),
+            self.frontend_depth,
+            self.mispredict_penalty,
+            u8::from(self.has_simd),
+        )
+    }
+
     /// The subset of parameters the energy model consumes.
     #[must_use]
     pub fn energy_config(&self) -> CoreEnergyConfig {
@@ -237,6 +263,17 @@ mod tests {
         assert!(CoreConfig::ooo4().area_mm2() < CoreConfig::ooo6().area_mm2());
         let plain = CoreConfig::ooo2();
         assert!(plain.clone().with_simd().area_mm2() > plain.area_mm2());
+    }
+
+    #[test]
+    fn timing_class_ignores_name_only() {
+        let a = CoreConfig::ooo2();
+        let mut renamed = a.clone();
+        renamed.name = "OOO2-cheap".into();
+        assert_eq!(a.timing_class(), renamed.timing_class());
+        assert_ne!(a.timing_class(), CoreConfig::ooo4().timing_class());
+        assert_ne!(a.timing_class(), a.clone().with_simd().timing_class());
+        assert_ne!(CoreConfig::io2().timing_class(), a.timing_class());
     }
 
     #[test]

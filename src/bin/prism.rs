@@ -18,6 +18,8 @@
 //!     --resume                        replay the sweep journal, skip settled units
 //! prism worker --listen <host:port>   serve grid workers over TCP (daemon);
 //!     [--store PATH]                  shared secret via PRISM_NET_TOKEN
+//!     [--store-cap BYTES]             LRU byte cap on the daemon store
+//!                                     (default PRISM_STORE_CAP; 0 = unbounded)
 //! prism fsck [--dir PATH]             check/repair an artifact store
 //!                                     (quarantines corrupt artifacts, GCs orphan
 //!                                     tmp files and stale journals; exit 1 on
@@ -324,6 +326,7 @@ fn cmd_worker(args: &[String]) -> i32 {
 
     let mut listen: Option<String> = None;
     let mut store_dir = ArtifactStore::default_dir();
+    let mut store_cap = prism::pipeline::store_cap_from_env();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -341,16 +344,23 @@ fn cmd_worker(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--store-cap" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => store_cap = (v > 0).then_some(v),
+                _ => {
+                    eprintln!("error: --store-cap needs a byte count (0 disables the cap)");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!(
-                    "error: unknown flag {other} (usage: prism worker --listen <host:port> [--store PATH])"
+                    "error: unknown flag {other} (usage: prism worker --listen <host:port> [--store PATH] [--store-cap BYTES])"
                 );
                 return 2;
             }
         }
     }
     let Some(addr) = listen else {
-        eprintln!("usage: prism worker --listen <host:port> [--store PATH]");
+        eprintln!("usage: prism worker --listen <host:port> [--store PATH] [--store-cap BYTES]");
         return 2;
     };
     let listener = match std::net::TcpListener::bind(&addr) {
@@ -370,7 +380,10 @@ fn cmd_worker(args: &[String]) -> i32 {
     if token.is_empty() {
         eprintln!("[prism-net] warning: {NET_TOKEN_ENV} unset — accepting unauthenticated peers");
     }
-    prism::grid::serve_tcp(listener, token, store_dir)
+    if let Some(cap) = store_cap {
+        eprintln!("[prism-net] store cap: {cap} bytes (LRU eviction)");
+    }
+    prism::grid::serve_tcp(listener, token, store_dir, store_cap)
 }
 
 fn cmd_list() -> i32 {

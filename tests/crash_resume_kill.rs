@@ -21,8 +21,8 @@ use std::time::Duration;
 
 use prism::grid::{run_grid, run_worker_if_env, GridConfig};
 use prism::pipeline::{
-    journal_path, sweep_key, JournalReplay, Session, SweepReport, CRASH_EXIT_CODE, SITE_GRID_FRAME,
-    SITE_JOURNAL_APPEND, SITE_STORE_PUT, SITE_UNIT_COMPLETE,
+    journal_path, sweep_key, JournalReplay, Json, Session, SweepReport, CRASH_EXIT_CODE,
+    SITE_GRID_FRAME, SITE_JOURNAL_APPEND, SITE_STORE_PUT, SITE_UNIT_COMPLETE,
 };
 use prism::sim::TracerConfig;
 use prism::tdg::BsaKind;
@@ -99,9 +99,12 @@ fn child_explore() -> ! {
     let report = session.evaluate_designs_resumable(&micro_set(), &cores, &subsets, resume);
     print_report(&report);
     let stats = session.stats();
+    // `recomputes` counts every store save — design results *and* timing
+    // artifacts (one per trace walk performed) — so the parent subtracts
+    // `walks` to recover the design-result recompute count.
     write_stats_file(format!(
-        "resumed={} replayed={} recomputes={}\n",
-        stats.resumed, stats.replayed, stats.artifacts.recomputes
+        "resumed={} replayed={} recomputes={} walks={}\n",
+        stats.resumed, stats.replayed, stats.artifacts.recomputes, stats.trace_walks
     ));
     std::process::exit(report.exit_code());
 }
@@ -184,7 +187,10 @@ fn read_stats(store: &Path, key: &str) -> u64 {
 }
 
 /// Point-result artifacts currently durable in the store (top level only;
-/// journals live in a subdirectory).
+/// journals live in a subdirectory). Timing artifacts share the flat
+/// namespace but are pure cache warmth, so they are told apart by their
+/// payload shape (only timing summaries carry `timeline_len`) and
+/// excluded from the recompute accounting.
 fn artifacts_on_disk(store: &Path) -> u64 {
     let Ok(entries) = std::fs::read_dir(store) else {
         return 0;
@@ -195,6 +201,13 @@ fn artifacts_on_disk(store: &Path) -> u64 {
             e.file_name()
                 .to_str()
                 .is_some_and(|n| n.ends_with(".json") && !n.contains(".tmp."))
+        })
+        .filter(|e| {
+            std::fs::read_to_string(e.path())
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+                .and_then(|doc| doc.get("payload").map(|p| p.get("timeline_len").is_none()))
+                .unwrap_or(false)
         })
         .count() as u64
 }
@@ -242,7 +255,7 @@ fn explore_round(reference: &str, site: &str, hit: u64) {
         "{spec}: every journaled unit must be resumed"
     );
     assert_eq!(
-        read_stats(&store, "recomputes"),
+        read_stats(&store, "recomputes") - read_stats(&store, "walks"),
         total - saved,
         "{spec}: only units without durable artifacts may recompute"
     );
@@ -322,6 +335,8 @@ fn main() {
         "PRISM_CRASH",
         "PRISM_SCALE",
         "PRISM_NO_COMPOSE",
+        "PRISM_NO_TIMING_CACHE",
+        "PRISM_STORE_CAP",
         "PRISM_DIVERGENCE",
         "PRISM_MAX_NODES",
         "PRISM_CHUNK",
